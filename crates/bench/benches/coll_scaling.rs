@@ -1,0 +1,65 @@
+//! EMI global-operation scaling: barrier and allreduce latency against
+//! machine size. The spanning tree gives O(log P) depth; on this
+//! substrate each tree hop costs an OS-thread hand-off (~µs), so the
+//! curve is the substrate's, but its *shape* — logarithmic, not linear —
+//! is the property the EMI's tree structure buys (paper §3.1.3:
+//! "spanning-tree based operations").
+
+use converse_core::run;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Time `rounds` barriers on an `n`-PE machine (ns per barrier).
+fn barrier_ns(n: usize, rounds: u64) -> f64 {
+    let total = Arc::new(AtomicU64::new(0));
+    let t2 = total.clone();
+    run(n, move |pe| {
+        pe.barrier(); // warm-up and alignment
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            pe.barrier();
+        }
+        if pe.my_pe() == 0 {
+            t2.store(t0.elapsed().as_nanos() as u64, Ordering::SeqCst);
+        }
+    });
+    total.load(Ordering::SeqCst) as f64 / rounds as f64
+}
+
+/// Time `rounds` i64-sum allreduces on an `n`-PE machine (ns each).
+fn allreduce_ns(n: usize, rounds: u64) -> f64 {
+    let total = Arc::new(AtomicU64::new(0));
+    let t2 = total.clone();
+    run(n, move |pe| {
+        let sum = pe.register_combiner(|a, b| {
+            let x = i64::from_le_bytes(a.try_into().unwrap());
+            let y = i64::from_le_bytes(b.try_into().unwrap());
+            (x + y).to_le_bytes().to_vec()
+        });
+        pe.barrier();
+        let t0 = Instant::now();
+        for r in 0..rounds {
+            let out = pe.allreduce_bytes((r as i64).to_le_bytes().to_vec(), sum);
+            std::hint::black_box(out);
+        }
+        if pe.my_pe() == 0 {
+            t2.store(t0.elapsed().as_nanos() as u64, Ordering::SeqCst);
+        }
+    });
+    total.load(Ordering::SeqCst) as f64 / rounds as f64
+}
+
+fn main() {
+    println!("\nCollective latency vs machine size (measured, µs):");
+    println!("{:>6} {:>12} {:>14}", "PEs", "barrier", "allreduce");
+    for &n in &[2usize, 4, 8, 16] {
+        println!(
+            "{:>6} {:>12.1} {:>14.1}",
+            n,
+            barrier_ns(n, 200) / 1000.0,
+            allreduce_ns(n, 200) / 1000.0
+        );
+    }
+    println!("(tree depth ⌈log2 P⌉ hops; each hop is an OS-thread hand-off here)");
+}

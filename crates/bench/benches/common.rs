@@ -1,0 +1,49 @@
+//! Shared driver for the five figure benches (Figs 4–8, paper §5.1).
+//!
+//! Each figure bench (a) criterion-measures the live Converse software
+//! path at representative sizes, and (b) regenerates the figure's
+//! series — modeled wire time plus measured software time — printing the
+//! same size-vs-time rows the paper plots, then asserts the shape
+//! claims (Converse ≥ native by a small additive delta; scheduling
+//! costs extra only noticeably for short messages).
+
+use converse_bench::{
+    converse_loopback_ns, figure_series, measure_sw, print_figure, shape_check, standard_sizes,
+    NetModel,
+};
+use criterion::{BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+/// Criterion-measure the software path and regenerate one figure.
+pub fn run_figure_bench(c: &mut Criterion, figure: &str, model: NetModel, with_sched: bool) {
+    let mut g = c.benchmark_group(format!("{figure}/software_path"));
+    g.sample_size(20);
+    for &size in &[16usize, 1024, 65536] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("converse", size), &size, |b, &s| {
+            b.iter_custom(|iters| {
+                let it = iters.max(100);
+                Duration::from_nanos((converse_loopback_ns(s, it, false) * it as f64) as u64)
+            });
+        });
+        if with_sched {
+            g.bench_with_input(BenchmarkId::new("converse_sched", size), &size, |b, &s| {
+                b.iter_custom(|iters| {
+                    let it = iters.max(100);
+                    Duration::from_nanos((converse_loopback_ns(s, it, true) * it as f64) as u64)
+                });
+            });
+        }
+    }
+    g.finish();
+
+    let sw = measure_sw(&standard_sizes(), 20_000);
+    let rows = figure_series(&model, &sw);
+    print_figure(
+        &format!("{figure}: message passing performance on {}", model.name),
+        &rows,
+        with_sched,
+    );
+    let bad = shape_check(&model, &rows);
+    assert!(bad.is_empty(), "shape violations: {bad:?}");
+}

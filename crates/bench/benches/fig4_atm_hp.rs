@@ -1,0 +1,14 @@
+//! Figure 4 (paper §5.1): one-way message time vs size on the
+//! atm_hp wire model, Converse vs native.
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    common::run_figure_bench(c, "fig4_atm_hp", converse_bench::NetModel::atm_hp(), false);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Figure 5 (paper §5.1): one-way message time vs size on the
+//! t3d wire model, Converse vs native.
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    common::run_figure_bench(c, "fig5_t3d", converse_bench::NetModel::t3d(), false);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Figure 6 (paper §5.1): one-way message time vs size on the
+//! myrinet_fm wire model, Converse vs native, plus the scheduler-queue series.
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    common::run_figure_bench(c, "fig6_myrinet_fm", converse_bench::NetModel::myrinet_fm(), true);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Figure 7 (paper §5.1): one-way message time vs size on the
+//! sp1 wire model, Converse vs native.
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    common::run_figure_bench(c, "fig7_sp1", converse_bench::NetModel::sp1(), false);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

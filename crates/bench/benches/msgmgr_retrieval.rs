@@ -1,0 +1,65 @@
+//! Cmm ablation (paper §3.2.1 + need-based cost): linear-scan versus
+//! hash-indexed message manager, across mailbox occupancy and retrieval
+//! pattern. The 1996 Cmm was a list; indexing pays off only when many
+//! messages are outstanding and retrieval is exact-tag.
+
+use converse_msgmgr::{IndexedMsgManager, MsgManager, TagMailbox, WILDCARD};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn fill(mm: &mut dyn TagMailbox, n: usize) {
+    for i in 0..n {
+        mm.put(&[(i % 64) as i32, (i % 7) as i32], vec![0u8; 32]);
+    }
+}
+
+fn drain_exact(mm: &mut dyn TagMailbox, n: usize) {
+    for i in 0..n {
+        let got = mm.get(&[(i % 64) as i32, (i % 7) as i32]);
+        std::hint::black_box(got.expect("stored message present"));
+    }
+}
+
+fn drain_wildcard(mm: &mut dyn TagMailbox, n: usize) {
+    for _ in 0..n {
+        std::hint::black_box(mm.get(&[WILDCARD, WILDCARD]).expect("present"));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    for &occupancy in &[16usize, 256, 4096] {
+        let mut g = c.benchmark_group(format!("msgmgr/occupancy_{occupancy}"));
+        g.throughput(Throughput::Elements(occupancy as u64));
+        g.bench_function(BenchmarkId::new("scan", "exact"), |b| {
+            b.iter(|| {
+                let mut mm = MsgManager::new();
+                fill(&mut mm, occupancy);
+                drain_exact(&mut mm, occupancy);
+            })
+        });
+        g.bench_function(BenchmarkId::new("indexed", "exact"), |b| {
+            b.iter(|| {
+                let mut mm = IndexedMsgManager::new();
+                fill(&mut mm, occupancy);
+                drain_exact(&mut mm, occupancy);
+            })
+        });
+        g.bench_function(BenchmarkId::new("scan", "wildcard"), |b| {
+            b.iter(|| {
+                let mut mm = MsgManager::new();
+                fill(&mut mm, occupancy);
+                drain_wildcard(&mut mm, occupancy);
+            })
+        });
+        g.bench_function(BenchmarkId::new("indexed", "wildcard"), |b| {
+            b.iter(|| {
+                let mut mm = IndexedMsgManager::new();
+                fill(&mut mm, occupancy);
+                drain_wildcard(&mut mm, occupancy);
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

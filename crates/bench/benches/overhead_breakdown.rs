@@ -1,0 +1,68 @@
+//! Claim C1 (paper §3, guideline 1): Converse may add only "a few tens
+//! of instructions over and above the cost of such operations in a
+//! native implementation". This bench measures the layered costs of one
+//! message on this substrate:
+//!
+//! * `raw`       — bytes through the interconnect mailbox (native floor)
+//! * `converse`  — + header, handler table, dispatch (`CmiSyncSend` path)
+//! * `sched`     — + scheduler-queue enqueue/dequeue (Figure-6 series)
+//! * `handoff`   — true 2-PE round trip with OS-thread wakeups, for
+//!   scale (this cost is the substrate's, not Converse's)
+
+use converse_bench::{converse_loopback_ns, raw_loopback_ns, round_trip_2pe_ns};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead_breakdown");
+    g.sample_size(20);
+    for &size in &[16usize, 256, 4096] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("raw", size), &size, |b, &s| {
+            b.iter_custom(|iters| {
+                let it = iters.max(100);
+                Duration::from_nanos((raw_loopback_ns(s, it) * it as f64) as u64)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("converse", size), &size, |b, &s| {
+            b.iter_custom(|iters| {
+                let it = iters.max(100);
+                Duration::from_nanos((converse_loopback_ns(s, it, false) * it as f64) as u64)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("sched", size), &size, |b, &s| {
+            b.iter_custom(|iters| {
+                let it = iters.max(100);
+                Duration::from_nanos((converse_loopback_ns(s, it, true) * it as f64) as u64)
+            });
+        });
+    }
+    g.finish();
+
+    // Print the C1/C2 summary table.
+    println!("\nClaim C1/C2 breakdown (ns per one-way message, measured):");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>16} {:>14}",
+        "bytes", "raw", "converse", "sched", "converse-raw", "sched-converse"
+    );
+    for &size in &[16usize, 256, 4096, 65536] {
+        let it = converse_bench::scaled_iters(20_000, size);
+        let raw = raw_loopback_ns(size, it);
+        let conv = converse_loopback_ns(size, it, false);
+        let sched = converse_loopback_ns(size, it, true);
+        println!(
+            "{:>8} {:>10.0} {:>12.0} {:>10.0} {:>16.0} {:>14.0}",
+            size,
+            raw,
+            conv,
+            sched,
+            conv - raw,
+            sched - conv
+        );
+    }
+    let handoff = round_trip_2pe_ns(16, 2_000, false);
+    println!("2-PE hand-off one-way (16 B): {handoff:.0} ns (substrate thread wakeup, for scale)");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation of the **need-based cost** principle (paper §3, guideline 2)
+//! at the queue level: what a message pays to transit each queueing
+//! strategy. A language that never prioritizes should pay the `fifo`
+//! price, not the `bitvec` price.
+
+use converse_msg::{BitVecPrio, HandlerId, Message, Priority};
+use converse_queue::{CsdQueue, FifoQueue, LifoQueue, QueueingMode, SchedulingQueue};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const BATCH: usize = 1024;
+
+fn transit(q: &mut dyn SchedulingQueue, msgs: &[Message], mode: QueueingMode) {
+    for m in msgs {
+        q.enqueue(m.clone(), mode);
+    }
+    while let Some(m) = q.dequeue() {
+        std::hint::black_box(m.len());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let plain: Vec<Message> = (0..BATCH).map(|_| Message::new(HandlerId(0), &[0; 16])).collect();
+    let int_prio: Vec<Message> = (0..BATCH)
+        .map(|i| {
+            Message::with_priority(
+                HandlerId(0),
+                &Priority::Int((i as i32 * 2654435761u32 as i32).wrapping_mul(97)),
+                &[0; 16],
+            )
+        })
+        .collect();
+    let bv_prio: Vec<Message> = (0..BATCH)
+        .map(|i| {
+            let mut p = BitVecPrio::root();
+            for level in 0..10 {
+                p = p.child((i >> level) & 1 == 1);
+            }
+            Message::with_priority(HandlerId(0), &Priority::BitVec(p), &[0; 16])
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("queue_strategies");
+    g.throughput(Throughput::Elements(BATCH as u64));
+
+    g.bench_function(BenchmarkId::new("fifo_queue", "plain"), |b| {
+        b.iter(|| transit(&mut FifoQueue::new(), &plain, QueueingMode::Fifo))
+    });
+    g.bench_function(BenchmarkId::new("lifo_queue", "plain"), |b| {
+        b.iter(|| transit(&mut LifoQueue::new(), &plain, QueueingMode::Fifo))
+    });
+    g.bench_function(BenchmarkId::new("csd_queue", "zero_lane"), |b| {
+        b.iter(|| transit(&mut CsdQueue::new(), &plain, QueueingMode::Fifo))
+    });
+    g.bench_function(BenchmarkId::new("csd_queue", "int_prio"), |b| {
+        b.iter(|| transit(&mut CsdQueue::new(), &int_prio, QueueingMode::PrioFifo))
+    });
+    g.bench_function(BenchmarkId::new("csd_queue", "bitvec_prio"), |b| {
+        b.iter(|| transit(&mut CsdQueue::new(), &bv_prio, QueueingMode::PrioFifo))
+    });
+    g.bench_function(BenchmarkId::new("csd_queue", "int_prio_lifo"), |b| {
+        b.iter(|| transit(&mut CsdQueue::new(), &int_prio, QueueingMode::PrioLifo))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Regenerate every figure of the paper's evaluation section (§5.1) in
+//! one run, plus the in-text numeric claims, printing the size-vs-time
+//! rows each figure plots.
+//!
+//! ```sh
+//! cargo run --release -p converse-bench --bin figures
+//! ```
+
+use converse_bench::{
+    converse_loopback_ns, figure_series, measure_sw, print_figure, raw_loopback_ns,
+    round_trip_2pe_ns, shape_check, standard_sizes, NetModel,
+};
+
+fn main() {
+    println!("Reproducing 'Converse: An Interoperable Framework for Parallel Programming'");
+    println!("(IPPS 1996), evaluation section — wire times are modeled per machine;");
+    println!("Converse software costs are live measurements of this implementation.\n");
+
+    println!("measuring software path (this takes a few seconds)…");
+    let sw = measure_sw(&standard_sizes(), 50_000);
+
+    println!("\nMeasured software costs (ns per one-way message):");
+    println!("{:>8} {:>10} {:>12} {:>10}", "bytes", "raw", "converse", "sched");
+    for c in &sw {
+        println!("{:>8} {:>10.0} {:>12.0} {:>10.0}", c.size, c.raw_ns, c.converse_ns, c.sched_ns);
+    }
+
+    let figures: [(&str, NetModel, bool); 5] = [
+        ("Figure 4", NetModel::atm_hp(), false),
+        ("Figure 5", NetModel::t3d(), false),
+        ("Figure 6", NetModel::myrinet_fm(), true),
+        ("Figure 7", NetModel::sp1(), false),
+        ("Figure 8", NetModel::paragon(), false),
+    ];
+
+    let mut violations = Vec::new();
+    for (title, model, with_sched) in figures {
+        let rows = figure_series(&model, &sw);
+        print_figure(&format!("{title}: message passing performance on {}", model.name), &rows, with_sched);
+        violations.extend(shape_check(&model, &rows));
+    }
+
+    // ---- In-text claims ----
+    println!("\n=== In-text claims ===");
+
+    // Fig 5 text: "The jump at 16K bytes is due to copying during
+    // packetization".
+    let t3d = NetModel::t3d();
+    let rows = figure_series(&t3d, &measure_sw(&[16 * 1024 - 8, 16 * 1024 + 8], 20_000));
+    println!(
+        "T3D 16K packetization jump: {:.1} µs → {:.1} µs across the 16 KiB boundary",
+        rows[0].converse_us, rows[1].converse_us
+    );
+
+    // Fig 6 text: FM delivers ≤128 B in 25 µs; Converse needs ~31 µs.
+    let fm = NetModel::myrinet_fm();
+    let sw128 = measure_sw(&[120], 50_000);
+    let r = &figure_series(&fm, &sw128)[0];
+    println!(
+        "Myrinet/FM 128 B: native {:.1} µs vs Converse {:.2} µs (paper: 25 vs ~31; the 1995 \
+         delta was CPU-bound software cost — ours is {:.3} µs on a modern CPU)",
+        r.native_us,
+        r.converse_us,
+        r.converse_us - r.native_us
+    );
+
+    // §5.1: "scheduling is seen to add about 9 to 15 µs for short
+    // messages. For large messages, the relative difference becomes
+    // negligible."
+    let small = &figure_series(&fm, &measure_sw(&[16], 50_000))[0];
+    let large = &figure_series(&fm, &measure_sw(&[65536], 2_000))[0];
+    println!(
+        "scheduling delta: {:.3} µs at 16 B ({:.2}% of total) vs {:.3} µs at 64 KiB ({:.4}% of total)",
+        small.converse_sched_us - small.converse_us,
+        100.0 * (small.converse_sched_us - small.converse_us) / small.converse_sched_us,
+        large.converse_sched_us - large.converse_us,
+        100.0 * (large.converse_sched_us - large.converse_us) / large.converse_sched_us,
+    );
+
+    // C1: "a few tens of instructions" overhead over native.
+    let raw = raw_loopback_ns(16, 100_000);
+    let conv = converse_loopback_ns(16, 100_000, false);
+    println!(
+        "C1 software overhead (16 B): Converse path {:.0} ns vs raw transport {:.0} ns (+{:.0} ns)",
+        conv,
+        raw,
+        conv - raw
+    );
+
+    let handoff = round_trip_2pe_ns(16, 2_000, false);
+    println!("substrate scale: real 2-PE one-way with thread hand-off = {handoff:.0} ns");
+
+    if violations.is_empty() {
+        println!("\nall shape checks PASSED");
+    } else {
+        println!("\nSHAPE VIOLATIONS:");
+        for v in violations {
+            println!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,202 @@
+//! **Quasi-dynamic load balancing** (paper §3.3.1, footnote 2): "after
+//! a phase or period of computation has completed, the load and
+//! communication patterns in that phase are analyzed, and a new global
+//! distribution of entities to processors is derived. After moving the
+//! entities to their new destinations …, the computation proceeds to
+//! the next stage." The paper scopes this out ("can be implemented on
+//! top of Converse as Converse libraries"); this module is that library.
+//!
+//! [`Charm::rebalance`] is a loosely synchronous phase-boundary call:
+//! every PE reports its migratable-object count, every PE derives the
+//! same greedy redistribution plan from the identical global view, and
+//! each overloaded PE migrates its excess objects to the planned
+//! underloaded targets. Message forwarding (the migration machinery)
+//! keeps in-flight traffic correct throughout.
+
+use crate::{Charm, ChareId, Slot};
+use converse_machine::Pe;
+
+/// What a rebalance pass did on this PE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Migratable objects here before the pass.
+    pub before: usize,
+    /// Objects this PE sent away, with destinations.
+    pub moved_out: Vec<(ChareId, usize)>,
+    /// Objects the plan routes to this PE (they arrive asynchronously).
+    pub expected_in: usize,
+}
+
+/// The deterministic greedy plan: source PEs above the ceiling hand
+/// excess to destination PEs below the floor, in PE order. Pure so it
+/// can be property-tested; every PE computes it identically.
+pub fn plan_moves(counts: &[usize]) -> Vec<(usize, usize, usize)> {
+    // (from, to, how_many)
+    let n = counts.len();
+    let total: usize = counts.iter().sum();
+    let base = total / n;
+    let extra = total % n;
+    // Target for PE i: base (+1 for the first `extra` PEs) — matches the
+    // block convention used elsewhere.
+    let target = |i: usize| base + usize::from(i < extra);
+    let mut surplus: Vec<(usize, usize)> = Vec::new();
+    let mut deficit: Vec<(usize, usize)> = Vec::new();
+    for (i, &c) in counts.iter().enumerate() {
+        let t = target(i);
+        match c.cmp(&t) {
+            std::cmp::Ordering::Greater => surplus.push((i, c - t)),
+            std::cmp::Ordering::Less => deficit.push((i, t - c)),
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    let mut moves = Vec::new();
+    let mut di = 0;
+    for (from, mut s) in surplus {
+        while s > 0 && di < deficit.len() {
+            let (to, d) = deficit[di];
+            let k = s.min(d);
+            moves.push((from, to, k));
+            s -= k;
+            if d == k {
+                di += 1;
+            } else {
+                deficit[di] = (to, d - k);
+            }
+        }
+    }
+    moves
+}
+
+impl Charm {
+    /// Count the live migratable objects on this PE.
+    pub fn local_migratable(&self) -> usize {
+        let migrators = self.migrators.lock();
+        self.objects
+            .lock()
+            .values()
+            .filter(|s| matches!(s, Slot::Live { kind, .. } if migrators.contains_key(kind)))
+            .count()
+    }
+
+    /// Loosely synchronous rebalancing pass: **every PE must call this
+    /// at the same phase boundary.** Exchanges load counts, derives the
+    /// shared greedy plan, and issues the migrations this PE owes.
+    /// Returns what happened locally; incoming objects land
+    /// asynchronously (pump the scheduler or use the follow-up barrier
+    /// of your phase structure before relying on the new distribution).
+    pub fn rebalance(&self, pe: &Pe) -> RebalanceReport {
+        // 1. Global load picture via a concat allgather.
+        let mut contrib = Vec::with_capacity(16);
+        contrib.extend_from_slice(&(pe.my_pe() as u64).to_le_bytes());
+        contrib.extend_from_slice(&(self.local_migratable() as u64).to_le_bytes());
+        let all = pe.allreduce_bytes(contrib, self.concat_combiner);
+        let mut counts = vec![0usize; pe.num_pes()];
+        for chunk in all.chunks(16) {
+            let idx = u64::from_le_bytes(chunk[..8].try_into().expect("idx")) as usize;
+            counts[idx] = u64::from_le_bytes(chunk[8..16].try_into().expect("count")) as usize;
+        }
+        let before = counts[pe.my_pe()];
+
+        // 2. The shared plan.
+        let moves = plan_moves(&counts);
+        let expected_in =
+            moves.iter().filter(|(_, to, _)| *to == pe.my_pe()).map(|(_, _, k)| k).sum();
+
+        // 3. Execute this PE's outgoing moves: pick the highest-slot
+        //    migratable objects (deterministic, stable under concurrent
+        //    arrivals which get fresh higher slots).
+        let mut moved_out = Vec::new();
+        for (from, to, k) in moves {
+            if from != pe.my_pe() {
+                continue;
+            }
+            let victims: Vec<u64> = {
+                let migrators = self.migrators.lock();
+                let t = self.objects.lock();
+                let mut slots: Vec<u64> = t
+                    .iter()
+                    .filter(|(_, s)| {
+                        matches!(s, Slot::Live { kind, .. } if migrators.contains_key(kind))
+                    })
+                    .map(|(slot, _)| *slot)
+                    .collect();
+                slots.sort_unstable_by(|a, b| b.cmp(a));
+                slots.truncate(k);
+                slots
+            };
+            assert_eq!(victims.len(), k, "plan derived from our own reported count");
+            for slot in victims {
+                let id = ChareId { pe: pe.my_pe(), slot };
+                let ok = self.migrate(pe, id, to);
+                assert!(ok, "victim was live and migratable");
+                moved_out.push((id, to));
+            }
+        }
+        RebalanceReport { before, moved_out, expected_in }
+    }
+
+    /// [`Charm::rebalance`] followed by a wait until this PE's live
+    /// migratable population matches the plan — the full quasi-dynamic
+    /// phase boundary. Collective.
+    pub fn rebalance_sync(&self, pe: &Pe) -> RebalanceReport {
+        let report = self.rebalance(pe);
+        let want = report.before - report.moved_out.len() + report.expected_in;
+        converse_core::schedule_until(pe, || self.local_migratable() == want);
+        pe.barrier();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::plan_moves;
+
+    fn apply(counts: &[usize], moves: &[(usize, usize, usize)]) -> Vec<usize> {
+        let mut out = counts.to_vec();
+        for (from, to, k) in moves {
+            assert!(out[*from] >= *k, "move exceeds supply");
+            out[*from] -= k;
+            out[*to] += k;
+        }
+        out
+    }
+
+    #[test]
+    fn balances_simple_imbalance() {
+        let counts = [10, 0, 0, 2];
+        let after = apply(&counts, &plan_moves(&counts));
+        assert_eq!(after, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn uneven_totals_use_block_targets() {
+        let counts = [7, 0, 0];
+        let after = apply(&counts, &plan_moves(&counts));
+        assert_eq!(after, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn balanced_input_is_a_noop() {
+        assert!(plan_moves(&[2, 2, 2]).is_empty());
+        assert!(plan_moves(&[0, 0]).is_empty());
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let counts = [5, 1, 9, 0, 3];
+        assert_eq!(plan_moves(&counts), plan_moves(&counts));
+    }
+
+    #[test]
+    fn any_distribution_ends_balanced() {
+        for counts in [vec![1, 2, 3, 4], vec![100, 0], vec![0, 0, 50], vec![9]] {
+            let n = counts.len();
+            let total: usize = counts.iter().sum();
+            let after = apply(&counts, &plan_moves(&counts));
+            for (i, c) in after.iter().enumerate() {
+                let base = total / n + usize::from(i < total % n);
+                assert_eq!(*c, base, "{counts:?} → {after:?}");
+            }
+        }
+    }
+}

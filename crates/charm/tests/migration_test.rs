@@ -1,0 +1,211 @@
+//! Chare migration (the paper's §3.3.1 footnote, implemented): pack the
+//! object, ship it, hold in-flight invocations, forward forever after.
+
+use converse_charm::{Chare, ChareId, Charm, MigratableChare};
+use converse_core::{csd_scheduler, run, Message, Pe};
+use converse_ldb::LdbPolicy;
+use converse_msg::Priority;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A counter chare that remembers its total and which PEs it executed
+/// on; migratable by serializing the total.
+struct Roamer {
+    total: i64,
+    report_to: u32,
+}
+
+struct PeTrail(parking_lot::Mutex<Vec<usize>>);
+
+impl Chare for Roamer {
+    fn new(_pe: &Pe, _id: ChareId, payload: &[u8]) -> Self {
+        Roamer { total: 0, report_to: u32::from_le_bytes(payload[..4].try_into().unwrap()) }
+    }
+    fn entry(&mut self, pe: &Pe, _id: ChareId, ep: u32, payload: &[u8]) {
+        match ep {
+            0 => {
+                self.total += i64::from_le_bytes(payload.try_into().unwrap());
+                pe.local(|| PeTrail(parking_lot::Mutex::new(Vec::new())))
+                    .0
+                    .lock()
+                    .push(pe.my_pe());
+            }
+            1 => {
+                pe.sync_send_and_free(
+                    0,
+                    Message::new(
+                        converse_core::HandlerId(self.report_to),
+                        &self.total.to_le_bytes(),
+                    ),
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl MigratableChare for Roamer {
+    fn pack(&self) -> Vec<u8> {
+        let mut out = self.total.to_le_bytes().to_vec();
+        out.extend_from_slice(&self.report_to.to_le_bytes());
+        out
+    }
+    fn unpack(_pe: &Pe, _new_id: ChareId, data: &[u8]) -> Self {
+        Roamer {
+            total: i64::from_le_bytes(data[..8].try_into().unwrap()),
+            report_to: u32::from_le_bytes(data[8..12].try_into().unwrap()),
+        }
+    }
+}
+
+#[test]
+fn state_survives_migration_and_messages_forward() {
+    let seen_on: Arc<Vec<AtomicU64>> = Arc::new((0..3).map(|_| AtomicU64::new(0)).collect());
+    let s2 = seen_on.clone();
+    run(3, move |pe| {
+        let charm = Charm::install(pe, LdbPolicy::Direct);
+        let kind = charm.register_migratable::<Roamer>();
+        let result = pe.local(|| parking_lot::Mutex::new(None::<i64>));
+        let r2 = result.clone();
+        let report = pe.register_handler(move |pe, msg| {
+            *r2.lock() = Some(i64::from_le_bytes(msg.payload().try_into().unwrap()));
+            Charm::get(pe).exit_all(pe);
+        });
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            charm.create(pe, kind, &report.0.to_le_bytes(), Priority::None);
+            // Construct locally (Direct policy). A peer's barrier
+            // traffic can race into the mailbox, so wait for the object
+            // itself rather than counting scheduler steps.
+            converse_core::schedule_until(pe, || charm.local_chares() == 1);
+            let id = ChareId { pe: 0, slot: 1 };
+            charm.send(pe, id, 0, &10i64.to_le_bytes(), Priority::None);
+            converse_core::csd_scheduler_until_idle(pe);
+
+            // Move it to PE 2, then keep sending to the OLD id: the
+            // messages must forward and accumulate on the new home.
+            assert!(charm.migrate(pe, id, 2));
+            for v in [20i64, 30] {
+                charm.send(pe, id, 0, &v.to_le_bytes(), Priority::None);
+            }
+            charm.send(pe, id, 1, b"", Priority::None); // report
+            csd_scheduler(pe, -1);
+            assert_eq!(result.lock().unwrap(), 60, "10 local + 20 + 30 forwarded");
+            // The old slot is now a forwarding stub, not a live chare.
+            assert_eq!(charm.local_chares(), 0);
+            let home = charm.current_home(pe, id);
+            assert_eq!(home.pe, 2, "forwarding entry points at the new home");
+        } else {
+            csd_scheduler(pe, -1);
+            if pe.my_pe() == 2 {
+                assert_eq!(charm.local_chares(), 1, "the roamer lives here now");
+            }
+        }
+        if let Some(trail) = pe.try_local::<PeTrail>() {
+            s2[pe.my_pe()].store(trail.0.lock().len() as u64, Ordering::SeqCst);
+        }
+        pe.barrier();
+    });
+    assert_eq!(seen_on[0].load(Ordering::SeqCst), 1, "one entry ran on PE 0");
+    assert_eq!(seen_on[2].load(Ordering::SeqCst), 2, "two entries ran on PE 2");
+}
+
+#[test]
+fn migrate_nonmigratable_kind_is_refused() {
+    struct Plain;
+    impl Chare for Plain {
+        fn new(_pe: &Pe, _id: ChareId, _p: &[u8]) -> Self {
+            Plain
+        }
+        fn entry(&mut self, _pe: &Pe, _id: ChareId, _ep: u32, _p: &[u8]) {}
+    }
+    run(2, |pe| {
+        let charm = Charm::install(pe, LdbPolicy::Direct);
+        let kind = charm.register::<Plain>();
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            charm.create(pe, kind, b"", Priority::None);
+            converse_core::schedule_until(pe, || charm.local_chares() == 1);
+            let id = ChareId { pe: 0, slot: 1 };
+            assert!(!charm.migrate(pe, id, 1), "plain kinds cannot migrate");
+            assert_eq!(charm.local_chares(), 1, "object untouched after refusal");
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn migrate_remote_or_missing_is_refused() {
+    run(2, |pe| {
+        let charm = Charm::install(pe, LdbPolicy::Direct);
+        let _ = charm.register_migratable::<Roamer>();
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            // Remote id.
+            assert!(!charm.migrate(pe, ChareId { pe: 1, slot: 1 }, 0));
+            // Missing slot.
+            assert!(!charm.migrate(pe, ChareId { pe: 0, slot: 99 }, 1));
+            // Self-migration no-op "succeeds".
+            assert!(charm.migrate(pe, ChareId { pe: 0, slot: 99 }, 0));
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn chained_migration_forwards_through_hops() {
+    // 0 → 1 → 2: a sender still using the original id must reach the
+    // object through two forwarding stubs.
+    run(3, |pe| {
+        let charm = Charm::install(pe, LdbPolicy::Direct);
+        let kind = charm.register_migratable::<Roamer>();
+        let result = pe.local(|| parking_lot::Mutex::new(None::<i64>));
+        let r2 = result.clone();
+        let report = pe.register_handler(move |pe, msg| {
+            *r2.lock() = Some(i64::from_le_bytes(msg.payload().try_into().unwrap()));
+            Charm::get(pe).exit_all(pe);
+        });
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            charm.create(pe, kind, &report.0.to_le_bytes(), Priority::None);
+            converse_core::schedule_until(pe, || charm.local_chares() == 1);
+            let id = ChareId { pe: 0, slot: 1 };
+            charm.send(pe, id, 0, &1i64.to_le_bytes(), Priority::None);
+            converse_core::csd_scheduler_until_idle(pe);
+            // First hop: 0 → 1.
+            assert!(charm.migrate(pe, id, 1));
+            // Let the ack settle so the stub exists, then message the
+            // old id; it forwards to PE 1.
+            converse_core::schedule_until(pe, || charm.current_home(pe, id).pe == 1);
+            let id_on_1 = charm.current_home(pe, id);
+            charm.send(pe, id, 0, &2i64.to_le_bytes(), Priority::None);
+            // Second hop: ask PE 1 to migrate it to PE 2 by migrating
+            // from here is impossible (not local) — instead PE 1 does it
+            // below; signal via a readonly.
+            charm.publish_readonly(pe, 1, &id_on_1.encode());
+            // Wait until the chain resolves to PE 2, then send + report.
+            converse_core::schedule_until(pe, || {
+                // Probe: ask PE1-side home... we can't see PE1's tables;
+                // poll a readonly PE1 publishes after its migrate.
+                charm.readonly(2).is_some()
+            });
+            charm.send(pe, id, 0, &4i64.to_le_bytes(), Priority::None);
+            charm.send(pe, id, 1, b"", Priority::None);
+            csd_scheduler(pe, -1);
+            assert_eq!(result.lock().unwrap(), 7, "1 + 2 + 4 through two hops");
+        } else if pe.my_pe() == 1 {
+            let raw = charm.readonly_wait(pe, 1);
+            let id_here = ChareId::decode(&raw).unwrap();
+            // The object may still be in flight toward us; wait until it
+            // is live locally, then push it to PE 2.
+            converse_core::schedule_until(pe, || charm.local_chares() == 1);
+            assert!(charm.migrate(pe, id_here, 2));
+            converse_core::schedule_until(pe, || charm.current_home(pe, id_here).pe == 2);
+            charm.publish_readonly(pe, 2, b"moved");
+            csd_scheduler(pe, -1);
+        } else {
+            csd_scheduler(pe, -1);
+        }
+        pe.barrier();
+    });
+}

@@ -1,0 +1,207 @@
+//! Counting-based global quiescence detection.
+//!
+//! A message-driven computation (paper §2.1) is *quiescent* when no
+//! handler is running anywhere and no counted message is in flight or
+//! queued. The classic two-wave counting detector: PE 0 repeatedly polls
+//! every PE for its (created, processed) counters; when the machine-wide
+//! totals are equal **and** identical across two consecutive waves, no
+//! message can be hiding in the network, so the computation has
+//! quiesced. Charm (the paper's flagship client runtime) relies on this
+//! facility; our mini-Charm wires its message counts in automatically.
+//!
+//! Usage: every PE calls [`Quiescence::install`] (same registration
+//! order!), work producers call [`Quiescence::msg_created`] per counted
+//! message and consumers [`Quiescence::msg_processed`]; PE 0 arms the
+//! detector with [`Quiescence::start`], providing a callback message
+//! that is enqueued on PE 0's scheduler queue at quiescence.
+
+use crate::csd;
+use converse_machine::{HandlerId, Message, Pe};
+use converse_msg::pack::{Packer, Unpacker};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct RootWave {
+    active: bool,
+    wave: u64,
+    replies: usize,
+    sum_created: u64,
+    sum_processed: u64,
+    prev: Option<(u64, u64)>,
+    callback: Option<Message>,
+}
+
+/// Per-PE quiescence runtime. Obtain with [`Quiescence::install`]; clone
+/// of the `Arc` is cheap and handlers capture it.
+pub struct Quiescence {
+    created: AtomicU64,
+    processed: AtomicU64,
+    wave_h: HandlerId,
+    reply_h: HandlerId,
+    next_wave_h: HandlerId,
+    root: Mutex<RootWave>,
+}
+
+/// Marker type for PE-local storage.
+struct QdSlot(Arc<Quiescence>);
+
+impl Quiescence {
+    /// Register the detector's handlers on this PE and return its
+    /// runtime. Must be called on **every** PE, in the same registration
+    /// position, before any counted messages flow. Idempotent per PE.
+    pub fn install(pe: &Pe) -> Arc<Quiescence> {
+        if let Some(slot) = pe.try_local::<QdSlot>() {
+            return slot.0.clone();
+        }
+        // Two-phase: register handlers that look the runtime up through
+        // PE-local storage, then create the runtime with their ids.
+        let wave_h = pe.register_handler(|pe, msg| {
+            let qd = Quiescence::get(pe);
+            let mut u = Unpacker::new(msg.payload());
+            let wave = u.u64().expect("qd wave: wave");
+            let payload = Packer::new()
+                .u64(wave)
+                .u64(qd.created.load(Ordering::SeqCst))
+                .u64(qd.processed.load(Ordering::SeqCst))
+                .finish();
+            pe.sync_send_and_free(0, Message::new(qd.reply_h, &payload));
+        });
+        let reply_h = pe.register_handler(|pe, msg| {
+            let qd = Quiescence::get(pe);
+            let mut u = Unpacker::new(msg.payload());
+            let wave = u.u64().expect("qd reply: wave");
+            let created = u.u64().expect("qd reply: created");
+            let processed = u.u64().expect("qd reply: processed");
+            qd.on_reply(pe, wave, created, processed);
+        });
+        // Waves are paced through the scheduler queue at the *least
+        // urgent* priority: a completed non-quiet wave enqueues this
+        // message instead of immediately broadcasting the next wave, so
+        // wave traffic can never starve real work out of the network
+        // drain — the same use of priorities §2.3 motivates.
+        let next_wave_h = pe.register_handler(|pe, _msg| {
+            let qd = Quiescence::get(pe);
+            if qd.root.lock().active {
+                qd.send_wave(pe);
+            }
+        });
+        let qd = Arc::new(Quiescence {
+            created: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            wave_h,
+            reply_h,
+            next_wave_h,
+            root: Mutex::new(RootWave {
+                active: false,
+                wave: 0,
+                replies: 0,
+                sum_created: 0,
+                sum_processed: 0,
+                prev: None,
+                callback: None,
+            }),
+        });
+        pe.local(|| QdSlot(qd.clone()));
+        qd
+    }
+
+    /// The runtime previously installed on this PE; panics otherwise.
+    pub fn get(pe: &Pe) -> Arc<Quiescence> {
+        pe.try_local::<QdSlot>()
+            .unwrap_or_else(|| panic!("PE {}: Quiescence::install was not called", pe.my_pe()))
+            .0
+            .clone()
+    }
+
+    /// Count `n` messages as created (sent). Call at every counted send.
+    pub fn msg_created(&self, n: u64) {
+        self.created.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Count `n` messages as processed. Call when a counted message's
+    /// handler completes.
+    pub fn msg_processed(&self, n: u64) {
+        self.processed.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Local created-counter value.
+    pub fn created(&self) -> u64 {
+        self.created.load(Ordering::SeqCst)
+    }
+
+    /// Local processed-counter value.
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::SeqCst)
+    }
+
+    /// Arm the detector (PE 0 only): when the machine quiesces,
+    /// `callback` is enqueued on PE 0's scheduler queue. Panics if armed
+    /// twice concurrently or called off PE 0.
+    pub fn start(&self, pe: &Pe, callback: Message) {
+        assert_eq!(pe.my_pe(), 0, "quiescence detection starts on PE 0");
+        {
+            let mut r = self.root.lock();
+            assert!(!r.active, "quiescence detection already active");
+            r.active = true;
+            r.wave += 1;
+            r.replies = 0;
+            r.sum_created = 0;
+            r.sum_processed = 0;
+            r.prev = None;
+            r.callback = Some(callback);
+        }
+        self.send_wave(pe);
+    }
+
+    /// True while a detection is armed and waves are circulating.
+    pub fn is_active(&self) -> bool {
+        self.root.lock().active
+    }
+
+    fn send_wave(&self, pe: &Pe) {
+        let wave = self.root.lock().wave;
+        let payload = Packer::new().u64(wave).finish();
+        let msg = Message::new(self.wave_h, &payload);
+        pe.sync_broadcast_all(&msg);
+    }
+
+    fn on_reply(&self, pe: &Pe, wave: u64, created: u64, processed: u64) {
+        let ready = {
+            let mut r = self.root.lock();
+            if !r.active || wave != r.wave {
+                return; // stale reply from a previous wave
+            }
+            r.replies += 1;
+            r.sum_created += created;
+            r.sum_processed += processed;
+            r.replies == pe.num_pes()
+        };
+        if !ready {
+            return;
+        }
+        let mut r = self.root.lock();
+        let totals = (r.sum_created, r.sum_processed);
+        let quiet = totals.0 == totals.1 && r.prev == Some(totals);
+        if quiet {
+            r.active = false;
+            let cb = r.callback.take().expect("armed detector has a callback");
+            drop(r);
+            csd::csd_enqueue(pe, cb);
+        } else {
+            r.prev = Some(totals);
+            r.wave += 1;
+            r.replies = 0;
+            r.sum_created = 0;
+            r.sum_processed = 0;
+            drop(r);
+            // Defer the next wave behind all queued work (see install).
+            let msg = Message::with_priority(
+                self.next_wave_h,
+                &converse_msg::Priority::Int(i32::MAX),
+                b"",
+            );
+            pe.queue_enqueue(msg, converse_queue::QueueingMode::PrioFifo);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! 2-D distributed array tests: layout, remote access, halo rows, and a
+//! 2-D heat-diffusion step.
+
+use converse_core::run;
+use converse_dp::{DistArray2, Dp, Op};
+
+#[test]
+fn layout_and_gather() {
+    run(3, |pe| {
+        let dp = Dp::install(pe);
+        let a = DistArray2::<i64>::new(pe, &dp, 7, 5, |r, c| (r * 10 + c) as i64);
+        assert_eq!(a.shape(), (7, 5));
+        let (lo, hi) = a.row_range();
+        assert_eq!(a.local_rows(), hi - lo);
+        let local = a.local(pe);
+        assert_eq!(local.len(), (hi - lo) * 5);
+        for r in lo..hi {
+            for c in 0..5 {
+                assert_eq!(local[(r - lo) * 5 + c], (r * 10 + c) as i64);
+            }
+        }
+        let all = a.gather_all(pe, &dp);
+        assert_eq!(all.len(), 35);
+        for r in 0..7 {
+            for c in 0..5 {
+                assert_eq!(all[r * 5 + c], (r * 10 + c) as i64);
+            }
+        }
+    });
+}
+
+#[test]
+fn remote_get_put_and_rows() {
+    run(4, |pe| {
+        let dp = Dp::install(pe);
+        let a = DistArray2::<f64>::new(pe, &dp, 8, 4, |_, _| 0.0);
+        dp.barrier(pe);
+        if pe.my_pe() == 0 {
+            // Write a diagonal from PE 0, crossing every block.
+            for i in 0..4 {
+                a.put(pe, i * 2, i, 1.5 + i as f64);
+            }
+        }
+        dp.barrier(pe);
+        // Everyone reads the diagonal back.
+        for i in 0..4 {
+            assert_eq!(a.get(pe, i * 2, i), 1.5 + i as f64);
+        }
+        // Whole-row fetch.
+        let row0 = a.get_row(pe, 0);
+        assert_eq!(row0, vec![1.5, 0.0, 0.0, 0.0]);
+        dp.barrier(pe);
+    });
+}
+
+#[test]
+fn halo_rows_are_neighbour_boundaries() {
+    run(4, |pe| {
+        let dp = Dp::install(pe);
+        let a = DistArray2::<i64>::new(pe, &dp, 12, 3, |r, _| r as i64);
+        dp.barrier(pe);
+        let (lo, hi) = a.row_range();
+        let (above, below) = a.halo_rows(pe);
+        match above {
+            Some(row) => assert_eq!(row, vec![(lo - 1) as i64; 3]),
+            None => assert_eq!(lo, 0),
+        }
+        match below {
+            Some(row) => assert_eq!(row, vec![hi as i64; 3]),
+            None => assert_eq!(hi, 12),
+        }
+        dp.barrier(pe);
+    });
+}
+
+#[test]
+fn reduce_all_2d() {
+    run(3, |pe| {
+        let dp = Dp::install(pe);
+        let a = DistArray2::<i64>::new(pe, &dp, 6, 6, |r, c| (r * 6 + c) as i64);
+        assert_eq!(a.reduce_all(pe, &dp, Op::Sum), (0..36).sum::<i64>());
+        assert_eq!(a.reduce_all(pe, &dp, Op::Max), 35);
+        assert_eq!(a.reduce_all(pe, &dp, Op::Min), 0);
+    });
+}
+
+#[test]
+fn more_pes_than_rows() {
+    run(6, |pe| {
+        let dp = Dp::install(pe);
+        let a = DistArray2::<i64>::new(pe, &dp, 3, 2, |r, c| (r + c) as i64);
+        // PEs beyond the rows own empty blocks; everything still works.
+        assert_eq!(a.reduce_all(pe, &dp, Op::Sum), 9);
+        let all = a.gather_all(pe, &dp);
+        assert_eq!(all, vec![0, 1, 1, 2, 2, 3]);
+    });
+}
+
+/// One Jacobi sweep of the 2-D Laplace equation with fixed boundary:
+/// interior ← mean of 4 neighbours, using halo rows for the vertical
+/// neighbours that live on other PEs.
+#[test]
+fn heat_2d_converges() {
+    run(4, |pe| {
+        let dp = Dp::install(pe);
+        const N: usize = 16;
+        // Top edge held at 1, all else 0.
+        let a = DistArray2::<f64>::new(pe, &dp, N, N, |r, _| if r == 0 { 1.0 } else { 0.0 });
+        dp.barrier(pe);
+        let mut residual = f64::INFINITY;
+        let mut iters = 0;
+        while residual > 1e-4 && iters < 5_000 {
+            let (above, below) = a.halo_rows(pe);
+            let old = a.local(pe);
+            let (lo, hi) = a.row_range();
+            let mut maxdiff = 0.0f64;
+            a.update_local(pe, |vals| {
+                for r in lo..hi {
+                    if r == 0 || r == N - 1 {
+                        continue;
+                    }
+                    for c in 1..N - 1 {
+                        let up = if r > lo {
+                            old[(r - 1 - lo) * N + c]
+                        } else {
+                            above.as_ref().expect("interior halo")[c]
+                        };
+                        let down = if r + 1 < hi {
+                            old[(r + 1 - lo) * N + c]
+                        } else {
+                            below.as_ref().expect("interior halo")[c]
+                        };
+                        let left = old[(r - lo) * N + c - 1];
+                        let right = old[(r - lo) * N + c + 1];
+                        let nv = 0.25 * (up + down + left + right);
+                        maxdiff = maxdiff.max((nv - old[(r - lo) * N + c]).abs());
+                        vals[(r - lo) * N + c] = nv;
+                    }
+                }
+            });
+            residual = dp.allreduce(pe, maxdiff, Op::Max);
+            iters += 1;
+        }
+        assert!(residual <= 1e-4, "no convergence: {residual} after {iters} iters");
+        // Sanity: temperature decreases monotonically away from the hot
+        // edge along the mid-column.
+        let all = a.gather_all(pe, &dp);
+        let mid = N / 2;
+        for r in 1..N - 1 {
+            assert!(
+                all[(r - 1) * N + mid] >= all[r * N + mid] - 1e-9,
+                "row {r} hotter than row {}",
+                r - 1
+            );
+        }
+    });
+}

@@ -1,0 +1,186 @@
+//! Data-parallel layer on live machines: collectives, distributed
+//! arrays, halo exchange, and a miniature Jacobi iteration.
+
+use converse_core::{run, run_with, MachineConfig};
+use converse_dp::{DistArray, Dp, Op};
+use converse_machine::DeliveryMode;
+
+#[test]
+fn typed_allreduce_and_reduce() {
+    run(5, |pe| {
+        let dp = Dp::install(pe);
+        let me = pe.my_pe() as i64;
+        assert_eq!(dp.allreduce(pe, me, Op::Sum), 10);
+        assert_eq!(dp.allreduce(pe, me, Op::Max), 4);
+        assert_eq!(dp.allreduce(pe, me, Op::Min), 0);
+        assert_eq!(dp.allreduce(pe, me + 1, Op::Prod), 120);
+        let s = dp.reduce_to_root(pe, (pe.my_pe() as f64) * 0.5, Op::Sum);
+        if pe.my_pe() == 0 {
+            assert_eq!(s, Some(5.0));
+        } else {
+            assert_eq!(s, None);
+        }
+        dp.barrier(pe);
+    });
+}
+
+#[test]
+fn allgather_collects_by_pe_index() {
+    run(4, |pe| {
+        let dp = Dp::install(pe);
+        let got = dp.allgather(pe, (pe.my_pe() as i64) * 11);
+        assert_eq!(got, vec![0, 11, 22, 33]);
+    });
+}
+
+#[test]
+fn bcast_typed() {
+    run(3, |pe| {
+        let dp = Dp::install(pe);
+        let v = if pe.my_pe() == 2 { Some(6.25f64) } else { None };
+        assert_eq!(dp.bcast(pe, 2, v), 6.25);
+    });
+}
+
+#[test]
+fn dist_array_local_sections_and_gather() {
+    run(4, |pe| {
+        let dp = Dp::install(pe);
+        let a = DistArray::<i64>::new(pe, &dp, 10, |i| i as i64 * 10);
+        let (lo, hi) = a.local_range();
+        let local = a.local(pe);
+        assert_eq!(local.len(), hi - lo);
+        for (k, v) in local.iter().enumerate() {
+            assert_eq!(*v, (lo + k) as i64 * 10);
+        }
+        let all = a.gather_all(pe, &dp);
+        assert_eq!(all, (0..10).map(|i| i as i64 * 10).collect::<Vec<_>>());
+    });
+}
+
+#[test]
+fn dist_array_remote_get_put() {
+    run(3, |pe| {
+        let dp = Dp::install(pe);
+        let a = DistArray::<i64>::new(pe, &dp, 9, |_| 0);
+        dp.barrier(pe);
+        // Each PE writes to an element owned by the *next* PE's block.
+        let target = (a.local_range().1) % 9; // first index of next block
+        a.put(pe, target, 100 + pe.my_pe() as i64);
+        dp.barrier(pe);
+        // Everyone reads everything; the three written cells hold values.
+        let written: Vec<i64> = (0..9).map(|i| a.get(pe, i)).filter(|v| *v != 0).collect();
+        assert_eq!(written.len(), 3, "three writes landed");
+        dp.barrier(pe);
+    });
+}
+
+#[test]
+fn halo_exchange_edges() {
+    run(4, |pe| {
+        let dp = Dp::install(pe);
+        let a = DistArray::<f64>::new(pe, &dp, 16, |i| i as f64);
+        dp.barrier(pe);
+        let (lo, hi) = a.local_range();
+        let (left, right) = a.halo(pe);
+        if lo == 0 {
+            assert_eq!(left, None);
+        } else {
+            assert_eq!(left, Some((lo - 1) as f64));
+        }
+        if hi == 16 {
+            assert_eq!(right, None);
+        } else {
+            assert_eq!(right, Some(hi as f64));
+        }
+        dp.barrier(pe);
+    });
+}
+
+#[test]
+fn reduce_all_over_array() {
+    run(4, |pe| {
+        let dp = Dp::install(pe);
+        let a = DistArray::<i64>::new(pe, &dp, 12, |i| i as i64 + 1);
+        assert_eq!(a.reduce_all(pe, &dp, Op::Sum), (1..=12).sum::<i64>());
+        assert_eq!(a.reduce_all(pe, &dp, Op::Max), 12);
+        assert_eq!(a.reduce_all(pe, &dp, Op::Min), 1);
+    });
+}
+
+#[test]
+fn reduce_all_with_empty_sections() {
+    // More PEs than elements: some local sections are empty and must
+    // not poison the reduction.
+    run(6, |pe| {
+        let dp = Dp::install(pe);
+        let a = DistArray::<i64>::new(pe, &dp, 3, |i| (i as i64 + 1) * 7);
+        assert_eq!(a.reduce_all(pe, &dp, Op::Sum), 7 + 14 + 21);
+        assert_eq!(a.reduce_all(pe, &dp, Op::Min), 7);
+    });
+}
+
+/// 1-D Jacobi relaxation with fixed boundary values: u[i] ←
+/// (u[i-1]+u[i+1])/2. Converges toward the linear interpolant; checks
+/// the data-parallel loop (halo → update → allreduce residual).
+#[test]
+fn jacobi_1d_converges() {
+    run(4, |pe| {
+        let dp = Dp::install(pe);
+        const N: usize = 32;
+        let a = DistArray::<f64>::new(pe, &dp, N, |i| {
+            if i == 0 {
+                0.0
+            } else if i == N - 1 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        dp.barrier(pe);
+        let mut residual = f64::INFINITY;
+        let mut iters = 0;
+        while residual > 1e-6 && iters < 10_000 {
+            let (left, right) = a.halo(pe);
+            let old = a.local(pe);
+            let (lo, hi) = a.local_range();
+            let mut maxdiff = 0.0f64;
+            a.update_local(pe, |vals| {
+                for g in lo..hi {
+                    if g == 0 || g == N - 1 {
+                        continue; // boundary
+                    }
+                    let lv = if g > lo { old[g - 1 - lo] } else { left.expect("halo") };
+                    let rv = if g + 1 < hi { old[g + 1 - lo] } else { right.expect("halo") };
+                    let new = 0.5 * (lv + rv);
+                    maxdiff = maxdiff.max((new - old[g - lo]).abs());
+                    vals[g - lo] = new;
+                }
+            });
+            residual = dp.allreduce(pe, maxdiff, Op::Max);
+            iters += 1;
+        }
+        assert!(residual <= 1e-6, "did not converge: {residual} after {iters}");
+        // Solution approximates the linear ramp i/(N-1).
+        let all = a.gather_all(pe, &dp);
+        for (i, v) in all.iter().enumerate() {
+            let expect = i as f64 / (N - 1) as f64;
+            assert!((v - expect).abs() < 1e-3, "u[{i}]={v}, expected ~{expect}");
+        }
+    });
+}
+
+#[test]
+fn collectives_survive_reordering() {
+    let cfg = MachineConfig::new(5).delivery(DeliveryMode::Reorder { seed: 99, window: 8 });
+    run_with(cfg, |pe| {
+        let dp = Dp::install(pe);
+        for round in 0..20i64 {
+            assert_eq!(
+                dp.allreduce(pe, round + pe.my_pe() as i64, Op::Sum),
+                5 * round + 10,
+                "round {round}"
+            );
+        }
+    });
+}

@@ -1,0 +1,377 @@
+//! Stackful user-level **fibers** — the 1996 thread object's actual
+//! mechanism, reproduced.
+//!
+//! The paper's thread object "is primarily implemented through the C
+//! language calls to `setjmp` and `longjmp` which allow state
+//! information (program counter, stack pointer and registers) to be
+//! *saved* and later *jumped* to" (§3.2.2). The main `converse-threads`
+//! crate substitutes hand-off OS threads for safety (see its module
+//! docs); this crate is the **measured prototype of the original
+//! mechanism**: a minimal stackful coroutine whose context switch saves
+//! and restores exactly the System-V callee-saved register set — the
+//! same work `setjmp`/`longjmp` did — in ~10 ns on a modern x86-64
+//! core, i.e. the "native-class" constant the 1996 implementation paid.
+//!
+//! The `threads_switch` bench reports this constant next to the hand-off
+//! substitute's, closing the loop on the substitution note in DESIGN.md.
+//!
+//! # Safety model
+//!
+//! * x86-64 System-V only (compile error elsewhere); the switch is ~20
+//!   instructions of `global_asm!`.
+//! * A fiber's closure runs on its own heap-allocated stack. Panics
+//!   inside the fiber are caught at the fiber boundary and re-thrown
+//!   from [`Fiber::resume`] on the resumer's stack.
+//! * **Dropping a suspended fiber leaks whatever is live on its stack**
+//!   (destructors do not run), exactly like discarding a `setjmp`
+//!   context in 1996. Run fibers to completion when that matters.
+
+#![cfg(all(target_arch = "x86_64", unix))]
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+std::arch::global_asm!(
+    // fn fiber_switch(save: *mut *mut u8, load: *mut u8)
+    //
+    // Saves the callee-saved state of the current context on the current
+    // stack, stores the resulting rsp through `save`, then installs
+    // `load` as rsp and restores the state found there. Returning `ret`s
+    // into whatever return address that stack holds — either a previous
+    // fiber_switch call site or the bootstrap trampoline.
+    ".global converse_fiber_switch",
+    ".hidden converse_fiber_switch",
+    "converse_fiber_switch:",
+    "push rbp",
+    "push rbx",
+    "push r12",
+    "push r13",
+    "push r14",
+    "push r15",
+    "mov [rdi], rsp",
+    "mov rsp, rsi",
+    "pop r15",
+    "pop r14",
+    "pop r13",
+    "pop r12",
+    "pop rbx",
+    "pop rbp",
+    "ret",
+    // Bootstrap: first entry into a fresh fiber. The creation code put
+    // the fiber context pointer in the r12 slot; hand it to fiber_main.
+    // At this point rsp is 16-byte aligned (see stack layout in `new`),
+    // so the call leaves the callee with standard SysV alignment.
+    ".global converse_fiber_trampoline",
+    ".hidden converse_fiber_trampoline",
+    "converse_fiber_trampoline:",
+    "mov rdi, r12",
+    "call {main}",
+    "ud2",
+    main = sym fiber_main,
+);
+
+unsafe extern "C" {
+    fn converse_fiber_switch(save: *mut *mut u8, load: *mut u8);
+}
+
+unsafe extern "C" {
+    #[link_name = "converse_fiber_trampoline"]
+    fn fiber_trampoline();
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum State {
+    /// Created or suspended at a yield: resumable.
+    Suspended,
+    /// Currently on its own stack.
+    Running,
+    /// The closure returned (or panicked).
+    Done,
+}
+
+/// A fiber's entry closure, boxed until first resume.
+type Entry = Box<dyn FnOnce(&FiberHandle)>;
+
+struct FiberInner {
+    /// The fiber's stack (kept alive for the fiber's lifetime).
+    _stack: Box<[u8]>,
+    /// Saved rsp of the fiber while it is suspended.
+    fiber_rsp: UnsafeCell<*mut u8>,
+    /// Saved rsp of the resumer while the fiber runs.
+    caller_rsp: UnsafeCell<*mut u8>,
+    state: Cell<State>,
+    entry: UnsafeCell<Option<Entry>>,
+    panic: UnsafeCell<Option<Box<dyn Any + Send>>>,
+}
+
+/// Handed to the fiber's closure; the only way to yield.
+pub struct FiberHandle {
+    inner: *const FiberInner,
+}
+
+impl FiberHandle {
+    /// Suspend this fiber and return control to [`Fiber::resume`]'s
+    /// caller. Execution continues here at the next `resume`.
+    pub fn yield_now(&self) {
+        let inner = unsafe { &*self.inner };
+        inner.state.set(State::Suspended);
+        unsafe {
+            converse_fiber_switch(inner.fiber_rsp.get(), *inner.caller_rsp.get());
+        }
+        inner.state.set(State::Running);
+    }
+}
+
+/// A stackful fiber: create with a closure, drive with
+/// [`Fiber::resume`].
+///
+/// ```
+/// use converse_fiber::Fiber;
+///
+/// let mut sum = 0u64;
+/// let mut f = Fiber::new(64 * 1024, |h| {
+///     for i in 1..=3u64 {
+///         // (writes to captured state happen between resumes)
+///         h.yield_now();
+///         let _ = i;
+///     }
+/// });
+/// let mut switches = 0;
+/// while f.resume() {
+///     switches += 1;
+///     sum += 1;
+/// }
+/// assert_eq!(switches, 3);
+/// assert_eq!(sum, 3);
+/// ```
+pub struct Fiber {
+    inner: Box<FiberInner>,
+}
+
+extern "C" fn fiber_main(ctx: *mut FiberInner) -> ! {
+    let inner = unsafe { &*ctx };
+    inner.state.set(State::Running);
+    let entry = unsafe { (*inner.entry.get()).take().expect("entry set before first resume") };
+    let handle = FiberHandle { inner: ctx };
+    let result = catch_unwind(AssertUnwindSafe(|| entry(&handle)));
+    if let Err(p) = result {
+        unsafe {
+            *inner.panic.get() = Some(p);
+        }
+    }
+    inner.state.set(State::Done);
+    // Hand control back; a finished fiber is never switched into again
+    // (resume() checks the state), so this switch never returns.
+    unsafe {
+        converse_fiber_switch(inner.fiber_rsp.get(), *inner.caller_rsp.get());
+    }
+    unreachable!("finished fiber resumed");
+}
+
+impl Fiber {
+    /// Create a fiber with a dedicated stack of `stack_size` bytes
+    /// (rounded up to 16-byte alignment; 64 KiB is plenty for most
+    /// uses). The closure does not run until the first [`Fiber::resume`].
+    pub fn new<F>(stack_size: usize, f: F) -> Fiber
+    where
+        F: FnOnce(&FiberHandle) + 'static,
+    {
+        let stack_size = stack_size.max(4096);
+        let mut stack = vec![0u8; stack_size].into_boxed_slice();
+        // Highest 16-aligned address within the stack.
+        let top = {
+            let end = stack.as_mut_ptr() as usize + stack_size;
+            (end & !15) as *mut u8
+        };
+        // Layout below `top` (downward):
+        //   [top-8]         : trampoline return address (ret target)
+        //   [top-16..top-56): six callee-saved slots (r15 r14 r13 r12 rbx
+        //                     rbp; r15 popped first = lowest address)
+        // After the six pops rsp = top-8; `ret` consumes the trampoline
+        // address leaving rsp = top ≡ 0 (mod 16) inside the trampoline;
+        // its `call` pushes a return address, so fiber_main starts with
+        // the standard SysV entry alignment (rsp ≡ 8 mod 16).
+        unsafe {
+            let ret_slot = top.sub(8) as *mut usize;
+            *ret_slot = fiber_trampoline as *const () as usize;
+            let regs_base = top.sub(8 + 48) as *mut usize; // 6 slots below
+            for i in 0..6 {
+                *regs_base.add(i) = 0;
+            }
+            let inner = Box::new(FiberInner {
+                _stack: stack,
+                fiber_rsp: UnsafeCell::new(regs_base as *mut u8),
+                caller_rsp: UnsafeCell::new(std::ptr::null_mut()),
+                state: Cell::new(State::Suspended),
+                entry: UnsafeCell::new(Some(Box::new(f))),
+                panic: UnsafeCell::new(None),
+            });
+            // r12 slot (pop order: r15 r14 r13 r12 → index 3) carries the
+            // context pointer for the trampoline.
+            *regs_base.add(3) = &*inner as *const FiberInner as usize;
+            Fiber { inner }
+        }
+    }
+
+    /// Run the fiber until it yields or finishes. Returns true while the
+    /// fiber can be resumed again; false once its closure has returned.
+    /// Re-raises a panic that occurred inside the fiber.
+    pub fn resume(&mut self) -> bool {
+        if self.inner.state.get() == State::Done {
+            return false;
+        }
+        assert_ne!(self.inner.state.get(), State::Running, "fiber resumed reentrantly");
+        unsafe {
+            converse_fiber_switch(self.inner.caller_rsp.get(), *self.inner.fiber_rsp.get());
+        }
+        // Back from the fiber: it either yielded or finished.
+        if let Some(p) = unsafe { (*self.inner.panic.get()).take() } {
+            resume_unwind(p);
+        }
+        self.inner.state.get() != State::Done
+    }
+
+    /// True once the fiber's closure has returned.
+    pub fn is_done(&self) -> bool {
+        self.inner.state.get() == State::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn runs_to_completion_without_yield() {
+        let hit = Rc::new(Cell::new(0));
+        let h2 = hit.clone();
+        let mut f = Fiber::new(32 * 1024, move |_h| {
+            h2.set(41);
+        });
+        assert!(!f.is_done());
+        assert!(!f.resume(), "no yields: finished on first resume");
+        assert!(f.is_done());
+        assert_eq!(hit.get(), 41);
+        assert!(!f.resume(), "finished fiber stays finished");
+    }
+
+    #[test]
+    fn yields_alternate_with_resumer() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l2 = log.clone();
+        let mut f = Fiber::new(32 * 1024, move |h| {
+            for i in 0..3 {
+                l2.borrow_mut().push(format!("fiber {i}"));
+                h.yield_now();
+            }
+        });
+        for i in 0..3 {
+            assert!(f.resume());
+            log.borrow_mut().push(format!("main {i}"));
+        }
+        assert!(!f.resume());
+        assert_eq!(
+            *log.borrow(),
+            vec!["fiber 0", "main 0", "fiber 1", "main 1", "fiber 2", "main 2"]
+        );
+    }
+
+    #[test]
+    fn state_lives_across_yields_on_the_fiber_stack() {
+        let out = Rc::new(Cell::new(0u64));
+        let o2 = out.clone();
+        let mut f = Fiber::new(64 * 1024, move |h| {
+            // A stack array mutated across yields: the saved context must
+            // preserve it exactly.
+            let mut acc = [0u64; 32];
+            for round in 0..4u64 {
+                for (i, a) in acc.iter_mut().enumerate() {
+                    *a += round * i as u64;
+                }
+                h.yield_now();
+            }
+            o2.set(acc.iter().sum());
+        });
+        while f.resume() {}
+        // sum over i of i * (0+1+2+3) = 6 * (31*32/2)
+        assert_eq!(out.get(), 6 * (31 * 32 / 2));
+    }
+
+    #[test]
+    fn many_fibers_interleaved() {
+        let n = 64;
+        let counter = Rc::new(Cell::new(0u64));
+        let mut fibers: Vec<Fiber> = (0..n)
+            .map(|_| {
+                let c = counter.clone();
+                Fiber::new(16 * 1024, move |h| {
+                    for _ in 0..10 {
+                        c.set(c.get() + 1);
+                        h.yield_now();
+                    }
+                })
+            })
+            .collect();
+        let mut live = n;
+        while live > 0 {
+            live = 0;
+            for f in &mut fibers {
+                if f.resume() {
+                    live += 1;
+                }
+            }
+        }
+        assert_eq!(counter.get(), n as u64 * 10);
+    }
+
+    #[test]
+    fn panic_inside_fiber_rethrows_on_resume() {
+        let mut f = Fiber::new(32 * 1024, |h| {
+            h.yield_now();
+            panic!("fiber boom");
+        });
+        assert!(f.resume(), "first resume reaches the yield");
+        let err = catch_unwind(AssertUnwindSafe(|| f.resume())).expect_err("panic re-thrown");
+        assert_eq!(err.downcast_ref::<&str>().copied(), Some("fiber boom"));
+        assert!(f.is_done());
+        assert!(!f.resume());
+    }
+
+    #[test]
+    fn switch_count_is_exact() {
+        let mut f = Fiber::new(16 * 1024, |h| {
+            for _ in 0..1000 {
+                h.yield_now();
+            }
+        });
+        let mut resumes = 0;
+        while f.resume() {
+            resumes += 1;
+        }
+        assert_eq!(resumes, 1000);
+    }
+
+    #[test]
+    fn nested_calls_on_fiber_stack() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                n
+            } else {
+                fib(n - 1) + fib(n - 2)
+            }
+        }
+        let out = Rc::new(Cell::new(0));
+        let o2 = out.clone();
+        let mut f = Fiber::new(256 * 1024, move |h| {
+            let a = fib(20);
+            h.yield_now();
+            let b = fib(15);
+            o2.set(a + b);
+        });
+        while f.resume() {}
+        assert_eq!(out.get(), 6765 + 610);
+    }
+}

@@ -1,0 +1,328 @@
+//! Seed-based **dynamic load balancing** (paper §3.3.1).
+//!
+//! "A language runtime may hand over a seed, in the form of a
+//! generalized message, on any processor. Monitoring the load on
+//! processors, the load balancing module moves such seeds from processor
+//! to processor until it eventually hands over the seed to its handler
+//! on some destination processor. … Depending on the application, the
+//! user is able to link in a different load balancing strategy."
+//!
+//! A *seed* is any [`Message`]: when it finally "takes root" the module
+//! enqueues it on that PE's scheduler queue (honouring its priority), so
+//! its handler runs there. Four strategies are provided behind one
+//! interface ([`LdbPolicy`]):
+//!
+//! * [`LdbPolicy::Direct`] — root where deposited; the zero-overhead
+//!   baseline.
+//! * [`LdbPolicy::Random`] — one hop to a uniformly random PE (the
+//!   classic Charm "random placement" strategy).
+//! * [`LdbPolicy::Spray`] — adaptive: root locally while the local
+//!   scheduler queue is short, otherwise forward toward the less-loaded
+//!   ring neighbour, with a hop limit; neighbours exchange load reports
+//!   piggybacked on the seed traffic.
+//! * [`LdbPolicy::Central`] — a manager on PE 0 assigns every seed to
+//!   the least-loaded PE it knows of (load reports flow to the manager).
+//!
+//! The load metric is the scheduler-queue length ([`Pe::queue_len`]),
+//! exactly the "interact with a local scheduler" coupling the paper
+//! describes.
+
+use converse_core::csd;
+use converse_machine::{HandlerId, Message, Pe};
+use converse_msg::pack::{Packer, Unpacker};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which strategy an [`Ldb`] instance uses. Every PE of a machine must
+/// install the same policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LdbPolicy {
+    /// Root every seed where it was deposited.
+    Direct,
+    /// Send every seed to a uniformly random PE (including possibly the
+    /// depositor) and root it there.
+    Random {
+        /// Per-machine RNG seed; each PE derives its own stream.
+        seed: u64,
+    },
+    /// Root locally when the local queue is at most `threshold` long;
+    /// otherwise forward to the apparently least-loaded ring neighbour,
+    /// up to `max_hops` hops (after which the seed roots wherever it is).
+    Spray {
+        /// Queue length at or below which a seed roots locally.
+        threshold: usize,
+        /// Maximum forwarding hops before a seed must root.
+        max_hops: u32,
+    },
+    /// All seeds go to the PE-0 manager, which assigns each to the
+    /// least-loaded PE it knows of.
+    Central,
+    /// Power-of-two-choices: probe two random PEs' last-known loads and
+    /// send the seed to the apparently lighter one. Loads are learned
+    /// from piggybacked reports, so the view is stale but cheap — the
+    /// classic randomized balancing trade-off.
+    TwoChoices {
+        /// Per-machine RNG seed.
+        seed: u64,
+    },
+}
+
+/// Counters describing what the balancer did on this PE.
+#[derive(Debug, Default)]
+pub struct LdbStats {
+    /// Seeds handed to [`Ldb::deposit`] on this PE.
+    pub deposited: AtomicU64,
+    /// Seeds that took root (were enqueued) on this PE.
+    pub rooted: AtomicU64,
+    /// Seeds this PE forwarded onward.
+    pub forwarded: AtomicU64,
+}
+
+impl LdbStats {
+    /// Snapshot as plain numbers (deposited, rooted, forwarded).
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.deposited.load(Ordering::Relaxed),
+            self.rooted.load(Ordering::Relaxed),
+            self.forwarded.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Per-PE load balancer runtime. Install once per PE (same registration
+/// order machine-wide), then [`Ldb::deposit`] seeds from anywhere on
+/// that PE.
+pub struct Ldb {
+    policy: LdbPolicy,
+    seed_h: HandlerId,
+    load_h: HandlerId,
+    assign_h: HandlerId,
+    /// Latest load reports from ring neighbours (Spray).
+    neighbor_loads: Mutex<HashMap<usize, usize>>,
+    /// Manager's view of per-PE load (Central; meaningful on PE 0).
+    central_loads: Mutex<Vec<usize>>,
+    rng: Mutex<SmallRng>,
+    events: AtomicU64,
+    /// Public counters.
+    pub stats: LdbStats,
+}
+
+struct LdbSlot(Arc<Ldb>);
+
+/// How often (in balancer events) a PE publishes its load.
+const LOAD_REPORT_PERIOD: u64 = 4;
+
+impl Ldb {
+    /// Register the balancer's handlers on this PE and return the
+    /// runtime. Must be called on every PE in the same registration
+    /// position, with the same policy. Idempotent per PE.
+    pub fn install(pe: &Pe, policy: LdbPolicy) -> Arc<Ldb> {
+        if let Some(s) = pe.try_local::<LdbSlot>() {
+            assert_eq!(s.0.policy, policy, "PE {}: conflicting Ldb policies", pe.my_pe());
+            return s.0.clone();
+        }
+        let seed_h = pe.register_handler(|pe, msg| {
+            let ldb = Ldb::get(pe);
+            let mut u = Unpacker::new(msg.payload());
+            let hops = u.u32().expect("ldb seed: hops");
+            let inner = u.bytes().expect("ldb seed: inner").to_vec();
+            let inner = Message::from_bytes(inner).expect("ldb seed: inner decodes");
+            ldb.arrive(pe, inner, hops);
+        });
+        let load_h = pe.register_handler(|pe, msg| {
+            let ldb = Ldb::get(pe);
+            let mut u = Unpacker::new(msg.payload());
+            let from = u.usize().expect("ldb load: from");
+            let load = u.usize().expect("ldb load: load");
+            match ldb.policy {
+                LdbPolicy::Central => {
+                    let mut cl = ldb.central_loads.lock();
+                    if from < cl.len() {
+                        cl[from] = load;
+                    }
+                }
+                _ => {
+                    ldb.neighbor_loads.lock().insert(from, load);
+                }
+            }
+        });
+        let assign_h = pe.register_handler(|pe, msg| {
+            // Manager (PE 0): choose the least-loaded PE and forward.
+            let ldb = Ldb::get(pe);
+            debug_assert_eq!(pe.my_pe(), 0, "assign handler runs on the manager");
+            let mut u = Unpacker::new(msg.payload());
+            let inner = u.bytes().expect("ldb assign: inner").to_vec();
+            let dst = {
+                let mut cl = ldb.central_loads.lock();
+                let (dst, _) = cl
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| **l)
+                    .expect("machine has PEs");
+                cl[dst] += 1; // account for the assignment immediately
+                dst
+            };
+            let inner = Message::from_bytes(inner).expect("ldb assign: inner decodes");
+            if dst == pe.my_pe() {
+                ldb.root(pe, inner);
+            } else {
+                ldb.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                ldb.send_seed(pe, dst, &inner, 1);
+            }
+        });
+        let ldb = Arc::new(Ldb {
+            policy,
+            seed_h,
+            load_h,
+            assign_h,
+            neighbor_loads: Mutex::new(HashMap::new()),
+            central_loads: Mutex::new(vec![0; pe.num_pes()]),
+            rng: Mutex::new(SmallRng::seed_from_u64(
+                0x51ED_BA5E
+                    ^ ((pe.my_pe() as u64) << 17)
+                    ^ match policy {
+                        LdbPolicy::Random { seed } | LdbPolicy::TwoChoices { seed } => seed,
+                        _ => 0,
+                    },
+            )),
+            events: AtomicU64::new(0),
+            stats: LdbStats::default(),
+        });
+        pe.local(|| LdbSlot(ldb.clone()));
+        ldb
+    }
+
+    /// The balancer previously installed on this PE.
+    pub fn get(pe: &Pe) -> Arc<Ldb> {
+        pe.try_local::<LdbSlot>()
+            .unwrap_or_else(|| panic!("PE {}: Ldb::install was not called", pe.my_pe()))
+            .0
+            .clone()
+    }
+
+    /// Hand a seed to the balancer (the language runtime's entry point).
+    /// The seed's handler will eventually run on *some* PE, chosen by
+    /// the policy; its priority is honoured by the destination queue.
+    pub fn deposit(&self, pe: &Pe, seed: Message) {
+        self.stats.deposited.fetch_add(1, Ordering::Relaxed);
+        self.tick(pe);
+        match self.policy {
+            LdbPolicy::Direct => self.root(pe, seed),
+            LdbPolicy::Random { .. } => {
+                let dst = self.rng.lock().random_range(0..pe.num_pes());
+                if dst == pe.my_pe() {
+                    self.root(pe, seed);
+                } else {
+                    self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                    self.send_seed(pe, dst, &seed, 1);
+                }
+            }
+            LdbPolicy::Spray { .. } => self.arrive(pe, seed, 0),
+            LdbPolicy::TwoChoices { .. } => {
+                let n = pe.num_pes();
+                let (a, b) = {
+                    let mut rng = self.rng.lock();
+                    (rng.random_range(0..n), rng.random_range(0..n))
+                };
+                let loads = self.neighbor_loads.lock();
+                let la = loads.get(&a).copied().unwrap_or(0);
+                let lb = loads.get(&b).copied().unwrap_or(0);
+                drop(loads);
+                let dst = if la <= lb { a } else { b };
+                if dst == pe.my_pe() {
+                    self.root(pe, seed);
+                } else {
+                    self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                    self.send_seed(pe, dst, &seed, 1);
+                }
+            }
+            LdbPolicy::Central => {
+                if pe.num_pes() == 1 {
+                    self.root(pe, seed);
+                    return;
+                }
+                let payload = Packer::new().bytes(seed.as_bytes()).finish();
+                self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                pe.sync_send_and_free(0, Message::new(self.assign_h, &payload));
+            }
+        }
+    }
+
+    /// A seed arrived here after `hops` forwards: root or keep moving.
+    fn arrive(&self, pe: &Pe, seed: Message, hops: u32) {
+        self.tick(pe);
+        match self.policy {
+            LdbPolicy::Spray { threshold, max_hops } => {
+                let local = pe.queue_len();
+                if local <= threshold || hops >= max_hops {
+                    self.root(pe, seed);
+                    return;
+                }
+                // Prefer the apparently less-loaded ring neighbour; if
+                // both look worse than here, root anyway.
+                let n = pe.num_pes();
+                let left = (pe.my_pe() + n - 1) % n;
+                let right = (pe.my_pe() + 1) % n;
+                let nl = self.neighbor_loads.lock();
+                let ll = nl.get(&left).copied().unwrap_or(0);
+                let rl = nl.get(&right).copied().unwrap_or(0);
+                drop(nl);
+                let (dst, dload) = if ll <= rl { (left, ll) } else { (right, rl) };
+                if dst == pe.my_pe() || dload >= local {
+                    self.root(pe, seed);
+                } else {
+                    self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                    self.send_seed(pe, dst, &seed, hops + 1);
+                }
+            }
+            // Random and Central seeds root on arrival.
+            _ => self.root(pe, seed),
+        }
+    }
+
+    fn send_seed(&self, pe: &Pe, dst: usize, seed: &Message, hops: u32) {
+        let payload = Packer::new().u32(hops).bytes(seed.as_bytes()).finish();
+        pe.sync_send_and_free(dst, Message::new(self.seed_h, &payload));
+    }
+
+    fn root(&self, pe: &Pe, seed: Message) {
+        self.stats.rooted.fetch_add(1, Ordering::Relaxed);
+        csd::csd_enqueue_prio(pe, seed);
+    }
+
+    /// Periodic load publication, driven by balancer activity.
+    fn tick(&self, pe: &Pe) {
+        let ev = self.events.fetch_add(1, Ordering::Relaxed);
+        if !ev.is_multiple_of(LOAD_REPORT_PERIOD) {
+            return;
+        }
+        let load = pe.queue_len();
+        let payload = Packer::new().usize(pe.my_pe()).usize(load).finish();
+        match self.policy {
+            LdbPolicy::Spray { .. } => {
+                let n = pe.num_pes();
+                if n > 1 {
+                    let left = (pe.my_pe() + n - 1) % n;
+                    let right = (pe.my_pe() + 1) % n;
+                    pe.sync_send_and_free(left, Message::new(self.load_h, &payload));
+                    if right != left {
+                        pe.sync_send_and_free(right, Message::new(self.load_h, &payload));
+                    }
+                }
+            }
+            LdbPolicy::Central if pe.my_pe() != 0 => {
+                pe.sync_send_and_free(0, Message::new(self.load_h, &payload));
+            }
+            LdbPolicy::TwoChoices { .. } => {
+                // Cheap gossip: everyone learns everyone's load now and
+                // then; staleness is part of the strategy's bargain.
+                pe.sync_broadcast(&Message::new(self.load_h, &payload));
+            }
+            _ => {}
+        }
+    }
+}

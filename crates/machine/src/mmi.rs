@@ -1,0 +1,250 @@
+//! MMI point-to-point communication and message retrieval (paper §3.1.3
+//! and appendix §3.3/§3.5).
+//!
+//! Send calls mirror the C API: `CmiSyncSend` (buffer reusable on
+//! return), `CmiAsyncSend` (returns a [`CommHandle`] to poll with
+//! `CmiAsyncMsgSent`), `*AndFree` variants that consume the message, the
+//! broadcast family, and `CmiVectorSend` which gathers scattered pieces
+//! into one message. Retrieval: `get_msg` (`CmiGetMsg`), `deliver_msgs`
+//! (`CmiDeliverMsgs`), and `get_specific_msg` (`CmiGetSpecificMsg`) which
+//! blocks for one handler while buffering messages destined for others —
+//! the call that lets *no-concurrency* (SPM) languages block without any
+//! scheduler at all.
+
+use crate::pe::Pe;
+use converse_msg::{HandlerId, Message};
+use converse_trace::Event;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Handle identifying an asynchronous communication in progress
+/// (`CommHandle` in the appendix). Query with [`Pe::async_msg_sent`],
+/// recycle with [`Pe::release_comm_handle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CommHandle(u64);
+
+/// Registry of outstanding async operations. The simulated wire
+/// completes sends synchronously, but the handle lifecycle (create,
+/// poll, release) is kept faithful so code written against it ports.
+#[derive(Default)]
+pub(crate) struct CommHandles {
+    slots: Mutex<HashMap<u64, bool>>,
+    next: std::sync::atomic::AtomicU64,
+}
+
+impl CommHandles {
+    pub(crate) fn create(&self, done: bool) -> CommHandle {
+        let id = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.slots.lock().insert(id, done);
+        CommHandle(id)
+    }
+
+    fn is_done(&self, h: CommHandle) -> Option<bool> {
+        self.slots.lock().get(&h.0).copied()
+    }
+
+    fn release(&self, h: CommHandle) -> bool {
+        self.slots.lock().remove(&h.0).is_some()
+    }
+
+    pub(crate) fn outstanding(&self) -> usize {
+        self.slots.lock().len()
+    }
+}
+
+impl Pe {
+    fn trace_send(&self, dst: usize, msg: &Message) {
+        if self.trace_enabled() {
+            self.trace_event(Event::MsgSent { dst, bytes: msg.len(), handler: msg.handler().0 });
+        }
+    }
+
+    // ---- sends -----------------------------------------------------------
+
+    /// Send `msg` to `dst`; the caller keeps the message and may reuse it
+    /// immediately (`CmiSyncSend`).
+    pub fn sync_send(&self, dst: usize, msg: &Message) {
+        self.trace_send(dst, msg);
+        self.net().send(self.my_pe(), dst, msg.as_bytes().to_vec());
+    }
+
+    /// Send `msg` to `dst`, consuming it and avoiding the copy
+    /// (`CmiSyncSendAndFree`).
+    pub fn sync_send_and_free(&self, dst: usize, msg: Message) {
+        self.trace_send(dst, &msg);
+        self.net().send(self.my_pe(), dst, msg.into_bytes());
+    }
+
+    /// Begin an asynchronous send (`CmiAsyncSend`). On this machine the
+    /// data is captured immediately, so the returned handle is already
+    /// complete; poll it with [`Pe::async_msg_sent`].
+    pub fn async_send(&self, dst: usize, msg: &Message) -> CommHandle {
+        self.sync_send(dst, msg);
+        self.comm.create(true)
+    }
+
+    /// Status of an asynchronous operation (`CmiAsyncMsgSent`). Panics on
+    /// a released or never-issued handle.
+    pub fn async_msg_sent(&self, h: CommHandle) -> bool {
+        self.comm.is_done(h).unwrap_or_else(|| panic!("PE {}: unknown CommHandle {h:?}", self.my_pe()))
+    }
+
+    /// Recycle an asynchronous handle (`CmiReleaseCommHandle`). Returns
+    /// false if the handle was already released.
+    pub fn release_comm_handle(&self, h: CommHandle) -> bool {
+        self.comm.release(h)
+    }
+
+    /// Handles issued but not yet released — a leak check for tests.
+    pub fn outstanding_comm_handles(&self) -> usize {
+        self.comm.outstanding()
+    }
+
+    /// Gather `pieces` from scattered memory into one message for
+    /// `handler` and send it to `dst` (`CmiVectorSend`). The receiver
+    /// sees a single contiguous payload: vector-send and ordinary sends
+    /// are interchangeable on the receive side, as the paper specifies
+    /// for gather/scatter ("it is not necessary that a message sent via a
+    /// gather is received via a scatter call").
+    pub fn vector_send(&self, dst: usize, handler: HandlerId, pieces: &[&[u8]]) -> CommHandle {
+        let total: usize = pieces.iter().map(|p| p.len()).sum();
+        let mut msg = Message::alloc(total);
+        msg.set_handler(handler);
+        let mut off = 0;
+        let payload = msg.payload_mut();
+        for p in pieces {
+            payload[off..off + p.len()].copy_from_slice(p);
+            off += p.len();
+        }
+        self.trace_send(dst, &msg);
+        self.net().send(self.my_pe(), dst, msg.into_bytes());
+        self.comm.create(true)
+    }
+
+    // ---- broadcasts --------------------------------------------------------
+
+    /// Send to every other PE (`CmiSyncBroadcast`). Not a barrier: only
+    /// the sender participates.
+    pub fn sync_broadcast(&self, msg: &Message) {
+        for dst in 0..self.num_pes() {
+            if dst != self.my_pe() {
+                self.trace_send(dst, msg);
+            }
+        }
+        self.net().broadcast_excl(self.my_pe(), msg.as_bytes());
+    }
+
+    /// Send to every PE including self (`CmiSyncBroadcastAll`).
+    pub fn sync_broadcast_all(&self, msg: &Message) {
+        for dst in 0..self.num_pes() {
+            self.trace_send(dst, msg);
+        }
+        self.net().broadcast_all(self.my_pe(), msg.as_bytes());
+    }
+
+    /// Broadcast to all and consume the message
+    /// (`CmiSyncBroadcastAllAndFree`).
+    pub fn sync_broadcast_all_and_free(&self, msg: Message) {
+        self.sync_broadcast_all(&msg);
+    }
+
+    /// Asynchronous broadcast excluding self (`CmiAsyncBroadcast`).
+    pub fn async_broadcast(&self, msg: &Message) -> CommHandle {
+        self.sync_broadcast(msg);
+        self.comm.create(true)
+    }
+
+    /// Asynchronous broadcast including self (`CmiAsyncBroadcastAll`).
+    pub fn async_broadcast_all(&self, msg: &Message) -> CommHandle {
+        self.sync_broadcast_all(msg);
+        self.comm.create(true)
+    }
+
+    // ---- retrieval ---------------------------------------------------------
+
+    /// The next received message, if any (`CmiGetMsg`): first anything
+    /// buffered by [`Pe::get_specific_msg`], then the network.
+    pub fn get_msg(&self) -> Option<Message> {
+        if let Some(m) = self.pending_pop() {
+            return Some(m);
+        }
+        self.get_packet().map(|(_src, m)| m)
+    }
+
+    /// Like [`Pe::get_msg`] but bypassing the pending buffer and
+    /// reporting the source PE; internal use by the delivery loop.
+    pub(crate) fn get_packet(&self) -> Option<(usize, Message)> {
+        let p = self.net().try_recv(self.my_pe())?;
+        let msg = Message::from_bytes(p.bytes)
+            .unwrap_or_else(|e| panic!("PE {}: corrupt message from PE {}: {e}", self.my_pe(), p.src));
+        Some((p.src, msg))
+    }
+
+    /// Deliver received messages straight to their handlers
+    /// (`CmiDeliverMsgs`): up to `max` of them (all if `None`). Returns
+    /// how many were delivered. Buffered (pending) messages go first.
+    pub fn deliver_msgs(&self, max: Option<usize>) -> usize {
+        let mut n = 0;
+        let limit = max.unwrap_or(usize::MAX);
+        while n < limit {
+            if let Some(m) = self.pending_pop() {
+                if self.scatter_try(&m) {
+                    n += 1;
+                    continue;
+                }
+                self.call_handler(m);
+                n += 1;
+                continue;
+            }
+            match self.get_packet() {
+                Some((src, m)) => {
+                    if self.scatter_try(&m) {
+                        n += 1;
+                        continue;
+                    }
+                    self.call_handler_from(src, m);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Block until a message for `handler` arrives, buffering any
+    /// messages meant for other handlers (`CmiGetSpecificMsg`). This is
+    /// the SPM blocking receive: "no other activity takes place in user
+    /// space while the program is blocked waiting for a specific
+    /// message" — buffered messages are *not* delivered, just retained
+    /// for later retrieval.
+    pub fn get_specific_msg(&self, handler: HandlerId) -> Message {
+        let deadline = self.blocking_deadline();
+        loop {
+            if let Some(m) = self.pending_take_matching(handler) {
+                return m;
+            }
+            match self.get_packet() {
+                Some((src, m)) => {
+                    if m.handler() == handler {
+                        return m;
+                    }
+                    if self.is_internal_handler(m.handler()) {
+                        // Machine-internal protocol traffic (collective
+                        // waves, global-pointer replies) progresses even
+                        // while the user layer blocks — it is below the
+                        // "no user-space activity" line.
+                        self.call_handler_from(src, m);
+                    } else {
+                        self.pending_push(m);
+                    }
+                }
+                None => {
+                    self.check_abort();
+                    self.check_deadline(deadline, "get_specific_msg");
+                    self.net().wait_nonempty(self.my_pe(), Duration::from_millis(20));
+                }
+            }
+        }
+    }
+}

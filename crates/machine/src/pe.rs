@@ -1,0 +1,507 @@
+//! The logical processor ([`Pe`]) and its handler table.
+//!
+//! A `Pe` bundles everything one Converse processor owns: its identity,
+//! the interconnect endpoint, the registered handler table, the
+//! scheduler's queue, typed PE-local storage, and the internal state of
+//! the EMI modules. One `Pe` is created per processor by [`crate::run`]
+//! and shared (via `Arc`) by every execution context — the main context
+//! and any thread objects — that runs on that processor.
+
+use crate::coll::CollState;
+use crate::gptr::GptrState;
+use crate::io::Console;
+use crate::mmi::CommHandles;
+use crate::pgrp::PgrpState;
+use crate::scatter::ScatterState;
+use converse_msg::{HandlerId, Message};
+use converse_net::Interconnect;
+use converse_queue::{CsdQueue, FifoQueue, LifoQueue, QueueingMode, SchedulingQueue};
+use converse_trace::{Event, TraceSink};
+use parking_lot::{Mutex, RwLock};
+use std::any::{Any, TypeId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A registered message handler: the function named by a generalized
+/// message's first word. Handlers must be `Send + Sync` because any
+/// execution context of the PE (main context or a thread object, each a
+/// distinct OS thread that runs exclusively) may dispatch them.
+pub type Handler = Arc<dyn Fn(&Pe, Message) + Send + Sync>;
+
+/// A PE exit finalizer registered with [`Pe::on_exit`].
+type ExitHook = Box<dyn FnOnce(&Pe) + Send>;
+
+/// Handler ids reserved for the machine layer's internal protocols
+/// (global pointers, collectives, group multicast). User registration
+/// starts after these; since every PE registers them identically in
+/// `Pe::new`, indices agree machine-wide.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InternalIds {
+    pub gptr_get_req: HandlerId,
+    pub gptr_get_reply: HandlerId,
+    pub gptr_put_req: HandlerId,
+    pub gptr_put_ack: HandlerId,
+    pub coll_up: HandlerId,
+    pub coll_down: HandlerId,
+    pub pgrp_fwd: HandlerId,
+    pub pgrp_up: HandlerId,
+}
+
+/// Which scheduler queue implementation a machine uses — the "plug in
+/// different queuing strategies" hook at machine-configuration level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Full prioritized Converse queue (two-lane `Cqs`).
+    #[default]
+    Csd,
+    /// Plain FIFO — the cheapest strategy, for languages that never
+    /// prioritize.
+    Fifo,
+    /// Plain LIFO.
+    Lifo,
+}
+
+fn make_queue(kind: QueueKind) -> Box<dyn SchedulingQueue> {
+    match kind {
+        QueueKind::Csd => Box::new(CsdQueue::new()),
+        QueueKind::Fifo => Box::new(FifoQueue::new()),
+        QueueKind::Lifo => Box::new(LifoQueue::new()),
+    }
+}
+
+/// Machine-wide state shared by all PEs of one [`crate::run`] invocation.
+pub(crate) struct MachineShared {
+    pub console: Console,
+    /// Set when any PE's entry function panicked; blocked PEs observe it
+    /// and abort instead of hanging.
+    pub panicked: AtomicBool,
+    /// Watchdog limit for machine-level blocking calls.
+    pub block_timeout: Duration,
+}
+
+/// One logical processor of the simulated machine.
+pub struct Pe {
+    id: usize,
+    net: Arc<Interconnect>,
+    handlers: RwLock<Vec<Handler>>,
+    /// Messages taken off the wire by `get_specific_msg` that were meant
+    /// for other handlers; consumed before the network on retrieval.
+    pending: Mutex<VecDeque<Message>>,
+    queue: Mutex<Box<dyn SchedulingQueue>>,
+    sched_exit: AtomicBool,
+    locals: Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
+    req_counter: AtomicU64,
+    pub(crate) comm: CommHandles,
+    pub(crate) gptr: GptrState,
+    pub(crate) coll: CollState,
+    pub(crate) scatter: ScatterState,
+    pub(crate) pgrp: PgrpState,
+    pub(crate) ids: InternalIds,
+    pub(crate) shared: Arc<MachineShared>,
+    trace: Arc<dyn TraceSink>,
+    self_ref: std::sync::Weak<Pe>,
+    /// Number of reserved machine-internal handlers (table prefix).
+    internal_count: usize,
+    /// Finalizers run (in reverse registration order) after the entry
+    /// function returns, before machine teardown.
+    exit_hooks: Mutex<Vec<ExitHook>>,
+}
+
+impl Pe {
+    pub(crate) fn new(
+        id: usize,
+        net: Arc<Interconnect>,
+        queue: QueueKind,
+        shared: Arc<MachineShared>,
+        trace: Arc<dyn TraceSink>,
+    ) -> Arc<Pe> {
+        let mut table: Vec<Handler> = Vec::new();
+        let mut push = |h: Handler| {
+            table.push(h);
+            HandlerId((table.len() - 1) as u32)
+        };
+        let ids = InternalIds {
+            gptr_get_req: push(Arc::new(crate::gptr::handle_get_req)),
+            gptr_get_reply: push(Arc::new(crate::gptr::handle_get_reply)),
+            gptr_put_req: push(Arc::new(crate::gptr::handle_put_req)),
+            gptr_put_ack: push(Arc::new(crate::gptr::handle_put_ack)),
+            coll_up: push(Arc::new(crate::coll::handle_up)),
+            coll_down: push(Arc::new(crate::coll::handle_down)),
+            pgrp_fwd: push(Arc::new(crate::pgrp::handle_fwd)),
+            pgrp_up: push(Arc::new(crate::pgrp::handle_up)),
+        };
+        let internal_count = table.len();
+        Arc::new_cyclic(|self_ref| Pe {
+            id,
+            net,
+            handlers: RwLock::new(table),
+            pending: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(make_queue(queue)),
+            sched_exit: AtomicBool::new(false),
+            locals: Mutex::new(HashMap::new()),
+            req_counter: AtomicU64::new(1),
+            comm: CommHandles::default(),
+            gptr: GptrState::default(),
+            coll: CollState::default(),
+            scatter: ScatterState::default(),
+            pgrp: PgrpState::default(),
+            ids,
+            shared,
+            trace,
+            self_ref: self_ref.clone(),
+            internal_count,
+            exit_hooks: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// A counted reference to this PE. Execution contexts that outlive
+    /// the current stack frame (thread objects) hold one of these.
+    pub fn arc(&self) -> Arc<Pe> {
+        self.self_ref.upgrade().expect("Pe is alive while any context runs on it")
+    }
+
+    /// Register a finalizer to run on this PE after its entry function
+    /// returns (reverse registration order). Runtime layers use this to
+    /// tear down resources — e.g. poisoning still-suspended threads —
+    /// before the machine closes.
+    pub fn on_exit<F: FnOnce(&Pe) + Send + 'static>(&self, f: F) {
+        self.exit_hooks.lock().push(Box::new(f));
+    }
+
+    pub(crate) fn run_exit_hooks(&self) {
+        loop {
+            let hook = self.exit_hooks.lock().pop();
+            match hook {
+                Some(f) => f(self),
+                None => break,
+            }
+        }
+    }
+
+    /// Mark the whole machine as failed and wake every blocked context.
+    /// Used when a non-main execution context (a thread object)
+    /// panics, so the failure propagates instead of deadlocking.
+    pub fn abort_machine(&self) {
+        self.shared.panicked.store(true, Ordering::Release);
+        self.net.close();
+    }
+
+    /// Logical processor id, `0..num_pes` (`CmiMyPe`).
+    #[inline]
+    pub fn my_pe(&self) -> usize {
+        self.id
+    }
+
+    /// Total processors in this machine (`CmiNumPe`).
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.net.num_pes()
+    }
+
+    /// The interconnect this PE is attached to.
+    #[inline]
+    pub(crate) fn net(&self) -> &Arc<Interconnect> {
+        &self.net
+    }
+
+    /// Seconds since machine boot with sub-microsecond resolution
+    /// (`CmiTimer`).
+    pub fn timer(&self) -> f64 {
+        self.net.uptime().as_secs_f64()
+    }
+
+    /// Nanoseconds since machine boot.
+    pub fn now_ns(&self) -> u64 {
+        self.net.uptime().as_nanos() as u64
+    }
+
+    /// Whole milliseconds since machine boot — the coarse variant of the
+    /// paper's "timers with different resolutions".
+    pub fn timer_coarse_ms(&self) -> u64 {
+        self.net.uptime().as_millis() as u64
+    }
+
+    /// Fresh machine-unique-enough request id for internal protocols.
+    pub(crate) fn next_req_id(&self) -> u64 {
+        self.req_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // ---- handler table --------------------------------------------------
+
+    /// Register a message handler and return its index
+    /// (`CmiRegisterHandler`). **Must be called in the same order on
+    /// every PE** so an id denotes the same function machine-wide.
+    pub fn register_handler<F>(&self, f: F) -> HandlerId
+    where
+        F: Fn(&Pe, Message) + Send + Sync + 'static,
+    {
+        let mut t = self.handlers.write();
+        t.push(Arc::new(f));
+        HandlerId((t.len() - 1) as u32)
+    }
+
+    /// Look up the handler function for a message
+    /// (`CmiGetHandlerFunction`). Panics on an unregistered id — that is
+    /// a registration-order bug, not a runtime condition.
+    pub fn handler_fn(&self, id: HandlerId) -> Handler {
+        let t = self.handlers.read();
+        t.get(id.index())
+            .unwrap_or_else(|| {
+                panic!(
+                    "PE {}: message for unregistered handler {id} (table has {}); \
+                     handlers must be registered in the same order on every PE \
+                     before communication begins",
+                    self.id,
+                    t.len()
+                )
+            })
+            .clone()
+    }
+
+    /// Number of registered handlers (internal ones included).
+    pub fn num_handlers(&self) -> usize {
+        self.handlers.read().len()
+    }
+
+    /// Invoke `msg`'s handler immediately on this PE, recording trace
+    /// events. `src` is the sending PE for trace purposes (self for
+    /// locally generated entries).
+    pub fn call_handler_from(&self, src: usize, msg: Message) {
+        let id = msg.handler();
+        let f = self.handler_fn(id);
+        if self.trace.enabled() {
+            self.trace.record(self.id, self.now_ns(), Event::BeginProcessing { handler: id.0, src });
+            f(self, msg);
+            self.trace.record(self.id, self.now_ns(), Event::EndProcessing { handler: id.0 });
+        } else {
+            f(self, msg);
+        }
+    }
+
+    /// Invoke `msg`'s handler immediately (local origin).
+    pub fn call_handler(&self, msg: Message) {
+        self.call_handler_from(self.id, msg);
+    }
+
+    // ---- scheduler queue access (used by converse-core's Csd) -----------
+
+    /// Put a message on the scheduler's queue under `mode`
+    /// (`CsdEnqueueGeneral`). The scheduler (in `converse-core`) will
+    /// deliver it to its handler later.
+    pub fn queue_enqueue(&self, msg: Message, mode: QueueingMode) {
+        if self.trace.enabled() {
+            self.trace.record(self.id, self.now_ns(), Event::Enqueue { handler: msg.handler().0 });
+        }
+        self.queue.lock().enqueue(msg, mode);
+    }
+
+    /// Take the next message off the scheduler's queue.
+    pub fn queue_dequeue(&self) -> Option<Message> {
+        self.queue.lock().dequeue()
+    }
+
+    /// Scheduler-queue occupancy — also the load metric the load
+    /// balancer monitors.
+    pub fn queue_len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Scheduler exit flag (`CsdExitScheduler` sets it; the scheduler
+    /// loop clears it when it honours the request).
+    pub fn sched_exit_flag(&self) -> &AtomicBool {
+        &self.sched_exit
+    }
+
+    // ---- PE-local storage (the Cpv analogue) -----------------------------
+
+    /// Typed PE-local storage: returns this PE's instance of `T`,
+    /// creating it with `init` on first access. The Rust analogue of
+    /// Converse's `Cpv` per-processor globals; language runtimes keep
+    /// their per-PE state here keyed by a private type.
+    pub fn local<T, F>(&self, init: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let mut l = self.locals.lock();
+        let entry = l.entry(TypeId::of::<T>()).or_insert_with(|| Arc::new(init()) as Arc<dyn Any + Send + Sync>);
+        entry.clone().downcast::<T>().expect("TypeId-keyed map guarantees the type")
+    }
+
+    /// The PE-local instance of `T` if already created.
+    pub fn try_local<T: Send + Sync + 'static>(&self) -> Option<Arc<T>> {
+        self.locals.lock().get(&TypeId::of::<T>()).map(|a| {
+            a.clone().downcast::<T>().expect("TypeId-keyed map guarantees the type")
+        })
+    }
+
+    // ---- pending buffer & abort plumbing ---------------------------------
+
+    pub(crate) fn pending_pop(&self) -> Option<Message> {
+        self.pending.lock().pop_front()
+    }
+
+    pub(crate) fn pending_push(&self, m: Message) {
+        self.pending.lock().push_back(m);
+    }
+
+    pub(crate) fn pending_take_matching(&self, h: HandlerId) -> Option<Message> {
+        let mut p = self.pending.lock();
+        let idx = p.iter().position(|m| m.handler() == h)?;
+        p.remove(idx)
+    }
+
+    pub(crate) fn pending_take_internal(&self) -> Option<Message> {
+        let mut p = self.pending.lock();
+        let idx = p.iter().position(|m| m.handler().index() < self.internal_count)?;
+        p.remove(idx)
+    }
+
+    /// Number of retrieved-but-unprocessed messages buffered by
+    /// `get_specific_msg`.
+    pub fn pending_len(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Panic (unwinding this PE) if the machine has been torn down or
+    /// another PE panicked. Called inside every potentially-blocking
+    /// loop so one failing PE cannot hang the rest of the test suite.
+    pub fn check_abort(&self) {
+        if self.shared.panicked.load(Ordering::Acquire) {
+            panic!("PE {}: aborting — another PE panicked", self.id);
+        }
+        if self.net.is_closed() && self.net.pending(self.id) == 0 && self.pending.lock().is_empty()
+        {
+            panic!("PE {}: blocked on a message but the machine has shut down", self.id);
+        }
+    }
+
+    /// Deadline for a machine-level blocking call starting now; loops
+    /// that exceed it without completing panic, turning a distributed
+    /// deadlock into a diagnosable test failure.
+    pub(crate) fn blocking_deadline(&self) -> std::time::Instant {
+        std::time::Instant::now() + self.shared.block_timeout
+    }
+
+    /// Panic if the watchdog `deadline` for a blocking call has passed.
+    pub(crate) fn check_deadline(&self, deadline: std::time::Instant, what: &str) {
+        if std::time::Instant::now() >= deadline {
+            panic!(
+                "PE {}: {} made no progress for {:?} — likely deadlock \
+                 (raise MachineConfig::block_timeout if intentional)",
+                self.id, what, self.shared.block_timeout
+            );
+        }
+    }
+
+    /// Drive message delivery until `done()` holds: repeatedly drains the
+    /// network (dispatching each message straight to its handler, like
+    /// `CmiDeliverMsgs`), parking briefly when idle. This is a
+    /// user-level blocking helper; it never touches the scheduler queue.
+    pub fn deliver_until<F: FnMut() -> bool>(&self, mut done: F) {
+        let deadline = self.blocking_deadline();
+        loop {
+            if done() {
+                return;
+            }
+            if self.deliver_msgs(None) == 0 {
+                if done() {
+                    return;
+                }
+                self.check_abort();
+                self.check_deadline(deadline, "deliver_until");
+                self.net.wait_nonempty(self.id, Duration::from_millis(20));
+            }
+        }
+    }
+
+    /// True when `h` is one of the machine layer's reserved protocol
+    /// handlers (global pointers, collectives, group forwarding).
+    pub fn is_internal_handler(&self, h: HandlerId) -> bool {
+        h.index() < self.internal_count
+    }
+
+    /// Machine-internal blocking wait: dispatches **only** the machine's
+    /// internal protocol messages, buffering user messages for later
+    /// retrieval (like `CmiGetSpecificMsg` does). This is what the EMI's
+    /// synchronous calls (collectives, global-pointer waits) block on,
+    /// so blocking in a collective never consumes a user message that an
+    /// SPM receive is waiting for — the paper's no-concurrency promise:
+    /// "no other actions should take place within the same process"
+    /// while an SPM module blocks.
+    pub fn deliver_internal_until<F: FnMut() -> bool>(&self, mut done: F) {
+        let deadline = self.blocking_deadline();
+        loop {
+            if done() {
+                return;
+            }
+            let mut progressed = false;
+            // Internal messages stranded in the pending buffer first
+            // (defensive: the retrieval paths dispatch them eagerly).
+            while let Some(m) = self.pending_take_internal() {
+                self.call_handler(m);
+                progressed = true;
+            }
+            while let Some((src, m)) = self.get_packet() {
+                if self.is_internal_handler(m.handler()) {
+                    self.call_handler_from(src, m);
+                    progressed = true;
+                    // Re-check promptly: the protocol message we just ran
+                    // may have satisfied the wait.
+                    break;
+                }
+                self.pending_push(m);
+            }
+            if !progressed {
+                if done() {
+                    return;
+                }
+                self.check_abort();
+                self.check_deadline(deadline, "deliver_internal_until");
+                self.net.wait_nonempty(self.id, Duration::from_millis(20));
+            }
+        }
+    }
+
+    /// Messages waiting to be retrieved: undelivered network packets
+    /// plus anything buffered by `get_specific_msg`.
+    pub fn inbound_pending(&self) -> usize {
+        self.net.pending(self.id) + self.pending.lock().len()
+    }
+
+    /// Park until a message arrives, the machine closes, or `timeout`
+    /// expires — the scheduler's idle wait.
+    pub fn idle_wait(&self, timeout: Duration) {
+        self.net.wait_nonempty(self.id, timeout);
+    }
+
+    /// The configured watchdog limit for blocking calls.
+    pub fn block_timeout(&self) -> Duration {
+        self.shared.block_timeout
+    }
+
+    /// Record a trace event from runtime layers above the machine.
+    pub fn trace_event(&self, event: Event) {
+        if self.trace.enabled() {
+            self.trace.record(self.id, self.now_ns(), event);
+        }
+    }
+
+    /// True when the configured sink records events; callers may skip
+    /// building expensive payloads otherwise.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.enabled()
+    }
+}
+
+impl std::fmt::Debug for Pe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pe")
+            .field("id", &self.id)
+            .field("num_pes", &self.num_pes())
+            .field("handlers", &self.num_handlers())
+            .finish()
+    }
+}

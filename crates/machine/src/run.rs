@@ -1,0 +1,205 @@
+//! Machine start-up and tear-down (`ConverseInit` / `ConverseExit`).
+//!
+//! [`run`] boots a simulated machine: it builds one [`Interconnect`] and
+//! spawns one OS thread per PE, each constructing its [`Pe`] (which
+//! registers the machine-internal handlers in a fixed order) and then
+//! executing the user's entry function — the moral equivalent of `main`
+//! after `ConverseInit` in a C Converse program. When the last PE's
+//! entry returns, the machine closes and [`RunReport`] is produced.
+//!
+//! A panic on any PE marks the whole machine panicked and closes the
+//! interconnect so PEs blocked in machine-level loops abort promptly
+//! instead of hanging; the first panic is re-raised to the caller.
+
+use crate::pe::{MachineShared, Pe};
+pub use crate::pe::QueueKind;
+use converse_net::{DeliveryMode, Interconnect, PeTraffic};
+use converse_trace::{NullSink, TraceSink};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of a simulated machine.
+pub struct MachineConfig {
+    /// Number of logical processors.
+    pub num_pes: usize,
+    /// Interconnect delivery-order policy.
+    pub delivery: DeliveryMode,
+    /// Scheduler-queue implementation each PE uses.
+    pub queue: QueueKind,
+    /// Trace sink shared by all PEs (default: the zero-cost null sink).
+    pub trace: Arc<dyn TraceSink>,
+    /// Lines pre-loaded into the machine's shared standard input.
+    pub stdin_lines: Vec<String>,
+    /// Capture `cmi_printf` output into the report instead of stdout.
+    pub capture_output: bool,
+    /// How long a machine-level blocking call (specific receive, global
+    /// pointer wait, collective) may wait without progress before the PE
+    /// panics. A deadlock detector for tests, not a semantic timeout.
+    pub block_timeout: Duration,
+}
+
+impl MachineConfig {
+    /// Defaults: FIFO delivery, the full Csd queue, no tracing, captured
+    /// output off, 30-second block watchdog.
+    pub fn new(num_pes: usize) -> Self {
+        MachineConfig {
+            num_pes,
+            delivery: DeliveryMode::Fifo,
+            queue: QueueKind::Csd,
+            trace: Arc::new(NullSink),
+            stdin_lines: Vec::new(),
+            capture_output: false,
+            block_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Set the delivery mode.
+    pub fn delivery(mut self, d: DeliveryMode) -> Self {
+        self.delivery = d;
+        self
+    }
+
+    /// Set the scheduler-queue kind.
+    pub fn queue(mut self, q: QueueKind) -> Self {
+        self.queue = q;
+        self
+    }
+
+    /// Install a trace sink.
+    pub fn trace(mut self, t: Arc<dyn TraceSink>) -> Self {
+        self.trace = t;
+        self
+    }
+
+    /// Pre-load standard-input lines.
+    pub fn stdin(mut self, lines: Vec<String>) -> Self {
+        self.stdin_lines = lines;
+        self
+    }
+
+    /// Capture `cmi_printf` output into the [`RunReport`].
+    pub fn capture_output(mut self) -> Self {
+        self.capture_output = true;
+        self
+    }
+
+    /// Change the blocking-call watchdog.
+    pub fn block_timeout(mut self, t: Duration) -> Self {
+        self.block_timeout = t;
+        self
+    }
+}
+
+/// What a machine run leaves behind.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Per-PE traffic counters.
+    pub traffic: Vec<PeTraffic>,
+    /// Captured `cmi_printf` lines (empty unless capture was enabled).
+    pub output: Vec<String>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl RunReport {
+    /// Total messages sent machine-wide.
+    pub fn total_msgs(&self) -> u64 {
+        self.traffic.iter().map(|t| t.msgs_sent).sum()
+    }
+
+    /// Total bytes sent machine-wide.
+    pub fn total_bytes(&self) -> u64 {
+        self.traffic.iter().map(|t| t.bytes_sent).sum()
+    }
+}
+
+/// Boot a machine of `num_pes` PEs with default configuration and run
+/// `entry` on every PE (the `ConverseInit`-to-`ConverseExit` lifetime).
+pub fn run<F>(num_pes: usize, entry: F) -> RunReport
+where
+    F: Fn(&Pe) + Send + Sync + 'static,
+{
+    run_with(MachineConfig::new(num_pes), entry)
+}
+
+/// Boot a machine with explicit configuration; see [`run`].
+pub fn run_with<F>(cfg: MachineConfig, entry: F) -> RunReport
+where
+    F: Fn(&Pe) + Send + Sync + 'static,
+{
+    assert!(cfg.num_pes > 0, "a machine needs at least one PE");
+    let net = Interconnect::with_mode(cfg.num_pes, cfg.delivery);
+    let shared = Arc::new(MachineShared {
+        console: crate::io::Console::new(cfg.capture_output, cfg.stdin_lines.clone()),
+        panicked: std::sync::atomic::AtomicBool::new(false),
+        block_timeout: cfg.block_timeout,
+    });
+    let entry = Arc::new(entry);
+    let remaining = Arc::new(AtomicUsize::new(cfg.num_pes));
+    let started = std::time::Instant::now();
+
+    let mut joins = Vec::with_capacity(cfg.num_pes);
+    for id in 0..cfg.num_pes {
+        let net = net.clone();
+        let shared = shared.clone();
+        let entry = entry.clone();
+        let remaining = remaining.clone();
+        let trace = cfg.trace.clone();
+        let queue = cfg.queue;
+        let h = std::thread::Builder::new()
+            .name(format!("pe{id}"))
+            .spawn(move || {
+                let pe = Pe::new(id, net.clone(), queue, shared.clone(), trace);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    entry(&pe);
+                }));
+                if result.is_err() {
+                    shared.panicked.store(true, Ordering::Release);
+                    net.close();
+                }
+                // Exit hooks run on success AND failure: they release
+                // resources (e.g. still-suspended thread objects) that
+                // would otherwise leak OS threads.
+                let hooks = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    pe.run_exit_hooks();
+                }));
+                let result = result.and(hooks);
+                if result.is_err() {
+                    shared.panicked.store(true, Ordering::Release);
+                    net.close();
+                }
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // Last PE out shuts the machine down, waking anything
+                    // still blocked (e.g. a scanf on exhausted input).
+                    net.close();
+                    shared.console.close_input();
+                }
+                result
+            })
+            .expect("spawn PE thread");
+        joins.push(h);
+    }
+
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for h in joins {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(p)) => {
+                first_panic.get_or_insert(p);
+            }
+            Err(p) => {
+                first_panic.get_or_insert(p);
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        std::panic::resume_unwind(p);
+    }
+
+    RunReport {
+        traffic: (0..cfg.num_pes).map(|p| net.traffic(p)).collect(),
+        output: shared.console.captured(),
+        elapsed: started.elapsed(),
+    }
+}

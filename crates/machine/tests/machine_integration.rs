@@ -1,0 +1,537 @@
+//! End-to-end tests of the machine layer: boots real multi-PE machines
+//! (one OS thread per PE) and exercises MMI and EMI calls across them.
+
+use converse_machine::{run, run_with, HandlerId, MachineConfig, Message, Pe};
+use converse_msg::pack::{Packer, Unpacker};
+use converse_net::DeliveryMode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handlers are registered per-PE inside the entry; ids agree because
+/// registration order is identical. This helper registers a counting
+/// handler and returns (id, counter).
+fn counting_handler(pe: &Pe) -> (HandlerId, Arc<AtomicU64>) {
+    let c = Arc::new(AtomicU64::new(0));
+    let c2 = c.clone();
+    let id = pe.register_handler(move |_pe, _msg| {
+        c2.fetch_add(1, Ordering::Relaxed);
+    });
+    (id, c)
+}
+
+#[test]
+fn single_pe_machine_boots() {
+    let report = run(1, |pe| {
+        assert_eq!(pe.my_pe(), 0);
+        assert_eq!(pe.num_pes(), 1);
+        assert!(pe.timer() >= 0.0);
+    });
+    assert_eq!(report.traffic.len(), 1);
+}
+
+#[test]
+fn ping_pong_specific_msg() {
+    // Classic SPM round trip: PE0 sends, PE1 echoes, no scheduler at all.
+    run(2, |pe| {
+        let echo = pe.register_handler(|_, _| unreachable!("retrieved, never dispatched"));
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            for i in 0..50u32 {
+                let m = Message::new(echo, &i.to_le_bytes());
+                pe.sync_send_and_free(1, m);
+                let back = pe.get_specific_msg(echo);
+                let v = u32::from_le_bytes(back.payload().try_into().unwrap());
+                assert_eq!(v, i + 1);
+            }
+        } else {
+            for _ in 0..50 {
+                let m = pe.get_specific_msg(echo);
+                let v = u32::from_le_bytes(m.payload().try_into().unwrap());
+                let reply = Message::new(echo, &(v + 1).to_le_bytes());
+                pe.sync_send_and_free(0, reply);
+            }
+        }
+    });
+}
+
+#[test]
+fn get_specific_buffers_other_handlers() {
+    run(2, |pe| {
+        let a = pe.register_handler(|_, _| {});
+        let b = pe.register_handler(|_, _| {});
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            // Send three for handler A, then one for B.
+            for i in 0..3u8 {
+                pe.sync_send_and_free(1, Message::new(a, &[i]));
+            }
+            pe.sync_send_and_free(1, Message::new(b, &[99]));
+        } else {
+            // Wait for B first: the three A messages must be buffered.
+            let mb = pe.get_specific_msg(b);
+            assert_eq!(mb.payload(), &[99]);
+            assert_eq!(pe.pending_len(), 3);
+            // Buffered A messages now come out of get_msg in order.
+            for i in 0..3u8 {
+                let m = pe.get_specific_msg(a);
+                assert_eq!(m.payload(), &[i]);
+            }
+        }
+    });
+}
+
+#[test]
+fn deliver_msgs_dispatches_directly() {
+    run(2, |pe| {
+        let (id, count) = counting_handler(pe);
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            for _ in 0..10 {
+                pe.sync_send_and_free(1, Message::new(id, b"x"));
+            }
+            pe.barrier();
+        } else {
+            let mut seen = 0;
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while seen < 10 {
+                seen += pe.deliver_msgs(None);
+                assert!(std::time::Instant::now() < deadline, "messages never arrived");
+            }
+            assert_eq!(count.load(Ordering::Relaxed), 10);
+            pe.barrier();
+        }
+    });
+}
+
+#[test]
+fn deliver_msgs_respects_max() {
+    run(1, |pe| {
+        let (id, count) = counting_handler(pe);
+        for _ in 0..5 {
+            pe.sync_send_and_free(0, Message::new(id, b""));
+        }
+        // Give the loopback a moment (it is synchronous in-process, so
+        // messages are already in the mailbox).
+        assert_eq!(pe.deliver_msgs(Some(2)), 2);
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+        assert_eq!(pe.deliver_msgs(None), 3);
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    });
+}
+
+#[test]
+fn broadcast_excludes_sender() {
+    let n = 5;
+    let report = run(n, move |pe| {
+        let (id, count) = counting_handler(pe);
+        pe.barrier();
+        if pe.my_pe() == 2 {
+            pe.sync_broadcast(&Message::new(id, b"hello"));
+        }
+        pe.barrier(); // barrier traffic flushes nothing into handlers...
+        if pe.my_pe() != 2 {
+            pe.deliver_until(|| count.load(Ordering::Relaxed) == 1);
+        } else {
+            // Sender must NOT receive it; drain everything pending and check.
+            pe.deliver_msgs(None);
+            assert_eq!(count.load(Ordering::Relaxed), 0);
+        }
+        pe.barrier();
+    });
+    assert!(report.total_msgs() > 0);
+}
+
+#[test]
+fn broadcast_all_includes_sender() {
+    run(4, |pe| {
+        let (id, count) = counting_handler(pe);
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            pe.sync_broadcast_all(&Message::new(id, b""));
+        }
+        pe.deliver_until(|| count.load(Ordering::Relaxed) == 1);
+        pe.barrier();
+    });
+}
+
+#[test]
+fn async_send_handle_lifecycle() {
+    run(2, |pe| {
+        let id = pe.register_handler(|_, _| {});
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            let m = Message::new(id, b"async");
+            let h = pe.async_send(1, &m);
+            assert!(pe.async_msg_sent(h));
+            assert!(pe.release_comm_handle(h));
+            assert!(!pe.release_comm_handle(h), "double release detected");
+            assert_eq!(pe.outstanding_comm_handles(), 0);
+        } else {
+            let m = pe.get_specific_msg(id);
+            assert_eq!(m.payload(), b"async");
+        }
+    });
+}
+
+#[test]
+fn vector_send_concatenates_pieces() {
+    run(2, |pe| {
+        let id = pe.register_handler(|_, _| {});
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            let h = pe.vector_send(1, id, &[b"abc", b"", b"defg", b"h"]);
+            assert!(pe.async_msg_sent(h));
+            pe.release_comm_handle(h);
+        } else {
+            let m = pe.get_specific_msg(id);
+            assert_eq!(m.payload(), b"abcdefgh");
+        }
+    });
+}
+
+#[test]
+fn barrier_synchronizes() {
+    // Each PE increments a shared epoch after the barrier; no PE may see
+    // a pre-barrier value afterwards.
+    let flags: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
+    let f2 = flags.clone();
+    run(4, move |pe| {
+        f2[pe.my_pe()].store(1, Ordering::SeqCst);
+        pe.barrier();
+        for i in 0..4 {
+            assert_eq!(f2[i].load(Ordering::SeqCst), 1, "PE {i} had not arrived");
+        }
+    });
+}
+
+#[test]
+fn reduce_sums_at_root() {
+    run(7, |pe| {
+        let sum = pe.register_combiner(|a, b| {
+            let x = u64::from_le_bytes(a.try_into().unwrap());
+            let y = u64::from_le_bytes(b.try_into().unwrap());
+            (x + y).to_le_bytes().to_vec()
+        });
+        let contrib = (pe.my_pe() as u64 + 1).to_le_bytes().to_vec();
+        let out = pe.reduce_bytes(contrib, sum);
+        if pe.my_pe() == 0 {
+            let total = u64::from_le_bytes(out.unwrap().try_into().unwrap());
+            assert_eq!(total, (1..=7).sum::<u64>());
+        } else {
+            assert!(out.is_none());
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn allreduce_gives_everyone_the_result() {
+    run(5, |pe| {
+        let max = pe.register_combiner(|a, b| {
+            let x = i64::from_le_bytes(a.try_into().unwrap());
+            let y = i64::from_le_bytes(b.try_into().unwrap());
+            x.max(y).to_le_bytes().to_vec()
+        });
+        let mine = ((pe.my_pe() as i64) * 10 - 7).to_le_bytes().to_vec();
+        let out = pe.allreduce_bytes(mine, max);
+        assert_eq!(i64::from_le_bytes(out.try_into().unwrap()), 33);
+    });
+}
+
+#[test]
+fn bcast_from_nonzero_root() {
+    run(6, |pe| {
+        let data = if pe.my_pe() == 3 { Some(b"from three".to_vec()) } else { None };
+        let got = pe.bcast_bytes(3, data);
+        assert_eq!(got, b"from three");
+        // And again from root 0, to check sequence numbering.
+        let data = if pe.my_pe() == 0 { Some(vec![7u8; 3]) } else { None };
+        assert_eq!(pe.bcast_bytes(0, data), vec![7u8; 3]);
+    });
+}
+
+#[test]
+fn collectives_survive_reordered_delivery() {
+    let cfg = MachineConfig::new(8).delivery(DeliveryMode::Reorder { seed: 42, window: 6 });
+    run_with(cfg, |pe| {
+        let sum = pe.register_combiner(|a, b| {
+            let x = u64::from_le_bytes(a.try_into().unwrap());
+            let y = u64::from_le_bytes(b.try_into().unwrap());
+            (x + y).to_le_bytes().to_vec()
+        });
+        for round in 0..10u64 {
+            let out = pe.allreduce_bytes((round + pe.my_pe() as u64).to_le_bytes().to_vec(), sum);
+            let expect: u64 = (0..8).map(|p| round + p).sum();
+            assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), expect, "round {round}");
+        }
+    });
+}
+
+#[test]
+fn gptr_remote_get_and_put() {
+    run(3, |pe| {
+        // PE0 owns a region; others read and write it.
+        let reg = pe.local(|| parking_lot::Mutex::new(None::<converse_machine::gptr::GlobalPtr>));
+        let announce = pe.register_handler({
+            let reg = reg.clone();
+            move |_pe, msg| {
+                *reg.lock() = converse_machine::gptr::GlobalPtr::decode(msg.payload());
+            }
+        });
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            let g = pe.gptr_create(vec![0u8; 16]);
+            let m = Message::new(announce, &g.encode());
+            pe.sync_broadcast(&m);
+            // Wait until PE1's put lands: poll the region.
+            pe.deliver_until(|| pe.gptr_deref(&g).map(|d| d[4] == 44).unwrap_or(false));
+            pe.barrier();
+        } else {
+            pe.deliver_until(|| reg.lock().is_some());
+            let g = reg.lock().unwrap();
+            if pe.my_pe() == 1 {
+                pe.put_bytes(&g, 4, &[44]);
+            } else {
+                // PE2 reads; eventually sees PE1's write or zeros — both
+                // fine, we only assert the read mechanism works.
+                let all = pe.get_all(&g);
+                assert_eq!(all.len(), 16);
+            }
+            pe.barrier();
+        }
+    });
+}
+
+#[test]
+fn gptr_local_fast_path() {
+    run(1, |pe| {
+        let g = pe.gptr_create(vec![1, 2, 3, 4, 5]);
+        assert_eq!(pe.get_bytes(&g, 1, 3), vec![2, 3, 4]);
+        pe.put_bytes(&g, 0, &[9, 9]);
+        assert_eq!(pe.gptr_deref(&g).unwrap(), vec![9, 9, 3, 4, 5]);
+        assert!(pe.gptr_update_local(&g, |r| r[4] = 50));
+        assert_eq!(pe.get_all(&g), vec![9, 9, 3, 4, 50]);
+        assert!(pe.gptr_destroy(&g));
+        assert!(!pe.gptr_destroy(&g));
+        assert!(pe.gptr_deref(&g).is_none());
+    });
+}
+
+#[test]
+fn gptr_async_get_poll() {
+    run(2, |pe| {
+        let reg = pe.local(|| parking_lot::Mutex::new(None::<converse_machine::gptr::GlobalPtr>));
+        let announce = pe.register_handler({
+            let reg = reg.clone();
+            move |_pe, msg| {
+                *reg.lock() = converse_machine::gptr::GlobalPtr::decode(msg.payload());
+            }
+        });
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            let g = pe.gptr_create((0u8..32).collect());
+            pe.sync_send_and_free(1, Message::new(announce, &g.encode()));
+            pe.barrier();
+        } else {
+            pe.deliver_until(|| reg.lock().is_some());
+            let g = reg.lock().unwrap();
+            let h = pe.get_async(&g, 8, 4);
+            let data = pe.get_wait(h);
+            assert_eq!(data, vec![8, 9, 10, 11]);
+            pe.barrier();
+        }
+    });
+}
+
+#[test]
+fn pgrp_multicast_reaches_members_only() {
+    run(6, |pe| {
+        let (id, count) = counting_handler(pe);
+        pe.barrier();
+        // Group: root 1, children 3 and 5; 5 has child 4. PE 0 and 2 out.
+        let mut g = converse_machine::pgrp::Pgrp::create(1);
+        g.add_children(1, &[3, 5]);
+        g.add_children(5, &[4]);
+        if pe.my_pe() == 0 {
+            // Caller outside the group: every member receives.
+            let h = pe.async_multicast(&g, &Message::new(id, b"m"));
+            pe.release_comm_handle(h);
+        }
+        pe.barrier();
+        let member = g.is_member(pe.my_pe());
+        if member {
+            pe.deliver_until(|| count.load(Ordering::Relaxed) == 1);
+        }
+        pe.barrier();
+        pe.deliver_msgs(None);
+        let expect = u64::from(member);
+        assert_eq!(count.load(Ordering::Relaxed), expect, "PE {}", pe.my_pe());
+    });
+}
+
+#[test]
+fn pgrp_multicast_excludes_caller_member() {
+    run(4, |pe| {
+        let (id, count) = counting_handler(pe);
+        pe.barrier();
+        let mut g = converse_machine::pgrp::Pgrp::create(0);
+        g.add_children(0, &[1, 2]);
+        if pe.my_pe() == 0 {
+            let h = pe.async_multicast(&g, &Message::new(id, b""));
+            pe.release_comm_handle(h);
+        }
+        pe.barrier();
+        if pe.my_pe() == 1 || pe.my_pe() == 2 {
+            pe.deliver_until(|| count.load(Ordering::Relaxed) == 1);
+        }
+        pe.barrier();
+        pe.deliver_msgs(None);
+        let expect = u64::from(pe.my_pe() == 1 || pe.my_pe() == 2);
+        assert_eq!(count.load(Ordering::Relaxed), expect);
+    });
+}
+
+#[test]
+fn cmi_printf_capture_and_atomicity() {
+    let cfg = MachineConfig::new(4).capture_output();
+    let report = run_with(cfg, |pe| {
+        for i in 0..25 {
+            pe.cmi_printf(format!("pe{} line{}", pe.my_pe(), i));
+        }
+    });
+    assert_eq!(report.output.len(), 100);
+    // Every line is intact (atomic): parseable and complete.
+    for line in &report.output {
+        assert!(line.starts_with("pe"), "mangled line: {line:?}");
+        assert!(line.contains(" line"), "mangled line: {line:?}");
+    }
+}
+
+#[test]
+fn cmi_scanf_serializes_input() {
+    let lines: Vec<String> = (0..8).map(|i| format!("input-{i}")).collect();
+    let cfg = MachineConfig::new(4).stdin(lines).capture_output();
+    let report = run_with(cfg, |pe| {
+        // Each PE consumes two lines; machine-wide each line is consumed
+        // exactly once.
+        for _ in 0..2 {
+            let l = pe.cmi_scanf_line().expect("line available");
+            pe.cmi_printf(format!("got {l}"));
+        }
+    });
+    let mut got: Vec<String> = report.output.iter().map(|s| s.replace("got ", "")).collect();
+    got.sort();
+    let mut expect: Vec<String> = (0..8).map(|i| format!("input-{i}")).collect();
+    expect.sort();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn scanf_returns_none_when_exhausted() {
+    let cfg = MachineConfig::new(1).stdin(vec!["only".into()]);
+    run_with(cfg, |pe| {
+        assert_eq!(pe.cmi_scanf_line().as_deref(), Some("only"));
+        // Input exhausted but machine still running: the call blocks
+        // until shutdown... which only happens when we return. Use the
+        // handler-based variant to observe emptiness instead.
+        let h = pe.register_handler(|_, _| {});
+        assert!(!pe.cmi_scanf_to_handler(h));
+    });
+}
+
+#[test]
+fn scanf_to_handler_delivers_line() {
+    let cfg = MachineConfig::new(1).stdin(vec!["hello scanf".into()]);
+    run_with(cfg, |pe| {
+        let got = pe.local(|| parking_lot::Mutex::new(String::new()));
+        let got2 = got.clone();
+        let h = pe.register_handler(move |_pe, msg| {
+            *got2.lock() = String::from_utf8_lossy(msg.payload()).into_owned();
+        });
+        assert!(pe.cmi_scanf_to_handler(h));
+        pe.deliver_until(|| !got.lock().is_empty());
+        assert_eq!(got.lock().as_str(), "hello scanf");
+    });
+}
+
+#[test]
+fn pe_local_storage_is_per_type_singleton() {
+    run(2, |pe| {
+        let a = pe.local(|| AtomicU64::new(5));
+        let b = pe.local(|| AtomicU64::new(99));
+        assert_eq!(b.load(Ordering::Relaxed), 5, "second access reuses the first instance");
+        a.store(7, Ordering::Relaxed);
+        assert_eq!(pe.local(|| AtomicU64::new(0)).load(Ordering::Relaxed), 7);
+        assert!(pe.try_local::<AtomicU64>().is_some());
+        assert!(pe.try_local::<parking_lot::Mutex<Vec<u8>>>().is_none());
+    });
+}
+
+#[test]
+fn panic_on_one_pe_propagates_and_does_not_hang() {
+    let result = std::panic::catch_unwind(|| {
+        run(3, |pe| {
+            if pe.my_pe() == 1 {
+                panic!("deliberate test panic");
+            }
+            // Other PEs block forever; the machine must abort them.
+            let h = pe.register_handler(|_, _| {});
+            let _ = pe.get_specific_msg(h);
+        });
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn block_watchdog_fires_on_deadlock() {
+    let result = std::panic::catch_unwind(|| {
+        let cfg = MachineConfig::new(1).block_timeout(Duration::from_millis(200));
+        run_with(cfg, |pe| {
+            let h = pe.register_handler(|_, _| {});
+            let _ = pe.get_specific_msg(h); // nobody will ever send this
+        });
+    });
+    let err = result.expect_err("watchdog should have fired");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("no progress"), "unexpected panic: {msg}");
+}
+
+#[test]
+fn traffic_accounting_in_report() {
+    let report = run(2, |pe| {
+        let id = pe.register_handler(|_, _| {});
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            pe.sync_send_and_free(1, Message::new(id, &[0u8; 100]));
+        } else {
+            let _ = pe.get_specific_msg(id);
+        }
+    });
+    // PE0 sent at least the payload message (plus collective traffic).
+    assert!(report.traffic[0].msgs_sent >= 1);
+    assert!(report.total_bytes() >= 100);
+    assert!(report.elapsed > Duration::ZERO);
+}
+
+#[test]
+fn handler_payload_roundtrip_with_packer() {
+    run(2, |pe| {
+        let seen = pe.local(|| parking_lot::Mutex::new(Vec::<(u32, String)>::new()));
+        let seen2 = seen.clone();
+        let h = pe.register_handler(move |_pe, msg| {
+            let mut u = Unpacker::new(msg.payload());
+            let n = u.u32().unwrap();
+            let s = u.str().unwrap();
+            seen2.lock().push((n, s));
+        });
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            let payload = Packer::new().u32(7).str("structured").finish();
+            pe.sync_send_and_free(1, Message::new(h, &payload));
+        } else {
+            pe.deliver_until(|| !seen.lock().is_empty());
+            assert_eq!(seen.lock()[0], (7, "structured".to_string()));
+        }
+    });
+}

@@ -1,0 +1,109 @@
+//! Property tests for EMI collectives: random machine sizes, value
+//! sets, operation sequences, and delivery orders must all agree with
+//! the sequential model.
+
+use converse_machine::{run_with, DeliveryMode, MachineConfig};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    // Machine spin-up is expensive; keep case counts moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// allreduce(sum) over random per-PE contributions equals the scalar
+    /// sum on every PE, for random PE counts and delivery reordering.
+    #[test]
+    fn allreduce_sum_matches_model(
+        n in 1usize..9,
+        vals in proptest::collection::vec(-1000i64..1000, 8),
+        seed in any::<u64>(),
+        reorder in any::<bool>(),
+    ) {
+        let vals = Arc::new(vals);
+        let v2 = vals.clone();
+        let expect: i64 = vals.iter().take(n).sum();
+        let mut cfg = MachineConfig::new(n);
+        if reorder {
+            cfg = cfg.delivery(DeliveryMode::Reorder { seed, window: 5 });
+        }
+        let ok = Arc::new(AtomicI64::new(0));
+        let ok2 = ok.clone();
+        run_with(cfg, move |pe| {
+            let sum = pe.register_combiner(|a, b| {
+                let x = i64::from_le_bytes(a.try_into().unwrap());
+                let y = i64::from_le_bytes(b.try_into().unwrap());
+                (x + y).to_le_bytes().to_vec()
+            });
+            let mine = v2[pe.my_pe()].to_le_bytes().to_vec();
+            let out = pe.allreduce_bytes(mine, sum);
+            let got = i64::from_le_bytes(out.try_into().unwrap());
+            if pe.my_pe() == 0 {
+                ok2.store(got, Ordering::SeqCst);
+            }
+            assert_eq!(got, {
+                // each PE checks independently
+                let e: i64 = v2.iter().take(pe.num_pes()).sum();
+                e
+            });
+        });
+        prop_assert_eq!(ok.load(Ordering::SeqCst), expect);
+    }
+
+    /// Mixed sequences of collectives (barrier / reduce / allreduce /
+    /// bcast) executed in lockstep stay consistent: each op's result
+    /// matches the model regardless of what preceded it.
+    #[test]
+    fn mixed_collective_sequences(
+        n in 2usize..6,
+        ops in proptest::collection::vec(0u8..4, 1..12),
+        seed in any::<u64>(),
+    ) {
+        let ops = Arc::new(ops);
+        let o2 = ops.clone();
+        let cfg = MachineConfig::new(n).delivery(DeliveryMode::Reorder { seed, window: 4 });
+        run_with(cfg, move |pe| {
+            let sum = pe.register_combiner(|a, b| {
+                let x = i64::from_le_bytes(a.try_into().unwrap());
+                let y = i64::from_le_bytes(b.try_into().unwrap());
+                (x + y).to_le_bytes().to_vec()
+            });
+            let n = pe.num_pes() as i64;
+            for (round, op) in o2.iter().enumerate() {
+                let r = round as i64;
+                match op {
+                    0 => pe.barrier(),
+                    1 => {
+                        let out = pe.reduce_bytes((r + pe.my_pe() as i64).to_le_bytes().to_vec(), sum);
+                        if pe.my_pe() == 0 {
+                            let expect = n * r + n * (n - 1) / 2;
+                            assert_eq!(
+                                i64::from_le_bytes(out.unwrap().try_into().unwrap()),
+                                expect,
+                                "reduce round {round}"
+                            );
+                        }
+                    }
+                    2 => {
+                        let out = pe.allreduce_bytes((r * 2).to_le_bytes().to_vec(), sum);
+                        assert_eq!(
+                            i64::from_le_bytes(out.try_into().unwrap()),
+                            n * r * 2,
+                            "allreduce round {round}"
+                        );
+                    }
+                    _ => {
+                        let root = round % pe.num_pes();
+                        let data = if pe.my_pe() == root {
+                            Some(r.to_le_bytes().to_vec())
+                        } else {
+                            None
+                        };
+                        let got = pe.bcast_bytes(root, data);
+                        assert_eq!(i64::from_le_bytes(got.try_into().unwrap()), r, "bcast round {round}");
+                    }
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,80 @@
+//! Property test: remote global-pointer reads/writes agree with a
+//! local model of the region, under arbitrary operation sequences.
+
+use converse_machine::gptr::GlobalPtr;
+use converse_machine::{run, Message};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Remote read of [off, off+len).
+    Get { off: usize, len: usize },
+    /// Remote write of `byte` repeated `len` times at `off`.
+    Put { off: usize, len: usize, byte: u8 },
+}
+
+fn arb_op(region: usize) -> impl Strategy<Value = Op> {
+    (0..region, 1..region.min(32), any::<u8>(), any::<bool>()).prop_map(
+        move |(off, len, byte, is_get)| {
+            let len = len.min(region - off).max(1);
+            if is_get {
+                Op::Get { off, len }
+            } else {
+                Op::Put { off, len, byte }
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// PE 1 performs a random op sequence against PE 0's region; a model
+    /// Vec mirrors every put, and every get must match the model.
+    #[test]
+    fn remote_ops_match_model(ops in proptest::collection::vec(arb_op(256), 1..40)) {
+        let ops = Arc::new(ops);
+        let o2 = ops.clone();
+        run(2, move |pe| {
+            let reg = pe.local(|| Mutex::new(None::<GlobalPtr>));
+            let announce = pe.register_handler({
+                let reg = reg.clone();
+                move |_pe, msg| {
+                    *reg.lock() = GlobalPtr::decode(msg.payload());
+                }
+            });
+            // Completion marker so PE 0 outlives PE 1's traffic.
+            let done = pe.register_handler(|_pe, _| {});
+            pe.barrier();
+            if pe.my_pe() == 0 {
+                let g = pe.gptr_create(vec![0u8; 256]);
+                pe.sync_send_and_free(1, Message::new(announce, &g.encode()));
+                let m = pe.get_specific_msg(done);
+                assert_eq!(m.payload(), b"done");
+            } else {
+                pe.deliver_until(|| reg.lock().is_some());
+                let g = reg.lock().unwrap();
+                let mut model = vec![0u8; 256];
+                for op in o2.iter() {
+                    match op {
+                        Op::Get { off, len } => {
+                            let got = pe.get_bytes(&g, *off, *len);
+                            assert_eq!(got, model[*off..*off + *len].to_vec());
+                        }
+                        Op::Put { off, len, byte } => {
+                            let data = vec![*byte; *len];
+                            pe.put_bytes(&g, *off, &data);
+                            model[*off..*off + *len].copy_from_slice(&data);
+                        }
+                    }
+                }
+                // Final full read must equal the model exactly.
+                assert_eq!(pe.get_all(&g), model);
+                pe.sync_send_and_free(0, Message::new(done, b"done"));
+            }
+            pe.barrier();
+        });
+    }
+}

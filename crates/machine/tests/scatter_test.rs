@@ -1,0 +1,196 @@
+//! EMI scatter "advance receive" tests (paper §3.1.3).
+
+use converse_machine::scatter::{ScatterPiece, ScatterSpec};
+use converse_machine::{run, Message};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[test]
+fn advance_receive_scatters_matching_message() {
+    run(2, |pe| {
+        let data_h = pe.register_handler(|_pe, _| panic!("scatter should consume the message"));
+        pe.barrier();
+        if pe.my_pe() == 1 {
+            // Arm BEFORE the message arrives — the "advance receive".
+            pe.scatter_register(ScatterSpec {
+                handler: data_h,
+                match_offset: 0,
+                match_value: 0xAB,
+                pieces: vec![
+                    ScatterPiece { src_offset: 4, len: 3, area: 1 },
+                    ScatterPiece { src_offset: 7, len: 5, area: 2 },
+                ],
+                notify: None,
+            });
+        }
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            let mut payload = 0xABu32.to_le_bytes().to_vec();
+            payload.extend_from_slice(b"xyzHELLO");
+            pe.sync_send_and_free(1, Message::new(data_h, &payload));
+        } else {
+            // Drive delivery; the scatter consumes the message.
+            pe.deliver_until(|| !pe.scatter_peek(2).is_empty());
+            assert_eq!(pe.scatter_take(1), b"xyz");
+            assert_eq!(pe.scatter_take(2), b"HELLO");
+            assert!(pe.scatter_take(1).is_empty(), "take clears the area");
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn non_matching_message_dispatches_normally() {
+    run(2, |pe| {
+        let hits = pe.local(|| AtomicU64::new(0));
+        let h2 = hits.clone();
+        let data_h = pe.register_handler(move |_pe, _| {
+            h2.fetch_add(1, Ordering::SeqCst);
+        });
+        pe.barrier();
+        if pe.my_pe() == 1 {
+            pe.scatter_register(ScatterSpec {
+                handler: data_h,
+                match_offset: 0,
+                match_value: 42,
+                pieces: vec![ScatterPiece { src_offset: 4, len: 4, area: 1 }],
+                notify: None,
+            });
+        }
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            // Match value is 7, not 42: falls through to the handler.
+            let mut payload = 7u32.to_le_bytes().to_vec();
+            payload.extend_from_slice(b"data");
+            pe.sync_send_and_free(1, Message::new(data_h, &payload));
+        } else {
+            pe.deliver_until(|| hits.load(Ordering::SeqCst) == 1);
+            assert!(pe.scatter_peek(1).is_empty());
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn notify_variant_enqueues_empty_message() {
+    // "the other queues a short empty message in addition … sometimes
+    // necessary to notify the recipient that the data has arrived."
+    run(2, |pe| {
+        let data_h = pe.register_handler(|_pe, _| unreachable!("consumed by scatter"));
+        let notified = pe.local(|| AtomicU64::new(0));
+        let n2 = notified.clone();
+        let notify_h = pe.register_handler(move |_pe, msg| {
+            assert!(msg.payload().is_empty(), "notify is a short empty message");
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        pe.barrier();
+        if pe.my_pe() == 1 {
+            pe.scatter_register(ScatterSpec {
+                handler: data_h,
+                match_offset: 0,
+                match_value: 5,
+                pieces: vec![ScatterPiece { src_offset: 4, len: 2, area: 9 }],
+                notify: Some(notify_h),
+            });
+        }
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            let mut payload = 5u32.to_le_bytes().to_vec();
+            payload.extend_from_slice(b"ok");
+            pe.sync_send_and_free(1, Message::new(data_h, &payload));
+        } else {
+            // The notify goes through the scheduler queue: wait for the
+            // scatter to consume the data message, then drain the queue.
+            pe.deliver_until(|| pe.queue_len() > 0);
+            while let Some(m) = pe.queue_dequeue() {
+                pe.call_handler(m);
+            }
+            assert_eq!(notified.load(Ordering::SeqCst), 1);
+            assert_eq!(pe.scatter_take(9), b"ok");
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn gather_send_scatter_receive_roundtrip() {
+    // CmiVectorSend on one side, advance receive on the other: gathered
+    // pieces land in scatter areas.
+    run(2, |pe| {
+        let data_h = pe.register_handler(|_pe, _| unreachable!("consumed by scatter"));
+        pe.barrier();
+        if pe.my_pe() == 1 {
+            pe.scatter_register(ScatterSpec {
+                handler: data_h,
+                match_offset: 0,
+                match_value: u32::from_le_bytes(*b"GATH"),
+                pieces: vec![
+                    ScatterPiece { src_offset: 4, len: 6, area: 1 },
+                    ScatterPiece { src_offset: 10, len: 6, area: 2 },
+                ],
+                notify: None,
+            });
+        }
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            let h = pe.vector_send(1, data_h, &[b"GATH", b"first!", b"second"]);
+            pe.release_comm_handle(h);
+        } else {
+            pe.deliver_until(|| !pe.scatter_peek(2).is_empty());
+            assert_eq!(pe.scatter_take(1), b"first!");
+            assert_eq!(pe.scatter_take(2), b"second");
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn cancelled_scatter_stops_matching() {
+    run(1, |pe| {
+        let hits = pe.local(|| AtomicU64::new(0));
+        let h2 = hits.clone();
+        let data_h = pe.register_handler(move |_pe, _| {
+            h2.fetch_add(1, Ordering::SeqCst);
+        });
+        let handle = pe.scatter_register(ScatterSpec {
+            handler: data_h,
+            match_offset: 0,
+            match_value: 1,
+            pieces: vec![ScatterPiece { src_offset: 4, len: 1, area: 3 }],
+            notify: None,
+        });
+        let mut payload = 1u32.to_le_bytes().to_vec();
+        payload.push(b'a');
+        pe.sync_send(0, &Message::new(data_h, &payload));
+        pe.deliver_msgs(None);
+        assert_eq!(pe.scatter_take(3), b"a");
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+
+        assert!(pe.scatter_cancel(handle));
+        assert!(!pe.scatter_cancel(handle));
+        pe.sync_send(0, &Message::new(data_h, &payload));
+        pe.deliver_msgs(None);
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "handler runs after cancel");
+        assert!(pe.scatter_take(3).is_empty());
+    });
+}
+
+#[test]
+fn scatter_accumulates_across_messages() {
+    run(1, |pe| {
+        let data_h = pe.register_handler(|_pe, _| unreachable!());
+        pe.scatter_register(ScatterSpec {
+            handler: data_h,
+            match_offset: 0,
+            match_value: 2,
+            pieces: vec![ScatterPiece { src_offset: 4, len: 1, area: 4 }],
+            notify: None,
+        });
+        for c in b"abc" {
+            let mut payload = 2u32.to_le_bytes().to_vec();
+            payload.push(*c);
+            pe.sync_send(0, &Message::new(data_h, &payload));
+        }
+        pe.deliver_msgs(None);
+        assert_eq!(pe.scatter_take(4), b"abc", "pieces append in arrival order");
+    });
+}

@@ -1,0 +1,397 @@
+//! Generalized messages for the Converse runtime.
+//!
+//! The paper (§3.1.1) generalizes a *message* to "an arbitrary block of
+//! memory, with the first word specifying a function that will handle the
+//! message". The function is named by an **index into a table of
+//! functions** rather than a raw pointer, so the same bytes mean the same
+//! thing on every processor. A generalized message can represent:
+//!
+//! 1. a message sent from a remote processor,
+//! 2. a scheduler entry for a ready thread,
+//! 3. a delayed function with its argument.
+//!
+//! This crate defines the on-the-wire layout ([`Message`]), the handler
+//! index type ([`HandlerId`]), scheduling priorities ([`Priority`],
+//! [`BitVecPrio`]) and small packing helpers ([`pack::Packer`],
+//! [`pack::Unpacker`]) used by the language runtimes to build payloads
+//! without a serialization framework in the hot path.
+//!
+//! # Layout
+//!
+//! ```text
+//! offset 0..4   handler index   (u32, little endian)   — CmiSetHandler
+//! offset 4      priority kind   (0 = none, 1 = int, 2 = bitvector)
+//! offset 5      priority words  (count of u32 words that follow header)
+//! offset 6..8   flags           (u16, reserved for runtimes)
+//! offset 8..    priority data   (priority-words * 4 bytes)
+//! then          payload
+//! ```
+//!
+//! `CmiMsgHeaderSizeBytes` in the paper's appendix corresponds to
+//! [`HEADER_BYTES`] (the fixed part; the priority area is variable, as in
+//! real Converse where bit-vector priorities have arbitrary length).
+
+pub mod pack;
+pub mod prio;
+
+pub use prio::{BitVecPrio, Priority};
+
+use std::fmt;
+
+/// Size of the fixed message header in bytes (`CmiMsgHeaderSizeBytes`).
+pub const HEADER_BYTES: usize = 8;
+
+const KIND_NONE: u8 = 0;
+const KIND_INT: u8 = 1;
+const KIND_BITVEC: u8 = 2;
+
+/// Index into a per-processor handler table (`CmiRegisterHandler` result).
+///
+/// Handler ids are small dense integers; registration must occur in the
+/// same order on every processor so that an id names the same function
+/// everywhere — exactly the discipline real Converse imposes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HandlerId(pub u32);
+
+impl HandlerId {
+    /// Handler id stored in a freshly allocated message before
+    /// `set_handler` is called. Dispatching it is an error.
+    pub const INVALID: HandlerId = HandlerId(u32::MAX);
+
+    /// Raw table index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for HandlerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HandlerId({})", self.0)
+    }
+}
+
+impl fmt::Display for HandlerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Errors from decoding raw bytes into a [`Message`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer shorter than the fixed header.
+    TooShort { len: usize },
+    /// Priority kind byte not one of the known kinds.
+    BadPriorityKind(u8),
+    /// Header claims more priority words than the buffer holds.
+    TruncatedPriority { words: usize, len: usize },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::TooShort { len } => {
+                write!(f, "message of {len} bytes is shorter than the {HEADER_BYTES}-byte header")
+            }
+            DecodeError::BadPriorityKind(k) => write!(f, "unknown priority kind {k}"),
+            DecodeError::TruncatedPriority { words, len } => {
+                write!(f, "header claims {words} priority words but message is {len} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A generalized Converse message: one contiguous, owned block of bytes.
+///
+/// The first word names the handler; an optional priority area follows;
+/// the rest is an opaque payload interpreted by the handler. Messages are
+/// `Send` and contain no pointers, so they can cross processor (thread)
+/// boundaries and — as in the paper — also represent local scheduler
+/// entries such as "resume this thread".
+///
+/// ```
+/// use converse_msg::{Message, HandlerId, Priority};
+///
+/// let mut m = Message::with_priority(HandlerId(4), &Priority::Int(-2), b"payload");
+/// assert_eq!(m.handler(), HandlerId(4));
+/// assert_eq!(m.priority(), Priority::Int(-2));
+/// assert_eq!(m.payload(), b"payload");
+///
+/// // Retarget at a second handler (the paper's §3.3 idiom) and ship it.
+/// m.set_handler(HandlerId(9));
+/// let wire = m.clone().into_bytes();
+/// assert_eq!(Message::from_bytes(wire).unwrap(), m);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Message {
+    bytes: Vec<u8>,
+}
+
+impl Message {
+    /// Build a message for `handler` carrying `payload`, no priority.
+    pub fn new(handler: HandlerId, payload: &[u8]) -> Self {
+        Self::with_priority(handler, &Priority::None, payload)
+    }
+
+    /// Build a message with an explicit scheduling priority.
+    pub fn with_priority(handler: HandlerId, prio: &Priority, payload: &[u8]) -> Self {
+        let (kind, words): (u8, &[u32]) = match prio {
+            Priority::None => (KIND_NONE, &[]),
+            Priority::Int(v) => (KIND_INT, std::slice::from_ref(bytemuck_i32(v))),
+            Priority::BitVec(bv) => (KIND_BITVEC, bv.words()),
+        };
+        assert!(words.len() <= u8::MAX as usize, "priority too long: {} words", words.len());
+        let mut bytes = Vec::with_capacity(HEADER_BYTES + words.len() * 4 + payload.len());
+        bytes.extend_from_slice(&handler.0.to_le_bytes());
+        bytes.push(kind);
+        bytes.push(words.len() as u8);
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        // Bit-vector priorities additionally record their exact bit length
+        // in the first priority word; see `prio::BitVecPrio::words`.
+        bytes.extend_from_slice(payload);
+        Message { bytes }
+    }
+
+    /// Allocate a message with an uninitialized (`INVALID`) handler and a
+    /// zero-filled payload of `payload_len` bytes. Mirrors the C pattern
+    /// of `CmiAlloc` followed by `CmiSetHandler`.
+    pub fn alloc(payload_len: usize) -> Self {
+        let mut m = Message::new(HandlerId::INVALID, &[]);
+        m.bytes.resize(HEADER_BYTES + payload_len, 0);
+        m
+    }
+
+    /// Decode raw bytes received from the interconnect, validating the
+    /// header. The inverse of [`Message::into_bytes`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, DecodeError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(DecodeError::TooShort { len: bytes.len() });
+        }
+        let kind = bytes[4];
+        if kind > KIND_BITVEC {
+            return Err(DecodeError::BadPriorityKind(kind));
+        }
+        let words = bytes[5] as usize;
+        if bytes.len() < HEADER_BYTES + words * 4 {
+            return Err(DecodeError::TruncatedPriority { words, len: bytes.len() });
+        }
+        Ok(Message { bytes })
+    }
+
+    /// The wire representation. Exactly the bytes a remote processor will
+    /// decode with [`Message::from_bytes`].
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrow the full wire representation.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Handler index stored in the first word (`CmiGetHandler`).
+    #[inline]
+    pub fn handler(&self) -> HandlerId {
+        HandlerId(u32::from_le_bytes([self.bytes[0], self.bytes[1], self.bytes[2], self.bytes[3]]))
+    }
+
+    /// Overwrite the handler index (`CmiSetHandler`). Language runtimes
+    /// use this to retarget a queued message at a second handler so it is
+    /// not re-enqueued (paper §3.3).
+    #[inline]
+    pub fn set_handler(&mut self, h: HandlerId) {
+        self.bytes[0..4].copy_from_slice(&h.0.to_le_bytes());
+    }
+
+    /// Runtime-private flag word.
+    #[inline]
+    pub fn flags(&self) -> u16 {
+        u16::from_le_bytes([self.bytes[6], self.bytes[7]])
+    }
+
+    /// Set the runtime-private flag word.
+    #[inline]
+    pub fn set_flags(&mut self, f: u16) {
+        self.bytes[6..8].copy_from_slice(&f.to_le_bytes());
+    }
+
+    #[inline]
+    fn prio_words(&self) -> usize {
+        self.bytes[5] as usize
+    }
+
+    #[inline]
+    fn payload_offset(&self) -> usize {
+        HEADER_BYTES + self.prio_words() * 4
+    }
+
+    /// Decode the scheduling priority.
+    pub fn priority(&self) -> Priority {
+        match self.bytes[4] {
+            KIND_NONE => Priority::None,
+            KIND_INT => {
+                let w = self.prio_word(0);
+                Priority::Int(w as i32)
+            }
+            KIND_BITVEC => {
+                let words = self.prio_words();
+                debug_assert!(words >= 1);
+                let nbits = self.prio_word(0);
+                let data: Vec<u32> = (1..words).map(|i| self.prio_word(i)).collect();
+                Priority::BitVec(BitVecPrio::from_raw(nbits, data))
+            }
+            k => unreachable!("validated at construction: kind {k}"),
+        }
+    }
+
+    #[inline]
+    fn prio_word(&self, i: usize) -> u32 {
+        let o = HEADER_BYTES + i * 4;
+        u32::from_le_bytes([self.bytes[o], self.bytes[o + 1], self.bytes[o + 2], self.bytes[o + 3]])
+    }
+
+    /// The opaque payload following header and priority area.
+    #[inline]
+    pub fn payload(&self) -> &[u8] {
+        &self.bytes[self.payload_offset()..]
+    }
+
+    /// Mutable access to the payload, e.g. to fill a message allocated
+    /// with [`Message::alloc`].
+    #[inline]
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let o = self.payload_offset();
+        &mut self.bytes[o..]
+    }
+
+    /// Total size in bytes, header included — what `CmiSyncSend` sends.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when there is no payload (headers are always present).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.payload().is_empty()
+    }
+}
+
+impl fmt::Debug for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Message")
+            .field("handler", &self.handler())
+            .field("priority", &self.priority())
+            .field("payload_len", &self.payload().len())
+            .finish()
+    }
+}
+
+#[inline]
+fn bytemuck_i32(v: &i32) -> &u32 {
+    // Safety-free reinterpretation: i32 and u32 have identical layout.
+    // Encoded/decoded with `as` casts which are two's-complement exact.
+    unsafe { &*(v as *const i32 as *const u32) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_no_priority() {
+        let m = Message::new(HandlerId(7), b"hello");
+        assert_eq!(m.handler(), HandlerId(7));
+        assert_eq!(m.priority(), Priority::None);
+        assert_eq!(m.payload(), b"hello");
+        assert_eq!(m.len(), HEADER_BYTES + 5);
+    }
+
+    #[test]
+    fn roundtrip_int_priority() {
+        for v in [i32::MIN, -1, 0, 1, 42, i32::MAX] {
+            let m = Message::with_priority(HandlerId(1), &Priority::Int(v), b"x");
+            assert_eq!(m.priority(), Priority::Int(v));
+            assert_eq!(m.payload(), b"x");
+        }
+    }
+
+    #[test]
+    fn roundtrip_bitvec_priority() {
+        let bv = BitVecPrio::from_bits(&[true, false, true, true, false]);
+        let m = Message::with_priority(HandlerId(2), &Priority::BitVec(bv.clone()), b"payload");
+        assert_eq!(m.priority(), Priority::BitVec(bv));
+        assert_eq!(m.payload(), b"payload");
+    }
+
+    #[test]
+    fn set_handler_preserves_rest() {
+        let mut m = Message::with_priority(HandlerId(1), &Priority::Int(-3), b"abc");
+        m.set_handler(HandlerId(99));
+        assert_eq!(m.handler(), HandlerId(99));
+        assert_eq!(m.priority(), Priority::Int(-3));
+        assert_eq!(m.payload(), b"abc");
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let m = Message::with_priority(HandlerId(3), &Priority::Int(5), b"wire");
+        let bytes = m.clone().into_bytes();
+        let back = Message::from_bytes(bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn decode_rejects_short() {
+        assert!(matches!(Message::from_bytes(vec![0; 3]), Err(DecodeError::TooShort { len: 3 })));
+    }
+
+    #[test]
+    fn decode_rejects_bad_kind() {
+        let mut bytes = Message::new(HandlerId(0), b"").into_bytes();
+        bytes[4] = 17;
+        assert_eq!(Message::from_bytes(bytes), Err(DecodeError::BadPriorityKind(17)));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_priority() {
+        let mut bytes = Message::new(HandlerId(0), b"").into_bytes();
+        bytes[5] = 4; // claims 4 words, none present
+        assert!(matches!(
+            Message::from_bytes(bytes),
+            Err(DecodeError::TruncatedPriority { words: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn alloc_then_fill() {
+        let mut m = Message::alloc(4);
+        assert_eq!(m.handler(), HandlerId::INVALID);
+        m.set_handler(HandlerId(5));
+        m.payload_mut().copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(m.payload(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        let mut m = Message::new(HandlerId(0), b"p");
+        assert_eq!(m.flags(), 0);
+        m.set_flags(0xBEEF);
+        assert_eq!(m.flags(), 0xBEEF);
+        assert_eq!(m.payload(), b"p");
+    }
+
+    #[test]
+    fn empty_payload() {
+        let m = Message::new(HandlerId(1), b"");
+        assert!(m.is_empty());
+        assert_eq!(m.len(), HEADER_BYTES);
+    }
+}

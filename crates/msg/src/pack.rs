@@ -1,0 +1,275 @@
+//! Tiny payload packing helpers.
+//!
+//! Language runtimes built on Converse (Charm, SM, DP, …) assemble small
+//! binary payloads — ids, tags, scalars, byte slices — without wanting a
+//! general serialization framework on the message fast path. [`Packer`]
+//! writes fields little-endian; [`Unpacker`] reads them back in order.
+//! All reads are checked: malformed payloads yield [`PackError`] rather
+//! than panics, so a handler can reject a corrupt message gracefully.
+
+use bytes::{Buf, BufMut};
+use std::fmt;
+
+/// Error produced when an [`Unpacker`] runs out of bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackError {
+    /// Bytes requested by the failing read.
+    pub needed: usize,
+    /// Bytes that remained.
+    pub remaining: usize,
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "payload underrun: needed {} bytes, {} remaining", self.needed, self.remaining)
+    }
+}
+
+impl std::error::Error for PackError {}
+
+/// Sequential little-endian payload writer.
+#[derive(Default, Debug, Clone)]
+pub struct Packer {
+    buf: Vec<u8>,
+}
+
+impl Packer {
+    /// New empty packer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New packer with capacity for `n` bytes.
+    pub fn with_capacity(n: usize) -> Self {
+        Packer { buf: Vec::with_capacity(n) }
+    }
+
+    /// Finish and take the payload bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current payload length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a `u8`.
+    pub fn u8(mut self, v: u8) -> Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Append a `u32`.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Append an `i32`.
+    pub fn i32(mut self, v: i32) -> Self {
+        self.buf.put_i32_le(v);
+        self
+    }
+
+    /// Append a `u64`.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Append an `i64`.
+    pub fn i64(mut self, v: i64) -> Self {
+        self.buf.put_i64_le(v);
+        self
+    }
+
+    /// Append an `f64`.
+    pub fn f64(mut self, v: f64) -> Self {
+        self.buf.put_f64_le(v);
+        self
+    }
+
+    /// Append a `usize` as `u64` (portable across word sizes).
+    pub fn usize(self, v: usize) -> Self {
+        self.u64(v as u64)
+    }
+
+    /// Append a length-prefixed byte slice.
+    pub fn bytes(mut self, v: &[u8]) -> Self {
+        self.buf.put_u32_le(v.len() as u32);
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(self, v: &str) -> Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Append raw bytes with no length prefix (reader must know the size).
+    pub fn raw(mut self, v: &[u8]) -> Self {
+        self.buf.put_slice(v);
+        self
+    }
+}
+
+/// Sequential little-endian payload reader.
+pub struct Unpacker<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Unpacker<'a> {
+    /// Read from `payload` (typically `msg.payload()`).
+    pub fn new(payload: &'a [u8]) -> Self {
+        Unpacker { buf: payload }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn need(&self, n: usize) -> Result<(), PackError> {
+        if self.buf.len() < n {
+            Err(PackError { needed: n, remaining: self.buf.len() })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, PackError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, PackError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Read an `i32`.
+    pub fn i32(&mut self) -> Result<i32, PackError> {
+        self.need(4)?;
+        Ok(self.buf.get_i32_le())
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, PackError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Read an `i64`.
+    pub fn i64(&mut self) -> Result<i64, PackError> {
+        self.need(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    /// Read an `f64`.
+    pub fn f64(&mut self) -> Result<f64, PackError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Read a `usize` written with [`Packer::usize`].
+    pub fn usize(&mut self) -> Result<usize, PackError> {
+        Ok(self.u64()? as usize)
+    }
+
+    /// Read a length-prefixed byte slice (borrowed, zero-copy).
+    pub fn bytes(&mut self) -> Result<&'a [u8], PackError> {
+        let n = self.u32()? as usize;
+        self.need(n)?;
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Read a length-prefixed UTF-8 string (lossy on invalid UTF-8).
+    pub fn str(&mut self) -> Result<String, PackError> {
+        Ok(String::from_utf8_lossy(self.bytes()?).into_owned())
+    }
+
+    /// Read `n` raw bytes written with [`Packer::raw`].
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], PackError> {
+        self.need(n)?;
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Consume everything that remains.
+    pub fn rest(&mut self) -> &'a [u8] {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let p = Packer::new()
+            .u8(7)
+            .u32(0xDEAD_BEEF)
+            .i32(-42)
+            .u64(u64::MAX)
+            .i64(i64::MIN)
+            .f64(3.25)
+            .usize(123456)
+            .finish();
+        let mut u = Unpacker::new(&p);
+        assert_eq!(u.u8().unwrap(), 7);
+        assert_eq!(u.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(u.i32().unwrap(), -42);
+        assert_eq!(u.u64().unwrap(), u64::MAX);
+        assert_eq!(u.i64().unwrap(), i64::MIN);
+        assert_eq!(u.f64().unwrap(), 3.25);
+        assert_eq!(u.usize().unwrap(), 123456);
+        assert_eq!(u.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_and_str_roundtrip() {
+        let p = Packer::new().bytes(b"ab").str("héllo").raw(&[9, 9]).finish();
+        let mut u = Unpacker::new(&p);
+        assert_eq!(u.bytes().unwrap(), b"ab");
+        assert_eq!(u.str().unwrap(), "héllo");
+        assert_eq!(u.raw(2).unwrap(), &[9, 9]);
+    }
+
+    #[test]
+    fn underrun_is_error_not_panic() {
+        let p = Packer::new().u32(1).finish();
+        let mut u = Unpacker::new(&p);
+        assert_eq!(u.u64(), Err(PackError { needed: 8, remaining: 4 }));
+        // A failed read consumes nothing.
+        assert_eq!(u.u32().unwrap(), 1);
+    }
+
+    #[test]
+    fn rest_takes_remainder() {
+        let p = Packer::new().u8(1).raw(b"tail").finish();
+        let mut u = Unpacker::new(&p);
+        u.u8().unwrap();
+        assert_eq!(u.rest(), b"tail");
+        assert_eq!(u.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_length_prefix() {
+        let mut bad = Packer::new().bytes(b"abcdef").finish();
+        bad.truncate(6); // prefix says 6 bytes but only 2 follow
+        let mut u = Unpacker::new(&bad);
+        assert!(u.bytes().is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the generalized-message codec and bit-vector
+//! priority ordering invariants.
+
+use converse_msg::{BitVecPrio, HandlerId, Message, Priority};
+use proptest::prelude::*;
+
+fn arb_priority() -> impl Strategy<Value = Priority> {
+    prop_oneof![
+        Just(Priority::None),
+        any::<i32>().prop_map(Priority::Int),
+        proptest::collection::vec(any::<bool>(), 0..100)
+            .prop_map(|bits| Priority::BitVec(BitVecPrio::from_bits(&bits))),
+    ]
+}
+
+proptest! {
+    /// Encoding then decoding over the "wire" is the identity, for any
+    /// handler, priority, and payload.
+    #[test]
+    fn wire_roundtrip(h in any::<u32>(), prio in arb_priority(), payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let m = Message::with_priority(HandlerId(h), &prio, &payload);
+        prop_assert_eq!(m.handler(), HandlerId(h));
+        prop_assert_eq!(m.priority(), prio.clone());
+        prop_assert_eq!(m.payload(), &payload[..]);
+        let back = Message::from_bytes(m.clone().into_bytes()).unwrap();
+        prop_assert_eq!(back.handler(), HandlerId(h));
+        prop_assert_eq!(back.priority(), prio);
+        prop_assert_eq!(back.payload(), &payload[..]);
+    }
+
+    /// Decoding arbitrary bytes never panics — it either produces a
+    /// message or a structured error.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Message::from_bytes(bytes);
+    }
+
+    /// Bit-vector ordering equals lexicographic ordering of the bit
+    /// strings with the prefix-is-more-urgent rule — i.e. exactly the
+    /// ordering of the `Vec<bool>` under Rust's built-in lexicographic
+    /// `Ord` (where a prefix also sorts first and false < true).
+    #[test]
+    fn bitvec_matches_model(a in proptest::collection::vec(any::<bool>(), 0..100),
+                            b in proptest::collection::vec(any::<bool>(), 0..100)) {
+        let pa = BitVecPrio::from_bits(&a);
+        let pb = BitVecPrio::from_bits(&b);
+        prop_assert_eq!(pa.cmp(&pb), a.cmp(&b));
+    }
+
+    /// Ordering is total and antisymmetric on distinct vectors.
+    #[test]
+    fn bitvec_total_order(a in proptest::collection::vec(any::<bool>(), 0..80),
+                          b in proptest::collection::vec(any::<bool>(), 0..80)) {
+        let pa = BitVecPrio::from_bits(&a);
+        let pb = BitVecPrio::from_bits(&b);
+        if a == b {
+            prop_assert_eq!(pa.cmp(&pb), std::cmp::Ordering::Equal);
+        } else {
+            prop_assert_ne!(pa.cmp(&pb), std::cmp::Ordering::Equal);
+            prop_assert_eq!(pa.cmp(&pb), pb.cmp(&pa).reverse());
+        }
+    }
+
+    /// Parent is always strictly more urgent than any descendant, and the
+    /// 0-child precedes the 1-child.
+    #[test]
+    fn bitvec_child_invariants(bits in proptest::collection::vec(any::<bool>(), 0..70)) {
+        let p = BitVecPrio::from_bits(&bits);
+        let c0 = p.child(false);
+        let c1 = p.child(true);
+        prop_assert!(p < c0);
+        prop_assert!(p < c1);
+        prop_assert!(c0 < c1);
+    }
+
+    /// `child_n(v, w)` keeps numeric order of siblings: v1 < v2 implies
+    /// child(v1) more urgent than child(v2).
+    #[test]
+    fn bitvec_child_n_order(bits in proptest::collection::vec(any::<bool>(), 0..40),
+                            v1 in 0u32..256, v2 in 0u32..256) {
+        let p = BitVecPrio::from_bits(&bits);
+        let c1 = p.child_n(v1, 8);
+        let c2 = p.child_n(v2, 8);
+        prop_assert_eq!(c1.cmp(&c2), v1.cmp(&v2));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property test: the indexed message manager is observationally
+//! equivalent to the linear-scan one under arbitrary operation
+//! sequences, and both match FIFO-channel semantics.
+
+use converse_msgmgr::{IndexedMsgManager, MsgManager, TagMailbox, WILDCARD};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<i32>, Vec<u8>),
+    Get(Vec<i32>),
+    Probe(Vec<i32>),
+}
+
+fn arb_tag() -> impl Strategy<Value = i32> {
+    // Small tag space to force collisions and wildcard hits.
+    prop_oneof![4 => 0i32..4, 1 => Just(WILDCARD)]
+}
+
+fn arb_store_tags() -> impl Strategy<Value = Vec<i32>> {
+    prop_oneof![
+        proptest::collection::vec(0i32..4, 1..=1),
+        proptest::collection::vec(0i32..4, 2..=2),
+    ]
+}
+
+fn arb_pattern() -> impl Strategy<Value = Vec<i32>> {
+    prop_oneof![
+        proptest::collection::vec(arb_tag(), 1..=1),
+        proptest::collection::vec(arb_tag(), 2..=2),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_store_tags(), proptest::collection::vec(any::<u8>(), 0..8))
+            .prop_map(|(t, d)| Op::Put(t, d)),
+        arb_pattern().prop_map(Op::Get),
+        arb_pattern().prop_map(Op::Probe),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn indexed_equals_scan(ops in proptest::collection::vec(arb_op(), 0..80)) {
+        let mut scan = MsgManager::new();
+        let mut indexed = IndexedMsgManager::new();
+        for op in ops {
+            match op {
+                Op::Put(tags, data) => {
+                    scan.put(&tags, data.clone());
+                    indexed.put(&tags, data);
+                }
+                Op::Get(p) => {
+                    prop_assert_eq!(scan.get(&p), indexed.get(&p), "pattern {:?}", p);
+                }
+                Op::Probe(p) => {
+                    prop_assert_eq!(scan.probe(&p), indexed.probe(&p), "pattern {:?}", p);
+                }
+            }
+            prop_assert_eq!(scan.len(), indexed.len());
+        }
+    }
+
+    /// Per-tag FIFO: getting a fixed tag always yields the payloads in
+    /// insertion order, regardless of interleaved other-tag traffic.
+    #[test]
+    fn per_tag_fifo(seq in proptest::collection::vec((0i32..3, any::<u8>()), 0..60)) {
+        let mut mm = IndexedMsgManager::new();
+        for (tag, v) in &seq {
+            mm.put(&[*tag], vec![*v]);
+        }
+        for tag in 0..3 {
+            let expect: Vec<u8> =
+                seq.iter().filter(|(t, _)| *t == tag).map(|(_, v)| *v).collect();
+            let mut got = Vec::new();
+            while let Some(s) = mm.get(&[tag]) {
+                got.push(s.data[0]);
+            }
+            prop_assert_eq!(got, expect, "tag {}", tag);
+        }
+        prop_assert!(mm.is_empty());
+    }
+}

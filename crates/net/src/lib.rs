@@ -1,0 +1,434 @@
+//! The simulated parallel machine under Converse.
+//!
+//! The paper evaluates Converse on five physical machines (networks of
+//! ATM-connected HPs, Cray T3D, Myrinet-connected Suns with the FM
+//! package, IBM SP-1, Intel Paragon running SUNMOS). None of those exist
+//! here, so this crate provides the substitute substrate:
+//!
+//! * [`Interconnect`] — an in-process machine with one mailbox per
+//!   logical processor (PE). Sends are byte-block deliveries into the
+//!   destination mailbox; receivers poll or block. Per-(source,
+//!   destination) FIFO order holds by default, but the MMI deliberately
+//!   does **not** promise ordering (paper §3.1.3 criticizes MPI for
+//!   paying for it), so an optional seeded [`DeliveryMode::Reorder`] mode
+//!   scrambles arrival order to let tests verify nothing above depends
+//!   on it.
+//! * [`NetModel`] — an analytic wire-time model: `α` per-message latency,
+//!   `β` per-byte cost, per-packet cost, and an optional packetization
+//!   copy threshold (the T3D's 16 KB copy jump, §5.1). Benchmarks combine
+//!   the *measured* software path time on the real Rust code with this
+//!   model's wire time, reproducing the figures' shape.
+
+pub mod model;
+
+pub use model::NetModel;
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A block of bytes in flight, tagged with its source PE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Sending PE.
+    pub src: usize,
+    /// The generalized-message bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Delivery-order policy of the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// Per-(src,dst) FIFO, like most real interconnects.
+    #[default]
+    Fifo,
+    /// Adversarial: each arriving packet is inserted at a seeded-random
+    /// position among the last `window` queued packets. Every packet
+    /// remains immediately receivable (no liveness loss), but FIFO order
+    /// is broken. Used by tests of order-independence.
+    Reorder {
+        /// RNG seed (deterministic scrambling for reproducible tests).
+        seed: u64,
+        /// How far back an arrival may be inserted.
+        window: usize,
+    },
+}
+
+struct Mailbox {
+    q: Mutex<VecDeque<Packet>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox { q: Mutex::new(VecDeque::new()), cv: Condvar::new() }
+    }
+}
+
+/// Per-PE traffic counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PeTraffic {
+    /// Messages sent by this PE.
+    pub msgs_sent: u64,
+    /// Payload bytes sent by this PE.
+    pub bytes_sent: u64,
+    /// Messages received (popped) by this PE.
+    pub msgs_recv: u64,
+}
+
+#[derive(Default)]
+struct TrafficCell {
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_recv: AtomicU64,
+}
+
+/// Simple multiplicative-congruential RNG so reorder mode stays
+/// deterministic per seed without external dependency state.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        // Numerical Recipes LCG constants.
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// The simulated machine: `n` processors connected all-to-all.
+///
+/// Cloneable via `Arc`; every PE thread holds the same instance.
+pub struct Interconnect {
+    boxes: Vec<Mailbox>,
+    traffic: Vec<TrafficCell>,
+    mode: DeliveryMode,
+    reorder_rng: Mutex<Lcg>,
+    epoch: Instant,
+    /// Set once at shutdown so blocked receivers wake and observe it.
+    closed: std::sync::atomic::AtomicBool,
+}
+
+impl Interconnect {
+    /// Build a machine with `n` PEs and FIFO delivery.
+    pub fn new(n: usize) -> Arc<Self> {
+        Self::with_mode(n, DeliveryMode::Fifo)
+    }
+
+    /// Build a machine with an explicit delivery mode.
+    pub fn with_mode(n: usize, mode: DeliveryMode) -> Arc<Self> {
+        assert!(n > 0, "a machine needs at least one PE");
+        let seed = match mode {
+            DeliveryMode::Reorder { seed, .. } => seed,
+            DeliveryMode::Fifo => 0,
+        };
+        Arc::new(Interconnect {
+            boxes: (0..n).map(|_| Mailbox::new()).collect(),
+            traffic: (0..n).map(|_| TrafficCell::default()).collect(),
+            mode,
+            reorder_rng: Mutex::new(Lcg(seed ^ 0x9E3779B97F4A7C15)),
+            epoch: Instant::now(),
+            closed: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// Number of processors (`CmiNumPe`).
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Time since the machine booted — the base for `CmiTimer`.
+    #[inline]
+    pub fn uptime(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Deliver `bytes` from `src` into `dst`'s mailbox. Never blocks;
+    /// the simulated wire has unbounded buffering, like the reliable-
+    /// delivery abstraction the MMI exposes.
+    pub fn send(&self, src: usize, dst: usize, bytes: Vec<u8>) {
+        let t = &self.traffic[src];
+        t.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        t.bytes_sent.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let mbox = &self.boxes[dst];
+        let mut q = mbox.q.lock();
+        match self.mode {
+            DeliveryMode::Fifo => q.push_back(Packet { src, bytes }),
+            DeliveryMode::Reorder { window, .. } => {
+                let w = window.min(q.len());
+                let pos = q.len() - (self.reorder_rng.lock().next() as usize % (w + 1));
+                q.insert(pos, Packet { src, bytes });
+            }
+        }
+        mbox.cv.notify_one();
+    }
+
+    /// Broadcast to every PE except `src` (`CmiSyncBroadcast` semantics:
+    /// the paper notes the broadcast is *not* a barrier — only the sender
+    /// calls it).
+    pub fn broadcast_excl(&self, src: usize, bytes: &[u8]) {
+        for dst in 0..self.num_pes() {
+            if dst != src {
+                self.send(src, dst, bytes.to_vec());
+            }
+        }
+    }
+
+    /// Broadcast to every PE including `src`.
+    pub fn broadcast_all(&self, src: usize, bytes: &[u8]) {
+        for dst in 0..self.num_pes() {
+            self.send(src, dst, bytes.to_vec());
+        }
+    }
+
+    /// Non-blocking receive: the next packet for `pe`, if any.
+    pub fn try_recv(&self, pe: usize) -> Option<Packet> {
+        let out = self.boxes[pe].q.lock().pop_front();
+        if out.is_some() {
+            self.traffic[pe].msgs_recv.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Blocking receive with timeout. Returns `None` on timeout or once
+    /// the machine has been closed and the mailbox drained.
+    pub fn recv_timeout(&self, pe: usize, timeout: Duration) -> Option<Packet> {
+        let mbox = &self.boxes[pe];
+        let deadline = Instant::now() + timeout;
+        let mut q = mbox.q.lock();
+        loop {
+            if let Some(p) = q.pop_front() {
+                self.traffic[pe].msgs_recv.fetch_add(1, Ordering::Relaxed);
+                return Some(p);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            if mbox.cv.wait_until(&mut q, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Park until `pe`'s mailbox is non-empty, the machine closes, or the
+    /// timeout expires. Used by the scheduler's idle loop so an idle PE
+    /// does not spin.
+    pub fn wait_nonempty(&self, pe: usize, timeout: Duration) {
+        let mbox = &self.boxes[pe];
+        let deadline = Instant::now() + timeout;
+        let mut q = mbox.q.lock();
+        while q.is_empty() && !self.closed.load(Ordering::Acquire) {
+            if mbox.cv.wait_until(&mut q, deadline).timed_out() {
+                return;
+            }
+        }
+    }
+
+    /// Queued (undelivered) packet count for `pe`.
+    pub fn pending(&self, pe: usize) -> usize {
+        self.boxes[pe].q.lock().len()
+    }
+
+    /// Mark the machine closed and wake all blocked receivers. Receives
+    /// drain remaining packets, then return `None`.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        for b in &self.boxes {
+            // Hold the lock so a receiver between its check and its wait
+            // cannot miss the notification.
+            let _q = b.q.lock();
+            b.cv.notify_all();
+        }
+    }
+
+    /// True once [`Interconnect::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Traffic counters for `pe`.
+    pub fn traffic(&self, pe: usize) -> PeTraffic {
+        let t = &self.traffic[pe];
+        PeTraffic {
+            msgs_sent: t.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: t.bytes_sent.load(Ordering::Relaxed),
+            msgs_recv: t.msgs_recv.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Aggregate traffic over all PEs.
+    pub fn total_traffic(&self) -> PeTraffic {
+        let mut out = PeTraffic::default();
+        for pe in 0..self.num_pes() {
+            let t = self.traffic(pe);
+            out.msgs_sent += t.msgs_sent;
+            out.bytes_sent += t.bytes_sent;
+            out.msgs_recv += t.msgs_recv;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_then_recv() {
+        let net = Interconnect::new(2);
+        net.send(0, 1, vec![1, 2, 3]);
+        let p = net.try_recv(1).unwrap();
+        assert_eq!(p.src, 0);
+        assert_eq!(p.bytes, vec![1, 2, 3]);
+        assert!(net.try_recv(1).is_none());
+    }
+
+    #[test]
+    fn self_send_works() {
+        let net = Interconnect::new(1);
+        net.send(0, 0, vec![9]);
+        assert_eq!(net.try_recv(0).unwrap().bytes, vec![9]);
+    }
+
+    #[test]
+    fn fifo_per_pair_order() {
+        let net = Interconnect::new(2);
+        for i in 0..10u8 {
+            net.send(0, 1, vec![i]);
+        }
+        for i in 0..10u8 {
+            assert_eq!(net.try_recv(1).unwrap().bytes, vec![i]);
+        }
+    }
+
+    #[test]
+    fn broadcast_excl_skips_sender() {
+        let net = Interconnect::new(4);
+        net.broadcast_excl(1, &[7]);
+        assert!(net.try_recv(1).is_none());
+        for pe in [0, 2, 3] {
+            assert_eq!(net.try_recv(pe).unwrap().bytes, vec![7]);
+        }
+    }
+
+    #[test]
+    fn broadcast_all_includes_sender() {
+        let net = Interconnect::new(3);
+        net.broadcast_all(0, &[8]);
+        for pe in 0..3 {
+            assert_eq!(net.try_recv(pe).unwrap().bytes, vec![8]);
+        }
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let net = Interconnect::new(2);
+        let net2 = net.clone();
+        let h = std::thread::spawn(move || net2.recv_timeout(1, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        net.send(0, 1, vec![42]);
+        let p = h.join().unwrap().unwrap();
+        assert_eq!(p.bytes, vec![42]);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let net = Interconnect::new(1);
+        let t0 = Instant::now();
+        assert!(net.recv_timeout(0, Duration::from_millis(30)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn close_wakes_blocked_receiver() {
+        let net = Interconnect::new(1);
+        let net2 = net.clone();
+        let h = std::thread::spawn(move || net2.recv_timeout(0, Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        net.close();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn closed_machine_still_drains_mailbox() {
+        let net = Interconnect::new(1);
+        net.send(0, 0, vec![5]);
+        net.close();
+        assert_eq!(net.recv_timeout(0, Duration::from_millis(10)).unwrap().bytes, vec![5]);
+        assert!(net.recv_timeout(0, Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn reorder_mode_delivers_everything() {
+        let net = Interconnect::with_mode(2, DeliveryMode::Reorder { seed: 7, window: 8 });
+        let n = 100u8;
+        for i in 0..n {
+            net.send(0, 1, vec![i]);
+        }
+        let mut got: Vec<u8> = (0..n).map(|_| net.try_recv(1).unwrap().bytes[0]).collect();
+        assert!(net.try_recv(1).is_none());
+        let in_order = got.windows(2).all(|w| w[0] < w[1]);
+        assert!(!in_order, "reorder mode should scramble order");
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reorder_is_deterministic_per_seed() {
+        let run = |seed| {
+            let net = Interconnect::with_mode(2, DeliveryMode::Reorder { seed, window: 4 });
+            for i in 0..20u8 {
+                net.send(0, 1, vec![i]);
+            }
+            (0..20).map(|_| net.try_recv(1).unwrap().bytes[0]).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn traffic_counters() {
+        let net = Interconnect::new(2);
+        net.send(0, 1, vec![0; 100]);
+        net.send(0, 1, vec![0; 50]);
+        net.try_recv(1);
+        let t0 = net.traffic(0);
+        assert_eq!(t0.msgs_sent, 2);
+        assert_eq!(t0.bytes_sent, 150);
+        assert_eq!(net.traffic(1).msgs_recv, 1);
+        let total = net.total_traffic();
+        assert_eq!(total.msgs_sent, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_rejected() {
+        let _ = Interconnect::new(0);
+    }
+
+    #[test]
+    fn pending_counts() {
+        let net = Interconnect::new(2);
+        assert_eq!(net.pending(1), 0);
+        net.send(0, 1, vec![1]);
+        net.send(0, 1, vec![2]);
+        assert_eq!(net.pending(1), 2);
+        net.try_recv(1);
+        assert_eq!(net.pending(1), 1);
+    }
+
+    #[test]
+    fn wait_nonempty_returns_when_message_arrives() {
+        let net = Interconnect::new(2);
+        let net2 = net.clone();
+        let h = std::thread::spawn(move || {
+            net2.wait_nonempty(1, Duration::from_secs(5));
+            net2.pending(1)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        net.send(0, 1, vec![1]);
+        assert_eq!(h.join().unwrap(), 1);
+    }
+}

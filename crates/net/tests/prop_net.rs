@@ -1,0 +1,143 @@
+//! Property tests for the simulated interconnect and the wire models.
+
+use converse_net::{DeliveryMode, Interconnect, NetModel};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Send { src: usize, dst: usize, len: usize },
+    Recv { pe: usize },
+    BroadcastExcl { src: usize },
+    BroadcastAll { src: usize },
+}
+
+fn arb_op(n: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..n, 0..n, 0usize..64).prop_map(|(src, dst, len)| Op::Send { src, dst, len }),
+        4 => (0..n).prop_map(|pe| Op::Recv { pe }),
+        1 => (0..n).prop_map(|src| Op::BroadcastExcl { src }),
+        1 => (0..n).prop_map(|src| Op::BroadcastAll { src }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Conservation: every byte sent is received exactly once, no matter
+    /// the interleaving; per-(src,dst) FIFO order holds in Fifo mode.
+    #[test]
+    fn conservation_and_pair_fifo(ops in proptest::collection::vec(arb_op(4), 0..200)) {
+        let n = 4;
+        let net = Interconnect::new(n);
+        // Model: per (src,dst) queue of payload stamps.
+        let mut model: HashMap<(usize, usize), Vec<Vec<u8>>> = HashMap::new();
+        let mut stamp = 0u64;
+        for op in ops {
+            match op {
+                Op::Send { src, dst, len } => {
+                    stamp += 1;
+                    let mut bytes = stamp.to_le_bytes().to_vec();
+                    bytes.extend(std::iter::repeat_n(0u8, len));
+                    net.send(src, dst, bytes.clone());
+                    model.entry((src, dst)).or_default().push(bytes);
+                }
+                Op::BroadcastExcl { src } => {
+                    stamp += 1;
+                    let bytes = stamp.to_le_bytes().to_vec();
+                    net.broadcast_excl(src, &bytes);
+                    for dst in 0..n {
+                        if dst != src {
+                            model.entry((src, dst)).or_default().push(bytes.clone());
+                        }
+                    }
+                }
+                Op::BroadcastAll { src } => {
+                    stamp += 1;
+                    let bytes = stamp.to_le_bytes().to_vec();
+                    net.broadcast_all(src, &bytes);
+                    for dst in 0..n {
+                        model.entry((src, dst)).or_default().push(bytes.clone());
+                    }
+                }
+                Op::Recv { pe } => {
+                    match net.try_recv(pe) {
+                        Some(p) => {
+                            // Must be the FIFO head of its (src, pe) lane.
+                            let lane = model.get_mut(&(p.src, pe)).expect("lane exists");
+                            prop_assert!(!lane.is_empty());
+                            let expect = lane.remove(0);
+                            prop_assert_eq!(p.bytes, expect);
+                        }
+                        None => {
+                            // Model must agree nothing is pending for pe.
+                            let pending: usize =
+                                model.iter().filter(|((_, d), _)| *d == pe).map(|(_, v)| v.len()).sum();
+                            prop_assert_eq!(pending, 0);
+                        }
+                    }
+                }
+            }
+        }
+        // Drain everything left and check totals per PE.
+        for pe in 0..n {
+            let mut remaining: usize =
+                model.iter().filter(|((_, d), _)| *d == pe).map(|(_, v)| v.len()).sum();
+            prop_assert_eq!(net.pending(pe), remaining);
+            while let Some(p) = net.try_recv(pe) {
+                let lane = model.get_mut(&(p.src, pe)).expect("lane");
+                let expect = lane.remove(0);
+                prop_assert_eq!(p.bytes, expect);
+                remaining -= 1;
+            }
+            prop_assert_eq!(remaining, 0);
+        }
+    }
+
+    /// Reorder mode delivers the same multiset, whatever the seed.
+    #[test]
+    fn reorder_preserves_multiset(seed in any::<u64>(), window in 1usize..16, count in 0usize..120) {
+        let net = Interconnect::with_mode(2, DeliveryMode::Reorder { seed, window });
+        for i in 0..count {
+            net.send(0, 1, (i as u64).to_le_bytes().to_vec());
+        }
+        let mut got: Vec<u64> = Vec::new();
+        while let Some(p) = net.try_recv(1) {
+            got.push(u64::from_le_bytes(p.bytes.try_into().unwrap()));
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got, (0..count as u64).collect::<Vec<_>>());
+    }
+
+    /// Traffic counters agree with actual activity.
+    #[test]
+    fn traffic_counters_accurate(sends in proptest::collection::vec((0usize..3, 0usize..3, 0usize..32), 0..60)) {
+        let net = Interconnect::new(3);
+        let mut sent_msgs = [0u64; 3];
+        let mut sent_bytes = [0u64; 3];
+        for (src, dst, len) in &sends {
+            net.send(*src, *dst, vec![0u8; *len]);
+            sent_msgs[*src] += 1;
+            sent_bytes[*src] += *len as u64;
+        }
+        for pe in 0..3 {
+            let t = net.traffic(pe);
+            prop_assert_eq!(t.msgs_sent, sent_msgs[pe]);
+            prop_assert_eq!(t.bytes_sent, sent_bytes[pe]);
+        }
+    }
+
+    /// Wire models are monotone in message size and have positive,
+    /// finite times for all sizes — for any size pair, not just the
+    /// sampled grid.
+    #[test]
+    fn models_monotone(a in 0usize..100_000, b in 0usize..100_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for m in NetModel::all_figures() {
+            let tl = m.one_way_us(lo);
+            let th = m.one_way_us(hi);
+            prop_assert!(tl.is_finite() && tl > 0.0);
+            prop_assert!(th >= tl, "{}: t({lo})={tl} > t({hi})={th}", m.name);
+        }
+    }
+}

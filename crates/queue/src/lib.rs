@@ -1,0 +1,427 @@
+//! Pluggable scheduler queueing strategies (paper §2.3, §3.1.2).
+//!
+//! "The scheduler's queue is implemented as a separate module so that the
+//! user can plug in different queuing strategies." This crate is that
+//! module. It provides:
+//!
+//! * [`SchedulingQueue`] — the interface the scheduler programs against;
+//! * [`FifoQueue`] / [`LifoQueue`] — trivial strategies with no priority
+//!   machinery at all, honouring the paper's *need-based cost* guideline
+//!   (§3, guideline 2): a language that never prioritizes pays for a
+//!   `VecDeque`, nothing more;
+//! * [`CsdQueue`] — the full prioritized queue with the same structure as
+//!   Converse's `Cqs`: an O(1) "zero" lane for unprioritized entries and
+//!   a priority lane ordering integer and bit-vector priorities in one
+//!   unified total order (integers are embedded as 32-bit offset-binary
+//!   vectors, exactly how Converse unifies the two domains).
+//!
+//! Queueing modes mirror `CQS_QUEUEING_{FIFO,LIFO,IFIFO,ILIFO,BFIFO,BLIFO}`:
+//! [`QueueingMode::Fifo`]/[`QueueingMode::Lifo`] ignore the message's
+//! priority; the `Prio*` modes order by it, breaking ties FIFO or LIFO.
+
+use converse_msg::{BitVecPrio, Message, Priority};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// How a message enters the scheduler queue (`CsdEnqueueGeneral`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QueueingMode {
+    /// Unprioritized, first-in first-out (`CQS_QUEUEING_FIFO`).
+    #[default]
+    Fifo,
+    /// Unprioritized, last-in first-out (`CQS_QUEUEING_LIFO`).
+    Lifo,
+    /// By the message's priority, FIFO among equal priorities
+    /// (`CQS_QUEUEING_IFIFO` / `BFIFO`).
+    PrioFifo,
+    /// By the message's priority, LIFO among equal priorities
+    /// (`CQS_QUEUEING_ILIFO` / `BLIFO`).
+    PrioLifo,
+}
+
+/// Interface between the scheduler and its queue module.
+pub trait SchedulingQueue: Send {
+    /// Insert a message under the given mode.
+    fn enqueue(&mut self, msg: Message, mode: QueueingMode);
+    /// Remove the next message to run, or `None` when empty.
+    fn dequeue(&mut self) -> Option<Message>;
+    /// Number of queued messages.
+    fn len(&self) -> usize;
+    /// True when no messages are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Plain FIFO queue: the cheapest strategy. `Prio*` modes degrade to
+/// their unprioritized counterparts (insertion order only).
+#[derive(Default, Debug)]
+pub struct FifoQueue {
+    q: VecDeque<Message>,
+}
+
+impl FifoQueue {
+    /// New empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SchedulingQueue for FifoQueue {
+    fn enqueue(&mut self, msg: Message, mode: QueueingMode) {
+        match mode {
+            QueueingMode::Lifo | QueueingMode::PrioLifo => self.q.push_front(msg),
+            QueueingMode::Fifo | QueueingMode::PrioFifo => self.q.push_back(msg),
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<Message> {
+        self.q.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+}
+
+/// Plain LIFO (stack) queue. Useful for depth-first traversal of task
+/// trees when memory footprint, not priority, is the concern.
+#[derive(Default, Debug)]
+pub struct LifoQueue {
+    q: Vec<Message>,
+}
+
+impl LifoQueue {
+    /// New empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SchedulingQueue for LifoQueue {
+    fn enqueue(&mut self, msg: Message, _mode: QueueingMode) {
+        self.q.push(msg);
+    }
+
+    fn dequeue(&mut self) -> Option<Message> {
+        self.q.pop()
+    }
+
+    fn len(&self) -> usize {
+        self.q.len()
+    }
+}
+
+/// Unified priority key: every priority becomes a bit vector; smaller
+/// compares first. Integer priority `i` maps to the 32-bit offset-binary
+/// word `i ^ i32::MIN`, which makes unsigned lexicographic comparison
+/// agree with signed integer order — the same embedding real Converse
+/// uses to mix `IFIFO` and `BFIFO` entries in one queue.
+fn unified_key(p: &Priority) -> BitVecPrio {
+    match p {
+        Priority::None => int_key(0),
+        Priority::Int(i) => int_key(*i),
+        Priority::BitVec(bv) => bv.clone(),
+    }
+}
+
+fn int_key(i: i32) -> BitVecPrio {
+    BitVecPrio::from_raw(32, vec![(i as u32) ^ 0x8000_0000])
+}
+
+struct PrioEntry {
+    key: BitVecPrio,
+    /// Tie-break: ascending for FIFO; for LIFO the sequence is negated at
+    /// insertion so later entries win among equal keys.
+    seq: i64,
+    msg: Message,
+}
+
+impl PartialEq for PrioEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+
+impl Eq for PrioEntry {}
+
+impl Ord for PrioEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the smallest (most urgent)
+        // key pops first.
+        other.key.cmp(&self.key).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for PrioEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Occupancy statistics, mainly for the load balancer and benches.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Total messages ever enqueued.
+    pub enqueued: u64,
+    /// Total messages ever dequeued.
+    pub dequeued: u64,
+    /// Peak simultaneous occupancy.
+    pub peak_len: usize,
+}
+
+/// The full Converse scheduler queue (`Cqs`).
+///
+/// Two lanes:
+/// * **zero lane** — unprioritized entries ([`QueueingMode::Fifo`] /
+///   [`QueueingMode::Lifo`]), a deque with O(1) operations;
+/// * **priority lane** — a binary heap over the unified key.
+///
+/// Dequeue order: priority entries more urgent than integer‑0 run first;
+/// then the zero lane; then the remaining priority entries. This matches
+/// Converse, where unprioritized work is "priority zero" and drains ahead
+/// of equal-priority (and all lower-priority) prioritized work.
+///
+/// ```
+/// use converse_msg::{Message, HandlerId, Priority};
+/// use converse_queue::{CsdQueue, QueueingMode, SchedulingQueue};
+///
+/// let mut q = CsdQueue::new();
+/// q.enqueue(Message::new(HandlerId(0), b"plain"), QueueingMode::Fifo);
+/// let urgent = Message::with_priority(HandlerId(0), &Priority::Int(-1), b"urgent");
+/// q.enqueue(urgent, QueueingMode::PrioFifo);
+///
+/// assert_eq!(q.dequeue().unwrap().payload(), b"urgent");
+/// assert_eq!(q.dequeue().unwrap().payload(), b"plain");
+/// assert!(q.dequeue().is_none());
+/// ```
+pub struct CsdQueue {
+    zero: VecDeque<Message>,
+    prio: BinaryHeap<PrioEntry>,
+    seq: i64,
+    stats: QueueStats,
+    zero_key: BitVecPrio,
+}
+
+impl Default for CsdQueue {
+    fn default() -> Self {
+        CsdQueue {
+            zero: VecDeque::new(),
+            prio: BinaryHeap::new(),
+            seq: 0,
+            stats: QueueStats::default(),
+            zero_key: int_key(0),
+        }
+    }
+}
+
+impl CsdQueue {
+    /// New empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Occupancy statistics snapshot.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+impl SchedulingQueue for CsdQueue {
+    fn enqueue(&mut self, msg: Message, mode: QueueingMode) {
+        self.stats.enqueued += 1;
+        match mode {
+            QueueingMode::Fifo => self.zero.push_back(msg),
+            QueueingMode::Lifo => self.zero.push_front(msg),
+            QueueingMode::PrioFifo | QueueingMode::PrioLifo => {
+                let key = unified_key(&msg.priority());
+                self.seq += 1;
+                let seq = if mode == QueueingMode::PrioFifo { self.seq } else { -self.seq };
+                self.prio.push(PrioEntry { key, seq, msg });
+            }
+        }
+        let len = self.len();
+        if len > self.stats.peak_len {
+            self.stats.peak_len = len;
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<Message> {
+        let take_prio = match self.prio.peek() {
+            None => false,
+            Some(top) => {
+                // Prioritized work strictly more urgent than "zero" wins;
+                // otherwise the zero lane drains first.
+                top.key < self.zero_key || self.zero.is_empty()
+            }
+        };
+        let out = if take_prio {
+            self.prio.pop().map(|e| e.msg)
+        } else {
+            self.zero.pop_front()
+        };
+        if out.is_some() {
+            self.stats.dequeued += 1;
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.zero.len() + self.prio.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use converse_msg::HandlerId;
+
+    fn msg(tag: u8) -> Message {
+        Message::new(HandlerId(0), &[tag])
+    }
+
+    fn pmsg(tag: u8, p: Priority) -> Message {
+        Message::with_priority(HandlerId(0), &p, &[tag])
+    }
+
+    fn drain(q: &mut impl SchedulingQueue) -> Vec<u8> {
+        let mut out = Vec::new();
+        while let Some(m) = q.dequeue() {
+            out.push(m.payload()[0]);
+        }
+        out
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = FifoQueue::new();
+        for t in 0..5 {
+            q.enqueue(msg(t), QueueingMode::Fifo);
+        }
+        assert_eq!(drain(&mut q), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fifo_queue_lifo_mode_prepends() {
+        let mut q = FifoQueue::new();
+        q.enqueue(msg(1), QueueingMode::Fifo);
+        q.enqueue(msg(2), QueueingMode::Lifo);
+        q.enqueue(msg(3), QueueingMode::Fifo);
+        assert_eq!(drain(&mut q), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut q = LifoQueue::new();
+        for t in 0..4 {
+            q.enqueue(msg(t), QueueingMode::Fifo);
+        }
+        assert_eq!(drain(&mut q), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn csd_zero_lane_fifo() {
+        let mut q = CsdQueue::new();
+        for t in 0..4 {
+            q.enqueue(msg(t), QueueingMode::Fifo);
+        }
+        assert_eq!(drain(&mut q), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn csd_int_priorities_smaller_first() {
+        let mut q = CsdQueue::new();
+        q.enqueue(pmsg(1, Priority::Int(5)), QueueingMode::PrioFifo);
+        q.enqueue(pmsg(2, Priority::Int(-3)), QueueingMode::PrioFifo);
+        q.enqueue(pmsg(3, Priority::Int(0)), QueueingMode::PrioFifo);
+        assert_eq!(drain(&mut q), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn csd_negative_prio_beats_zero_lane() {
+        let mut q = CsdQueue::new();
+        q.enqueue(msg(1), QueueingMode::Fifo);
+        q.enqueue(pmsg(2, Priority::Int(-1)), QueueingMode::PrioFifo);
+        q.enqueue(pmsg(3, Priority::Int(1)), QueueingMode::PrioFifo);
+        assert_eq!(drain(&mut q), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn csd_zero_lane_beats_equal_prio_zero() {
+        let mut q = CsdQueue::new();
+        q.enqueue(pmsg(1, Priority::Int(0)), QueueingMode::PrioFifo);
+        q.enqueue(msg(2), QueueingMode::Fifo);
+        assert_eq!(drain(&mut q), vec![2, 1]);
+    }
+
+    #[test]
+    fn csd_fifo_tiebreak_within_priority() {
+        let mut q = CsdQueue::new();
+        for t in 0..4 {
+            q.enqueue(pmsg(t, Priority::Int(7)), QueueingMode::PrioFifo);
+        }
+        assert_eq!(drain(&mut q), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn csd_lifo_tiebreak_within_priority() {
+        let mut q = CsdQueue::new();
+        for t in 0..4 {
+            q.enqueue(pmsg(t, Priority::Int(7)), QueueingMode::PrioLifo);
+        }
+        assert_eq!(drain(&mut q), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn csd_bitvec_and_int_unified() {
+        // int -1 → key 0x7FFF_FFFF; bitvec "0" = one 0 bit, more urgent
+        // than anything starting with a 1 bit and than 0x7FFF… ints;
+        // bitvec "1" ties with int 0 on the first bit but is shorter,
+        // hence more urgent than int 0.
+        let mut q = CsdQueue::new();
+        q.enqueue(pmsg(1, Priority::Int(-1)), QueueingMode::PrioFifo);
+        q.enqueue(pmsg(2, Priority::BitVec(BitVecPrio::from_bits(&[false]))), QueueingMode::PrioFifo);
+        q.enqueue(pmsg(3, Priority::Int(0)), QueueingMode::PrioFifo);
+        q.enqueue(pmsg(4, Priority::BitVec(BitVecPrio::from_bits(&[true]))), QueueingMode::PrioFifo);
+        assert_eq!(drain(&mut q), vec![2, 1, 4, 3]);
+    }
+
+    #[test]
+    fn csd_lifo_zero_lane() {
+        let mut q = CsdQueue::new();
+        q.enqueue(msg(1), QueueingMode::Lifo);
+        q.enqueue(msg(2), QueueingMode::Lifo);
+        q.enqueue(msg(3), QueueingMode::Lifo);
+        assert_eq!(drain(&mut q), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn csd_stats() {
+        let mut q = CsdQueue::new();
+        q.enqueue(msg(1), QueueingMode::Fifo);
+        q.enqueue(pmsg(2, Priority::Int(1)), QueueingMode::PrioFifo);
+        assert_eq!(q.stats().enqueued, 2);
+        assert_eq!(q.stats().peak_len, 2);
+        q.dequeue();
+        assert_eq!(q.stats().dequeued, 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_dequeue_is_none() {
+        assert!(CsdQueue::new().dequeue().is_none());
+        assert!(FifoQueue::new().dequeue().is_none());
+        assert!(LifoQueue::new().dequeue().is_none());
+    }
+
+    #[test]
+    fn csd_unprioritized_message_in_prio_mode_acts_as_zero() {
+        // A message with Priority::None enqueued PrioFifo competes as
+        // integer 0.
+        let mut q = CsdQueue::new();
+        q.enqueue(msg(1), QueueingMode::PrioFifo);
+        q.enqueue(pmsg(2, Priority::Int(-1)), QueueingMode::PrioFifo);
+        q.enqueue(pmsg(3, Priority::Int(1)), QueueingMode::PrioFifo);
+        assert_eq!(drain(&mut q), vec![2, 1, 3]);
+    }
+}

@@ -1,0 +1,186 @@
+//! MPI-style retrieval built **on top of** the minimal interface —
+//! the paper's §3.1.3 argument made executable:
+//!
+//! > "MPI provides a 'receive' call based on context, tag and source
+//! > processor. It also guarantees that messages are delivered in the
+//! > sequence in which they are sent between a pair of processors. The
+//! > overhead of maintaining messages indexed for such retrieval or for
+//! > maintaining delivery sequence is unnecessary for many applications.
+//! > The interface we propose … is minimal, yet it is possible to
+//! > provide an efficient MPI-style retrieval on top of this interface."
+//!
+//! This module is that layer: tagged sends carry a per-(sender,receiver)
+//! sequence number; the receive side re-sequences, so **pairwise FIFO
+//! order holds even when the underlying machine reorders deliveries** —
+//! and only programs that link this module pay for the counters and the
+//! resequencing buffer (need-based cost, §3).
+
+use converse_machine::{HandlerId, Message, Pe};
+use converse_msg::pack::{Packer, Unpacker};
+use converse_msgmgr::{IndexedMsgManager, TagMailbox, WILDCARD};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Wildcard for `recv`'s tag or source (MPI's `MPI_ANY_TAG` /
+/// `MPI_ANY_SOURCE`).
+pub const ANY: i32 = WILDCARD;
+
+/// A received MPI-style message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpiMsg {
+    /// Sender's tag.
+    pub tag: i32,
+    /// Source rank (PE).
+    pub src: usize,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// Parked out-of-order arrivals: (src, seq) → (tag, data).
+type HeldMap = HashMap<(usize, u64), (i32, Vec<u8>)>;
+
+/// Per-PE MPI-layer state.
+pub struct Mpi {
+    data_h: HandlerId,
+    /// Next sequence number to assign, per destination.
+    send_seq: Mutex<HashMap<usize, u64>>,
+    /// Next sequence number to admit, per source.
+    recv_seq: Mutex<HashMap<usize, u64>>,
+    /// Out-of-order arrivals held until their predecessors admit them.
+    held: Mutex<HeldMap>,
+    /// Admitted (in-order) messages awaiting a matching `recv`.
+    mailbox: Mutex<IndexedMsgManager>,
+}
+
+struct MpiSlot(Arc<Mpi>);
+
+impl Mpi {
+    /// Install the MPI layer on this PE (same registration order
+    /// machine-wide). Idempotent per PE.
+    pub fn install(pe: &Pe) -> Arc<Mpi> {
+        if let Some(s) = pe.try_local::<MpiSlot>() {
+            return s.0.clone();
+        }
+        let data_h = pe.register_handler(|pe, msg| {
+            Mpi::get(pe).ingest(&msg);
+        });
+        let mpi = Arc::new(Mpi {
+            data_h,
+            send_seq: Mutex::new(HashMap::new()),
+            recv_seq: Mutex::new(HashMap::new()),
+            held: Mutex::new(HashMap::new()),
+            mailbox: Mutex::new(IndexedMsgManager::new()),
+        });
+        pe.local(|| MpiSlot(mpi.clone()));
+        mpi
+    }
+
+    /// The layer previously installed on this PE.
+    pub fn get(pe: &Pe) -> Arc<Mpi> {
+        pe.try_local::<MpiSlot>()
+            .unwrap_or_else(|| panic!("PE {}: Mpi::install was not called", pe.my_pe()))
+            .0
+            .clone()
+    }
+
+    /// Send `data` with `tag` to rank `dst` (`MPI_Send`-flavoured:
+    /// buffered, never blocks here).
+    pub fn send(&self, pe: &Pe, dst: usize, tag: i32, data: &[u8]) {
+        assert_ne!(tag, ANY, "cannot send with the wildcard tag");
+        let seq = {
+            let mut s = self.send_seq.lock();
+            let e = s.entry(dst).or_insert(0);
+            let v = *e;
+            *e += 1;
+            v
+        };
+        let payload =
+            Packer::new().usize(pe.my_pe()).u64(seq).i32(tag).bytes(data).finish();
+        pe.sync_send_and_free(dst, Message::new(self.data_h, &payload));
+    }
+
+    /// Admit an arrival: in-order messages (and any held successors they
+    /// release) go to the mailbox; early ones are parked.
+    fn ingest(&self, msg: &Message) {
+        let mut u = Unpacker::new(msg.payload());
+        let src = u.usize().expect("mpi: src");
+        let seq = u.u64().expect("mpi: seq");
+        let tag = u.i32().expect("mpi: tag");
+        let data = u.bytes().expect("mpi: data").to_vec();
+
+        let mut admitted: Vec<(i32, usize, Vec<u8>)> = Vec::new();
+        {
+            let mut next = self.recv_seq.lock();
+            let want = next.entry(src).or_insert(0);
+            if seq == *want {
+                admitted.push((tag, src, data));
+                *want += 1;
+                // Release any consecutive held successors.
+                let mut held = self.held.lock();
+                while let Some((t, d)) = held.remove(&(src, *want)) {
+                    admitted.push((t, src, d));
+                    *want += 1;
+                }
+            } else {
+                debug_assert!(seq > *want, "duplicate or replayed sequence {seq} from {src}");
+                self.held.lock().insert((src, seq), (tag, data));
+            }
+        }
+        let mut mb = self.mailbox.lock();
+        for (tag, src, data) in admitted {
+            mb.put(&[tag, src as i32], data);
+        }
+    }
+
+    fn take(&self, tag: i32, src: i32) -> Option<MpiMsg> {
+        let stored = self.mailbox.lock().get(&[tag, src])?;
+        Some(MpiMsg { tag: stored.tags[0], src: stored.tags[1] as usize, data: stored.data })
+    }
+
+    /// Blocking receive (`MPI_Recv`): waits for a message matching
+    /// `tag`/`src` (either may be [`ANY`]). Pairwise FIFO: messages from
+    /// one source with one tag are received in the order they were sent,
+    /// regardless of network delivery order.
+    pub fn recv(&self, pe: &Pe, tag: i32, src: i32) -> MpiMsg {
+        loop {
+            if let Some(m) = self.take(tag, src) {
+                return m;
+            }
+            let msg = pe.get_specific_msg(self.data_h);
+            self.ingest(&msg);
+        }
+    }
+
+    /// Non-consuming test (`MPI_Probe` with immediate return): size of
+    /// the earliest matching admitted message.
+    pub fn probe(&self, tag: i32, src: i32) -> Option<usize> {
+        self.mailbox.lock().probe(&[tag, src]).map(|(len, _)| len)
+    }
+
+    /// Combined send-then-receive (`MPI_Sendrecv`): ships `data` to
+    /// `dst`, then blocks for a message matching `recv_tag` from
+    /// `recv_src`.
+    pub fn sendrecv(
+        &self,
+        pe: &Pe,
+        dst: usize,
+        send_tag: i32,
+        data: &[u8],
+        recv_tag: i32,
+        recv_src: i32,
+    ) -> MpiMsg {
+        self.send(pe, dst, send_tag, data);
+        self.recv(pe, recv_tag, recv_src)
+    }
+
+    /// Messages admitted but not yet received.
+    pub fn pending(&self) -> usize {
+        self.mailbox.lock().len()
+    }
+
+    /// Out-of-order arrivals currently parked in the resequencer.
+    pub fn held(&self) -> usize {
+        self.held.lock().len()
+    }
+}

@@ -1,0 +1,232 @@
+//! SM/tSM behaviour: SPM blocking receive, tag matching, threaded
+//! receive overlap, and the PVM/NX facades.
+
+use converse_core::{csd_scheduler, csd_scheduler_until_idle, run};
+use converse_sm::{nx, pvm, Sm, ANY};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn spm_send_recv_roundtrip() {
+    run(2, |pe| {
+        let sm = Sm::install(pe);
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            sm.send(pe, 1, 17, b"hello sm");
+            let reply = sm.recv(pe, 18, ANY);
+            assert_eq!(reply.data, b"HELLO SM");
+            assert_eq!(reply.src, 1);
+        } else {
+            let m = sm.recv(pe, 17, ANY);
+            assert_eq!(m.data, b"hello sm");
+            assert_eq!(m.src, 0);
+            let upper: Vec<u8> = m.data.iter().map(|b| b.to_ascii_uppercase()).collect();
+            sm.send(pe, 0, 18, &upper);
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn recv_by_specific_tag_buffers_others() {
+    run(2, |pe| {
+        let sm = Sm::install(pe);
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            for tag in [1, 2, 3] {
+                sm.send(pe, 1, tag, &[tag as u8]);
+            }
+        } else {
+            // Ask for tag 3 first: 1 and 2 must be buffered, not lost.
+            let m3 = sm.recv(pe, 3, ANY);
+            assert_eq!(m3.data, vec![3]);
+            assert_eq!(sm.buffered(), 2);
+            assert_eq!(sm.probe(1, ANY), Some(1));
+            let m1 = sm.recv(pe, 1, ANY);
+            let m2 = sm.recv(pe, 2, ANY);
+            assert_eq!((m1.data[0], m2.data[0]), (1, 2));
+            assert_eq!(sm.buffered(), 0);
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn recv_by_source_wildcarded_tag() {
+    run(3, |pe| {
+        let sm = Sm::install(pe);
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            // Both peers send tag 5; receive specifically from PE 2 first.
+            let m = sm.recv(pe, 5, 2);
+            assert_eq!(m.src, 2);
+            let m = sm.recv(pe, 5, 1);
+            assert_eq!(m.src, 1);
+        } else {
+            sm.send(pe, 0, 5, &[pe.my_pe() as u8]);
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn fifo_order_per_tag() {
+    run(2, |pe| {
+        let sm = Sm::install(pe);
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            for i in 0..20u8 {
+                sm.send(pe, 1, 9, &[i]);
+            }
+        } else {
+            for i in 0..20u8 {
+                assert_eq!(sm.recv(pe, 9, ANY).data, vec![i]);
+            }
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn threaded_recv_overlaps_with_other_threads() {
+    // Two tSM threads on PE0 block on different tags; messages arrive in
+    // the opposite order; both complete — the scheduler interleaves them
+    // (the paper's "maximal overlap" motivation for implicit control).
+    run(2, |pe| {
+        let sm = Sm::install(pe);
+        let log = pe.local(|| Mutex::new(Vec::<i32>::new()));
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            for tag in [100, 200] {
+                let sm2 = sm.clone();
+                let l2 = log.clone();
+                sm.tspawn(pe, move |pe| {
+                    let m = sm2.trecv(pe, tag, ANY);
+                    l2.lock().push(tag);
+                    assert_eq!(m.data, tag.to_le_bytes());
+                    if l2.lock().len() == 2 {
+                        converse_core::csd_exit_scheduler(pe);
+                    }
+                });
+            }
+            csd_scheduler(pe, -1);
+            // 200 arrived first, so it completed first.
+            assert_eq!(*log.lock(), vec![200, 100]);
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            sm.send(pe, 0, 200, &200i32.to_le_bytes());
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            sm.send(pe, 0, 100, &100i32.to_le_bytes());
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn trecv_finds_already_buffered_message() {
+    run(1, |pe| {
+        let sm = Sm::install(pe);
+        sm.send(pe, 0, 7, b"early");
+        // Deliver it into the mailbox via the scheduler.
+        csd_scheduler_until_idle(pe);
+        assert_eq!(sm.buffered(), 1);
+        let sm2 = sm.clone();
+        let got = Arc::new(AtomicU64::new(0));
+        let g2 = got.clone();
+        sm.tspawn(pe, move |pe| {
+            let m = sm2.trecv(pe, 7, ANY);
+            assert_eq!(m.data, b"early");
+            g2.store(1, Ordering::SeqCst);
+        });
+        csd_scheduler_until_idle(pe);
+        assert_eq!(got.load(Ordering::SeqCst), 1);
+    });
+}
+
+#[test]
+fn many_threads_tagged_pipeline() {
+    // A ring of tSM threads on one PE: thread i waits for tag i, then
+    // sends tag i+1. Exercises waiter bookkeeping under load.
+    run(1, |pe| {
+        let sm = Sm::install(pe);
+        let n = 30i32;
+        let done = Arc::new(AtomicU64::new(0));
+        for i in 1..n {
+            let sm2 = sm.clone();
+            let d = done.clone();
+            sm.tspawn(pe, move |pe| {
+                let m = sm2.trecv(pe, i, ANY);
+                assert_eq!(m.data, i.to_le_bytes());
+                sm2.send(pe, 0, i + 1, &(i + 1).to_le_bytes());
+                d.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        sm.send(pe, 0, 1, &1i32.to_le_bytes());
+        csd_scheduler_until_idle(pe);
+        assert_eq!(done.load(Ordering::SeqCst), (n - 1) as u64);
+        // The final send (tag n) remains buffered, unclaimed.
+        assert_eq!(sm.buffered(), 1);
+    });
+}
+
+#[test]
+fn pvm_facade_wildcards() {
+    run(2, |pe| {
+        Sm::install(pe);
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            pvm::send(pe, 1, 42, b"pvm payload");
+        } else {
+            assert!(pvm::probe(pe, -1, -1).is_none(), "nothing buffered yet");
+            let m = pvm::recv(pe, -1, -1);
+            assert_eq!(m.tag, 42);
+            assert_eq!(m.src, 0);
+            assert_eq!(m.data, b"pvm payload");
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn nx_facade_type_matching() {
+    run(2, |pe| {
+        Sm::install(pe);
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            nx::csend(pe, 3, b"typed", 1);
+            nx::csend(pe, 4, b"other", 1);
+        } else {
+            let m = nx::crecv(pe, 4);
+            assert_eq!(m.data, b"other");
+            assert!(nx::cprobe(pe, 3));
+            let m = nx::crecv(pe, -1);
+            assert_eq!(m.data, b"typed");
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn pvm_recv_inside_thread_uses_threaded_path() {
+    run(2, |pe| {
+        let sm = Sm::install(pe);
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            let ok = Arc::new(AtomicU64::new(0));
+            let ok2 = ok.clone();
+            sm.tspawn(pe, move |pe| {
+                let m = pvm::recv(pe, 77, -1); // threaded blocking
+                assert_eq!(m.data, b"via thread");
+                ok2.store(1, Ordering::SeqCst);
+                converse_core::csd_exit_scheduler(pe);
+            });
+            csd_scheduler(pe, -1);
+            assert_eq!(ok.load(Ordering::SeqCst), 1);
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            pvm::send(pe, 0, 77, b"via thread");
+        }
+        pe.barrier();
+    });
+}

@@ -1,0 +1,264 @@
+//! Cts synchronization mechanisms for Converse threads (paper §3.2.3,
+//! appendix §6): locks, condition variables, and barriers.
+//!
+//! "Locks are implemented by having queues attached to each lock. …
+//! A thread which releases the lock causes the shifting of ownership of
+//! the lock to the first thread in this queue and awakens this thread."
+//! That queue-of-suspended-threads structure is implemented literally
+//! here on top of the thread object's suspend/awaken primitives, so a
+//! lock's hand-off respects each waiting thread's scheduling strategy
+//! (ready pool or Csd scheduler).
+//!
+//! These primitives synchronize the cooperative threads of **one PE** —
+//! Converse threads never migrate — so there is never true contention;
+//! the internal `parking_lot` mutexes only guard against the PE's
+//! multiple (but strictly alternating) OS-thread contexts.
+
+use converse_machine::Pe;
+use converse_threads::{cth_awaken, cth_self, cth_suspend, Thread};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Identity of a lock-owning context: a thread id, or 0 for the PE's
+/// main context (which may hold uncontended locks but cannot block).
+fn current_ctx(pe: &Pe) -> u64 {
+    cth_self(pe).map(|t| t.id()).unwrap_or(0)
+}
+
+fn main_context_cannot_block(pe: &Pe) -> ! {
+    panic!(
+        "PE {}: the main context would block on a Cts primitive — only \
+         thread objects may wait (create one with cth_create)",
+        pe.my_pe()
+    )
+}
+
+/// Error returned by [`CtsLock::unlock`] when the caller is not the
+/// owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotOwner {
+    /// Context that attempted the unlock.
+    pub caller: u64,
+    /// Actual owner, if any.
+    pub owner: Option<u64>,
+}
+
+struct LockInner {
+    owner: Option<u64>,
+    waiters: VecDeque<Thread>,
+}
+
+/// A queued mutual-exclusion lock (`LOCK`, `CtsNewLock`).
+pub struct CtsLock {
+    inner: Mutex<LockInner>,
+}
+
+impl CtsLock {
+    /// Allocate a new lock (`CtsNewLock`).
+    pub fn new() -> Arc<CtsLock> {
+        Arc::new(CtsLock {
+            inner: Mutex::new(LockInner { owner: None, waiters: VecDeque::new() }),
+        })
+    }
+
+    /// Non-blocking acquisition attempt (`CtsTryLock`): true on success.
+    pub fn try_lock(&self, pe: &Pe) -> bool {
+        let mut l = self.inner.lock();
+        if l.owner.is_none() {
+            l.owner = Some(current_ctx(pe));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Acquire the lock (`CtsLock`), suspending the calling thread if it
+    /// is taken. Waiters receive the lock strictly in arrival order.
+    pub fn lock(&self, pe: &Pe) {
+        let me = current_ctx(pe);
+        loop {
+            {
+                let mut l = self.inner.lock();
+                if l.owner.is_none() {
+                    l.owner = Some(me);
+                    return;
+                }
+                assert_ne!(l.owner, Some(me), "PE {}: recursive Cts lock", pe.my_pe());
+                match cth_self(pe) {
+                    Some(t) => l.waiters.push_back(t),
+                    None => main_context_cannot_block(pe),
+                }
+            }
+            cth_suspend(pe);
+            // Awakened as the designated next owner (ownership was
+            // transferred by unlock); confirm and return. A custom
+            // strategy could resume us early — then we queue up again.
+            if self.inner.lock().owner == Some(me) {
+                return;
+            }
+        }
+    }
+
+    /// Release the lock (`CtsUnLock`): ownership shifts to the first
+    /// queued waiter, which is awakened.
+    pub fn unlock(&self, pe: &Pe) -> Result<(), NotOwner> {
+        let me = current_ctx(pe);
+        let next = {
+            let mut l = self.inner.lock();
+            if l.owner != Some(me) {
+                return Err(NotOwner { caller: me, owner: l.owner });
+            }
+            match l.waiters.pop_front() {
+                Some(t) => {
+                    l.owner = Some(t.id());
+                    Some(t)
+                }
+                None => {
+                    l.owner = None;
+                    None
+                }
+            }
+        };
+        if let Some(t) = next {
+            cth_awaken(pe, &t);
+        }
+        Ok(())
+    }
+
+    /// The owning context id, if locked.
+    pub fn owner(&self) -> Option<u64> {
+        self.inner.lock().owner
+    }
+
+    /// Number of threads queued on the lock.
+    pub fn waiters(&self) -> usize {
+        self.inner.lock().waiters.len()
+    }
+}
+
+/// A condition variable (`CONDN`): threads [`CtsCondn::wait`];
+/// [`CtsCondn::signal`] releases one, [`CtsCondn::broadcast`] all.
+pub struct CtsCondn {
+    waiters: Mutex<VecDeque<Thread>>,
+}
+
+impl CtsCondn {
+    /// Allocate a new condition variable (`CtsNewCondn`).
+    pub fn new() -> Arc<CtsCondn> {
+        Arc::new(CtsCondn { waiters: Mutex::new(VecDeque::new()) })
+    }
+
+    /// Re-initialize, awakening all current waiters (`CtsCondnInit`).
+    pub fn reinit(&self, pe: &Pe) {
+        self.broadcast(pe);
+    }
+
+    /// Suspend the calling thread until signalled (`CtsCondnWait`).
+    pub fn wait(&self, pe: &Pe) {
+        match cth_self(pe) {
+            Some(t) => self.waiters.lock().push_back(t),
+            None => main_context_cannot_block(pe),
+        }
+        cth_suspend(pe);
+    }
+
+    /// Awaken one waiting thread, in arrival order (`CtsCondnSignal`).
+    /// Returns true if a thread was released.
+    pub fn signal(&self, pe: &Pe) -> bool {
+        let t = self.waiters.lock().pop_front();
+        match t {
+            Some(t) => {
+                cth_awaken(pe, &t);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Awaken every waiting thread (`CtsCondnBroadcast`). Returns the
+    /// number released.
+    pub fn broadcast(&self, pe: &Pe) -> usize {
+        let ts: Vec<Thread> = self.waiters.lock().drain(..).collect();
+        let n = ts.len();
+        for t in ts {
+            cth_awaken(pe, &t);
+        }
+        n
+    }
+
+    /// Number of threads currently waiting.
+    pub fn waiters(&self) -> usize {
+        self.waiters.lock().len()
+    }
+}
+
+struct BarrierInner {
+    needed: usize,
+    arrived: usize,
+    waiters: VecDeque<Thread>,
+}
+
+/// A thread barrier (`BARRIER`): "a condition variable whose k-th wait
+/// is a broadcast" — the k-th arrival releases everyone.
+pub struct CtsBarrier {
+    inner: Mutex<BarrierInner>,
+}
+
+impl CtsBarrier {
+    /// Allocate a barrier awaiting `num` threads (`CtsNewBarrier` +
+    /// `CtsBarrierReinit`).
+    pub fn new(num: usize) -> Arc<CtsBarrier> {
+        assert!(num > 0, "a barrier needs at least one participant");
+        Arc::new(CtsBarrier {
+            inner: Mutex::new(BarrierInner { needed: num, arrived: 0, waiters: VecDeque::new() }),
+        })
+    }
+
+    /// Re-initialize (`CtsBarrierReinit`): free any threads currently
+    /// waiting, then await the arrival of `num` threads.
+    pub fn reinit(&self, pe: &Pe, num: usize) {
+        assert!(num > 0, "a barrier needs at least one participant");
+        let ts: Vec<Thread> = {
+            let mut b = self.inner.lock();
+            b.needed = num;
+            b.arrived = 0;
+            b.waiters.drain(..).collect()
+        };
+        for t in ts {
+            cth_awaken(pe, &t);
+        }
+    }
+
+    /// Arrive at the barrier (`CtsAtBarrier`): blocks all but the last of
+    /// the `num` participating threads, whose arrival awakens them all.
+    pub fn at_barrier(&self, pe: &Pe) {
+        let release = {
+            let mut b = self.inner.lock();
+            b.arrived += 1;
+            if b.arrived >= b.needed {
+                b.arrived = 0;
+                Some(b.waiters.drain(..).collect::<Vec<_>>())
+            } else {
+                match cth_self(pe) {
+                    Some(t) => b.waiters.push_back(t),
+                    None => main_context_cannot_block(pe),
+                }
+                None
+            }
+        };
+        match release {
+            Some(ts) => {
+                for t in ts {
+                    cth_awaken(pe, &t);
+                }
+            }
+            None => cth_suspend(pe),
+        }
+    }
+
+    /// Threads currently blocked at the barrier.
+    pub fn waiting(&self) -> usize {
+        self.inner.lock().waiters.len()
+    }
+}

@@ -1,0 +1,325 @@
+//! The **fiber-backed** thread runtime: the paper's mechanism at the
+//! paper's cost.
+//!
+//! [`crate`]'s default thread objects trade the ~100 ns user-level
+//! context switch of the 1996 implementation for hand-off OS threads
+//! (safe, but µs-class). This module provides the fast path on top of
+//! `converse-fiber`: cooperative user-level threads whose suspend/resume
+//! is a ~20 ns stack switch — with one discipline the 1996 code also
+//! had: **all fiber-thread operations must happen on the PE's main
+//! execution context's OS thread** (handlers, the scheduler loop, and
+//! the fibers themselves all run there, so this is the natural state of
+//! a Converse program that does not mix the two thread runtimes).
+//!
+//! Semantics mirror the Cth calls: create / resume / suspend / awaken /
+//! yield / exit-by-return, a FIFO ready pool, and the Csd integration
+//! (a ready fiber is a generalized message). Control transfers that the
+//! raw fiber primitive cannot express directly (fiber → fiber resume)
+//! thread through the main context transparently.
+
+#![cfg(all(target_arch = "x86_64", unix))]
+
+use converse_core::csd;
+use converse_fiber::{Fiber, FiberHandle};
+use converse_machine::{HandlerId, Message, Pe};
+use converse_msg::pack::{Packer, Unpacker};
+use converse_msg::Priority;
+use converse_queue::QueueingMode;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Identity of a fiber thread on its PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FThread(pub u64);
+
+enum FiberState {
+    /// Suspended (or not yet started); resumable.
+    Parked(Fiber),
+    /// Currently running (its `Fiber` is on the main context's stack
+    /// frame inside `drive`).
+    Running,
+    /// Finished.
+    Done,
+}
+
+/// What a fiber asked for when it yielded back to the main context.
+#[derive(Clone, Copy)]
+enum Directive {
+    /// Plain suspend (strategy already ran, e.g. awaken-self for yield).
+    Suspend,
+    /// Transfer control to another fiber (CthResume semantics: the
+    /// yielder parks un-awakened).
+    Transfer(FThread),
+}
+
+struct RtInner {
+    fibers: RefCell<HashMap<u64, FiberState>>,
+    ready: RefCell<VecDeque<FThread>>,
+    current: Cell<Option<FThread>>,
+    directive: Cell<Option<Directive>>,
+    next_id: Cell<u64>,
+    /// Fibers awaiting their Csd resume message.
+    scheduled: RefCell<HashMap<u64, ()>>,
+    resume_handler: HandlerId,
+    /// OS thread that owns this runtime (discipline check).
+    home_thread: std::thread::ThreadId,
+}
+
+/// Per-PE fiber-thread runtime. NOT `Send`-shared: lives in PE-local
+/// storage behind a wrapper that asserts the single-OS-thread
+/// discipline.
+pub struct FiberRt {
+    inner: Rc<RtInner>,
+}
+
+/// PE-local slot. The runtime itself is thread-affine; the slot checks
+/// every access comes from the owning OS thread.
+struct FiberSlot {
+    rt: parking_lot::Mutex<Option<Rc<RtInner>>>,
+}
+
+// SAFETY: the Rc never actually crosses OS threads — `FiberRt::get`
+// asserts the accessing thread is the creating thread; the mutex only
+// satisfies the `Send + Sync` bound of PE-local storage.
+unsafe impl Send for FiberSlot {}
+unsafe impl Sync for FiberSlot {}
+
+impl FiberRt {
+    /// The fiber runtime of this PE, created on first call. Must always
+    /// be called from the PE's main execution context (asserted).
+    pub fn get(pe: &Pe) -> FiberRt {
+        let slot = pe.local(|| FiberSlot { rt: parking_lot::Mutex::new(None) });
+        let mut guard = slot.rt.lock();
+        if let Some(rt) = &*guard {
+            assert_eq!(
+                rt.home_thread,
+                std::thread::current().id(),
+                "PE {}: fiber threads must stay on the PE's main OS thread",
+                pe.my_pe()
+            );
+            return FiberRt { inner: rt.clone() };
+        }
+        let resume_handler = pe.register_handler(|pe, msg| {
+            let rt = FiberRt::get(pe);
+            let mut u = Unpacker::new(msg.payload());
+            let tid = FThread(u.u64().expect("fiber resume: tid"));
+            rt.inner.scheduled.borrow_mut().remove(&tid.0);
+            rt.drive(pe, tid);
+        });
+        let rt = Rc::new(RtInner {
+            fibers: RefCell::new(HashMap::new()),
+            ready: RefCell::new(VecDeque::new()),
+            current: Cell::new(None),
+            directive: Cell::new(None),
+            next_id: Cell::new(1),
+            scheduled: RefCell::new(HashMap::new()),
+            resume_handler,
+            home_thread: std::thread::current().id(),
+        });
+        *guard = Some(rt.clone());
+        // Break the Pe ↔ fiber-closure reference cycle at PE exit:
+        // dropping parked fibers frees their stacks and captured Arcs.
+        pe.on_exit(move |pe| {
+            if let Some(slot) = pe.try_local::<FiberSlot>() {
+                if let Some(rt) = slot.rt.lock().take() {
+                    rt.fibers.borrow_mut().clear();
+                    rt.ready.borrow_mut().clear();
+                }
+            }
+        });
+        FiberRt { inner: rt }
+    }
+
+    /// Create a fiber thread (`CthCreate`); it runs when resumed or
+    /// awakened. `stack_size` bytes of dedicated stack.
+    pub fn create<F>(&self, pe: &Pe, stack_size: usize, f: F) -> FThread
+    where
+        F: FnOnce(&Pe) + 'static,
+    {
+        let id = self.inner.next_id.get();
+        self.inner.next_id.set(id + 1);
+        let tid = FThread(id);
+        let pe_arc = pe.arc();
+        let fiber = Fiber::new(stack_size, move |h| {
+            // Expose the yield handle for suspend() during this fiber's
+            // lifetime via the runtime's current-handle cell.
+            HANDLE.with(|slot| slot.borrow_mut().insert(id, h as *const FiberHandle));
+            f(&pe_arc);
+            HANDLE.with(|slot| slot.borrow_mut().remove(&id));
+        });
+        self.inner.fibers.borrow_mut().insert(id, FiberState::Parked(fiber));
+        pe.trace_event(converse_trace::Event::ThreadCreate { tid: id | (1 << 63) });
+        tid
+    }
+
+    /// Spawn under the Csd strategy and awaken: starts when the
+    /// scheduler reaches its ready message.
+    pub fn spawn_scheduled<F>(&self, pe: &Pe, f: F) -> FThread
+    where
+        F: FnOnce(&Pe) + 'static,
+    {
+        let t = self.create(pe, 64 * 1024, f);
+        self.awaken(pe, t);
+        t
+    }
+
+    /// The currently executing fiber thread, `None` in the main context.
+    pub fn current(&self) -> Option<FThread> {
+        self.inner.current.get()
+    }
+
+    /// Number of fibers in the ready pool.
+    pub fn ready_len(&self) -> usize {
+        self.inner.ready.borrow().len()
+    }
+
+    /// True once `t`'s closure has returned.
+    pub fn is_done(&self, t: FThread) -> bool {
+        matches!(self.inner.fibers.borrow().get(&t.0), Some(FiberState::Done) | None)
+    }
+
+    /// Transfer control to `t` immediately (`CthResume`). From the main
+    /// context this runs `t` until it suspends; from inside a fiber the
+    /// caller parks un-awakened and control threads through the main
+    /// context to `t`.
+    pub fn resume(&self, pe: &Pe, t: FThread) {
+        match self.current() {
+            None => self.drive(pe, t),
+            Some(me) => {
+                if me == t {
+                    return;
+                }
+                self.inner.directive.set(Some(Directive::Transfer(t)));
+                self.yield_to_main(pe, me);
+            }
+        }
+    }
+
+    /// Suspend the current fiber (`CthSuspend`): control goes to the
+    /// next ready fiber, else back to the main context.
+    pub fn suspend(&self, pe: &Pe) {
+        let me = self
+            .current()
+            .unwrap_or_else(|| panic!("PE {}: suspend outside a fiber thread", pe.my_pe()));
+        let next = self.inner.ready.borrow_mut().pop_front();
+        match next {
+            Some(n) if n != me => self.inner.directive.set(Some(Directive::Transfer(n))),
+            _ => self.inner.directive.set(Some(Directive::Suspend)),
+        }
+        self.yield_to_main(pe, me);
+    }
+
+    /// Add `t` to the ready pool via the Csd scheduler (`CthAwaken` with
+    /// the integrated strategy): a generalized message will resume it.
+    pub fn awaken(&self, pe: &Pe, t: FThread) {
+        assert!(!self.is_done(t), "PE {}: awaken of finished fiber {t:?}", pe.my_pe());
+        self.inner.scheduled.borrow_mut().insert(t.0, ());
+        let payload = Packer::new().u64(t.0).finish();
+        let msg = Message::with_priority(self.inner.resume_handler, &Priority::None, &payload);
+        csd::csd_enqueue_general(pe, msg, QueueingMode::Fifo);
+    }
+
+    /// Add `t` to the plain FIFO ready pool (picked up by the next
+    /// suspend), bypassing the scheduler.
+    pub fn awaken_pool(&self, pe: &Pe, t: FThread) {
+        assert!(!self.is_done(t), "PE {}: awaken of finished fiber {t:?}", pe.my_pe());
+        self.inner.ready.borrow_mut().push_back(t);
+    }
+
+    /// Awaken-self then suspend (`CthYield`).
+    pub fn yield_now(&self, pe: &Pe) {
+        let me = self
+            .current()
+            .unwrap_or_else(|| panic!("PE {}: yield outside a fiber thread", pe.my_pe()));
+        self.awaken(pe, me);
+        self.suspend(pe);
+    }
+
+    /// Like [`FiberRt::yield_now`] but through the pool (no scheduler).
+    pub fn yield_pool(&self, pe: &Pe) {
+        let me = self
+            .current()
+            .unwrap_or_else(|| panic!("PE {}: yield outside a fiber thread", pe.my_pe()));
+        self.awaken_pool(pe, me);
+        self.suspend(pe);
+    }
+
+    /// Run `t` (and any fibers it transfers to) until everything parks.
+    /// Main-context only.
+    fn drive(&self, pe: &Pe, mut t: FThread) {
+        assert!(self.current().is_none(), "PE {}: drive() from inside a fiber", pe.my_pe());
+        loop {
+            let mut fiber = {
+                let mut fs = self.inner.fibers.borrow_mut();
+                match fs.remove(&t.0) {
+                    Some(FiberState::Parked(f)) => {
+                        fs.insert(t.0, FiberState::Running);
+                        f
+                    }
+                    Some(other) => {
+                        let what = match other {
+                            FiberState::Done => "finished",
+                            FiberState::Running => "running",
+                            FiberState::Parked(_) => unreachable!(),
+                        };
+                        fs.insert(t.0, other);
+                        panic!("PE {}: resume of {what} fiber {t:?}", pe.my_pe());
+                    }
+                    None => panic!("PE {}: resume of unknown fiber {t:?}", pe.my_pe()),
+                }
+            };
+            self.inner.current.set(Some(t));
+            pe.trace_event(converse_trace::Event::ThreadResume { tid: t.0 | (1 << 63) });
+            let alive = fiber.resume();
+            self.inner.current.set(None);
+            {
+                let mut fs = self.inner.fibers.borrow_mut();
+                if alive {
+                    fs.insert(t.0, FiberState::Parked(fiber));
+                } else {
+                    fs.insert(t.0, FiberState::Done);
+                }
+            }
+            let directive = self.inner.directive.take();
+            match directive {
+                Some(Directive::Transfer(next)) => {
+                    t = next;
+                }
+                Some(Directive::Suspend) => return,
+                None => {
+                    // The fiber finished (returned) without directive:
+                    // continue with the next ready fiber, if any —
+                    // CthExit's "transfer via the suspend strategy".
+                    debug_assert!(!alive);
+                    match self.inner.ready.borrow_mut().pop_front() {
+                        Some(next) => t = next,
+                        None => return,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Yield from fiber `me` back to the main context (directive set by
+    /// the caller).
+    fn yield_to_main(&self, pe: &Pe, me: FThread) {
+        pe.trace_event(converse_trace::Event::ThreadSuspend { tid: me.0 | (1 << 63) });
+        let h = HANDLE.with(|slot| {
+            *slot
+                .borrow()
+                .get(&me.0)
+                .unwrap_or_else(|| panic!("PE {}: fiber {me:?} has no live handle", pe.my_pe()))
+        });
+        // SAFETY: the pointer was stored by this fiber's own closure
+        // frame, which is alive for exactly as long as the fiber can
+        // yield; we are inside that fiber right now.
+        unsafe { (*h).yield_now() };
+    }
+}
+
+thread_local! {
+    /// Live yield-handles, keyed by fiber id. Populated by each fiber's
+    /// entry wrapper on its own stack; valid while the fiber is alive.
+    static HANDLE: RefCell<HashMap<u64, *const FiberHandle>> = RefCell::new(HashMap::new());
+}

@@ -1,0 +1,562 @@
+//! The Converse **thread object** (paper §3.2.2, appendix §5).
+//!
+//! "Converse separates the capabilities of thread packages modularly. In
+//! particular, it provides a thread object that encapsulates the
+//! essential capability of a thread — the ability to suspend and resume a
+//! thread of control … The thread object is not meant to be used by the
+//! end user directly … runtime systems of individual languages or
+//! packages may use the thread object to implement their thread
+//! functionalities easily."
+//!
+//! The primitives are exactly the paper's: create ([`cth_create`] /
+//! [`cth_create_of_size`]), resume ([`cth_resume`]), suspend
+//! ([`cth_suspend`]), awaken ([`cth_awaken`]), yield ([`cth_yield`]),
+//! exit ([`cth_exit`] — implicit when the thread function returns), self
+//! ([`cth_self`]), and the per-thread strategy override
+//! ([`cth_set_strategy`]) through which "each module can control the
+//! order in which its own threads are scheduled".
+//!
+//! # Substitution note (user-level → hand-off OS threads)
+//!
+//! The 1996 implementation multiplexes user-level stacks with
+//! `setjmp`/`longjmp`. Safe Rust cannot re-point the stack pointer, so a
+//! thread object here owns a real OS thread gated by a hand-off token:
+//! **exactly one context per PE runs at any instant**, transfers of
+//! control are explicit, and every semantic property of the thread
+//! object (own stack, cooperative scheduling, pluggable awaken/suspend
+//! strategy, integration with the Csd scheduler as a generalized
+//! message) is preserved. Only the context-switch constant differs
+//! (~µs instead of ~100 ns); EXPERIMENTS.md reports it honestly.
+//!
+//! # Scheduler integration
+//!
+//! [`CthRuntime::spawn_scheduled`] gives a thread the **Csd strategy**:
+//! awakening it enqueues a generalized message whose handler resumes the
+//! thread — the unification of threads and messages the paper's design
+//! rests on (§3.1.1: a generalized message can be "a scheduler entry for
+//! a ready thread").
+
+#[cfg(all(target_arch = "x86_64", unix))]
+pub mod fibers;
+
+use converse_core::csd;
+use converse_machine::{HandlerId, Message, Pe};
+use converse_msg::{pack::Packer, pack::Unpacker, Priority};
+use converse_queue::QueueingMode;
+use converse_trace::Event;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Payload used to unwind a poisoned (machine-teardown) thread without
+/// tripping the global panic hook.
+struct ThreadPoison;
+
+/// Payload used by [`cth_exit`] to unwind to the thread's landing pad.
+struct ExitRequested;
+
+/// A thread's entry function, boxed for storage until first resume.
+type Entry = Box<dyn FnOnce(&Pe) + Send>;
+
+/// How a thread is awakened (`CthSetStrategy` awakefn).
+pub type AwakenFn = Box<dyn FnMut(&Pe, Thread) + Send>;
+
+/// How a suspending thread picks its successor (`CthSetStrategy`
+/// suspfn); `None` = the PE's scheduler/main context.
+pub type SuspendFn = Box<dyn FnMut(&Pe) -> Option<Thread> + Send>;
+
+enum State {
+    /// Created, no OS thread yet; holds the entry function.
+    NotStarted(Option<Entry>),
+    /// Suspended: the OS thread is blocked on the hand-off condvar.
+    Parked,
+    /// This context currently holds the PE's run token.
+    Running,
+    /// The thread function returned (or the thread was poisoned).
+    Exited,
+    /// Machine teardown: next wakeup unwinds the stack.
+    Poisoned,
+}
+
+struct Inner {
+    id: u64,
+    state: Mutex<State>,
+    cv: Condvar,
+    strategy: Mutex<Option<Strategy>>,
+    stack_size: usize,
+}
+
+/// How a thread is awakened and what runs when it suspends
+/// (`CthSetStrategy`).
+pub struct Strategy {
+    /// Called by [`cth_awaken`]: store the thread where the suspend side
+    /// will find it.
+    pub awaken: AwakenFn,
+    /// Called by [`cth_suspend`] on this thread: pick the next context
+    /// (`None` = the PE's scheduler/main context).
+    pub suspend: SuspendFn,
+}
+
+/// A handle to a Converse thread object (`THREAD *`). Clone freely; all
+/// clones denote the same thread. Thread objects are PE-local: create,
+/// awaken and resume them only on their home PE.
+#[derive(Clone)]
+pub struct Thread(Arc<Inner>);
+
+impl Thread {
+    /// Runtime-unique thread id (0 names the PE's main context).
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// True once the thread function has returned.
+    pub fn is_exited(&self) -> bool {
+        matches!(*self.0.state.lock(), State::Exited)
+    }
+
+    fn same(&self, other: &Thread) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Thread({})", self.0.id)
+    }
+}
+
+impl PartialEq for Thread {
+    fn eq(&self, other: &Self) -> bool {
+        self.same(other)
+    }
+}
+
+impl Eq for Thread {}
+
+/// Default stack size for thread objects (`STACKSIZE`).
+pub const DEFAULT_STACK_SIZE: usize = 256 * 1024;
+
+/// Per-PE thread runtime (`CthInit` creates it implicitly on first use).
+pub struct CthRuntime {
+    /// The context currently holding the run token.
+    current: Mutex<Thread>,
+    /// The PE's original context: the scheduler/entry stack.
+    main: Thread,
+    /// Default ready pool used by the default suspend/awaken strategy.
+    ready: Mutex<VecDeque<Thread>>,
+    /// Every thread created on this PE, with its OS join handle once
+    /// started; consumed at teardown.
+    live: Mutex<Vec<(Thread, Option<std::thread::JoinHandle<()>>)>>,
+    next_id: AtomicU64,
+    /// Handler resuming a thread from a generalized message (the Csd
+    /// integration).
+    resume_handler: HandlerId,
+    /// Threads awaiting their Csd resume message, by id.
+    scheduled: Mutex<HashMap<u64, Thread>>,
+    /// A panic raised inside a thread, carried to the main context.
+    pending_panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+struct RtSlot(Arc<CthRuntime>);
+
+impl CthRuntime {
+    /// The thread runtime of this PE, initialized on first call
+    /// (`CthInit`). Registers one handler — call it at the same
+    /// registration position on every PE if threads are used anywhere —
+    /// and installs the teardown hook that poisons still-suspended
+    /// threads when the PE's entry returns.
+    pub fn get(pe: &Pe) -> Arc<CthRuntime> {
+        if let Some(s) = pe.try_local::<RtSlot>() {
+            return s.0.clone();
+        }
+        let resume_handler = pe.register_handler(|pe, msg| {
+            let rt = CthRuntime::get(pe);
+            let mut u = Unpacker::new(msg.payload());
+            let tid = u.u64().expect("cth resume: tid");
+            let t = rt.scheduled.lock().remove(&tid).unwrap_or_else(|| {
+                panic!("PE {}: resume message for unknown thread {tid}", pe.my_pe())
+            });
+            cth_resume(pe, &t);
+        });
+        let main = Thread(Arc::new(Inner {
+            id: 0,
+            state: Mutex::new(State::Running),
+            cv: Condvar::new(),
+            strategy: Mutex::new(None),
+            stack_size: 0,
+        }));
+        let rt = Arc::new(CthRuntime {
+            current: Mutex::new(main.clone()),
+            main,
+            ready: Mutex::new(VecDeque::new()),
+            live: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            resume_handler,
+            scheduled: Mutex::new(HashMap::new()),
+            pending_panic: Mutex::new(None),
+        });
+        pe.local(|| RtSlot(rt.clone()));
+        let rt2 = rt.clone();
+        pe.on_exit(move |pe| rt2.teardown(pe));
+        rt
+    }
+
+    /// Spawn a thread under the **Csd strategy** and awaken it, so it
+    /// starts running when the scheduler reaches its ready-entry
+    /// (`tSMCreate`-style). Returns its handle.
+    pub fn spawn_scheduled<F>(&self, pe: &Pe, f: F) -> Thread
+    where
+        F: FnOnce(&Pe) + Send + 'static,
+    {
+        self.spawn_scheduled_prio(pe, Priority::None, f)
+    }
+
+    /// Like [`CthRuntime::spawn_scheduled`] with an explicit scheduling
+    /// priority for the thread's ready messages.
+    pub fn spawn_scheduled_prio<F>(&self, pe: &Pe, prio: Priority, f: F) -> Thread
+    where
+        F: FnOnce(&Pe) + Send + 'static,
+    {
+        let t = cth_create(pe, f);
+        set_csd_strategy(pe, &t, prio);
+        cth_awaken(pe, &t);
+        t
+    }
+
+    /// Number of threads in the default ready pool.
+    pub fn ready_len(&self) -> usize {
+        self.ready.lock().len()
+    }
+
+    /// Number of live (created, not yet exited) threads.
+    pub fn live_len(&self) -> usize {
+        self.live.lock().iter().filter(|(t, _)| !t.is_exited()).count()
+    }
+
+    /// Poison every still-suspended thread and join their OS threads.
+    fn teardown(&self, pe: &Pe) {
+        let entries: Vec<(Thread, Option<std::thread::JoinHandle<()>>)> =
+            std::mem::take(&mut *self.live.lock());
+        for (t, _) in &entries {
+            let mut s = t.0.state.lock();
+            match &mut *s {
+                State::NotStarted(entry) => {
+                    entry.take();
+                    *s = State::Exited;
+                }
+                State::Parked => {
+                    *s = State::Poisoned;
+                    t.0.cv.notify_all();
+                }
+                State::Running => unreachable!(
+                    "PE {}: teardown while thread {} runs — the main context holds the token",
+                    pe.my_pe(),
+                    t.id()
+                ),
+                State::Exited | State::Poisoned => {}
+            }
+        }
+        for (_, handle) in entries {
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn rt(pe: &Pe) -> Arc<CthRuntime> {
+    CthRuntime::get(pe)
+}
+
+/// Create a thread object with the default stack size (`CthCreate`).
+/// The thread does not run until resumed or awakened.
+pub fn cth_create<F>(pe: &Pe, f: F) -> Thread
+where
+    F: FnOnce(&Pe) + Send + 'static,
+{
+    cth_create_of_size(pe, f, DEFAULT_STACK_SIZE)
+}
+
+/// Create a thread object with an explicit stack size
+/// (`CthCreateOfSize`).
+pub fn cth_create_of_size<F>(pe: &Pe, f: F, stack_size: usize) -> Thread
+where
+    F: FnOnce(&Pe) + Send + 'static,
+{
+    let rt = rt(pe);
+    let id = rt.next_id.fetch_add(1, Ordering::Relaxed);
+    let t = Thread(Arc::new(Inner {
+        id,
+        state: Mutex::new(State::NotStarted(Some(Box::new(f)))),
+        cv: Condvar::new(),
+        strategy: Mutex::new(Some(default_strategy())),
+        stack_size,
+    }));
+    rt.live.lock().push((t.clone(), None));
+    pe.trace_event(Event::ThreadCreate { tid: id });
+    t
+}
+
+fn default_strategy() -> Strategy {
+    Strategy {
+        awaken: Box::new(|pe, t| {
+            rt(pe).ready.lock().push_back(t);
+        }),
+        suspend: Box::new(|pe| rt(pe).ready.lock().pop_front()),
+    }
+}
+
+/// Install a per-thread scheduling strategy (`CthSetStrategy`): how
+/// [`cth_awaken`] stores the thread, and which thread [`cth_suspend`]
+/// picks when *this* thread gives up control.
+pub fn cth_set_strategy(_pe: &Pe, t: &Thread, s: Strategy) {
+    *t.0.strategy.lock() = Some(s);
+}
+
+/// Give `t` the Csd strategy: awakening enqueues a generalized message
+/// (optionally prioritized) whose handler resumes the thread; suspension
+/// returns control to the scheduler context.
+pub fn set_csd_strategy(pe: &Pe, t: &Thread, prio: Priority) {
+    let tid = t.id();
+    cth_set_strategy(
+        pe,
+        t,
+        Strategy {
+            awaken: Box::new(move |pe, t| {
+                let rt = rt(pe);
+                rt.scheduled.lock().insert(tid, t);
+                let payload = Packer::new().u64(tid).finish();
+                let msg = Message::with_priority(rt.resume_handler, &prio, &payload);
+                let mode = if prio == Priority::None {
+                    QueueingMode::Fifo
+                } else {
+                    QueueingMode::PrioFifo
+                };
+                csd::csd_enqueue_general(pe, msg, mode);
+            }),
+            suspend: Box::new(|_pe| None),
+        },
+    );
+}
+
+/// The currently executing thread (`CthSelf`); `None` in the PE's main
+/// (scheduler) context.
+pub fn cth_self(pe: &Pe) -> Option<Thread> {
+    let rt = rt(pe);
+    let cur = rt.current.lock().clone();
+    if cur.same(&rt.main) {
+        None
+    } else {
+        Some(cur)
+    }
+}
+
+/// Transfer control to `t` immediately (`CthResume`). The calling
+/// context is parked un-awakened: someone must `cth_resume` or
+/// `cth_awaken` it later, exactly as in the C API.
+pub fn cth_resume(pe: &Pe, t: &Thread) {
+    let rt = rt(pe);
+    let me = rt.current.lock().clone();
+    if me.same(t) {
+        return;
+    }
+    transfer(pe, &rt, &me, t);
+}
+
+/// Suspend the current thread and transfer control according to its
+/// strategy (`CthSuspend`): by default the oldest thread in the ready
+/// pool, else the PE's main context.
+pub fn cth_suspend(pe: &Pe) {
+    let rt = rt(pe);
+    let me = rt.current.lock().clone();
+    assert!(
+        !me.same(&rt.main),
+        "PE {}: cth_suspend called from the main context — only thread objects suspend",
+        pe.my_pe()
+    );
+    let next = {
+        let mut strat = me.0.strategy.lock();
+        match strat.as_mut() {
+            Some(s) => (s.suspend)(pe),
+            None => rt.ready.lock().pop_front(),
+        }
+    };
+    let target = next.unwrap_or_else(|| rt.main.clone());
+    pe.trace_event(Event::ThreadSuspend { tid: me.id() });
+    transfer(pe, &rt, &me, &target);
+}
+
+/// Add `t` to its scheduler's ready pool (`CthAwaken`): permission for a
+/// future suspend to transfer control to it. Must only be called when
+/// the thread is genuinely ready to continue.
+pub fn cth_awaken(pe: &Pe, t: &Thread) {
+    let rt = rt(pe);
+    {
+        let s = t.0.state.lock();
+        assert!(
+            !matches!(*s, State::Exited | State::Poisoned),
+            "PE {}: awaken of exited thread {}",
+            pe.my_pe(),
+            t.id()
+        );
+    }
+    let mut strat = t.0.strategy.lock();
+    match strat.as_mut() {
+        Some(s) => (s.awaken)(pe, t.clone()),
+        None => rt.ready.lock().push_back(t.clone()),
+    }
+}
+
+/// Awaken the current thread then suspend (`CthYield`): control will
+/// eventually return here.
+pub fn cth_yield(pe: &Pe) {
+    let rt = rt(pe);
+    let me = rt.current.lock().clone();
+    assert!(!me.same(&rt.main), "PE {}: cth_yield from the main context", pe.my_pe());
+    cth_awaken(pe, &me);
+    cth_suspend(pe);
+}
+
+/// Terminate the current thread (`CthExit`): control transfers per the
+/// thread's suspend strategy; the thread object becomes `Exited`.
+/// Returning from the thread function calls this implicitly. Unwinds, so
+/// destructors on the thread's stack run.
+pub fn cth_exit(pe: &Pe) -> ! {
+    let rt = rt(pe);
+    let me = rt.current.lock().clone();
+    assert!(!me.same(&rt.main), "PE {}: cth_exit from the main context", pe.my_pe());
+    std::panic::resume_unwind(Box::new(ExitRequested));
+}
+
+/// The core hand-off: mark `from` parked, start/wake `to`, wait until
+/// someone hands the token back to `from`.
+fn transfer(pe: &Pe, rt: &Arc<CthRuntime>, from: &Thread, to: &Thread) {
+    debug_assert!(!from.same(to));
+    *rt.current.lock() = to.clone();
+    pe.trace_event(Event::ThreadResume { tid: to.id() });
+    // Park self BEFORE waking the target so the target can immediately
+    // re-resume us without a lost wakeup.
+    {
+        let mut s = from.0.state.lock();
+        debug_assert!(matches!(*s, State::Running));
+        *s = State::Parked;
+    }
+    wake(pe, rt, to);
+    wait_for_token(rt, from);
+}
+
+fn wake(pe: &Pe, rt: &Arc<CthRuntime>, to: &Thread) {
+    let mut s = to.0.state.lock();
+    match &mut *s {
+        State::NotStarted(entry) => {
+            let entry = entry.take().expect("entry present before first start");
+            *s = State::Running;
+            drop(s);
+            spawn_os_thread(pe, rt, to, entry);
+        }
+        State::Parked => {
+            *s = State::Running;
+            to.0.cv.notify_all();
+        }
+        State::Running => panic!("PE {}: resume of running thread {}", pe.my_pe(), to.id()),
+        State::Exited | State::Poisoned => {
+            panic!("PE {}: resume of exited thread {}", pe.my_pe(), to.id())
+        }
+    }
+}
+
+fn wait_for_token(rt: &Arc<CthRuntime>, me: &Thread) {
+    {
+        let mut s = me.0.state.lock();
+        loop {
+            match *s {
+                State::Parked => me.0.cv.wait(&mut s),
+                State::Running => break,
+                State::Poisoned => {
+                    drop(s);
+                    std::panic::resume_unwind(Box::new(ThreadPoison));
+                }
+                _ => unreachable!("parked context can only become Running or Poisoned"),
+            }
+        }
+    }
+    // Back in control. If a thread carried a panic to the main context,
+    // re-raise it here so it propagates out of the PE entry.
+    if me.same(&rt.main) {
+        if let Some(p) = rt.pending_panic.lock().take() {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+fn spawn_os_thread(pe: &Pe, rt: &Arc<CthRuntime>, t: &Thread, entry: Entry) {
+    let pe_arc = pe.arc();
+    let rt2 = rt.clone();
+    let t2 = t.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("pe{}-cth{}", pe.my_pe(), t.id()))
+        .stack_size(t.0.stack_size.max(16 * 1024))
+        .spawn(move || {
+            let pe = pe_arc;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                entry(&pe);
+            }));
+            let user_panic = match result {
+                Ok(()) => None,
+                Err(p) if p.is::<ExitRequested>() || p.is::<ThreadPoison>() => None,
+                Err(p) => Some(p),
+            };
+            finish_thread(&pe, &rt2, &t2, user_panic);
+        })
+        .expect("spawn thread-object OS thread");
+    // Record the join handle for teardown.
+    let mut live = rt.live.lock();
+    if let Some(slot) = live.iter_mut().find(|(lt, _)| lt.same(t)) {
+        slot.1 = Some(handle);
+    } else {
+        live.push((t.clone(), Some(handle)));
+    }
+}
+
+/// Common tail of a thread's life: mark exited and hand the token to the
+/// next context (per strategy, else ready pool, else main).
+fn finish_thread(
+    pe: &Pe,
+    rt: &Arc<CthRuntime>,
+    me: &Thread,
+    user_panic: Option<Box<dyn std::any::Any + Send>>,
+) {
+    if matches!(*me.0.state.lock(), State::Poisoned) {
+        // Teardown owns the machine; just mark exited and leave.
+        *me.0.state.lock() = State::Exited;
+        return;
+    }
+    if let Some(p) = user_panic {
+        // Carry the panic to the main context and abort the machine so
+        // other PEs unblock instead of deadlocking.
+        *rt.pending_panic.lock() = Some(p);
+        pe.abort_machine();
+        *me.0.state.lock() = State::Exited;
+        let main = rt.main.clone();
+        *rt.current.lock() = main.clone();
+        let mut s = main.0.state.lock();
+        if matches!(*s, State::Parked) {
+            *s = State::Running;
+            main.0.cv.notify_all();
+        }
+        return;
+    }
+    let next = {
+        let mut strat = me.0.strategy.lock();
+        match strat.as_mut() {
+            Some(s) => (s.suspend)(pe),
+            None => rt.ready.lock().pop_front(),
+        }
+    };
+    let target = next.unwrap_or_else(|| rt.main.clone());
+    *me.0.state.lock() = State::Exited;
+    *rt.current.lock() = target.clone();
+    pe.trace_event(Event::ThreadResume { tid: target.id() });
+    wake(pe, rt, &target);
+}

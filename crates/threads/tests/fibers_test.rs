@@ -1,0 +1,221 @@
+//! Fiber-backed thread runtime: Cth semantics at user-level-switch cost.
+
+#![cfg(all(target_arch = "x86_64", unix))]
+
+use converse_core::{csd_enqueue, csd_exit_scheduler, csd_scheduler, csd_scheduler_until_idle, run, Message};
+use converse_threads::fibers::FiberRt;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn create_resume_runs_to_completion() {
+    run(1, |pe| {
+        let rt = FiberRt::get(pe);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = hits.clone();
+        let t = rt.create(pe, 32 * 1024, move |_pe| {
+            h2.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(!rt.is_done(t));
+        rt.resume(pe, t);
+        assert!(rt.is_done(t));
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    });
+}
+
+#[test]
+fn suspend_and_pool_resume_interleave() {
+    run(1, |pe| {
+        let rt = FiberRt::get(pe);
+        let log: Arc<parking_lot::Mutex<Vec<String>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let l2 = log.clone();
+        let t = rt.create(pe, 32 * 1024, move |pe| {
+            let rt = FiberRt::get(pe);
+            l2.lock().push("first".into());
+            rt.suspend(pe);
+            l2.lock().push("second".into());
+        });
+        rt.resume(pe, t);
+        log.lock().push("main".into());
+        rt.resume(pe, t);
+        assert_eq!(*log.lock(), vec!["first", "main", "second"]);
+        assert!(rt.is_done(t));
+    });
+}
+
+#[test]
+fn pool_yield_round_robin() {
+    run(1, |pe| {
+        let rt = FiberRt::get(pe);
+        let log: Arc<parking_lot::Mutex<Vec<(u8, u32)>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mk = |tag: u8, log: Arc<parking_lot::Mutex<Vec<(u8, u32)>>>| {
+            move |pe: &converse_core::Pe| {
+                let rt = FiberRt::get(pe);
+                for i in 0..3u32 {
+                    log.lock().push((tag, i));
+                    rt.yield_pool(pe);
+                }
+            }
+        };
+        let ta = rt.create(pe, 32 * 1024, mk(b'a', log.clone()));
+        let tb = rt.create(pe, 32 * 1024, mk(b'b', log.clone()));
+        rt.awaken_pool(pe, tb);
+        rt.resume(pe, ta);
+        let expect = vec![(b'a', 0), (b'b', 0), (b'a', 1), (b'b', 1), (b'a', 2), (b'b', 2)];
+        assert_eq!(*log.lock(), expect);
+        assert!(rt.is_done(ta) && rt.is_done(tb));
+    });
+}
+
+#[test]
+fn scheduled_fibers_run_via_csd() {
+    run(1, |pe| {
+        let rt = FiberRt::get(pe);
+        let log: Arc<parking_lot::Mutex<Vec<u32>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for i in 0..4u32 {
+            let l = log.clone();
+            rt.spawn_scheduled(pe, move |_pe| {
+                l.lock().push(i);
+            });
+        }
+        assert!(log.lock().is_empty());
+        csd_scheduler_until_idle(pe);
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3]);
+    });
+}
+
+#[test]
+fn fiber_blocks_on_message_wakeup() {
+    // The tSM pattern on fibers: a fiber suspends; a handler awakens it.
+    run(2, |pe| {
+        let data = pe.local(|| parking_lot::Mutex::new((None::<converse_threads::fibers::FThread>, None::<Vec<u8>>)));
+        let d2 = data.clone();
+        let h = pe.register_handler(move |pe, msg| {
+            let mut d = d2.lock();
+            d.1 = Some(msg.payload().to_vec());
+            if let Some(t) = d.0.take() {
+                drop(d);
+                FiberRt::get(pe).awaken(pe, t);
+            }
+        });
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            let rt = FiberRt::get(pe);
+            let d3 = data.clone();
+            let done = Arc::new(AtomicU64::new(0));
+            let done2 = done.clone();
+            rt.spawn_scheduled(pe, move |pe| {
+                let rt = FiberRt::get(pe);
+                loop {
+                    {
+                        let d = d3.lock();
+                        if let Some(payload) = &d.1 {
+                            assert_eq!(payload, b"wake fiber");
+                            break;
+                        }
+                    }
+                    d3.lock().0 = Some(rt.current().unwrap());
+                    rt.suspend(pe);
+                }
+                done2.store(1, Ordering::SeqCst);
+                csd_exit_scheduler(pe);
+            });
+            csd_scheduler(pe, -1);
+            assert_eq!(done.load(Ordering::SeqCst), 1);
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            pe.sync_send_and_free(0, Message::new(h, b"wake fiber"));
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn many_fiber_threads_cheaply() {
+    run(1, |pe| {
+        let rt = FiberRt::get(pe);
+        let count = Rc::new(RefCell::new(0u64));
+        let n = 1000;
+        for _ in 0..n {
+            let c = count.clone();
+            // Rc is fine: fibers stay on this OS thread.
+            let t = rt.create(pe, 16 * 1024, move |pe| {
+                *c.borrow_mut() += 1;
+                FiberRt::get(pe).yield_pool(pe);
+                *c.borrow_mut() += 1;
+            });
+            rt.awaken_pool(pe, t);
+        }
+        // Drive the pool: resume the first; exits chain through the pool.
+        // awaken_pool put all in the ready pool; kick it off with a
+        // trivial fiber whose exit chains into the pool.
+        let first = rt.create(pe, 16 * 1024, |_pe| {});
+        rt.resume(pe, first);
+        // first finished without directive → drive() continues with pool.
+        assert_eq!(*count.borrow(), 2 * n);
+    });
+}
+
+#[test]
+fn fiber_to_fiber_transfer() {
+    run(1, |pe| {
+        let rt = FiberRt::get(pe);
+        let log: Arc<parking_lot::Mutex<Vec<&'static str>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let l1 = log.clone();
+        let l2 = log.clone();
+        let tb = rt.create(pe, 32 * 1024, move |_pe| {
+            l2.lock().push("b ran");
+        });
+        let ta = rt.create(pe, 32 * 1024, move |pe| {
+            let rt = FiberRt::get(pe);
+            l1.lock().push("a before transfer");
+            rt.resume(pe, tb); // parks a un-awakened, runs b
+            unreachable!("a was never awakened again");
+        });
+        rt.resume(pe, ta);
+        assert_eq!(*log.lock(), vec!["a before transfer", "b ran"]);
+        assert!(rt.is_done(tb));
+        assert!(!rt.is_done(ta), "a is parked, not done");
+    });
+}
+
+#[test]
+fn mixed_with_handlers_and_queue() {
+    run(1, |pe| {
+        let rt = FiberRt::get(pe);
+        let order: Arc<parking_lot::Mutex<Vec<String>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let o1 = order.clone();
+        let h = pe.register_handler(move |_pe, msg| {
+            o1.lock().push(format!("handler {}", msg.payload()[0]));
+        });
+        let o2 = order.clone();
+        rt.spawn_scheduled(pe, move |pe| {
+            let rt = FiberRt::get(pe);
+            o2.lock().push("fiber part 1".into());
+            rt.yield_now(pe); // goes through the Csd queue
+            o2.lock().push("fiber part 2".into());
+        });
+        csd_enqueue(pe, Message::new(h, &[1]));
+        csd_scheduler_until_idle(pe);
+        // FIFO: fiber start, handler, fiber continuation.
+        assert_eq!(
+            *order.lock(),
+            vec!["fiber part 1".to_string(), "handler 1".to_string(), "fiber part 2".to_string()]
+        );
+    });
+}
+
+#[test]
+fn unfinished_fibers_reaped_at_exit() {
+    run(1, |pe| {
+        let rt = FiberRt::get(pe);
+        let t = rt.create(pe, 32 * 1024, |pe| {
+            FiberRt::get(pe).suspend(pe); // parked forever
+            unreachable!();
+        });
+        rt.resume(pe, t);
+        // Entry returns with the fiber parked; the exit hook reclaims it.
+    });
+}

@@ -1,0 +1,324 @@
+//! Thread-object semantics: suspend/resume, yield, strategies, scheduler
+//! integration, and teardown of never-finished threads.
+
+use converse_core::{csd_enqueue, csd_exit_scheduler, csd_scheduler, run, Message};
+use converse_msg::Priority;
+use converse_threads::{
+    cth_awaken, cth_create, cth_create_of_size, cth_resume, cth_self, cth_set_strategy,
+    cth_suspend, cth_yield, CthRuntime, Strategy,
+};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn resume_runs_thread_to_completion() {
+    run(1, |pe| {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = hits.clone();
+        let t = cth_create(pe, move |_pe| {
+            h2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(!t.is_exited());
+        cth_resume(pe, &t);
+        // Thread ran and exited; control returned to the main context.
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert!(t.is_exited());
+    });
+}
+
+#[test]
+fn suspend_returns_to_main_then_resume_continues() {
+    run(1, |pe| {
+        let log = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let l2 = log.clone();
+        let t = cth_create(pe, move |pe| {
+            l2.lock().push("first half");
+            cth_suspend(pe);
+            l2.lock().push("second half");
+        });
+        cth_resume(pe, &t);
+        log.lock().push("main between");
+        cth_resume(pe, &t);
+        assert_eq!(*log.lock(), vec!["first half", "main between", "second half"]);
+        assert!(t.is_exited());
+    });
+}
+
+#[test]
+fn self_identifies_contexts() {
+    run(1, |pe| {
+        assert!(cth_self(pe).is_none(), "main context has no thread self");
+        let observed = Arc::new(Mutex::new(None));
+        let o2 = observed.clone();
+        let t = cth_create(pe, move |pe| {
+            *o2.lock() = cth_self(pe).map(|t| t.id());
+        });
+        let tid = t.id();
+        cth_resume(pe, &t);
+        assert_eq!(*observed.lock(), Some(tid));
+        assert!(cth_self(pe).is_none());
+    });
+}
+
+#[test]
+fn yield_rotates_between_two_threads() {
+    // Two threads alternately yield; the default FIFO ready pool must
+    // interleave them strictly.
+    run(1, |pe| {
+        let log: Arc<Mutex<Vec<(u8, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+        let mk = |tag: u8, log: Arc<Mutex<Vec<(u8, u32)>>>| {
+            move |pe: &converse_core::Pe| {
+                for i in 0..3u32 {
+                    log.lock().push((tag, i));
+                    cth_yield(pe);
+                }
+            }
+        };
+        let ta = cth_create(pe, mk(b'a', log.clone()));
+        let tb = cth_create(pe, mk(b'b', log.clone()));
+        // Seed: awaken both, then hand control to A; when A first yields,
+        // the pool holds [B, A], so they alternate.
+        cth_awaken(pe, &tb);
+        cth_resume(pe, &ta);
+        // After A's first yield B runs, etc. When both exit, control
+        // returns here (exit pops the pool; the last exit falls to main).
+        assert!(ta.is_exited() && tb.is_exited());
+        let expect = vec![(b'a', 0), (b'b', 0), (b'a', 1), (b'b', 1), (b'a', 2), (b'b', 2)];
+        assert_eq!(*log.lock(), expect);
+    });
+}
+
+#[test]
+fn exit_transfers_to_next_ready_thread() {
+    run(1, |pe| {
+        let log = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let l1 = log.clone();
+        let l2 = log.clone();
+        let t1 = cth_create(pe, move |_pe| l1.lock().push(1));
+        let t2 = cth_create(pe, move |_pe| l2.lock().push(2));
+        cth_awaken(pe, &t2); // pool: [t2]
+        cth_resume(pe, &t1); // t1 runs, exits → pool pops t2 → t2 runs, exits → main
+        assert_eq!(*log.lock(), vec![1, 2]);
+        assert!(t1.is_exited() && t2.is_exited());
+    });
+}
+
+#[test]
+fn custom_strategy_lifo_scheduling() {
+    // Override awaken/suspend to use a LIFO stack per the paper: "you may
+    // alter the way CthAwaken and CthSuspend work together … only the
+    // order of selection should be altered."
+    run(1, |pe| {
+        let stack: Arc<Mutex<Vec<converse_threads::Thread>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let mk = |tag: u8, log: Arc<Mutex<Vec<u8>>>| {
+            move |_pe: &converse_core::Pe| {
+                log.lock().push(tag);
+            }
+        };
+        let driver_log = log.clone();
+        let ts: Vec<_> = (0..3u8).map(|i| cth_create(pe, mk(i, log.clone()))).collect();
+        for t in &ts {
+            let st = stack.clone();
+            let st2 = stack.clone();
+            cth_set_strategy(
+                pe,
+                t,
+                Strategy {
+                    awaken: Box::new(move |_pe, t| st.lock().push(t)),
+                    suspend: Box::new(move |_pe| st2.lock().pop()),
+                },
+            );
+        }
+        // A driver thread with the same LIFO strategy: its exit pops the
+        // stack, so awakening order 0,1,2 must run 2,1,0.
+        let st3 = stack.clone();
+        let driver = cth_create(pe, move |_pe| {
+            driver_log.lock().push(99);
+        });
+        cth_set_strategy(
+            pe,
+            &driver,
+            Strategy {
+                awaken: Box::new(|_pe, _t| unreachable!("driver is resumed directly")),
+                suspend: Box::new(move |_pe| st3.lock().pop()),
+            },
+        );
+        for t in &ts {
+            cth_awaken(pe, t);
+        }
+        cth_resume(pe, &driver);
+        assert_eq!(*log.lock(), vec![99, 2, 1, 0]);
+    });
+}
+
+#[test]
+fn csd_strategy_threads_run_via_scheduler() {
+    run(1, |pe| {
+        let rt = CthRuntime::get(pe);
+        let log = Arc::new(Mutex::new(Vec::<u32>::new()));
+        for i in 0..4u32 {
+            let l = log.clone();
+            rt.spawn_scheduled(pe, move |_pe| {
+                l.lock().push(i);
+            });
+        }
+        assert!(log.lock().is_empty(), "threads wait for the scheduler");
+        let stop = pe.register_handler(|pe, _| csd_exit_scheduler(pe));
+        csd_enqueue(pe, Message::new(stop, b""));
+        // Ready-thread messages were enqueued before the stop message.
+        csd_scheduler(pe, -1);
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3]);
+    });
+}
+
+#[test]
+fn csd_strategy_respects_priorities() {
+    run(1, |pe| {
+        let rt = CthRuntime::get(pe);
+        let log = Arc::new(Mutex::new(Vec::<i32>::new()));
+        for prio in [5, -2, 0, 9, -7] {
+            let l = log.clone();
+            rt.spawn_scheduled_prio(pe, Priority::Int(prio), move |_pe| {
+                l.lock().push(prio);
+            });
+        }
+        let stop = pe.register_handler(|pe, _| csd_exit_scheduler(pe));
+        // The stop goes in FIFO (priority 0 class) — negative-priority
+        // threads run before it, positive after... so give it the worst
+        // priority to flush everything first.
+        let m = Message::with_priority(stop, &Priority::Int(i32::MAX), b"");
+        converse_core::csd_enqueue_general(pe, m, converse_core::QueueingMode::PrioFifo);
+        csd_scheduler(pe, -1);
+        assert_eq!(*log.lock(), vec![-7, -2, 0, 5, 9]);
+    });
+}
+
+#[test]
+fn thread_blocks_on_message_and_is_awakened_by_handler() {
+    // The tSM pattern from §3.2.2, hand-rolled: a thread blocks; a
+    // message handler awakens it with the payload.
+    run(2, |pe| {
+        type WaitSlot = (Option<converse_threads::Thread>, Option<Vec<u8>>);
+        let slot: Arc<Mutex<WaitSlot>> = Arc::new(Mutex::new((None, None)));
+        let s2 = slot.clone();
+        let data_h = pe.register_handler(move |pe, msg| {
+            let mut s = s2.lock();
+            s.1 = Some(msg.payload().to_vec());
+            if let Some(t) = s.0.take() {
+                drop(s);
+                cth_awaken(pe, &t);
+            }
+        });
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            let rt = CthRuntime::get(pe);
+            let slot3 = slot.clone();
+            let done = Arc::new(AtomicU64::new(0));
+            let d2 = done.clone();
+            rt.spawn_scheduled(pe, move |pe| {
+                // Block until the payload arrives.
+                loop {
+                    {
+                        let s = slot3.lock();
+                        if let Some(data) = &s.1 {
+                            assert_eq!(data, b"wake up");
+                            break;
+                        }
+                    }
+                    let me = cth_self(pe).expect("inside a thread");
+                    slot3.lock().0 = Some(me);
+                    cth_suspend(pe);
+                }
+                d2.store(1, Ordering::SeqCst);
+                csd_exit_scheduler(pe);
+            });
+            csd_scheduler(pe, -1);
+            assert_eq!(done.load(Ordering::SeqCst), 1);
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            pe.sync_send_and_free(0, Message::new(data_h, b"wake up"));
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn many_threads_with_small_stacks() {
+    run(1, |pe| {
+        let count = Arc::new(AtomicU64::new(0));
+        let n = 200;
+        let ts: Vec<_> = (0..n)
+            .map(|_| {
+                let c = count.clone();
+                cth_create_of_size(
+                    pe,
+                    move |pe| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                        cth_yield(pe);
+                        c.fetch_add(1, Ordering::Relaxed);
+                    },
+                    64 * 1024,
+                )
+            })
+            .collect();
+        for t in &ts[1..] {
+            cth_awaken(pe, t);
+        }
+        cth_resume(pe, &ts[0]);
+        assert_eq!(count.load(Ordering::Relaxed), 2 * n);
+        assert!(ts.iter().all(|t| t.is_exited()));
+    });
+}
+
+#[test]
+fn unfinished_threads_are_reaped_at_machine_exit() {
+    // A thread that suspends forever must not hang machine teardown.
+    run(1, |pe| {
+        let t = cth_create(pe, |pe| {
+            cth_suspend(pe); // never awakened
+            unreachable!("poisoned thread unwinds instead of resuming");
+        });
+        cth_resume(pe, &t);
+        let rt = CthRuntime::get(pe);
+        assert_eq!(rt.live_len(), 1, "thread still suspended at exit");
+        // Entry returns now; the exit hook poisons and joins the thread.
+    });
+}
+
+#[test]
+fn never_started_threads_are_reaped() {
+    run(1, |pe| {
+        for _ in 0..10 {
+            let _t = cth_create(pe, |_pe| unreachable!("never started"));
+        }
+    });
+}
+
+#[test]
+fn panic_inside_thread_propagates_to_run() {
+    let result = std::panic::catch_unwind(|| {
+        run(1, |pe| {
+            let t = cth_create(pe, |_pe| panic!("thread boom"));
+            cth_resume(pe, &t);
+            unreachable!("main context must re-raise the thread's panic");
+        });
+    });
+    let err = result.expect_err("panic must propagate");
+    let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "thread boom");
+}
+
+#[test]
+fn thread_ids_are_unique_and_nonzero() {
+    run(1, |pe| {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let t = cth_create(pe, |_pe| {});
+            assert!(t.id() != 0, "0 names the main context");
+            assert!(seen.insert(t.id()), "duplicate id {}", t.id());
+            cth_resume(pe, &t);
+        }
+    });
+}

@@ -1,0 +1,390 @@
+//! Event tracing (paper §3.3.2).
+//!
+//! "Converse supports a standard for an event trace format. This consists
+//! of two parts: a standard format which must be adhered to by all
+//! language implementors, and an extensible self-describing format which
+//! may be language-specific. In addition to recording message send,
+//! receive and processing events, object or thread creation must also be
+//! recorded. … many variants of this module are provided, depending on
+//! the sophistication of the tracing desired."
+//!
+//! This crate provides:
+//! * the **standard record set** ([`Event`]) — sends, enqueues,
+//!   begin/end processing, thread and object lifecycle — plus the
+//!   extensible escape hatch ([`Event::User`]);
+//! * three sink variants of increasing sophistication:
+//!   [`NullSink`] (zero cost — the "pay only for what you use"
+//!   variant), [`MemorySink`] (in-memory ring, queryable), and
+//!   [`TextSink`] (line-oriented log for offline tools);
+//! * [`Summary`] — per-PE utilization and counts derived from a recorded
+//!   trace, the kind of digest a Projections-style tool would display.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One standard trace record. Times are nanoseconds since machine boot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A message left this PE (`CmiSyncSend` & co.).
+    MsgSent {
+        /// Destination PE.
+        dst: usize,
+        /// Total message bytes.
+        bytes: usize,
+        /// Handler index the message targets.
+        handler: u32,
+    },
+    /// A message was put on the scheduler's queue (`CsdEnqueue`).
+    Enqueue {
+        /// Handler index.
+        handler: u32,
+    },
+    /// A handler started running.
+    BeginProcessing {
+        /// Handler index.
+        handler: u32,
+        /// Source PE of the message (self for local entries).
+        src: usize,
+    },
+    /// The handler returned.
+    EndProcessing {
+        /// Handler index.
+        handler: u32,
+    },
+    /// A thread object was created.
+    ThreadCreate {
+        /// Runtime-assigned thread id.
+        tid: u64,
+    },
+    /// A thread was given control.
+    ThreadResume {
+        /// Thread id.
+        tid: u64,
+    },
+    /// A thread gave up control.
+    ThreadSuspend {
+        /// Thread id.
+        tid: u64,
+    },
+    /// A concurrent object (e.g. a chare) was created.
+    ObjectCreate {
+        /// Language-specific kind tag.
+        kind: u32,
+    },
+    /// Language-specific extensible record.
+    User {
+        /// Registered user event id.
+        id: u32,
+        /// Free-form datum.
+        data: u64,
+    },
+}
+
+/// A timestamped record as stored by sinks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// PE that emitted the event.
+    pub pe: usize,
+    /// Nanoseconds since machine boot.
+    pub t_ns: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// Destination for trace records. Implementations must be cheap and
+/// thread-safe; they are called from every PE's hot path when tracing is
+/// enabled.
+pub trait TraceSink: Send + Sync {
+    /// Record one event from `pe` at time `t_ns`.
+    fn record(&self, pe: usize, t_ns: u64, event: Event);
+    /// True if this sink actually stores anything; lets callers skip
+    /// building event payloads entirely when tracing is off.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The no-op sink: tracing compiled in, cost ≈ one virtual call that the
+/// caller elides by checking [`TraceSink::enabled`].
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _pe: usize, _t_ns: u64, _event: Event) {}
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// In-memory bounded trace, queryable after the run. Keeps at most
+/// `capacity` records per PE (oldest dropped), counting drops.
+pub struct MemorySink {
+    per_pe: Vec<Mutex<Vec<Record>>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl MemorySink {
+    /// A sink for `num_pes` processors keeping up to `capacity` records
+    /// per PE.
+    pub fn new(num_pes: usize, capacity: usize) -> Arc<Self> {
+        Arc::new(MemorySink {
+            per_pe: (0..num_pes).map(|_| Mutex::new(Vec::new())).collect(),
+            capacity,
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// All records of one PE, in emission order.
+    pub fn records(&self, pe: usize) -> Vec<Record> {
+        self.per_pe[pe].lock().clone()
+    }
+
+    /// All records of all PEs, ordered by timestamp.
+    pub fn all_records(&self) -> Vec<Record> {
+        let mut out: Vec<Record> = Vec::new();
+        for m in &self.per_pe {
+            out.extend(m.lock().iter().cloned());
+        }
+        out.sort_by_key(|r| r.t_ns);
+        out
+    }
+
+    /// Records dropped because a PE exceeded capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Compute the per-PE summary of this trace.
+    pub fn summary(&self) -> Summary {
+        Summary::from_records(self.per_pe.len(), &self.all_records())
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, pe: usize, t_ns: u64, event: Event) {
+        let mut v = self.per_pe[pe].lock();
+        if v.len() >= self.capacity {
+            v.remove(0);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        v.push(Record { pe, t_ns, event });
+    }
+}
+
+/// Line-oriented text sink: one `pe t_ns EVENT k=v…` line per record,
+/// buffered in memory and retrievable or flushable to any writer. This is
+/// the "self-describing" interchange variant.
+pub struct TextSink {
+    buf: Mutex<String>,
+}
+
+impl TextSink {
+    /// New empty text sink.
+    pub fn new() -> Arc<Self> {
+        Arc::new(TextSink { buf: Mutex::new(String::new()) })
+    }
+
+    /// The accumulated log text.
+    pub fn text(&self) -> String {
+        self.buf.lock().clone()
+    }
+
+    /// Write the accumulated log to `w` and clear the buffer.
+    pub fn flush_to(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let mut b = self.buf.lock();
+        w.write_all(b.as_bytes())?;
+        b.clear();
+        Ok(())
+    }
+}
+
+impl TraceSink for TextSink {
+    fn record(&self, pe: usize, t_ns: u64, event: Event) {
+        let mut b = self.buf.lock();
+        let _ = match &event {
+            Event::MsgSent { dst, bytes, handler } => {
+                writeln!(b, "{pe} {t_ns} SEND dst={dst} bytes={bytes} handler={handler}")
+            }
+            Event::Enqueue { handler } => writeln!(b, "{pe} {t_ns} ENQ handler={handler}"),
+            Event::BeginProcessing { handler, src } => {
+                writeln!(b, "{pe} {t_ns} BEGIN handler={handler} src={src}")
+            }
+            Event::EndProcessing { handler } => writeln!(b, "{pe} {t_ns} END handler={handler}"),
+            Event::ThreadCreate { tid } => writeln!(b, "{pe} {t_ns} THCREATE tid={tid}"),
+            Event::ThreadResume { tid } => writeln!(b, "{pe} {t_ns} THRESUME tid={tid}"),
+            Event::ThreadSuspend { tid } => writeln!(b, "{pe} {t_ns} THSUSPEND tid={tid}"),
+            Event::ObjectCreate { kind } => writeln!(b, "{pe} {t_ns} OBJCREATE kind={kind}"),
+            Event::User { id, data } => writeln!(b, "{pe} {t_ns} USER id={id} data={data}"),
+        };
+    }
+}
+
+/// Per-PE digest of a trace: message counts and handler-busy utilization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// One row per PE.
+    pub pes: Vec<PeSummary>,
+}
+
+/// One PE's digest.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PeSummary {
+    /// Messages sent.
+    pub sends: u64,
+    /// Handler executions (BeginProcessing count).
+    pub handler_runs: u64,
+    /// Scheduler enqueues.
+    pub enqueues: u64,
+    /// Threads created.
+    pub threads_created: u64,
+    /// Objects created.
+    pub objects_created: u64,
+    /// Nanoseconds spent inside handlers.
+    pub busy_ns: u64,
+    /// Fraction of the observed span spent inside handlers (0..=1);
+    /// zero when the span is empty.
+    pub utilization: f64,
+}
+
+impl Summary {
+    /// Derive a summary from a flat record list (as produced by
+    /// [`MemorySink::all_records`]).
+    pub fn from_records(num_pes: usize, records: &[Record]) -> Summary {
+        let mut pes = vec![PeSummary::default(); num_pes];
+        let mut open: Vec<Option<u64>> = vec![None; num_pes];
+        let mut first: Vec<Option<u64>> = vec![None; num_pes];
+        let mut last: Vec<u64> = vec![0; num_pes];
+        for r in records {
+            let s = &mut pes[r.pe];
+            first[r.pe].get_or_insert(r.t_ns);
+            last[r.pe] = last[r.pe].max(r.t_ns);
+            match &r.event {
+                Event::MsgSent { .. } => s.sends += 1,
+                Event::Enqueue { .. } => s.enqueues += 1,
+                Event::BeginProcessing { .. } => {
+                    s.handler_runs += 1;
+                    open[r.pe] = Some(r.t_ns);
+                }
+                Event::EndProcessing { .. } => {
+                    if let Some(t0) = open[r.pe].take() {
+                        s.busy_ns += r.t_ns.saturating_sub(t0);
+                    }
+                }
+                Event::ThreadCreate { .. } => s.threads_created += 1,
+                Event::ObjectCreate { .. } => s.objects_created += 1,
+                _ => {}
+            }
+        }
+        for pe in 0..num_pes {
+            if let Some(f) = first[pe] {
+                let span = last[pe].saturating_sub(f);
+                if span > 0 {
+                    pes[pe].utilization = pes[pe].busy_ns as f64 / span as f64;
+                }
+            }
+        }
+        Summary { pes }
+    }
+
+    /// Total messages sent across PEs.
+    pub fn total_sends(&self) -> u64 {
+        self.pes.iter().map(|p| p.sends).sum()
+    }
+
+    /// Total handler executions across PEs.
+    pub fn total_handler_runs(&self) -> u64 {
+        self.pes.iter().map(|p| p.handler_runs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        let s = NullSink;
+        assert!(!s.enabled());
+        s.record(0, 0, Event::Enqueue { handler: 1 }); // must not panic
+    }
+
+    #[test]
+    fn memory_sink_stores_in_order() {
+        let s = MemorySink::new(2, 16);
+        s.record(0, 10, Event::MsgSent { dst: 1, bytes: 8, handler: 3 });
+        s.record(1, 20, Event::BeginProcessing { handler: 3, src: 0 });
+        s.record(1, 30, Event::EndProcessing { handler: 3 });
+        assert_eq!(s.records(0).len(), 1);
+        assert_eq!(s.records(1).len(), 2);
+        let all = s.all_records();
+        assert_eq!(all.len(), 3);
+        assert!(all.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    }
+
+    #[test]
+    fn memory_sink_bounds_capacity() {
+        let s = MemorySink::new(1, 3);
+        for i in 0..10 {
+            s.record(0, i, Event::Enqueue { handler: 0 });
+        }
+        assert_eq!(s.records(0).len(), 3);
+        assert_eq!(s.dropped(), 7);
+        // Oldest dropped: remaining timestamps are the last three.
+        assert_eq!(s.records(0)[0].t_ns, 7);
+    }
+
+    #[test]
+    fn summary_counts_and_utilization() {
+        let s = MemorySink::new(1, 64);
+        s.record(0, 0, Event::BeginProcessing { handler: 1, src: 0 });
+        s.record(0, 50, Event::EndProcessing { handler: 1 });
+        s.record(0, 60, Event::MsgSent { dst: 0, bytes: 1, handler: 1 });
+        s.record(0, 80, Event::BeginProcessing { handler: 1, src: 0 });
+        s.record(0, 100, Event::EndProcessing { handler: 1 });
+        let sum = s.summary();
+        let p = &sum.pes[0];
+        assert_eq!(p.handler_runs, 2);
+        assert_eq!(p.sends, 1);
+        assert_eq!(p.busy_ns, 70);
+        assert!((p.utilization - 0.7).abs() < 1e-9);
+        assert_eq!(sum.total_handler_runs(), 2);
+    }
+
+    #[test]
+    fn text_sink_formats_lines() {
+        let s = TextSink::new();
+        s.record(2, 99, Event::ThreadCreate { tid: 5 });
+        s.record(2, 100, Event::User { id: 1, data: 42 });
+        let text = s.text();
+        assert!(text.contains("2 99 THCREATE tid=5"));
+        assert!(text.contains("2 100 USER id=1 data=42"));
+    }
+
+    #[test]
+    fn text_sink_flush_clears() {
+        let s = TextSink::new();
+        s.record(0, 1, Event::Enqueue { handler: 7 });
+        let mut out = Vec::new();
+        s.flush_to(&mut out).unwrap();
+        assert!(!out.is_empty());
+        assert!(s.text().is_empty());
+    }
+
+    #[test]
+    fn summary_handles_unbalanced_begin() {
+        // An unmatched Begin contributes no busy time and must not panic.
+        let recs = vec![Record { pe: 0, t_ns: 5, event: Event::BeginProcessing { handler: 0, src: 0 } }];
+        let sum = Summary::from_records(1, &recs);
+        assert_eq!(sum.pes[0].busy_ns, 0);
+    }
+
+    #[test]
+    fn record_clone_eq() {
+        let r = Record { pe: 1, t_ns: 123, event: Event::MsgSent { dst: 0, bytes: 9, handler: 2 } };
+        assert_eq!(r.clone(), r);
+    }
+}

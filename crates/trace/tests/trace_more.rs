@@ -1,0 +1,108 @@
+//! Additional trace-module coverage: user events, multi-PE summaries,
+//! and interchange-format details.
+
+use converse_trace::{Event, MemorySink, Summary, TextSink, TraceSink};
+
+#[test]
+fn user_events_flow_through_all_sinks() {
+    let mem = MemorySink::new(1, 16);
+    let text = TextSink::new();
+    for sink in [&*mem as &dyn TraceSink, &*text as &dyn TraceSink] {
+        sink.record(0, 5, Event::User { id: 3, data: 77 });
+    }
+    assert_eq!(mem.records(0).len(), 1);
+    assert!(matches!(mem.records(0)[0].event, Event::User { id: 3, data: 77 }));
+    assert!(text.text().contains("USER id=3 data=77"));
+}
+
+#[test]
+fn summary_separates_pes() {
+    let s = MemorySink::new(3, 64);
+    // PE 0: busy half its span; PE 2: fully busy; PE 1: silent.
+    s.record(0, 0, Event::BeginProcessing { handler: 1, src: 0 });
+    s.record(0, 10, Event::EndProcessing { handler: 1 });
+    s.record(0, 20, Event::Enqueue { handler: 1 });
+    s.record(2, 100, Event::BeginProcessing { handler: 2, src: 1 });
+    s.record(2, 200, Event::EndProcessing { handler: 2 });
+    let sum = s.summary();
+    assert!((sum.pes[0].utilization - 0.5).abs() < 1e-9);
+    assert_eq!(sum.pes[1].handler_runs, 0);
+    assert_eq!(sum.pes[1].utilization, 0.0);
+    assert!((sum.pes[2].utilization - 1.0).abs() < 1e-9);
+    assert_eq!(sum.pes[0].enqueues, 1);
+}
+
+#[test]
+fn summary_interleaved_pes_from_merged_stream() {
+    // all_records interleaves PEs by timestamp; Summary must still pair
+    // each PE's begin/end correctly.
+    let s = MemorySink::new(2, 64);
+    s.record(0, 0, Event::BeginProcessing { handler: 0, src: 0 });
+    s.record(1, 5, Event::BeginProcessing { handler: 0, src: 0 });
+    s.record(0, 10, Event::EndProcessing { handler: 0 });
+    s.record(1, 25, Event::EndProcessing { handler: 0 });
+    let sum = Summary::from_records(2, &s.all_records());
+    assert_eq!(sum.pes[0].busy_ns, 10);
+    assert_eq!(sum.pes[1].busy_ns, 20);
+}
+
+#[test]
+fn thread_and_object_lifecycle_counted() {
+    let s = MemorySink::new(1, 64);
+    s.record(0, 1, Event::ThreadCreate { tid: 7 });
+    s.record(0, 2, Event::ThreadResume { tid: 7 });
+    s.record(0, 3, Event::ThreadSuspend { tid: 7 });
+    s.record(0, 4, Event::ObjectCreate { kind: 2 });
+    s.record(0, 5, Event::ObjectCreate { kind: 2 });
+    let sum = s.summary();
+    assert_eq!(sum.pes[0].threads_created, 1);
+    assert_eq!(sum.pes[0].objects_created, 2);
+}
+
+#[test]
+fn text_format_one_line_per_record() {
+    let t = TextSink::new();
+    t.record(0, 1, Event::MsgSent { dst: 1, bytes: 10, handler: 5 });
+    t.record(1, 2, Event::Enqueue { handler: 5 });
+    t.record(0, 3, Event::BeginProcessing { handler: 5, src: 1 });
+    t.record(0, 4, Event::EndProcessing { handler: 5 });
+    t.record(0, 5, Event::ThreadCreate { tid: 9 });
+    t.record(0, 6, Event::ThreadResume { tid: 9 });
+    t.record(0, 7, Event::ThreadSuspend { tid: 9 });
+    t.record(0, 8, Event::ObjectCreate { kind: 4 });
+    let text = t.text();
+    assert_eq!(text.lines().count(), 8);
+    // Every line starts "pe t_ns KIND".
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        parts.next().unwrap().parse::<usize>().expect("pe");
+        parts.next().unwrap().parse::<u64>().expect("t_ns");
+        let kind = parts.next().unwrap();
+        assert!(kind.chars().all(|c| c.is_ascii_uppercase()), "kind {kind}");
+    }
+}
+
+#[test]
+fn capacity_bound_is_per_pe() {
+    let s = MemorySink::new(2, 4);
+    for i in 0..10 {
+        s.record(0, i, Event::Enqueue { handler: 0 });
+    }
+    s.record(1, 0, Event::Enqueue { handler: 0 });
+    assert_eq!(s.records(0).len(), 4, "PE 0 capped");
+    assert_eq!(s.records(1).len(), 1, "PE 1 unaffected");
+    assert_eq!(s.dropped(), 6);
+}
+
+#[test]
+fn total_counters_sum_over_pes() {
+    let s = MemorySink::new(3, 16);
+    for pe in 0..3 {
+        s.record(pe, 1, Event::MsgSent { dst: 0, bytes: 1, handler: 0 });
+        s.record(pe, 2, Event::BeginProcessing { handler: 0, src: 0 });
+        s.record(pe, 3, Event::EndProcessing { handler: 0 });
+    }
+    let sum = s.summary();
+    assert_eq!(sum.total_sends(), 3);
+    assert_eq!(sum.total_handler_runs(), 3);
+}

@@ -1,0 +1,73 @@
+//! Quickstart: boot a simulated 4-PE machine, register handlers, send
+//! generalized messages, run the scheduler, and meet at collectives.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use converse::prelude::*;
+
+fn main() {
+    let report = converse::core::run(4, |pe| {
+        // 1. Register handlers — SAME ORDER on every PE, as in C Converse.
+        let greet = pe.register_handler(|pe, msg| {
+            pe.cmi_printf(format!(
+                "PE {}: received \"{}\"",
+                pe.my_pe(),
+                String::from_utf8_lossy(msg.payload())
+            ));
+            csd_exit_scheduler(pe);
+        });
+        pe.barrier();
+
+        // 2. PE 0 broadcasts a greeting; everyone else serves the
+        //    scheduler until the handler asks it to stop.
+        if pe.my_pe() == 0 {
+            let msg = Message::new(greet, b"hello from the Converse scheduler");
+            pe.sync_broadcast(&msg);
+        } else {
+            csd_scheduler(pe, -1);
+        }
+        pe.barrier();
+
+        // 3. A prioritized batch: enqueue local work out of order, watch
+        //    the queue order it (smaller integer = more urgent).
+        if pe.my_pe() == 0 {
+            let show = pe.register_handler(|pe, msg| {
+                pe.cmi_printf(format!(
+                    "  priority {} ran",
+                    i32::from_le_bytes(msg.payload().try_into().unwrap())
+                ));
+            });
+            for p in [5, -2, 0, 9, -7] {
+                let m = Message::with_priority(show, &Priority::Int(p), &p.to_le_bytes());
+                csd_enqueue_general(pe, m, QueueingMode::PrioFifo);
+            }
+            csd_scheduler(pe, 5);
+        } else {
+            // Other PEs registered the same handler to keep tables equal.
+            let _show = pe.register_handler(|_, _| {});
+        }
+        pe.barrier();
+
+        // 4. A global reduction through the EMI spanning tree.
+        let sum = pe.register_combiner(|a, b| {
+            let x = u64::from_le_bytes(a.try_into().unwrap());
+            let y = u64::from_le_bytes(b.try_into().unwrap());
+            (x + y).to_le_bytes().to_vec()
+        });
+        let mine = (pe.my_pe() as u64 + 1).to_le_bytes().to_vec();
+        let total = u64::from_le_bytes(pe.allreduce_bytes(mine, sum).try_into().unwrap());
+        if pe.my_pe() == 0 {
+            pe.cmi_printf(format!("allreduce(1+2+3+4) = {total}"));
+        }
+        assert_eq!(total, 10);
+    });
+
+    println!(
+        "machine ran: {} messages, {} bytes, {:?}",
+        report.total_msgs(),
+        report.total_bytes(),
+        report.elapsed
+    );
+}

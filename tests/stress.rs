@@ -1,0 +1,224 @@
+//! Stress tests: larger machines, heavy message volumes, many threads,
+//! adversarial delivery — the load the unit tests don't reach.
+
+use converse::charm::{Chare, ChareId, Charm};
+use converse::dp::{Dp, Op};
+use converse::ldb::LdbPolicy;
+use converse::prelude::*;
+use converse::sm::{Sm, ANY};
+use converse::sync::CtsLock;
+use converse::threads::CthRuntime;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn sixteen_pe_all_to_all_storm() {
+    // Every PE sends K messages to every other PE; totals must balance.
+    const K: u64 = 200;
+    let received: Arc<Vec<AtomicU64>> = Arc::new((0..16).map(|_| AtomicU64::new(0)).collect());
+    let r2 = received.clone();
+    converse::core::run(16, move |pe| {
+        let r = r2.clone();
+        let h = pe.register_handler(move |pe, msg| {
+            assert_eq!(msg.payload().len(), 64);
+            r[pe.my_pe()].fetch_add(1, Ordering::Relaxed);
+        });
+        pe.barrier();
+        for k in 0..K {
+            for dst in 0..pe.num_pes() {
+                if dst != pe.my_pe() {
+                    pe.sync_send_and_free(dst, Message::new(h, &[k as u8; 64]));
+                }
+            }
+            if k % 16 == 0 {
+                pe.deliver_msgs(None); // keep mailboxes bounded-ish
+            }
+        }
+        // Drain until everyone got everything.
+        let expect = K * 15;
+        pe.deliver_until(|| r2[pe.my_pe()].load(Ordering::Relaxed) == expect);
+        pe.barrier();
+    });
+    for (pe, r) in received.iter().enumerate() {
+        assert_eq!(r.load(Ordering::Relaxed), K * 15, "PE {pe}");
+    }
+}
+
+#[test]
+fn deep_chare_tree_under_reorder() {
+    // fib(14) over 8 PEs with adversarial delivery reordering.
+    let result = Arc::new(AtomicU64::new(0));
+    let r2 = result.clone();
+    struct F {
+        pending: u8,
+        acc: u64,
+        parent: Option<ChareId>,
+        report: Option<u32>,
+    }
+    impl Chare for F {
+        fn new(pe: &Pe, self_id: ChareId, payload: &[u8]) -> Self {
+            let mut u = Unpacker::new(payload);
+            let n = u.u64().unwrap();
+            let kind = u.u32().unwrap();
+            let has_parent = u.u8().unwrap() == 1;
+            let (parent, report) = if has_parent {
+                (ChareId::decode(u.raw(16).unwrap()), None)
+            } else {
+                (None, Some(u.u32().unwrap()))
+            };
+            let mut me = F { pending: 0, acc: 0, parent, report };
+            if n < 2 {
+                me.done(pe, n);
+            } else {
+                let charm = Charm::get(pe);
+                for k in [n - 1, n - 2] {
+                    let p = Packer::new().u64(k).u32(kind).u8(1).raw(&self_id.encode()).finish();
+                    charm.create(pe, converse::charm::ChareKind(kind), &p, Priority::None);
+                    me.pending += 1;
+                }
+            }
+            me
+        }
+        fn entry(&mut self, pe: &Pe, _id: ChareId, _ep: u32, payload: &[u8]) {
+            self.acc += u64::from_le_bytes(payload.try_into().unwrap());
+            self.pending -= 1;
+            if self.pending == 0 {
+                let v = self.acc;
+                self.done(pe, v);
+            }
+        }
+    }
+    impl F {
+        fn done(&mut self, pe: &Pe, v: u64) {
+            let charm = Charm::get(pe);
+            match (self.parent, self.report) {
+                (Some(p), _) => charm.send(pe, p, 0, &v.to_le_bytes(), Priority::None),
+                (None, Some(h)) => {
+                    pe.sync_send_and_free(0, Message::new(HandlerId(h), &v.to_le_bytes()))
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    let cfg = MachineConfig::new(8)
+        .delivery(converse::machine::DeliveryMode::Reorder { seed: 1234, window: 10 });
+    converse::core::run_with(cfg, move |pe| {
+        let charm = Charm::install(pe, LdbPolicy::Random { seed: 8 });
+        let kind = charm.register::<F>();
+        let r3 = r2.clone();
+        let report = pe.register_handler(move |pe, msg| {
+            r3.store(u64::from_le_bytes(msg.payload().try_into().unwrap()), Ordering::SeqCst);
+            Charm::get(pe).exit_all(pe);
+        });
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            let p = Packer::new().u64(14).u32(kind.0).u8(0).u32(report.0).finish();
+            charm.create(pe, kind, &p, Priority::None);
+        }
+        csd_scheduler(pe, -1);
+        pe.barrier();
+    });
+    assert_eq!(result.load(Ordering::SeqCst), 377, "fib(14)");
+}
+
+#[test]
+fn five_hundred_threads_on_one_pe() {
+    converse::core::run(1, |pe| {
+        let rt = CthRuntime::get(pe);
+        let lock = CtsLock::new();
+        let counter = Arc::new(parking_lot::Mutex::new(0u64));
+        for _ in 0..500 {
+            let l = lock.clone();
+            let c = counter.clone();
+            rt.spawn_scheduled(pe, move |pe| {
+                l.lock(pe);
+                let v = *c.lock();
+                converse::threads::cth_yield(pe);
+                *c.lock() = v + 1;
+                l.unlock(pe).unwrap();
+            });
+        }
+        csd_scheduler_until_idle(pe);
+        assert_eq!(*counter.lock(), 500);
+    });
+}
+
+#[test]
+fn sm_bulk_tagged_traffic_with_reorder() {
+    let cfg = MachineConfig::new(4)
+        .delivery(converse::machine::DeliveryMode::Reorder { seed: 77, window: 12 });
+    converse::core::run_with(cfg, |pe| {
+        let sm = Sm::install(pe);
+        pe.barrier();
+        // Everyone sends 50 messages per tag to PE 0 on 3 tags.
+        if pe.my_pe() != 0 {
+            for i in 0..50u32 {
+                for tag in 1..=3 {
+                    sm.send(pe, 0, tag, &(i * tag as u32).to_le_bytes());
+                }
+            }
+        } else {
+            // Receive per (tag, src): per-pair payload order must hold
+            // per tag even under global reordering? No — reorder breaks
+            // it; just verify counts and payload sets.
+            let mut got = 0;
+            let mut sum: u64 = 0;
+            while got < 3 * 3 * 50 {
+                let m = sm.recv(pe, ANY, ANY);
+                sum += u32::from_le_bytes(m.data.try_into().unwrap()) as u64;
+                got += 1;
+            }
+            let expect: u64 =
+                3 * (0..50u64).map(|i| i + 2 * i + 3 * i).sum::<u64>();
+            assert_eq!(sum, expect);
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn large_messages_through_collectives() {
+    converse::core::run(4, |pe| {
+        let dp = Dp::install(pe);
+        // 1 MiB blobs through allgather_bytes.
+        let mine = vec![pe.my_pe() as u8; 1 << 20];
+        let all = dp.allgather_bytes(pe, mine);
+        for (p, blob) in all.iter().enumerate() {
+            assert_eq!(blob.len(), 1 << 20);
+            assert!(blob.iter().all(|b| *b == p as u8));
+        }
+        // And a big reduction workload.
+        let total = dp.allreduce(pe, (pe.my_pe() as i64 + 1) * 1_000_000, Op::Sum);
+        assert_eq!(total, 10_000_000);
+    });
+}
+
+#[test]
+fn rapid_fire_quiescence_cycles() {
+    // Arm and fire quiescence repeatedly in one run: the detector must
+    // be reusable.
+    converse::core::run(3, |pe| {
+        let qd = Quiescence::install(pe);
+        let work = {
+            let qd = qd.clone();
+            pe.register_handler(move |_pe, _| qd.msg_processed(1))
+        };
+        let done = pe.register_handler(|pe, _| csd_exit_scheduler(pe));
+        pe.barrier();
+        for round in 0..10 {
+            if pe.my_pe() == 0 {
+                for dst in 0..pe.num_pes() {
+                    qd.msg_created(1);
+                    pe.sync_send_and_free(dst, Message::new(work, &[round]));
+                }
+                qd.start(pe, Message::new(done, b""));
+                csd_scheduler(pe, -1);
+                assert!(!qd.is_active(), "round {round}");
+                pe.sync_broadcast(&Message::new(done, b""));
+            } else {
+                csd_scheduler(pe, -1);
+            }
+            pe.barrier();
+        }
+    });
+}
