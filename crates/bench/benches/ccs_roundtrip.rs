@@ -1,0 +1,24 @@
+//! CCS request round trip: external client → TCP → gateway → scheduler
+//! → handler → reply sink → TCP → client, closed loop. The per-request
+//! cost external traffic pays over a native message, swept over payload
+//! size and PE count (on multi-PE machines requests rotate across PEs).
+
+use converse_bench::ccs_load::echo_round_trips;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ccs_roundtrip");
+    g.sample_size(10);
+    for &payload in &[16usize, 1024, 65536] {
+        g.throughput(Throughput::Bytes(payload as u64));
+        for &pes in &[1usize, 4] {
+            g.bench_function(BenchmarkId::new(format!("{pes}pe"), payload), |b| {
+                b.iter_custom(|iters| echo_round_trips(pes, payload, iters));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

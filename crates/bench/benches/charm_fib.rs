@@ -31,13 +31,23 @@ impl Chare for Fib {
         } else {
             (None, Some(u.u32().expect("report")))
         };
-        let mut me = Fib { pending: 0, acc: 0, parent, root_report };
+        let mut me = Fib {
+            pending: 0,
+            acc: 0,
+            parent,
+            root_report,
+        };
         if n < 2 {
             me.finish(pe, n);
         } else {
             let charm = Charm::get(pe);
             for k in [n - 1, n - 2] {
-                let child = Packer::new().u64(k).u32(kind).u8(1).raw(&self_id.encode()).finish();
+                let child = Packer::new()
+                    .u64(k)
+                    .u32(kind)
+                    .u8(1)
+                    .raw(&self_id.encode())
+                    .finish();
                 charm.create(pe, converse_charm::ChareKind(kind), &child, Priority::None);
                 me.pending += 1;
             }
@@ -85,24 +95,41 @@ fn fib_run(n: u64, policy: LdbPolicy) -> (Duration, u64) {
         pe.barrier();
         let t0 = Instant::now();
         if pe.my_pe() == 0 {
-            let payload = Packer::new().u64(n).u32(kind.0).u8(0).u32(report.0).finish();
+            let payload = Packer::new()
+                .u64(n)
+                .u32(kind.0)
+                .u8(0)
+                .u32(report.0)
+                .finish();
             charm.create(pe, kind, &payload, Priority::None);
         }
         csd_scheduler(pe, -1);
         if pe.my_pe() == 0 {
             e2.store(t0.elapsed().as_nanos() as u64, Ordering::SeqCst);
         }
-        c2.fetch_add(charm.chares_created.load(Ordering::Relaxed), Ordering::SeqCst);
+        c2.fetch_add(
+            charm.chares_created.load(Ordering::Relaxed),
+            Ordering::SeqCst,
+        );
         pe.barrier();
     });
-    (Duration::from_nanos(elapsed.load(Ordering::SeqCst)), chares.load(Ordering::SeqCst))
+    (
+        Duration::from_nanos(elapsed.load(Ordering::SeqCst)),
+        chares.load(Ordering::SeqCst),
+    )
 }
 
 fn main() {
     let policies: [(&str, LdbPolicy); 3] = [
         ("direct", LdbPolicy::Direct),
         ("random", LdbPolicy::Random { seed: 2 }),
-        ("spray", LdbPolicy::Spray { threshold: 8, max_hops: 3 }),
+        (
+            "spray",
+            LdbPolicy::Spray {
+                threshold: 8,
+                max_hops: 3,
+            },
+        ),
     ];
     println!("\nfib(16) wall time on 4 PEs (mean of 5):");
     for (name, policy) in policies {
@@ -114,7 +141,10 @@ fn main() {
     }
 
     println!("\nChare throughput, fib(18) on 4 PEs:");
-    println!("{:>8} {:>12} {:>12} {:>14}", "policy", "chares", "time", "chares/s");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14}",
+        "policy", "chares", "time", "chares/s"
+    );
     for (name, policy) in policies {
         let (t, n) = fib_run(18, policy);
         println!(

@@ -7,7 +7,12 @@ mod common;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    common::run_figure_bench(c, "fig6_myrinet_fm", converse_bench::NetModel::myrinet_fm(), true);
+    common::run_figure_bench(
+        c,
+        "fig6_myrinet_fm",
+        converse_bench::NetModel::myrinet_fm(),
+        true,
+    );
 }
 
 criterion_group!(benches, bench);

@@ -7,7 +7,12 @@ mod common;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    common::run_figure_bench(c, "fig8_paragon", converse_bench::NetModel::paragon(), false);
+    common::run_figure_bench(
+        c,
+        "fig8_paragon",
+        converse_bench::NetModel::paragon(),
+        false,
+    );
 }
 
 criterion_group!(benches, bench);

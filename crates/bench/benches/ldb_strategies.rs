@@ -62,7 +62,13 @@ fn main() {
     let policies: [(&str, LdbPolicy); 5] = [
         ("direct", LdbPolicy::Direct),
         ("random", LdbPolicy::Random { seed: 42 }),
-        ("spray", LdbPolicy::Spray { threshold: 4, max_hops: 4 }),
+        (
+            "spray",
+            LdbPolicy::Spray {
+                threshold: 4,
+                max_hops: 4,
+            },
+        ),
         ("central", LdbPolicy::Central),
         ("2choice", LdbPolicy::TwoChoices { seed: 42 }),
     ];
@@ -83,6 +89,11 @@ fn main() {
         let (_, counts) = drain_seeds(policy);
         let max = *counts.iter().max().expect("pes") as f64;
         let avg = counts.iter().sum::<u64>() as f64 / PES as f64;
-        println!("{:>10} {:>24} {:>10.2}", name, format!("{counts:?}"), max / avg);
+        println!(
+            "{:>10} {:>24} {:>10.2}",
+            name,
+            format!("{counts:?}"),
+            max / avg
+        );
     }
 }

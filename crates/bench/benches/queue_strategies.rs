@@ -19,7 +19,9 @@ fn transit(q: &mut dyn SchedulingQueue, msgs: &[Message], mode: QueueingMode) {
 }
 
 fn bench(c: &mut Criterion) {
-    let plain: Vec<Message> = (0..BATCH).map(|_| Message::new(HandlerId(0), &[0; 16])).collect();
+    let plain: Vec<Message> = (0..BATCH)
+        .map(|_| Message::new(HandlerId(0), &[0; 16]))
+        .collect();
     let int_prio: Vec<Message> = (0..BATCH)
         .map(|i| {
             Message::with_priority(

@@ -104,11 +104,26 @@ fn fiber_switch_ns(iters: u64) -> f64 {
 
 fn main() {
     println!("\nThread-object constants (measured):");
-    println!("  context switch (yield pair)    : {:>8.0} ns", yield_pair_ns(10_000));
-    println!("  create + run + exit            : {:>8.0} ns", create_run_exit_ns(1_000));
-    println!("  csd-scheduled wakeup (tSM path): {:>8.0} ns", scheduled_wakeup_ns(10_000));
-    println!("  same wakeup on the fiber runtime: {:>7.0} ns", fiber_rt_wakeup_ns(200_000));
-    println!("  fiber switch (converse-fiber)  : {:>8.1} ns  ← the 1996 mechanism's class", fiber_switch_ns(2_000_000));
+    println!(
+        "  context switch (yield pair)    : {:>8.0} ns",
+        yield_pair_ns(10_000)
+    );
+    println!(
+        "  create + run + exit            : {:>8.0} ns",
+        create_run_exit_ns(1_000)
+    );
+    println!(
+        "  csd-scheduled wakeup (tSM path): {:>8.0} ns",
+        scheduled_wakeup_ns(10_000)
+    );
+    println!(
+        "  same wakeup on the fiber runtime: {:>7.0} ns",
+        fiber_rt_wakeup_ns(200_000)
+    );
+    println!(
+        "  fiber switch (converse-fiber)  : {:>8.1} ns  ← the 1996 mechanism's class",
+        fiber_switch_ns(2_000_000)
+    );
     println!("  (paper's setjmp/longjmp switch was ~100 ns-class on 1995 CPUs; the");
     println!("   hand-off substitution trades the constant, not the shape — and the");
     println!("   fiber prototype shows the native constant is reachable in Rust)");

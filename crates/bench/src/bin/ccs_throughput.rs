@@ -1,0 +1,71 @@
+//! CCS load generator: external request throughput and latency against
+//! a running machine, swept over payload size and PE count.
+//!
+//! Two passes per configuration, both over real TCP:
+//!
+//! * **latency** — one closed-loop client (a single request in flight);
+//!   every round trip is timed individually, yielding honest p50/p99.
+//! * **throughput** — several clients, each pipelining a window of
+//!   requests; total completed requests over wall-clock gives req/s.
+//!
+//! Results are printed as a table and written to `BENCH_ccs.json`.
+//!
+//! ```sh
+//! cargo run --release -p converse-bench --bin ccs_throughput
+//! ```
+
+use converse_bench::ccs_load::{run_config, CcsBenchConfig, CcsBenchResult};
+
+fn main() {
+    println!("CCS front-end load generation (real TCP, loopback)\n");
+
+    let pe_counts = [1usize, 2, 4];
+    let payloads = [16usize, 256, 4096, 65536];
+
+    let mut results: Vec<CcsBenchResult> = Vec::new();
+    println!(
+        "{:>4} {:>8} {:>10} {:>12} {:>10} {:>10}",
+        "PEs", "bytes", "lat reqs", "req/s", "p50 (µs)", "p99 (µs)"
+    );
+    for &pes in &pe_counts {
+        for &payload in &payloads {
+            let cfg = CcsBenchConfig {
+                pes,
+                payload,
+                latency_reqs: 400,
+                throughput_clients: 4,
+                reqs_per_client: if payload >= 65536 { 250 } else { 1000 },
+                window: 32,
+            };
+            let r = run_config(&cfg);
+            println!(
+                "{:>4} {:>8} {:>10} {:>12.0} {:>10.1} {:>10.1}",
+                r.pes, r.payload, cfg.latency_reqs, r.reqs_per_sec, r.p50_us, r.p99_us
+            );
+            results.push(r);
+        }
+    }
+
+    let json = render_json(&results);
+    std::fs::write("BENCH_ccs.json", &json).expect("write BENCH_ccs.json");
+    println!("\nwrote BENCH_ccs.json ({} configurations)", results.len());
+}
+
+/// Hand-rolled JSON — the workspace is offline, so no serde.
+fn render_json(results: &[CcsBenchResult]) -> String {
+    let mut s = String::from("{\n  \"bench\": \"ccs_throughput\",\n  \"unit\": {\"reqs_per_sec\": \"requests/second\", \"latency\": \"microseconds\"},\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"pes\": {}, \"payload_bytes\": {}, \"reqs_per_sec\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"throughput_reqs\": {}}}{}\n",
+            r.pes,
+            r.payload,
+            r.reqs_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.throughput_reqs,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

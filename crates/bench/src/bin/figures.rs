@@ -20,9 +20,15 @@ fn main() {
     let sw = measure_sw(&standard_sizes(), 50_000);
 
     println!("\nMeasured software costs (ns per one-way message):");
-    println!("{:>8} {:>10} {:>12} {:>10}", "bytes", "raw", "converse", "sched");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10}",
+        "bytes", "raw", "converse", "sched"
+    );
     for c in &sw {
-        println!("{:>8} {:>10.0} {:>12.0} {:>10.0}", c.size, c.raw_ns, c.converse_ns, c.sched_ns);
+        println!(
+            "{:>8} {:>10.0} {:>12.0} {:>10.0}",
+            c.size, c.raw_ns, c.converse_ns, c.sched_ns
+        );
     }
 
     let figures: [(&str, NetModel, bool); 5] = [
@@ -36,7 +42,11 @@ fn main() {
     let mut violations = Vec::new();
     for (title, model, with_sched) in figures {
         let rows = figure_series(&model, &sw);
-        print_figure(&format!("{title}: message passing performance on {}", model.name), &rows, with_sched);
+        print_figure(
+            &format!("{title}: message passing performance on {}", model.name),
+            &rows,
+            with_sched,
+        );
         violations.extend(shape_check(&model, &rows));
     }
 

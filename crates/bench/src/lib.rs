@@ -22,6 +22,8 @@
 //! code without cross-thread wakeup noise; a two-PE ping-pong variant
 //! with real hand-offs is also provided for the overhead bench.
 
+pub mod ccs_load;
+
 use converse_core::{csd_scheduler, run, Message, Pe};
 use converse_msg::HEADER_BYTES;
 pub use converse_net::NetModel;
@@ -33,7 +35,9 @@ use std::time::{Duration, Instant};
 /// Message sizes (payload bytes) used across all figures, log-spaced
 /// like the paper's x-axes.
 pub fn standard_sizes() -> Vec<usize> {
-    vec![4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536]
+    vec![
+        4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+    ]
 }
 
 /// Run `f` on a one-PE machine and return the duration it reports.
@@ -112,7 +116,10 @@ pub fn round_trip_2pe_ns(size: usize, iters: u64, scheduled: bool) -> f64 {
         let done = pe.local(|| AtomicU64::new(0));
         let d2 = done.clone();
         let pong = pe.register_handler(move |_pe, msg| {
-            d2.store(u64::from_le_bytes(msg.payload()[..8].try_into().unwrap()), Ordering::Release);
+            d2.store(
+                u64::from_le_bytes(msg.payload()[..8].try_into().unwrap()),
+                Ordering::Release,
+            );
         });
         let echo_exec = pe.register_handler(move |pe, msg| {
             pe.sync_send(0, &{
@@ -171,7 +178,9 @@ pub struct SwCost {
 /// Scale an iteration budget down for large messages so total bytes
 /// copied stays bounded.
 pub fn scaled_iters(base: u64, size: usize) -> u64 {
-    ((base as u128 * 1024 / (size as u128 + 1024)) as u64).max(base / 20).max(500)
+    ((base as u128 * 1024 / (size as u128 + 1024)) as u64)
+        .max(base / 20)
+        .max(500)
 }
 
 /// Measure the software path for each size (`iters` scaled per size).
@@ -224,9 +233,15 @@ pub fn figure_series(model: &NetModel, sw: &[SwCost]) -> Vec<FigureRow> {
 pub fn print_figure(title: &str, rows: &[FigureRow], with_sched: bool) {
     println!("\n{title}");
     if with_sched {
-        println!("{:>8} {:>14} {:>14} {:>18}", "bytes", "native (µs)", "Converse (µs)", "+scheduling (µs)");
+        println!(
+            "{:>8} {:>14} {:>14} {:>18}",
+            "bytes", "native (µs)", "Converse (µs)", "+scheduling (µs)"
+        );
     } else {
-        println!("{:>8} {:>14} {:>14}", "bytes", "native (µs)", "Converse (µs)");
+        println!(
+            "{:>8} {:>14} {:>14}",
+            "bytes", "native (µs)", "Converse (µs)"
+        );
     }
     for r in rows {
         if with_sched {
@@ -235,7 +250,10 @@ pub fn print_figure(title: &str, rows: &[FigureRow], with_sched: bool) {
                 r.size, r.native_us, r.converse_us, r.converse_sched_us
             );
         } else {
-            println!("{:>8} {:>14.2} {:>14.2}", r.size, r.native_us, r.converse_us);
+            println!(
+                "{:>8} {:>14.2} {:>14.2}",
+                r.size, r.native_us, r.converse_us
+            );
         }
     }
 }
@@ -252,15 +270,24 @@ pub fn shape_check(model: &NetModel, rows: &[FigureRow]) -> Vec<String> {
     let mut bad = Vec::new();
     for w in rows.windows(2) {
         if w[1].converse_us < w[0].converse_us - SHAPE_TOL_US {
-            bad.push(format!("{}: Converse series not monotone at {} bytes", model.name, w[1].size));
+            bad.push(format!(
+                "{}: Converse series not monotone at {} bytes",
+                model.name, w[1].size
+            ));
         }
     }
     for r in rows {
         if r.converse_us < r.native_us - SHAPE_TOL_US {
-            bad.push(format!("{}: Converse beat native at {} bytes", model.name, r.size));
+            bad.push(format!(
+                "{}: Converse beat native at {} bytes",
+                model.name, r.size
+            ));
         }
         if r.converse_sched_us < r.converse_us - SHAPE_TOL_US {
-            bad.push(format!("{}: scheduling was free at {} bytes", model.name, r.size));
+            bad.push(format!(
+                "{}: scheduling was free at {} bytes",
+                model.name, r.size
+            ));
         }
     }
     // Relative overhead must shrink with size (claim C2).
@@ -292,7 +319,10 @@ mod tests {
         let sw = measure_sw(&[64], 2_000);
         let c = sw[0];
         assert!(c.converse_ns > 0.0);
-        assert!(c.sched_ns > c.converse_ns * 0.8, "queueing path unexpectedly cheap: {c:?}");
+        assert!(
+            c.sched_ns > c.converse_ns * 0.8,
+            "queueing path unexpectedly cheap: {c:?}"
+        );
     }
 
     /// Deterministic composition check with synthetic software costs;
@@ -322,11 +352,24 @@ mod tests {
     fn shape_check_catches_inverted_sched_cost() {
         let model = NetModel::myrinet_fm();
         let rows = vec![
-            FigureRow { size: 16, native_us: 25.0, converse_us: 27.0, converse_sched_us: 26.0 },
-            FigureRow { size: 64, native_us: 25.0, converse_us: 27.1, converse_sched_us: 27.3 },
+            FigureRow {
+                size: 16,
+                native_us: 25.0,
+                converse_us: 27.0,
+                converse_sched_us: 26.0,
+            },
+            FigureRow {
+                size: 64,
+                native_us: 25.0,
+                converse_us: 27.1,
+                converse_sched_us: 27.3,
+            },
         ];
         let bad = shape_check(&model, &rows);
-        assert!(bad.iter().any(|b| b.contains("scheduling was free")), "{bad:?}");
+        assert!(
+            bad.iter().any(|b| b.contains("scheduling was free")),
+            "{bad:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! The bundled CCS client.
+//!
+//! [`CcsClient`] speaks the frame protocol over one TCP connection.
+//! Two calling styles:
+//!
+//! * **Synchronous** — [`CcsClient::call`] sends one request and blocks
+//!   for its reply.
+//! * **Pipelined** — [`CcsClient::submit`] returns a [`CcsTicket`]
+//!   immediately; any number may be outstanding (up to the server's
+//!   per-connection window), and [`CcsClient::wait`] collects each
+//!   reply whenever it lands. Replies arrive out of order whenever
+//!   requests target different PEs; the client matches them to tickets
+//!   by sequence number and stashes early arrivals.
+
+use crate::protocol::{self, Reply, Request};
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Receipt for a submitted request; redeem with [`CcsClient::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a submitted request should be waited on"]
+pub struct CcsTicket(u64);
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum CcsError {
+    /// Socket-level failure (includes read timeouts).
+    Io(io::Error),
+    /// The server closed the connection with the request outstanding.
+    Disconnected,
+    /// A frame arrived that the protocol module could not decode.
+    Protocol(String),
+    /// The server answered with a non-OK status.
+    Status {
+        /// The gateway status code.
+        code: u8,
+        /// The server's diagnostic payload.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CcsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcsError::Io(e) => write!(f, "ccs i/o error: {e}"),
+            CcsError::Disconnected => write!(f, "ccs server closed the connection"),
+            CcsError::Protocol(m) => write!(f, "ccs protocol error: {m}"),
+            CcsError::Status { code, detail } => {
+                write!(f, "ccs request failed (status {code}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CcsError {}
+
+impl From<io::Error> for CcsError {
+    fn from(e: io::Error) -> Self {
+        CcsError::Io(e)
+    }
+}
+
+/// One connection to a CCS server.
+pub struct CcsClient {
+    stream: TcpStream,
+    next_seq: u64,
+    /// Replies that arrived while waiting for a different ticket.
+    stash: HashMap<u64, Reply>,
+}
+
+impl CcsClient {
+    /// Connect to a server (as published by `CcsServerHandle::wait_addr`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<CcsClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(CcsClient {
+            stream,
+            next_seq: 1,
+            stash: HashMap::new(),
+        })
+    }
+
+    /// Bound how long [`CcsClient::wait`] (and therefore `call`) blocks
+    /// on the socket; `None` restores indefinite waits.
+    pub fn set_timeout(&mut self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+
+    /// Pipelined submit: send the request frame and return its ticket
+    /// without waiting.
+    pub fn submit(
+        &mut self,
+        name: &str,
+        dest_pe: usize,
+        payload: &[u8],
+    ) -> Result<CcsTicket, CcsError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let body = protocol::encode_request(&Request {
+            seq,
+            dest_pe,
+            name: name.to_string(),
+            payload: payload.to_vec(),
+        });
+        protocol::write_frame(&mut self.stream, &body)?;
+        Ok(CcsTicket(seq))
+    }
+
+    /// Block until the reply for `ticket` arrives and return it whole
+    /// (status + payload). Replies for other outstanding tickets that
+    /// arrive first are stashed for their own `wait`.
+    pub fn wait(&mut self, ticket: CcsTicket) -> Result<Reply, CcsError> {
+        if let Some(r) = self.stash.remove(&ticket.0) {
+            return Ok(r);
+        }
+        loop {
+            let body = match protocol::read_frame(&mut self.stream)? {
+                Some(b) => b,
+                None => return Err(CcsError::Disconnected),
+            };
+            let reply = protocol::decode_reply(&body)
+                .ok_or_else(|| CcsError::Protocol("unparseable reply frame".to_string()))?;
+            if reply.seq == ticket.0 {
+                return Ok(reply);
+            }
+            self.stash.insert(reply.seq, reply);
+        }
+    }
+
+    /// Like [`CcsClient::wait`] but mapping any non-OK status to
+    /// [`CcsError::Status`] and yielding just the payload.
+    pub fn wait_ok(&mut self, ticket: CcsTicket) -> Result<Vec<u8>, CcsError> {
+        let r = self.wait(ticket)?;
+        if r.is_ok() {
+            Ok(r.payload)
+        } else {
+            Err(CcsError::Status {
+                code: r.status,
+                detail: String::from_utf8_lossy(&r.payload).into_owned(),
+            })
+        }
+    }
+
+    /// Synchronous call: submit and wait for the OK payload.
+    pub fn call(
+        &mut self,
+        name: &str,
+        dest_pe: usize,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, CcsError> {
+        let t = self.submit(name, dest_pe, payload)?;
+        self.wait_ok(t)
+    }
+
+    /// Replies received early and not yet claimed by a `wait`.
+    pub fn stashed(&self) -> usize {
+        self.stash.len()
+    }
+}

@@ -102,10 +102,16 @@ impl GroupState {
             .get(kind.0 as usize)
             .cloned()
             .unwrap_or_else(|| panic!("PE {}: unregistered group kind {kind:?}", pe.my_pe()));
-        pe.trace_event(converse_trace::Event::ObjectCreate { kind: kind.0 | 0x8000_0000 });
+        pe.trace_event(converse_trace::Event::ObjectCreate {
+            kind: kind.0 | 0x8000_0000,
+        });
         let branch = ctor(pe, gid, payload);
         let prev = self.branches.lock().insert(gid.0, Some(branch));
-        assert!(prev.is_none(), "PE {}: group {gid:?} created twice", pe.my_pe());
+        assert!(
+            prev.is_none(),
+            "PE {}: group {gid:?} created twice",
+            pe.my_pe()
+        );
         Charm::get(pe).quiescence().msg_processed(1);
         // Replay any invocations that arrived before the create.
         let early = self.early.lock().remove(&gid.0);
@@ -124,9 +130,9 @@ impl GroupState {
         let mut branch = {
             let mut t = self.branches.lock();
             match t.get_mut(&gid) {
-                Some(b) => b.take().unwrap_or_else(|| {
-                    panic!("PE {}: reentrant group entry on {gid}", pe.my_pe())
-                }),
+                Some(b) => b
+                    .take()
+                    .unwrap_or_else(|| panic!("PE {}: reentrant group entry on {gid}", pe.my_pe())),
                 None => {
                     // A third-party send raced ahead of the create
                     // broadcast: hold it until the branch exists.

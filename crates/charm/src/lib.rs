@@ -118,7 +118,10 @@ pub trait MigratableChare: Chare {
 /// Lifecycle state of an object-table slot.
 pub(crate) enum Slot {
     /// A live object (taken out while an entry method runs).
-    Live { kind: u32, obj: Option<Box<dyn Chare>> },
+    Live {
+        kind: u32,
+        obj: Option<Box<dyn Chare>>,
+    },
     /// Mid-migration: invocations are held until the new address is
     /// known — the "queues for forwarding messages to migrated objects".
     Migrating { held: Vec<Message> },
@@ -197,7 +200,11 @@ impl Charm {
             let key = u.u32().expect("readonly: key");
             let data = u.bytes().expect("readonly: data").to_vec();
             let prev = charm.readonlies.lock().insert(key, data);
-            assert!(prev.is_none(), "PE {}: readonly {key} published twice", pe.my_pe());
+            assert!(
+                prev.is_none(),
+                "PE {}: readonly {key} published twice",
+                pe.my_pe()
+            );
             charm.qd.msg_processed(1);
         });
 
@@ -256,7 +263,9 @@ impl Charm {
     /// Register chare type `T` (same order on every PE!).
     pub fn register<T: Chare>(&self) -> ChareKind {
         let mut c = self.ctors.lock();
-        c.push(Arc::new(|pe, id, payload| Box::new(T::new(pe, id, payload)) as Box<dyn Chare>));
+        c.push(Arc::new(|pe, id, payload| {
+            Box::new(T::new(pe, id, payload)) as Box<dyn Chare>
+        }));
         ChareKind((c.len() - 1) as u32)
     }
 
@@ -317,7 +326,11 @@ impl Charm {
     /// Read a readonly global, pumping the scheduler until it arrives.
     pub fn readonly_wait(&self, pe: &Pe, key: u32) -> Vec<u8> {
         converse_core::schedule_until(pe, || self.readonlies.lock().contains_key(&key));
-        self.readonlies.lock().get(&key).cloned().expect("present by schedule_until")
+        self.readonlies
+            .lock()
+            .get(&key)
+            .cloned()
+            .expect("present by schedule_until")
     }
 
     /// Stop the scheduler on every PE (the `CkExit` analogue): broadcast
@@ -328,7 +341,11 @@ impl Charm {
 
     /// Number of live chares on this PE (forwarding stubs excluded).
     pub fn local_chares(&self) -> usize {
-        self.objects.lock().values().filter(|s| matches!(s, Slot::Live { .. })).count()
+        self.objects
+            .lock()
+            .values()
+            .filter(|s| matches!(s, Slot::Live { .. }))
+            .count()
     }
 
     /// Destroy a local chare, freeing its slot. Returns false if `id` is
@@ -383,7 +400,13 @@ impl Charm {
             Some((_, p)) => p.clone(),
             None => {
                 // Not migratable: put it back untouched.
-                self.objects.lock().insert(id.slot, Slot::Live { kind, obj: Some(obj) });
+                self.objects.lock().insert(
+                    id.slot,
+                    Slot::Live {
+                        kind,
+                        obj: Some(obj),
+                    },
+                );
                 return false;
             }
         };
@@ -424,14 +447,26 @@ impl Charm {
             .map(|(u, _)| u.clone())
             .unwrap_or_else(|| panic!("PE {}: kind {kind} not migratable here", pe.my_pe()));
         let slot = self.next_slot.fetch_add(1, Ordering::Relaxed);
-        let new_id = ChareId { pe: pe.my_pe(), slot };
+        let new_id = ChareId {
+            pe: pe.my_pe(),
+            slot,
+        };
         pe.trace_event(converse_trace::Event::ObjectCreate { kind });
         let obj = unpack(pe, new_id, data);
-        self.objects.lock().insert(slot, Slot::Live { kind, obj: Some(obj) });
+        self.objects.lock().insert(
+            slot,
+            Slot::Live {
+                kind,
+                obj: Some(obj),
+            },
+        );
         self.qd.msg_processed(1);
         // Tell the origin where the object lives now.
         self.qd.msg_created(1);
-        let body = Packer::new().u64(origin_slot).raw(&new_id.encode()).finish();
+        let body = Packer::new()
+            .u64(origin_slot)
+            .raw(&new_id.encode())
+            .finish();
         pe.sync_send_and_free(origin_pe, Message::new(self.migrate_ack_h, &body));
     }
 
@@ -480,10 +515,19 @@ impl Charm {
             .cloned()
             .unwrap_or_else(|| panic!("PE {}: unregistered chare kind {kind:?}", pe.my_pe()));
         let slot = self.next_slot.fetch_add(1, Ordering::Relaxed);
-        let id = ChareId { pe: pe.my_pe(), slot };
+        let id = ChareId {
+            pe: pe.my_pe(),
+            slot,
+        };
         pe.trace_event(converse_trace::Event::ObjectCreate { kind: kind.0 });
         let obj = ctor(pe, id, payload);
-        self.objects.lock().insert(slot, Slot::Live { kind: kind.0, obj: Some(obj) });
+        self.objects.lock().insert(
+            slot,
+            Slot::Live {
+                kind: kind.0,
+                obj: Some(obj),
+            },
+        );
         self.chares_created.fetch_add(1, Ordering::Relaxed);
         self.qd.msg_processed(1);
     }
@@ -519,7 +563,10 @@ impl Charm {
                 ),
             }
         };
-        let id = ChareId { pe: pe.my_pe(), slot };
+        let id = ChareId {
+            pe: pe.my_pe(),
+            slot,
+        };
         obj.entry(pe, id, ep, payload);
         self.entries_run.fetch_add(1, Ordering::Relaxed);
         // Put it back unless the entry destroyed it.

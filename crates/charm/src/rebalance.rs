@@ -13,7 +13,7 @@
 //! underloaded targets. Message forwarding (the migration machinery)
 //! keeps in-flight traffic correct throughout.
 
-use crate::{Charm, ChareId, Slot};
+use crate::{ChareId, Charm, Slot};
 use converse_machine::Pe;
 
 /// What a rebalance pass did on this PE.
@@ -99,8 +99,11 @@ impl Charm {
 
         // 2. The shared plan.
         let moves = plan_moves(&counts);
-        let expected_in =
-            moves.iter().filter(|(_, to, _)| *to == pe.my_pe()).map(|(_, _, k)| k).sum();
+        let expected_in = moves
+            .iter()
+            .filter(|(_, to, _)| *to == pe.my_pe())
+            .map(|(_, _, k)| k)
+            .sum();
 
         // 3. Execute this PE's outgoing moves: pick the highest-slot
         //    migratable objects (deterministic, stable under concurrent
@@ -126,13 +129,20 @@ impl Charm {
             };
             assert_eq!(victims.len(), k, "plan derived from our own reported count");
             for slot in victims {
-                let id = ChareId { pe: pe.my_pe(), slot };
+                let id = ChareId {
+                    pe: pe.my_pe(),
+                    slot,
+                };
                 let ok = self.migrate(pe, id, to);
                 assert!(ok, "victim was live and migratable");
                 moved_out.push((id, to));
             }
         }
-        RebalanceReport { before, moved_out, expected_in }
+        RebalanceReport {
+            before,
+            moved_out,
+            expected_in,
+        }
     }
 
     /// [`Charm::rebalance`] followed by a wait until this PE's live

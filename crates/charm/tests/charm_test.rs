@@ -30,7 +30,11 @@ impl Chare for Accumulator {
             report_to,
             Message::new(converse_core::HandlerId(announce_h), &self_id.encode()),
         );
-        Accumulator { total: 0, report_to, report_h }
+        Accumulator {
+            total: 0,
+            report_to,
+            report_h,
+        }
     }
 
     fn entry(&mut self, pe: &Pe, _self_id: ChareId, ep: u32, payload: &[u8]) {
@@ -42,7 +46,10 @@ impl Chare for Accumulator {
             EP_REPORT => {
                 pe.sync_send_and_free(
                     self.report_to,
-                    Message::new(converse_core::HandlerId(self.report_h), &self.total.to_le_bytes()),
+                    Message::new(
+                        converse_core::HandlerId(self.report_h),
+                        &self.total.to_le_bytes(),
+                    ),
                 );
             }
             _ => panic!("unknown entry {ep}"),
@@ -68,8 +75,11 @@ fn create_invoke_and_report_roundtrip() {
         });
         pe.barrier();
         if pe.my_pe() == 0 {
-            let payload =
-                Packer::new().usize(0).u32(report.0).u32(announce.0).finish();
+            let payload = Packer::new()
+                .usize(0)
+                .u32(report.0)
+                .u32(announce.0)
+                .finish();
             charm.create(pe, kind, &payload, Priority::None);
             // Pump until the chare announces itself.
             converse_core::schedule_until(pe, || id_slot.lock().is_some());
@@ -115,7 +125,14 @@ impl Chare for Fib {
         } else {
             (None, Some(u.u32().unwrap()))
         };
-        let mut me = Fib { n, pending: 0, acc: 0, parent, root_report, kind };
+        let mut me = Fib {
+            n,
+            pending: 0,
+            acc: 0,
+            parent,
+            root_report,
+            kind,
+        };
         if n < 2 {
             me.finish(pe, n, self_id);
         } else {
@@ -127,7 +144,12 @@ impl Chare for Fib {
                     .u8(1)
                     .raw(&self_id.encode())
                     .finish();
-                charm.create(pe, converse_charm::ChareKind(kind), &child_payload, Priority::None);
+                charm.create(
+                    pe,
+                    converse_charm::ChareKind(kind),
+                    &child_payload,
+                    Priority::None,
+                );
                 me.pending += 1;
             }
         }
@@ -172,7 +194,12 @@ fn fibonacci_tree_of_chares_across_pes() {
         });
         pe.barrier();
         if pe.my_pe() == 0 {
-            let payload = Packer::new().u64(10).u32(kind.0).u8(0).u32(report.0).finish();
+            let payload = Packer::new()
+                .u64(10)
+                .u32(kind.0)
+                .u8(0)
+                .u32(report.0)
+                .finish();
             charm.create(pe, kind, &payload, Priority::None);
         }
         csd_scheduler(pe, -1);
@@ -198,13 +225,19 @@ fn priorities_order_entry_execution() {
             std::sync::OnceLock::new();
         impl Chare for Recorder {
             fn new(_pe: &Pe, _id: ChareId, _payload: &[u8]) -> Self {
-                Recorder { log: LOG.get().unwrap().clone() }
+                Recorder {
+                    log: LOG.get().unwrap().clone(),
+                }
             }
             fn entry(&mut self, _pe: &Pe, _id: ChareId, _ep: u32, payload: &[u8]) {
-                self.log.lock().push(i32::from_le_bytes(payload.try_into().unwrap()));
+                self.log
+                    .lock()
+                    .push(i32::from_le_bytes(payload.try_into().unwrap()));
             }
         }
-        let log = LOG.get_or_init(|| Arc::new(parking_lot::Mutex::new(Vec::new()))).clone();
+        let log = LOG
+            .get_or_init(|| Arc::new(parking_lot::Mutex::new(Vec::new())))
+            .clone();
         log.lock().clear();
         let charm = Charm::install(pe, LdbPolicy::Direct);
         let kind = charm.register::<Recorder>();
@@ -262,7 +295,12 @@ fn quiescence_fires_after_fib_completes() {
         });
         pe.barrier();
         if pe.my_pe() == 0 {
-            let payload = Packer::new().u64(8).u32(kind.0).u8(0).u32(report.0).finish();
+            let payload = Packer::new()
+                .u64(8)
+                .u32(kind.0)
+                .u8(0)
+                .u32(report.0)
+                .finish();
             charm.create(pe, kind, &payload, Priority::None);
             charm.quiescence().start(pe, Message::new(quiet, b""));
         }

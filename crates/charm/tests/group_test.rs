@@ -30,9 +30,8 @@ impl GroupChare for Counter {
             }
             1 => {
                 // Reply with my PE id to the handler in the payload.
-                let h = converse_core::HandlerId(u32::from_le_bytes(
-                    payload[..4].try_into().unwrap(),
-                ));
+                let h =
+                    converse_core::HandlerId(u32::from_le_bytes(payload[..4].try_into().unwrap()));
                 pe.sync_send_and_free(0, Message::new(h, &(pe.my_pe() as u64).to_le_bytes()));
             }
             _ => unreachable!(),
@@ -70,7 +69,8 @@ fn send_group_targets_one_pe() {
         let got = pe.local(|| parking_lot::Mutex::new(Vec::<u64>::new()));
         let g2 = got.clone();
         let reply = pe.register_handler(move |_pe, msg| {
-            g2.lock().push(u64::from_le_bytes(msg.payload().try_into().unwrap()));
+            g2.lock()
+                .push(u64::from_le_bytes(msg.payload().try_into().unwrap()));
         });
         pe.barrier();
         if pe.my_pe() == 0 {
@@ -105,7 +105,9 @@ fn third_party_send_before_create_is_buffered() {
         let gid_slot = pe.local(|| parking_lot::Mutex::new(None::<GroupId>));
         let s2 = gid_slot.clone();
         let announce = pe.register_handler(move |pe, msg| {
-            *s2.lock() = Some(GroupId(u64::from_le_bytes(msg.payload().try_into().unwrap())));
+            *s2.lock() = Some(GroupId(u64::from_le_bytes(
+                msg.payload().try_into().unwrap(),
+            )));
             Charm::get(pe).quiescence().msg_processed(1);
         });
         let done = pe.register_handler(|pe, _| Charm::get(pe).exit_all(pe));
@@ -130,7 +132,11 @@ fn third_party_send_before_create_is_buffered() {
         pe.barrier();
         hits.fetch_add(local_hits(pe).0.load(Ordering::SeqCst), Ordering::SeqCst);
     });
-    assert_eq!(hits.load(Ordering::SeqCst), 1, "early send executed exactly once");
+    assert_eq!(
+        hits.load(Ordering::SeqCst),
+        1,
+        "early send executed exactly once"
+    );
 }
 
 #[test]
@@ -158,7 +164,11 @@ fn quiescence_covers_group_traffic() {
         pe.barrier();
         hits.fetch_add(local_hits(pe).0.load(Ordering::SeqCst), Ordering::SeqCst);
     });
-    assert_eq!(hits.load(Ordering::SeqCst), 10, "quiescence waited for all 5×2 invocations");
+    assert_eq!(
+        hits.load(Ordering::SeqCst),
+        10,
+        "quiescence waited for all 5×2 invocations"
+    );
 }
 
 // NOTE: the quiescence exit on PE0 returns once, then exit_all unblocks

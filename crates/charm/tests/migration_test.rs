@@ -19,7 +19,10 @@ struct PeTrail(parking_lot::Mutex<Vec<usize>>);
 
 impl Chare for Roamer {
     fn new(_pe: &Pe, _id: ChareId, payload: &[u8]) -> Self {
-        Roamer { total: 0, report_to: u32::from_le_bytes(payload[..4].try_into().unwrap()) }
+        Roamer {
+            total: 0,
+            report_to: u32::from_le_bytes(payload[..4].try_into().unwrap()),
+        }
     }
     fn entry(&mut self, pe: &Pe, _id: ChareId, ep: u32, payload: &[u8]) {
         match ep {
@@ -106,8 +109,16 @@ fn state_survives_migration_and_messages_forward() {
         }
         pe.barrier();
     });
-    assert_eq!(seen_on[0].load(Ordering::SeqCst), 1, "one entry ran on PE 0");
-    assert_eq!(seen_on[2].load(Ordering::SeqCst), 2, "two entries ran on PE 2");
+    assert_eq!(
+        seen_on[0].load(Ordering::SeqCst),
+        1,
+        "one entry ran on PE 0"
+    );
+    assert_eq!(
+        seen_on[2].load(Ordering::SeqCst),
+        2,
+        "two entries ran on PE 2"
+    );
 }
 
 #[test]

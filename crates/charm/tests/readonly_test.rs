@@ -17,7 +17,10 @@ fn published_readonly_visible_everywhere() {
         // Every PE (publisher included) waits for both keys.
         assert_eq!(charm.readonly_wait(pe, 1), b"configuration blob");
         assert_eq!(charm.readonly_wait(pe, 2), 42u64.to_le_bytes());
-        assert_eq!(charm.readonly(1).as_deref(), Some(&b"configuration blob"[..]));
+        assert_eq!(
+            charm.readonly(1).as_deref(),
+            Some(&b"configuration blob"[..])
+        );
         assert!(charm.readonly(99).is_none());
         pe.barrier();
         let _ = done;

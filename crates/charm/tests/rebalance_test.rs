@@ -13,15 +13,16 @@ struct Cell {
 
 impl Chare for Cell {
     fn new(_pe: &Pe, _id: ChareId, payload: &[u8]) -> Self {
-        Cell { value: i64::from_le_bytes(payload.try_into().unwrap()) }
+        Cell {
+            value: i64::from_le_bytes(payload.try_into().unwrap()),
+        }
     }
     fn entry(&mut self, pe: &Pe, _id: ChareId, ep: u32, payload: &[u8]) {
         match ep {
             0 => self.value += i64::from_le_bytes(payload.try_into().unwrap()),
             1 => {
-                let h = converse_core::HandlerId(u32::from_le_bytes(
-                    payload[..4].try_into().unwrap(),
-                ));
+                let h =
+                    converse_core::HandlerId(u32::from_le_bytes(payload[..4].try_into().unwrap()));
                 pe.sync_send_and_free(0, Message::new(h, &self.value.to_le_bytes()));
             }
             _ => unreachable!(),
@@ -34,7 +35,9 @@ impl MigratableChare for Cell {
         self.value.to_le_bytes().to_vec()
     }
     fn unpack(_pe: &Pe, _id: ChareId, data: &[u8]) -> Self {
-        Cell { value: i64::from_le_bytes(data.try_into().unwrap()) }
+        Cell {
+            value: i64::from_le_bytes(data.try_into().unwrap()),
+        }
     }
 }
 
@@ -80,7 +83,8 @@ fn state_and_reachability_survive_rebalancing() {
         let result = pe.local(|| parking_lot::Mutex::new(Vec::<i64>::new()));
         let r2 = result.clone();
         let report = pe.register_handler(move |_pe, msg| {
-            r2.lock().push(i64::from_le_bytes(msg.payload().try_into().unwrap()));
+            r2.lock()
+                .push(i64::from_le_bytes(msg.payload().try_into().unwrap()));
         });
         pe.barrier();
         // 6 cells on PE 0, values 100..105; bump each by 1 pre-balance.

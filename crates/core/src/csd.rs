@@ -82,7 +82,11 @@ pub fn csd_scheduler(pe: &Pe, n: i64) -> u64 {
             break;
         }
         // Phase 1: drain the network, delivering straight to handlers.
-        let cap = if infinite { None } else { Some(remaining as usize) };
+        let cap = if infinite {
+            None
+        } else {
+            Some(remaining as usize)
+        };
         let delivered = pe.deliver_msgs(cap) as u64;
         processed += delivered;
         remaining -= delivered.min(remaining);
@@ -103,10 +107,12 @@ pub fn csd_scheduler(pe: &Pe, n: i64) -> u64 {
         }
         // Nothing anywhere: idle-park until a message arrives. A PE that
         // stays idle past the machine's block watchdog panics — in this
-        // runtime that means a lost exit condition, i.e. a bug.
+        // runtime that means a lost exit condition, i.e. a bug. With an
+        // external service attached the watchdog stands down: a server
+        // PE legitimately idles waiting for outside traffic.
         pe.check_abort();
         let started = *idle_since.get_or_insert_with(Instant::now);
-        if started.elapsed() > pe.block_timeout() {
+        if !pe.services_attached() && started.elapsed() > pe.block_timeout() {
             panic!(
                 "PE {}: scheduler idle for {:?} with no exit requested — likely deadlock",
                 pe.my_pe(),

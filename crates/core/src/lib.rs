@@ -30,7 +30,7 @@ pub use converse_machine::{
 };
 pub use converse_queue::QueueingMode;
 pub use csd::{
-    csd_enqueue, csd_enqueue_general, csd_exit_scheduler, csd_scheduler,
-    csd_scheduler_until_idle, schedule_until,
+    csd_enqueue, csd_enqueue_general, csd_exit_scheduler, csd_scheduler, csd_scheduler_until_idle,
+    schedule_until,
 };
 pub use quiescence::Quiescence;

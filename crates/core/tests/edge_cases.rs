@@ -117,7 +117,11 @@ fn nested_scheduler_donation_from_handler() {
             assert_eq!(i3.load(Ordering::Relaxed), 2, "nested run completed inline");
         });
         csd_enqueue(pe, Message::new(outer, b""));
-        assert_eq!(csd_scheduler(pe, 1), 1, "outer counts as one at the top level");
+        assert_eq!(
+            csd_scheduler(pe, 1),
+            1,
+            "outer counts as one at the top level"
+        );
         assert_eq!(inner_runs.load(Ordering::Relaxed), 2);
         assert_eq!(csd_scheduler_until_idle(pe), 0, "nothing left over");
     });

@@ -43,9 +43,18 @@ impl<T: DpScalar> DistArray2<T> {
         }
         let g = pe.gptr_create(bytes);
         let encoded = dp.allgather_bytes(pe, g.encode().to_vec());
-        let sections =
-            encoded.iter().map(|e| GlobalPtr::decode(e).expect("section decodes")).collect();
-        DistArray2 { rows, cols, row_lo, row_hi, sections, _t: std::marker::PhantomData }
+        let sections = encoded
+            .iter()
+            .map(|e| GlobalPtr::decode(e).expect("section decodes"))
+            .collect();
+        DistArray2 {
+            rows,
+            cols,
+            row_lo,
+            row_hi,
+            sections,
+            _t: std::marker::PhantomData,
+        }
     }
 
     /// Array shape `(rows, cols)`.
@@ -65,7 +74,9 @@ impl<T: DpScalar> DistArray2<T> {
 
     /// Copy of the local block, row-major.
     pub fn local(&self, pe: &Pe) -> Vec<T> {
-        let bytes = pe.gptr_deref(&self.sections[pe.my_pe()]).expect("own block is local");
+        let bytes = pe
+            .gptr_deref(&self.sections[pe.my_pe()])
+            .expect("own block is local");
         bytes.chunks(T::BYTES).map(T::load).collect()
     }
 
@@ -84,7 +95,12 @@ impl<T: DpScalar> DistArray2<T> {
     }
 
     fn owner_and_offset(&self, r: usize, c: usize) -> (usize, usize) {
-        assert!(r < self.rows && c < self.cols, "({r},{c}) out of {}×{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "({r},{c}) out of {}×{}",
+            self.rows,
+            self.cols
+        );
         let owner = block_owner(self.rows, self.sections.len(), r);
         let (olo, _) = block_range(self.rows, self.sections.len(), owner);
         (owner, ((r - olo) * self.cols + c) * T::BYTES)
@@ -117,9 +133,16 @@ impl<T: DpScalar> DistArray2<T> {
     /// `row_lo` and the row just below `row_hi - 1`, when they exist —
     /// one remote sub-range get each.
     pub fn halo_rows(&self, pe: &Pe) -> (Option<Vec<T>>, Option<Vec<T>>) {
-        let above = if self.row_lo > 0 { Some(self.get_row(pe, self.row_lo - 1)) } else { None };
-        let below =
-            if self.row_hi < self.rows { Some(self.get_row(pe, self.row_hi)) } else { None };
+        let above = if self.row_lo > 0 {
+            Some(self.get_row(pe, self.row_lo - 1))
+        } else {
+            None
+        };
+        let below = if self.row_hi < self.rows {
+            Some(self.get_row(pe, self.row_hi))
+        } else {
+            None
+        };
         (above, below)
     }
 

@@ -153,7 +153,10 @@ impl Dp {
             out.extend_from_slice(b);
             out
         });
-        let dp = Arc::new(Dp { combiners: Mutex::new(map), concat });
+        let dp = Arc::new(Dp {
+            combiners: Mutex::new(map),
+            concat,
+        });
         pe.local(|| DpSlot(dp.clone()));
         dp
     }
@@ -178,7 +181,8 @@ impl Dp {
     pub fn reduce_to_root<T: DpScalar>(&self, pe: &Pe, v: T, op: Op) -> Option<T> {
         let mut buf = vec![0u8; T::BYTES];
         v.store(&mut buf);
-        pe.reduce_bytes(buf, self.combiner::<T>(op)).map(|b| T::load(&b))
+        pe.reduce_bytes(buf, self.combiner::<T>(op))
+            .map(|b| T::load(&b))
     }
 
     /// Collective: reduce `v` with `op`; every PE gets the result.
@@ -289,7 +293,13 @@ impl<T: DpScalar> DistArray<T> {
             .iter()
             .map(|e| GlobalPtr::decode(e).expect("section gptr decodes"))
             .collect();
-        DistArray { global_len, lo, hi, sections, _t: std::marker::PhantomData }
+        DistArray {
+            global_len,
+            lo,
+            hi,
+            sections,
+            _t: std::marker::PhantomData,
+        }
     }
 
     /// Total number of elements.
@@ -309,7 +319,9 @@ impl<T: DpScalar> DistArray<T> {
 
     /// Copy of this PE's local section.
     pub fn local(&self, pe: &Pe) -> Vec<T> {
-        let bytes = pe.gptr_deref(&self.sections[pe.my_pe()]).expect("own section is local");
+        let bytes = pe
+            .gptr_deref(&self.sections[pe.my_pe()])
+            .expect("own section is local");
         bytes.chunks(T::BYTES).map(T::load).collect()
     }
 
@@ -329,7 +341,11 @@ impl<T: DpScalar> DistArray<T> {
 
     /// Read element `i`, wherever it lives (remote get when not local).
     pub fn get(&self, pe: &Pe, i: usize) -> T {
-        assert!(i < self.global_len, "index {i} out of bounds {}", self.global_len);
+        assert!(
+            i < self.global_len,
+            "index {i} out of bounds {}",
+            self.global_len
+        );
         let owner = block_owner(self.global_len, pe.num_pes(), i);
         let (olo, _) = block_range(self.global_len, pe.num_pes(), owner);
         let bytes = pe.get_bytes(&self.sections[owner], (i - olo) * T::BYTES, T::BYTES);
@@ -338,7 +354,11 @@ impl<T: DpScalar> DistArray<T> {
 
     /// Write element `i`, wherever it lives (remote put when not local).
     pub fn put(&self, pe: &Pe, i: usize, v: T) {
-        assert!(i < self.global_len, "index {i} out of bounds {}", self.global_len);
+        assert!(
+            i < self.global_len,
+            "index {i} out of bounds {}",
+            self.global_len
+        );
         let owner = block_owner(self.global_len, pe.num_pes(), i);
         let (olo, _) = block_range(self.global_len, pe.num_pes(), owner);
         let mut b = vec![0u8; T::BYTES];
@@ -350,8 +370,16 @@ impl<T: DpScalar> DistArray<T> {
     /// before `lo` and just after `hi-1`, when they exist. One remote
     /// sub-range get each — the data-parallel halo exchange.
     pub fn halo(&self, pe: &Pe) -> (Option<T>, Option<T>) {
-        let left = if self.lo > 0 { Some(self.get(pe, self.lo - 1)) } else { None };
-        let right = if self.hi < self.global_len { Some(self.get(pe, self.hi)) } else { None };
+        let left = if self.lo > 0 {
+            Some(self.get(pe, self.lo - 1))
+        } else {
+            None
+        };
+        let right = if self.hi < self.global_len {
+            Some(self.get(pe, self.hi))
+        } else {
+            None
+        };
         (left, right)
     }
 
@@ -462,8 +490,12 @@ mod tests {
     fn block_sizes_balanced() {
         let n = 4;
         let len = 10;
-        let sizes: Vec<usize> =
-            (0..n).map(|p| { let (l, h) = block_range(len, n, p); h - l }).collect();
+        let sizes: Vec<usize> = (0..n)
+            .map(|p| {
+                let (l, h) = block_range(len, n, p);
+                h - l
+            })
+            .collect();
         assert_eq!(sizes, vec![3, 3, 2, 2]);
     }
 

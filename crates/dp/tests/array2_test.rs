@@ -141,7 +141,10 @@ fn heat_2d_converges() {
             residual = dp.allreduce(pe, maxdiff, Op::Max);
             iters += 1;
         }
-        assert!(residual <= 1e-4, "no convergence: {residual} after {iters} iters");
+        assert!(
+            residual <= 1e-4,
+            "no convergence: {residual} after {iters} iters"
+        );
         // Sanity: temperature decreases monotonically away from the hot
         // edge along the mid-column.
         let all = a.gather_all(pe, &dp);

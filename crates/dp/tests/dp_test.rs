@@ -150,8 +150,16 @@ fn jacobi_1d_converges() {
                     if g == 0 || g == N - 1 {
                         continue; // boundary
                     }
-                    let lv = if g > lo { old[g - 1 - lo] } else { left.expect("halo") };
-                    let rv = if g + 1 < hi { old[g + 1 - lo] } else { right.expect("halo") };
+                    let lv = if g > lo {
+                        old[g - 1 - lo]
+                    } else {
+                        left.expect("halo")
+                    };
+                    let rv = if g + 1 < hi {
+                        old[g + 1 - lo]
+                    } else {
+                        right.expect("halo")
+                    };
                     let new = 0.5 * (lv + rv);
                     maxdiff = maxdiff.max((new - old[g - lo]).abs());
                     vals[g - lo] = new;
@@ -160,7 +168,10 @@ fn jacobi_1d_converges() {
             residual = dp.allreduce(pe, maxdiff, Op::Max);
             iters += 1;
         }
-        assert!(residual <= 1e-6, "did not converge: {residual} after {iters}");
+        assert!(
+            residual <= 1e-6,
+            "did not converge: {residual} after {iters}"
+        );
         // Solution approximates the linear ramp i/(N-1).
         let all = a.gather_all(pe, &dp);
         for (i, v) in all.iter().enumerate() {
@@ -172,7 +183,10 @@ fn jacobi_1d_converges() {
 
 #[test]
 fn collectives_survive_reordering() {
-    let cfg = MachineConfig::new(5).delivery(DeliveryMode::Reorder { seed: 99, window: 8 });
+    let cfg = MachineConfig::new(5).delivery(DeliveryMode::Reorder {
+        seed: 99,
+        window: 8,
+    });
     run_with(cfg, |pe| {
         let dp = Dp::install(pe);
         for round in 0..20i64 {

@@ -152,7 +152,11 @@ pub struct Fiber {
 extern "C" fn fiber_main(ctx: *mut FiberInner) -> ! {
     let inner = unsafe { &*ctx };
     inner.state.set(State::Running);
-    let entry = unsafe { (*inner.entry.get()).take().expect("entry set before first resume") };
+    let entry = unsafe {
+        (*inner.entry.get())
+            .take()
+            .expect("entry set before first resume")
+    };
     let handle = FiberHandle { inner: ctx };
     let result = catch_unwind(AssertUnwindSafe(|| entry(&handle)));
     if let Err(p) = result {
@@ -221,7 +225,11 @@ impl Fiber {
         if self.inner.state.get() == State::Done {
             return false;
         }
-        assert_ne!(self.inner.state.get(), State::Running, "fiber resumed reentrantly");
+        assert_ne!(
+            self.inner.state.get(),
+            State::Running,
+            "fiber resumed reentrantly"
+        );
         unsafe {
             converse_fiber_switch(self.inner.caller_rsp.get(), *self.inner.fiber_rsp.get());
         }

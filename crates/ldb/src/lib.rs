@@ -122,7 +122,12 @@ impl Ldb {
     /// position, with the same policy. Idempotent per PE.
     pub fn install(pe: &Pe, policy: LdbPolicy) -> Arc<Ldb> {
         if let Some(s) = pe.try_local::<LdbSlot>() {
-            assert_eq!(s.0.policy, policy, "PE {}: conflicting Ldb policies", pe.my_pe());
+            assert_eq!(
+                s.0.policy,
+                policy,
+                "PE {}: conflicting Ldb policies",
+                pe.my_pe()
+            );
             return s.0.clone();
         }
         let seed_h = pe.register_handler(|pe, msg| {
@@ -256,7 +261,10 @@ impl Ldb {
     fn arrive(&self, pe: &Pe, seed: Message, hops: u32) {
         self.tick(pe);
         match self.policy {
-            LdbPolicy::Spray { threshold, max_hops } => {
+            LdbPolicy::Spray {
+                threshold,
+                max_hops,
+            } => {
                 let local = pe.queue_len();
                 if local <= threshold || hops >= max_hops {
                     self.root(pe, seed);

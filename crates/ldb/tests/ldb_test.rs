@@ -65,17 +65,34 @@ fn central_balances_evenly() {
 
 #[test]
 fn spray_offloads_an_overloaded_pe() {
-    let got = placement(4, LdbPolicy::Spray { threshold: 3, max_hops: 4 }, 60);
+    let got = placement(
+        4,
+        LdbPolicy::Spray {
+            threshold: 3,
+            max_hops: 4,
+        },
+        60,
+    );
     assert_eq!(got.iter().sum::<u64>(), 60);
     // PE0 deposits everything; beyond the threshold, seeds must spill to
     // neighbours.
     assert!(got[0] < 60, "spray never offloaded: {got:?}");
-    assert!(got[1] + got[3] > 0, "ring neighbours of PE0 received nothing: {got:?}");
+    assert!(
+        got[1] + got[3] > 0,
+        "ring neighbours of PE0 received nothing: {got:?}"
+    );
 }
 
 #[test]
 fn spray_single_pe_machine_roots_locally() {
-    let got = placement(1, LdbPolicy::Spray { threshold: 0, max_hops: 3 }, 10);
+    let got = placement(
+        1,
+        LdbPolicy::Spray {
+            threshold: 0,
+            max_hops: 3,
+        },
+        10,
+    );
     assert_eq!(got, vec![10]);
 }
 
@@ -110,14 +127,11 @@ fn seeds_preserve_priority_at_destination() {
         let order = pe.local(|| parking_lot::Mutex::new(Vec::<i32>::new()));
         let o2 = order.clone();
         let work = pe.register_handler(move |_pe, msg| {
-            o2.lock().push(i32::from_le_bytes(msg.payload().try_into().unwrap()));
+            o2.lock()
+                .push(i32::from_le_bytes(msg.payload().try_into().unwrap()));
         });
         for p in [5, -3, 1] {
-            let m = Message::with_priority(
-                work,
-                &converse_msg::Priority::Int(p),
-                &p.to_le_bytes(),
-            );
+            let m = Message::with_priority(work, &converse_msg::Priority::Int(p), &p.to_le_bytes());
             ldb.deposit(pe, m);
         }
         csd_scheduler(pe, 3);

@@ -63,7 +63,10 @@ impl Default for CollState {
 
 /// Children of `pe` in the machine-wide spanning tree.
 pub fn tree_children(pe: usize, num_pes: usize) -> Vec<usize> {
-    [2 * pe + 1, 2 * pe + 2].into_iter().filter(|&c| c < num_pes).collect()
+    [2 * pe + 1, 2 * pe + 2]
+        .into_iter()
+        .filter(|&c| c < num_pes)
+        .collect()
 }
 
 /// Parent of `pe` in the machine-wide spanning tree (`None` for PE 0).
@@ -112,8 +115,12 @@ impl Pe {
         if self.my_pe() == 0 {
             Some(acc)
         } else {
-            let payload =
-                Packer::new().u8(UP_KIND_REDUCE).u64(seq).usize(self.my_pe()).bytes(&acc).finish();
+            let payload = Packer::new()
+                .u8(UP_KIND_REDUCE)
+                .u64(seq)
+                .usize(self.my_pe())
+                .bytes(&acc)
+                .finish();
             let parent = tree_parent(self.my_pe()).expect("non-root has a parent");
             self.sync_send_and_free(parent, Message::new(self.ids.coll_up, &payload));
             None
@@ -155,8 +162,12 @@ impl Pe {
                 data
             } else {
                 // Relay through PE 0, the root of the spanning tree.
-                let payload =
-                    Packer::new().u8(UP_KIND_RELAY).u64(seq).usize(self.my_pe()).bytes(&data).finish();
+                let payload = Packer::new()
+                    .u8(UP_KIND_RELAY)
+                    .u64(seq)
+                    .usize(self.my_pe())
+                    .bytes(&data)
+                    .finish();
                 self.sync_send_and_free(0, Message::new(self.ids.coll_up, &payload));
                 self.wait_down(seq)
             }
@@ -175,9 +186,20 @@ impl Pe {
             return contribution;
         }
         self.deliver_internal_until(|| {
-            self.coll.inbox_up.lock().get(&seq).map(|v| v.len()).unwrap_or(0) == kids.len()
+            self.coll
+                .inbox_up
+                .lock()
+                .get(&seq)
+                .map(|v| v.len())
+                .unwrap_or(0)
+                == kids.len()
         });
-        let mut got = self.coll.inbox_up.lock().remove(&seq).expect("children arrived");
+        let mut got = self
+            .coll
+            .inbox_up
+            .lock()
+            .remove(&seq)
+            .expect("children arrived");
         got.sort_by_key(|(pe, _)| *pe);
         let f = self.combiner_fn(op);
         let mut acc = contribution;
@@ -196,7 +218,11 @@ impl Pe {
 
     fn wait_down(&self, seq: u64) -> Vec<u8> {
         self.deliver_internal_until(|| self.coll.inbox_down.lock().contains_key(&seq));
-        self.coll.inbox_down.lock().remove(&seq).expect("down arrived")
+        self.coll
+            .inbox_down
+            .lock()
+            .remove(&seq)
+            .expect("down arrived")
     }
 }
 
@@ -208,7 +234,12 @@ pub(crate) fn handle_up(pe: &Pe, msg: Message) {
     let bytes = u.bytes().expect("coll up: bytes").to_vec();
     match kind {
         UP_KIND_REDUCE => {
-            pe.coll.inbox_up.lock().entry(seq).or_default().push((child, bytes));
+            pe.coll
+                .inbox_up
+                .lock()
+                .entry(seq)
+                .or_default()
+                .push((child, bytes));
         }
         UP_KIND_RELAY => {
             debug_assert_eq!(pe.my_pe(), 0, "relay targets the tree root");

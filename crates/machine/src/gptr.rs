@@ -35,13 +35,21 @@ pub struct GlobalPtr {
 impl GlobalPtr {
     /// Serialize for embedding in message payloads.
     pub fn encode(&self) -> Vec<u8> {
-        Packer::new().usize(self.pe).u64(self.key).usize(self.size).finish()
+        Packer::new()
+            .usize(self.pe)
+            .u64(self.key)
+            .usize(self.size)
+            .finish()
     }
 
     /// Deserialize from [`GlobalPtr::encode`] output.
     pub fn decode(bytes: &[u8]) -> Option<GlobalPtr> {
         let mut u = Unpacker::new(bytes);
-        Some(GlobalPtr { pe: u.usize().ok()?, key: u.u64().ok()?, size: u.usize().ok()? })
+        Some(GlobalPtr {
+            pe: u.usize().ok()?,
+            key: u.u64().ok()?,
+            size: u.usize().ok()?,
+        })
     }
 
     /// Encoded size in bytes.
@@ -74,7 +82,11 @@ impl Pe {
         let key = self.gptr.next_key.fetch_add(1, Ordering::Relaxed);
         let size = data.len();
         self.gptr.regions.lock().insert(key, data);
-        GlobalPtr { pe: self.my_pe(), key, size }
+        GlobalPtr {
+            pe: self.my_pe(),
+            key,
+            size,
+        }
     }
 
     /// Read a copy of a **local** region (`CmiGptrDref`). `None` if the
@@ -139,7 +151,9 @@ impl Pe {
                 .lock()
                 .get(&g.key)
                 .map(|r| r[offset..offset + len].to_vec())
-                .unwrap_or_else(|| panic!("PE {}: get on destroyed region {}", self.my_pe(), g.key));
+                .unwrap_or_else(|| {
+                    panic!("PE {}: get on destroyed region {}", self.my_pe(), g.key)
+                });
             self.gptr.get_replies.lock().insert(req_id, Some(data));
             return GetHandle(req_id);
         }
@@ -163,7 +177,9 @@ impl Pe {
 
     /// Block until the get completes and take its data.
     pub fn get_wait(&self, h: GetHandle) -> Vec<u8> {
-        self.deliver_internal_until(|| matches!(self.gptr.get_replies.lock().get(&h.0), Some(Some(_))));
+        self.deliver_internal_until(|| {
+            matches!(self.gptr.get_replies.lock().get(&h.0), Some(Some(_)))
+        });
         self.gptr
             .get_replies
             .lock()
@@ -193,9 +209,9 @@ impl Pe {
         let req_id = self.next_req_id();
         if g.pe == self.my_pe() {
             let mut regions = self.gptr.regions.lock();
-            let r = regions
-                .get_mut(&g.key)
-                .unwrap_or_else(|| panic!("PE {}: put on destroyed region {}", self.my_pe(), g.key));
+            let r = regions.get_mut(&g.key).unwrap_or_else(|| {
+                panic!("PE {}: put on destroyed region {}", self.my_pe(), g.key)
+            });
             r[offset..offset + data.len()].copy_from_slice(data);
             self.gptr.put_acks.lock().insert(req_id, true);
             return PutHandle(req_id);
@@ -215,12 +231,24 @@ impl Pe {
 
     /// True once the put was acknowledged by the owner.
     pub fn put_done(&self, h: PutHandle) -> bool {
-        self.gptr.put_acks.lock().get(&h.0).copied().unwrap_or(false)
+        self.gptr
+            .put_acks
+            .lock()
+            .get(&h.0)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Block until the put is acknowledged.
     pub fn put_wait(&self, h: PutHandle) {
-        self.deliver_internal_until(|| self.gptr.put_acks.lock().get(&h.0).copied().unwrap_or(false));
+        self.deliver_internal_until(|| {
+            self.gptr
+                .put_acks
+                .lock()
+                .get(&h.0)
+                .copied()
+                .unwrap_or(false)
+        });
         self.gptr.put_acks.lock().remove(&h.0);
     }
 }

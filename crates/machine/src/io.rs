@@ -35,7 +35,11 @@ pub(crate) struct Console {
 impl Console {
     pub(crate) fn new(capture: bool, stdin_lines: Vec<String>) -> Console {
         Console {
-            out: Mutex::new(if capture { ConsoleOut::Capture(Vec::new()) } else { ConsoleOut::Real }),
+            out: Mutex::new(if capture {
+                ConsoleOut::Capture(Vec::new())
+            } else {
+                ConsoleOut::Real
+            }),
             input: Mutex::new(stdin_lines.into()),
             input_cv: Condvar::new(),
             input_closed: Mutex::new(false),

@@ -26,6 +26,7 @@
 //! "grabbing" is the default and cannot be forgotten.
 
 pub mod coll;
+pub mod exo;
 pub mod gptr;
 pub mod io;
 pub mod mmi;
@@ -35,6 +36,7 @@ mod run;
 pub mod scatter;
 
 pub use converse_msg::{HandlerId, Message};
-pub use converse_net::{DeliveryMode, NetModel};
+pub use converse_net::{DeliveryMode, NetModel, PeLoad};
+pub use exo::{ExoReply, ExoToken, MachineHandle, MachineService, ReplySink};
 pub use pe::{Handler, Pe};
 pub use run::{run, run_with, MachineConfig, QueueKind, RunReport};

@@ -56,7 +56,11 @@ impl CommHandles {
 impl Pe {
     fn trace_send(&self, dst: usize, msg: &Message) {
         if self.trace_enabled() {
-            self.trace_event(Event::MsgSent { dst, bytes: msg.len(), handler: msg.handler().0 });
+            self.trace_event(Event::MsgSent {
+                dst,
+                bytes: msg.len(),
+                handler: msg.handler().0,
+            });
         }
     }
 
@@ -87,7 +91,9 @@ impl Pe {
     /// Status of an asynchronous operation (`CmiAsyncMsgSent`). Panics on
     /// a released or never-issued handle.
     pub fn async_msg_sent(&self, h: CommHandle) -> bool {
-        self.comm.is_done(h).unwrap_or_else(|| panic!("PE {}: unknown CommHandle {h:?}", self.my_pe()))
+        self.comm
+            .is_done(h)
+            .unwrap_or_else(|| panic!("PE {}: unknown CommHandle {h:?}", self.my_pe()))
     }
 
     /// Recycle an asynchronous handle (`CmiReleaseCommHandle`). Returns
@@ -176,8 +182,13 @@ impl Pe {
     /// reporting the source PE; internal use by the delivery loop.
     pub(crate) fn get_packet(&self) -> Option<(usize, Message)> {
         let p = self.net().try_recv(self.my_pe())?;
-        let msg = Message::from_bytes(p.bytes)
-            .unwrap_or_else(|e| panic!("PE {}: corrupt message from PE {}: {e}", self.my_pe(), p.src));
+        let msg = Message::from_bytes(p.bytes).unwrap_or_else(|e| {
+            panic!(
+                "PE {}: corrupt message from PE {}: {e}",
+                self.my_pe(),
+                p.src
+            )
+        });
         Some((p.src, msg))
     }
 
@@ -242,7 +253,8 @@ impl Pe {
                 None => {
                     self.check_abort();
                     self.check_deadline(deadline, "get_specific_msg");
-                    self.net().wait_nonempty(self.my_pe(), Duration::from_millis(20));
+                    self.net()
+                        .wait_nonempty(self.my_pe(), Duration::from_millis(20));
                 }
             }
         }

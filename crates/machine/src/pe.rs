@@ -37,7 +37,7 @@ type ExitHook = Box<dyn FnOnce(&Pe) + Send>;
 /// (global pointers, collectives, group multicast). User registration
 /// starts after these; since every PE registers them identically in
 /// `Pe::new`, indices agree machine-wide.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct InternalIds {
     pub gptr_get_req: HandlerId,
     pub gptr_get_reply: HandlerId,
@@ -47,7 +47,27 @@ pub(crate) struct InternalIds {
     pub coll_down: HandlerId,
     pub pgrp_fwd: HandlerId,
     pub pgrp_up: HandlerId,
+    pub exo_req: HandlerId,
+    pub exo_dispatch: HandlerId,
+    pub exo_reply: HandlerId,
 }
+
+/// The fixed table positions of the reserved handlers — needed before
+/// any [`Pe`] exists (e.g. by [`crate::exo::MachineHandle`], built at
+/// boot). `Pe::new` asserts its sequentially assigned ids match this.
+pub(crate) const INTERNAL_LAYOUT: InternalIds = InternalIds {
+    gptr_get_req: HandlerId(0),
+    gptr_get_reply: HandlerId(1),
+    gptr_put_req: HandlerId(2),
+    gptr_put_ack: HandlerId(3),
+    coll_up: HandlerId(4),
+    coll_down: HandlerId(5),
+    pgrp_fwd: HandlerId(6),
+    pgrp_up: HandlerId(7),
+    exo_req: HandlerId(8),
+    exo_dispatch: HandlerId(9),
+    exo_reply: HandlerId(10),
+};
 
 /// Which scheduler queue implementation a machine uses — the "plug in
 /// different queuing strategies" hook at machine-configuration level.
@@ -79,6 +99,8 @@ pub(crate) struct MachineShared {
     pub panicked: AtomicBool,
     /// Watchdog limit for machine-level blocking calls.
     pub block_timeout: Duration,
+    /// External-request gateway state (reply sink, service count).
+    pub exo: crate::exo::ExoState,
 }
 
 /// One logical processor of the simulated machine.
@@ -131,7 +153,11 @@ impl Pe {
             coll_down: push(Arc::new(crate::coll::handle_down)),
             pgrp_fwd: push(Arc::new(crate::pgrp::handle_fwd)),
             pgrp_up: push(Arc::new(crate::pgrp::handle_up)),
+            exo_req: push(Arc::new(crate::exo::handle_req)),
+            exo_dispatch: push(Arc::new(crate::exo::handle_dispatch)),
+            exo_reply: push(Arc::new(crate::exo::handle_reply)),
         };
+        debug_assert_eq!(ids, INTERNAL_LAYOUT, "reserved handler layout drifted");
         let internal_count = table.len();
         Arc::new_cyclic(|self_ref| Pe {
             id,
@@ -159,7 +185,9 @@ impl Pe {
     /// A counted reference to this PE. Execution contexts that outlive
     /// the current stack frame (thread objects) hold one of these.
     pub fn arc(&self) -> Arc<Pe> {
-        self.self_ref.upgrade().expect("Pe is alive while any context runs on it")
+        self.self_ref
+            .upgrade()
+            .expect("Pe is alive while any context runs on it")
     }
 
     /// Register a finalizer to run on this PE after its entry function
@@ -272,9 +300,17 @@ impl Pe {
         let id = msg.handler();
         let f = self.handler_fn(id);
         if self.trace.enabled() {
-            self.trace.record(self.id, self.now_ns(), Event::BeginProcessing { handler: id.0, src });
+            self.trace.record(
+                self.id,
+                self.now_ns(),
+                Event::BeginProcessing { handler: id.0, src },
+            );
             f(self, msg);
-            self.trace.record(self.id, self.now_ns(), Event::EndProcessing { handler: id.0 });
+            self.trace.record(
+                self.id,
+                self.now_ns(),
+                Event::EndProcessing { handler: id.0 },
+            );
         } else {
             f(self, msg);
         }
@@ -292,7 +328,13 @@ impl Pe {
     /// deliver it to its handler later.
     pub fn queue_enqueue(&self, msg: Message, mode: QueueingMode) {
         if self.trace.enabled() {
-            self.trace.record(self.id, self.now_ns(), Event::Enqueue { handler: msg.handler().0 });
+            self.trace.record(
+                self.id,
+                self.now_ns(),
+                Event::Enqueue {
+                    handler: msg.handler().0,
+                },
+            );
         }
         self.queue.lock().enqueue(msg, mode);
     }
@@ -326,14 +368,21 @@ impl Pe {
         F: FnOnce() -> T,
     {
         let mut l = self.locals.lock();
-        let entry = l.entry(TypeId::of::<T>()).or_insert_with(|| Arc::new(init()) as Arc<dyn Any + Send + Sync>);
-        entry.clone().downcast::<T>().expect("TypeId-keyed map guarantees the type")
+        let entry = l
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Arc::new(init()) as Arc<dyn Any + Send + Sync>);
+        entry
+            .clone()
+            .downcast::<T>()
+            .expect("TypeId-keyed map guarantees the type")
     }
 
     /// The PE-local instance of `T` if already created.
     pub fn try_local<T: Send + Sync + 'static>(&self) -> Option<Arc<T>> {
         self.locals.lock().get(&TypeId::of::<T>()).map(|a| {
-            a.clone().downcast::<T>().expect("TypeId-keyed map guarantees the type")
+            a.clone()
+                .downcast::<T>()
+                .expect("TypeId-keyed map guarantees the type")
         })
     }
 
@@ -355,7 +404,9 @@ impl Pe {
 
     pub(crate) fn pending_take_internal(&self) -> Option<Message> {
         let mut p = self.pending.lock();
-        let idx = p.iter().position(|m| m.handler().index() < self.internal_count)?;
+        let idx = p
+            .iter()
+            .position(|m| m.handler().index() < self.internal_count)?;
         p.remove(idx)
     }
 
@@ -374,7 +425,10 @@ impl Pe {
         }
         if self.net.is_closed() && self.net.pending(self.id) == 0 && self.pending.lock().is_empty()
         {
-            panic!("PE {}: blocked on a message but the machine has shut down", self.id);
+            panic!(
+                "PE {}: blocked on a message but the machine has shut down",
+                self.id
+            );
         }
     }
 

@@ -36,7 +36,11 @@ impl Pgrp {
         parent.insert(root, root);
         let mut children = HashMap::new();
         children.insert(root, Vec::new());
-        Pgrp { root, parent, children }
+        Pgrp {
+            root,
+            parent,
+            children,
+        }
     }
 
     /// Attach `procs` as children of member `penum` (`CmiAddChildren`).
@@ -48,7 +52,10 @@ impl Pgrp {
             assert!(!self.is_member(p), "PE {p} is already in the group");
             self.parent.insert(p, penum);
             self.children.insert(p, Vec::new());
-            self.children.get_mut(&penum).expect("member has a child list").push(p);
+            self.children
+                .get_mut(&penum)
+                .expect("member has a child list")
+                .push(p);
         }
     }
 
@@ -84,7 +91,10 @@ impl Pgrp {
 
     /// Children of `penum` (`CmiChildren`).
     pub fn children(&self, penum: usize) -> &[usize] {
-        self.children.get(&penum).map(|v| v.as_slice()).unwrap_or(&[])
+        self.children
+            .get(&penum)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// All members, root first, in breadth-first tree order.
@@ -131,7 +141,11 @@ impl Pgrp {
             parent.insert(m, par);
             children.insert(m, kids);
         }
-        Ok(Pgrp { root, parent, children })
+        Ok(Pgrp {
+            root,
+            parent,
+            children,
+        })
     }
 }
 
@@ -172,9 +186,20 @@ impl Pe {
             contribution
         } else {
             self.deliver_internal_until(|| {
-                self.pgrp.inbox.lock().get(&tag).map(|v| v.len()).unwrap_or(0) == kids.len()
+                self.pgrp
+                    .inbox
+                    .lock()
+                    .get(&tag)
+                    .map(|v| v.len())
+                    .unwrap_or(0)
+                    == kids.len()
             });
-            let mut got = self.pgrp.inbox.lock().remove(&tag).expect("children arrived");
+            let mut got = self
+                .pgrp
+                .inbox
+                .lock()
+                .remove(&tag)
+                .expect("children arrived");
             got.sort_by_key(|(pe, _)| *pe);
             let f = self.combiner_fn_public(op);
             let mut acc = contribution;
@@ -213,7 +238,12 @@ pub(crate) fn handle_up(pe: &Pe, msg: Message) {
     let tag = u.u64().expect("pgrp up: tag");
     let child = u.usize().expect("pgrp up: child");
     let bytes = u.bytes().expect("pgrp up: bytes").to_vec();
-    pe.pgrp.inbox.lock().entry(tag).or_default().push((child, bytes));
+    pe.pgrp
+        .inbox
+        .lock()
+        .entry(tag)
+        .or_default()
+        .push((child, bytes));
 }
 
 pub(crate) fn handle_fwd(pe: &Pe, msg: Message) {

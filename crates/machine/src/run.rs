@@ -11,8 +11,9 @@
 //! interconnect so PEs blocked in machine-level loops abort promptly
 //! instead of hanging; the first panic is re-raised to the caller.
 
-use crate::pe::{MachineShared, Pe};
+use crate::exo::{MachineHandle, MachineService};
 pub use crate::pe::QueueKind;
+use crate::pe::{MachineShared, Pe};
 use converse_net::{DeliveryMode, Interconnect, PeTraffic};
 use converse_trace::{NullSink, TraceSink};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -37,6 +38,10 @@ pub struct MachineConfig {
     /// pointer wait, collective) may wait without progress before the PE
     /// panics. A deadlock detector for tests, not a semantic timeout.
     pub block_timeout: Duration,
+    /// Background services (e.g. the CCS server) whose lifetime is
+    /// bounded by this run: started before the PEs boot, stopped after
+    /// every PE joined — on the panic path too.
+    pub services: Vec<Box<dyn MachineService>>,
 }
 
 impl MachineConfig {
@@ -51,6 +56,7 @@ impl MachineConfig {
             stdin_lines: Vec::new(),
             capture_output: false,
             block_timeout: Duration::from_secs(30),
+            services: Vec::new(),
         }
     }
 
@@ -89,6 +95,14 @@ impl MachineConfig {
         self.block_timeout = t;
         self
     }
+
+    /// Attach a background service to this machine's lifetime. While at
+    /// least one service is attached, the scheduler's idle watchdog is
+    /// suspended (an externally-driven PE legitimately idles).
+    pub fn attach(mut self, svc: Box<dyn MachineService>) -> Self {
+        self.services.push(svc);
+        self
+    }
 }
 
 /// What a machine run leaves behind.
@@ -114,6 +128,22 @@ impl RunReport {
     }
 }
 
+/// Stop `services` in reverse attach order, catching (and returning the
+/// first of) any panic so one misbehaving service cannot prevent the
+/// rest from releasing their threads and ports.
+fn stop_services(
+    services: &mut [Box<dyn MachineService>],
+) -> Option<Box<dyn std::any::Any + Send>> {
+    let mut first = None;
+    for svc in services.iter_mut().rev() {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| svc.stop()));
+        if let Err(p) = r {
+            first.get_or_insert(p);
+        }
+    }
+    first
+}
+
 /// Boot a machine of `num_pes` PEs with default configuration and run
 /// `entry` on every PE (the `ConverseInit`-to-`ConverseExit` lifetime).
 pub fn run<F>(num_pes: usize, entry: F) -> RunReport
@@ -124,7 +154,7 @@ where
 }
 
 /// Boot a machine with explicit configuration; see [`run`].
-pub fn run_with<F>(cfg: MachineConfig, entry: F) -> RunReport
+pub fn run_with<F>(mut cfg: MachineConfig, entry: F) -> RunReport
 where
     F: Fn(&Pe) + Send + Sync + 'static,
 {
@@ -134,7 +164,26 @@ where
         console: crate::io::Console::new(cfg.capture_output, cfg.stdin_lines.clone()),
         panicked: std::sync::atomic::AtomicBool::new(false),
         block_timeout: cfg.block_timeout,
+        exo: crate::exo::ExoState::default(),
     });
+    let mut services = std::mem::take(&mut cfg.services);
+    shared.exo.services.store(services.len(), Ordering::Release);
+    let handle = MachineHandle {
+        net: net.clone(),
+        shared: shared.clone(),
+        exo_req: crate::pe::INTERNAL_LAYOUT.exo_req,
+    };
+    for i in 0..services.len() {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            services[i].start(&handle);
+        }));
+        if let Err(p) = r {
+            // A service failed to boot: tear down the ones already up
+            // (no PEs exist yet), then surface the failure.
+            stop_services(&mut services[..i]);
+            std::panic::resume_unwind(p);
+        }
+    }
     let entry = Arc::new(entry);
     let remaining = Arc::new(AtomicUsize::new(cfg.num_pes));
     let started = std::time::Instant::now();
@@ -192,6 +241,12 @@ where
                 first_panic.get_or_insert(p);
             }
         }
+    }
+    // Every PE has joined. Stop attached services BEFORE re-raising any
+    // panic: listener threads and ports must not outlive the machine,
+    // least of all on the failure path.
+    if let Some(p) = stop_services(&mut services) {
+        first_panic.get_or_insert(p);
     }
     if let Some(p) = first_panic {
         std::panic::resume_unwind(p);

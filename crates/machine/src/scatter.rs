@@ -92,7 +92,12 @@ impl Pe {
 
     /// Peek at a scatter area without clearing.
     pub fn scatter_peek(&self, area: u64) -> Vec<u8> {
-        self.scatter.areas.lock().get(&area).cloned().unwrap_or_default()
+        self.scatter
+            .areas
+            .lock()
+            .get(&area)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Try to consume `msg` by a registered scatter. Returns true when a
@@ -108,7 +113,9 @@ impl Pe {
                         let p = msg.payload();
                         p.len() >= s.match_offset + 4
                             && u32::from_le_bytes(
-                                p[s.match_offset..s.match_offset + 4].try_into().expect("4 bytes"),
+                                p[s.match_offset..s.match_offset + 4]
+                                    .try_into()
+                                    .expect("4 bytes"),
                             ) == s.match_value
                     }
                 })

@@ -96,7 +96,10 @@ fn deliver_msgs_dispatches_directly() {
             let deadline = std::time::Instant::now() + Duration::from_secs(10);
             while seen < 10 {
                 seen += pe.deliver_msgs(None);
-                assert!(std::time::Instant::now() < deadline, "messages never arrived");
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "messages never arrived"
+                );
             }
             assert_eq!(count.load(Ordering::Relaxed), 10);
             pe.barrier();
@@ -242,18 +245,29 @@ fn allreduce_gives_everyone_the_result() {
 #[test]
 fn bcast_from_nonzero_root() {
     run(6, |pe| {
-        let data = if pe.my_pe() == 3 { Some(b"from three".to_vec()) } else { None };
+        let data = if pe.my_pe() == 3 {
+            Some(b"from three".to_vec())
+        } else {
+            None
+        };
         let got = pe.bcast_bytes(3, data);
         assert_eq!(got, b"from three");
         // And again from root 0, to check sequence numbering.
-        let data = if pe.my_pe() == 0 { Some(vec![7u8; 3]) } else { None };
+        let data = if pe.my_pe() == 0 {
+            Some(vec![7u8; 3])
+        } else {
+            None
+        };
         assert_eq!(pe.bcast_bytes(0, data), vec![7u8; 3]);
     });
 }
 
 #[test]
 fn collectives_survive_reordered_delivery() {
-    let cfg = MachineConfig::new(8).delivery(DeliveryMode::Reorder { seed: 42, window: 6 });
+    let cfg = MachineConfig::new(8).delivery(DeliveryMode::Reorder {
+        seed: 42,
+        window: 6,
+    });
     run_with(cfg, |pe| {
         let sum = pe.register_combiner(|a, b| {
             let x = u64::from_le_bytes(a.try_into().unwrap());
@@ -263,7 +277,11 @@ fn collectives_survive_reordered_delivery() {
         for round in 0..10u64 {
             let out = pe.allreduce_bytes((round + pe.my_pe() as u64).to_le_bytes().to_vec(), sum);
             let expect: u64 = (0..8).map(|p| round + p).sum();
-            assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), expect, "round {round}");
+            assert_eq!(
+                u64::from_le_bytes(out.try_into().unwrap()),
+                expect,
+                "round {round}"
+            );
         }
     });
 }
@@ -420,7 +438,11 @@ fn cmi_scanf_serializes_input() {
             pe.cmi_printf(format!("got {l}"));
         }
     });
-    let mut got: Vec<String> = report.output.iter().map(|s| s.replace("got ", "")).collect();
+    let mut got: Vec<String> = report
+        .output
+        .iter()
+        .map(|s| s.replace("got ", ""))
+        .collect();
     got.sort();
     let mut expect: Vec<String> = (0..8).map(|i| format!("input-{i}")).collect();
     expect.sort();
@@ -460,7 +482,11 @@ fn pe_local_storage_is_per_type_singleton() {
     run(2, |pe| {
         let a = pe.local(|| AtomicU64::new(5));
         let b = pe.local(|| AtomicU64::new(99));
-        assert_eq!(b.load(Ordering::Relaxed), 5, "second access reuses the first instance");
+        assert_eq!(
+            b.load(Ordering::Relaxed),
+            5,
+            "second access reuses the first instance"
+        );
         a.store(7, Ordering::Relaxed);
         assert_eq!(pe.local(|| AtomicU64::new(0)).load(Ordering::Relaxed), 7);
         assert!(pe.try_local::<AtomicU64>().is_some());

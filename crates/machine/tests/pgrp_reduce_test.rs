@@ -97,7 +97,10 @@ fn group_reduce_with_multicast_roundtrip() {
             let h = pe.async_multicast(&g, &Message::new(question, b"contribute!"));
             pe.release_comm_handle(h);
             let out = pe.pgrp_reduce(&g, 5, 0i64.to_le_bytes().to_vec(), sum);
-            assert_eq!(i64::from_le_bytes(out.unwrap().try_into().unwrap()), 1 + 2 + 3);
+            assert_eq!(
+                i64::from_le_bytes(out.unwrap().try_into().unwrap()),
+                1 + 2 + 3
+            );
         } else {
             // Wait for the question, then contribute my PE id.
             pe.deliver_until(|| asked.load(std::sync::atomic::Ordering::SeqCst) == 1);

@@ -16,8 +16,16 @@ fn advance_receive_scatters_matching_message() {
                 match_offset: 0,
                 match_value: 0xAB,
                 pieces: vec![
-                    ScatterPiece { src_offset: 4, len: 3, area: 1 },
-                    ScatterPiece { src_offset: 7, len: 5, area: 2 },
+                    ScatterPiece {
+                        src_offset: 4,
+                        len: 3,
+                        area: 1,
+                    },
+                    ScatterPiece {
+                        src_offset: 7,
+                        len: 5,
+                        area: 2,
+                    },
                 ],
                 notify: None,
             });
@@ -52,7 +60,11 @@ fn non_matching_message_dispatches_normally() {
                 handler: data_h,
                 match_offset: 0,
                 match_value: 42,
-                pieces: vec![ScatterPiece { src_offset: 4, len: 4, area: 1 }],
+                pieces: vec![ScatterPiece {
+                    src_offset: 4,
+                    len: 4,
+                    area: 1,
+                }],
                 notify: None,
             });
         }
@@ -88,7 +100,11 @@ fn notify_variant_enqueues_empty_message() {
                 handler: data_h,
                 match_offset: 0,
                 match_value: 5,
-                pieces: vec![ScatterPiece { src_offset: 4, len: 2, area: 9 }],
+                pieces: vec![ScatterPiece {
+                    src_offset: 4,
+                    len: 2,
+                    area: 9,
+                }],
                 notify: Some(notify_h),
             });
         }
@@ -124,8 +140,16 @@ fn gather_send_scatter_receive_roundtrip() {
                 match_offset: 0,
                 match_value: u32::from_le_bytes(*b"GATH"),
                 pieces: vec![
-                    ScatterPiece { src_offset: 4, len: 6, area: 1 },
-                    ScatterPiece { src_offset: 10, len: 6, area: 2 },
+                    ScatterPiece {
+                        src_offset: 4,
+                        len: 6,
+                        area: 1,
+                    },
+                    ScatterPiece {
+                        src_offset: 10,
+                        len: 6,
+                        area: 2,
+                    },
                 ],
                 notify: None,
             });
@@ -155,7 +179,11 @@ fn cancelled_scatter_stops_matching() {
             handler: data_h,
             match_offset: 0,
             match_value: 1,
-            pieces: vec![ScatterPiece { src_offset: 4, len: 1, area: 3 }],
+            pieces: vec![ScatterPiece {
+                src_offset: 4,
+                len: 1,
+                area: 3,
+            }],
             notify: None,
         });
         let mut payload = 1u32.to_le_bytes().to_vec();
@@ -182,7 +210,11 @@ fn scatter_accumulates_across_messages() {
             handler: data_h,
             match_offset: 0,
             match_value: 2,
-            pieces: vec![ScatterPiece { src_offset: 4, len: 1, area: 4 }],
+            pieces: vec![ScatterPiece {
+                src_offset: 4,
+                len: 1,
+                area: 4,
+            }],
             notify: None,
         });
         for c in b"abc" {

@@ -92,11 +92,17 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::TooShort { len } => {
-                write!(f, "message of {len} bytes is shorter than the {HEADER_BYTES}-byte header")
+                write!(
+                    f,
+                    "message of {len} bytes is shorter than the {HEADER_BYTES}-byte header"
+                )
             }
             DecodeError::BadPriorityKind(k) => write!(f, "unknown priority kind {k}"),
             DecodeError::TruncatedPriority { words, len } => {
-                write!(f, "header claims {words} priority words but message is {len} bytes")
+                write!(
+                    f,
+                    "header claims {words} priority words but message is {len} bytes"
+                )
             }
         }
     }
@@ -143,7 +149,11 @@ impl Message {
             Priority::Int(v) => (KIND_INT, std::slice::from_ref(bytemuck_i32(v))),
             Priority::BitVec(bv) => (KIND_BITVEC, bv.words()),
         };
-        assert!(words.len() <= u8::MAX as usize, "priority too long: {} words", words.len());
+        assert!(
+            words.len() <= u8::MAX as usize,
+            "priority too long: {} words",
+            words.len()
+        );
         let mut bytes = Vec::with_capacity(HEADER_BYTES + words.len() * 4 + payload.len());
         bytes.extend_from_slice(&handler.0.to_le_bytes());
         bytes.push(kind);
@@ -179,7 +189,10 @@ impl Message {
         }
         let words = bytes[5] as usize;
         if bytes.len() < HEADER_BYTES + words * 4 {
-            return Err(DecodeError::TruncatedPriority { words, len: bytes.len() });
+            return Err(DecodeError::TruncatedPriority {
+                words,
+                len: bytes.len(),
+            });
         }
         Ok(Message { bytes })
     }
@@ -199,7 +212,12 @@ impl Message {
     /// Handler index stored in the first word (`CmiGetHandler`).
     #[inline]
     pub fn handler(&self) -> HandlerId {
-        HandlerId(u32::from_le_bytes([self.bytes[0], self.bytes[1], self.bytes[2], self.bytes[3]]))
+        HandlerId(u32::from_le_bytes([
+            self.bytes[0],
+            self.bytes[1],
+            self.bytes[2],
+            self.bytes[3],
+        ]))
     }
 
     /// Overwrite the handler index (`CmiSetHandler`). Language runtimes
@@ -254,7 +272,12 @@ impl Message {
     #[inline]
     fn prio_word(&self, i: usize) -> u32 {
         let o = HEADER_BYTES + i * 4;
-        u32::from_le_bytes([self.bytes[o], self.bytes[o + 1], self.bytes[o + 2], self.bytes[o + 3]])
+        u32::from_le_bytes([
+            self.bytes[o],
+            self.bytes[o + 1],
+            self.bytes[o + 2],
+            self.bytes[o + 3],
+        ])
     }
 
     /// The opaque payload following header and priority area.
@@ -350,14 +373,20 @@ mod tests {
 
     #[test]
     fn decode_rejects_short() {
-        assert!(matches!(Message::from_bytes(vec![0; 3]), Err(DecodeError::TooShort { len: 3 })));
+        assert!(matches!(
+            Message::from_bytes(vec![0; 3]),
+            Err(DecodeError::TooShort { len: 3 })
+        ));
     }
 
     #[test]
     fn decode_rejects_bad_kind() {
         let mut bytes = Message::new(HandlerId(0), b"").into_bytes();
         bytes[4] = 17;
-        assert_eq!(Message::from_bytes(bytes), Err(DecodeError::BadPriorityKind(17)));
+        assert_eq!(
+            Message::from_bytes(bytes),
+            Err(DecodeError::BadPriorityKind(17))
+        );
     }
 
     #[test]

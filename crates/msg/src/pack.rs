@@ -7,7 +7,6 @@
 //! All reads are checked: malformed payloads yield [`PackError`] rather
 //! than panics, so a handler can reject a corrupt message gracefully.
 
-use bytes::{Buf, BufMut};
 use std::fmt;
 
 /// Error produced when an [`Unpacker`] runs out of bytes.
@@ -21,7 +20,11 @@ pub struct PackError {
 
 impl fmt::Display for PackError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "payload underrun: needed {} bytes, {} remaining", self.needed, self.remaining)
+        write!(
+            f,
+            "payload underrun: needed {} bytes, {} remaining",
+            self.needed, self.remaining
+        )
     }
 }
 
@@ -41,7 +44,9 @@ impl Packer {
 
     /// New packer with capacity for `n` bytes.
     pub fn with_capacity(n: usize) -> Self {
-        Packer { buf: Vec::with_capacity(n) }
+        Packer {
+            buf: Vec::with_capacity(n),
+        }
     }
 
     /// Finish and take the payload bytes.
@@ -61,37 +66,37 @@ impl Packer {
 
     /// Append a `u8`.
     pub fn u8(mut self, v: u8) -> Self {
-        self.buf.put_u8(v);
+        self.buf.push(v);
         self
     }
 
     /// Append a `u32`.
     pub fn u32(mut self, v: u32) -> Self {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
 
     /// Append an `i32`.
     pub fn i32(mut self, v: i32) -> Self {
-        self.buf.put_i32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
 
     /// Append a `u64`.
     pub fn u64(mut self, v: u64) -> Self {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
 
     /// Append an `i64`.
     pub fn i64(mut self, v: i64) -> Self {
-        self.buf.put_i64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
 
     /// Append an `f64`.
     pub fn f64(mut self, v: f64) -> Self {
-        self.buf.put_f64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
         self
     }
 
@@ -102,8 +107,8 @@ impl Packer {
 
     /// Append a length-prefixed byte slice.
     pub fn bytes(mut self, v: &[u8]) -> Self {
-        self.buf.put_u32_le(v.len() as u32);
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(v);
         self
     }
 
@@ -114,7 +119,7 @@ impl Packer {
 
     /// Append raw bytes with no length prefix (reader must know the size).
     pub fn raw(mut self, v: &[u8]) -> Self {
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
         self
     }
 }
@@ -137,46 +142,51 @@ impl<'a> Unpacker<'a> {
 
     fn need(&self, n: usize) -> Result<(), PackError> {
         if self.buf.len() < n {
-            Err(PackError { needed: n, remaining: self.buf.len() })
+            Err(PackError {
+                needed: n,
+                remaining: self.buf.len(),
+            })
         } else {
             Ok(())
         }
     }
 
+    /// Consume the next `N` bytes as a fixed-size array.
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], PackError> {
+        self.need(N)?;
+        let (head, tail) = self.buf.split_at(N);
+        self.buf = tail;
+        Ok(head.try_into().expect("split_at yields exactly N bytes"))
+    }
+
     /// Read a `u8`.
     pub fn u8(&mut self) -> Result<u8, PackError> {
-        self.need(1)?;
-        Ok(self.buf.get_u8())
+        Ok(u8::from_le_bytes(self.take::<1>()?))
     }
 
     /// Read a `u32`.
     pub fn u32(&mut self) -> Result<u32, PackError> {
-        self.need(4)?;
-        Ok(self.buf.get_u32_le())
+        Ok(u32::from_le_bytes(self.take::<4>()?))
     }
 
     /// Read an `i32`.
     pub fn i32(&mut self) -> Result<i32, PackError> {
-        self.need(4)?;
-        Ok(self.buf.get_i32_le())
+        Ok(i32::from_le_bytes(self.take::<4>()?))
     }
 
     /// Read a `u64`.
     pub fn u64(&mut self) -> Result<u64, PackError> {
-        self.need(8)?;
-        Ok(self.buf.get_u64_le())
+        Ok(u64::from_le_bytes(self.take::<8>()?))
     }
 
     /// Read an `i64`.
     pub fn i64(&mut self) -> Result<i64, PackError> {
-        self.need(8)?;
-        Ok(self.buf.get_i64_le())
+        Ok(i64::from_le_bytes(self.take::<8>()?))
     }
 
     /// Read an `f64`.
     pub fn f64(&mut self) -> Result<f64, PackError> {
-        self.need(8)?;
-        Ok(self.buf.get_f64_le())
+        Ok(f64::from_le_bytes(self.take::<8>()?))
     }
 
     /// Read a `usize` written with [`Packer::usize`].
@@ -240,7 +250,11 @@ mod tests {
 
     #[test]
     fn bytes_and_str_roundtrip() {
-        let p = Packer::new().bytes(b"ab").str("héllo").raw(&[9, 9]).finish();
+        let p = Packer::new()
+            .bytes(b"ab")
+            .str("héllo")
+            .raw(&[9, 9])
+            .finish();
         let mut u = Unpacker::new(&p);
         assert_eq!(u.bytes().unwrap(), b"ab");
         assert_eq!(u.str().unwrap(), "héllo");
@@ -251,7 +265,13 @@ mod tests {
     fn underrun_is_error_not_panic() {
         let p = Packer::new().u32(1).finish();
         let mut u = Unpacker::new(&p);
-        assert_eq!(u.u64(), Err(PackError { needed: 8, remaining: 4 }));
+        assert_eq!(
+            u.u64(),
+            Err(PackError {
+                needed: 8,
+                remaining: 4
+            })
+        );
         // A failed read consumes nothing.
         assert_eq!(u.u32().unwrap(), 1);
     }

@@ -100,7 +100,11 @@ impl BitVecPrio {
 
     /// Bit `i` (0 = leftmost / most significant).
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.len(), "bit {i} out of range for {}-bit priority", self.len());
+        assert!(
+            i < self.len(),
+            "bit {i} out of range for {}-bit priority",
+            self.len()
+        );
         self.raw[1 + i / 32] & (1 << (31 - (i % 32))) != 0
     }
 

@@ -42,12 +42,18 @@ fn check_tags(tags: &[i32]) {
         "Cmm supports one or two tags, got {}",
         tags.len()
     );
-    assert!(!tags.contains(&WILDCARD), "stored tags cannot be the wildcard value");
+    assert!(
+        !tags.contains(&WILDCARD),
+        "stored tags cannot be the wildcard value"
+    );
 }
 
 fn matches(stored: &[i32], pattern: &[i32]) -> bool {
     stored.len() == pattern.len()
-        && stored.iter().zip(pattern).all(|(s, p)| *p == WILDCARD || s == p)
+        && stored
+            .iter()
+            .zip(pattern)
+            .all(|(s, p)| *p == WILDCARD || s == p)
 }
 
 /// Common interface of the two message-manager implementations.
@@ -112,7 +118,10 @@ impl MsgManager {
 impl TagMailbox for MsgManager {
     fn put(&mut self, tags: &[i32], data: Vec<u8>) {
         check_tags(tags);
-        self.entries.push_back(Stored { tags: tags.to_vec(), data });
+        self.entries.push_back(Stored {
+            tags: tags.to_vec(),
+            data,
+        });
     }
 
     fn probe(&self, pattern: &[i32]) -> Option<(usize, Vec<i32>)> {
@@ -123,7 +132,10 @@ impl TagMailbox for MsgManager {
     }
 
     fn get(&mut self, pattern: &[i32]) -> Option<Stored> {
-        let idx = self.entries.iter().position(|e| matches(&e.tags, pattern))?;
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| matches(&e.tags, pattern))?;
         self.entries.remove(idx)
     }
 
@@ -168,7 +180,13 @@ impl TagMailbox for IndexedMsgManager {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.index.entry(tags.to_vec()).or_default().push_back(seq);
-        self.store.insert(seq, Stored { tags: tags.to_vec(), data });
+        self.store.insert(
+            seq,
+            Stored {
+                tags: tags.to_vec(),
+                data,
+            },
+        );
     }
 
     fn probe(&self, pattern: &[i32]) -> Option<(usize, Vec<i32>)> {
@@ -201,7 +219,10 @@ mod tests {
     use super::*;
 
     fn both() -> Vec<Box<dyn TagMailbox>> {
-        vec![Box::new(MsgManager::new()), Box::new(IndexedMsgManager::new())]
+        vec![
+            Box::new(MsgManager::new()),
+            Box::new(IndexedMsgManager::new()),
+        ]
     }
 
     #[test]

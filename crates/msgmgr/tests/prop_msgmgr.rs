@@ -33,7 +33,10 @@ fn arb_pattern() -> impl Strategy<Value = Vec<i32>> {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (arb_store_tags(), proptest::collection::vec(any::<u8>(), 0..8))
+        (
+            arb_store_tags(),
+            proptest::collection::vec(any::<u8>(), 0..8)
+        )
             .prop_map(|(t, d)| Op::Put(t, d)),
         arb_pattern().prop_map(Op::Get),
         arb_pattern().prop_map(Op::Probe),

@@ -63,7 +63,10 @@ struct Mailbox {
 
 impl Mailbox {
     fn new() -> Self {
-        Mailbox { q: Mutex::new(VecDeque::new()), cv: Condvar::new() }
+        Mailbox {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
     }
 }
 
@@ -76,6 +79,19 @@ pub struct PeTraffic {
     pub bytes_sent: u64,
     /// Messages received (popped) by this PE.
     pub msgs_recv: u64,
+}
+
+/// Point-in-time load view of one PE: cumulative traffic plus the
+/// instantaneous mailbox depth. Returned by [`Interconnect::load_of`]
+/// and [`Interconnect::load_snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeLoad {
+    /// The PE this snapshot describes.
+    pub pe: usize,
+    /// Cumulative send/receive counters.
+    pub traffic: PeTraffic,
+    /// Packets delivered but not yet retrieved (queue depth).
+    pub queued: usize,
 }
 
 #[derive(Default)]
@@ -92,7 +108,10 @@ struct Lcg(u64);
 impl Lcg {
     fn next(&mut self) -> u64 {
         // Numerical Recipes LCG constants.
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 33
     }
 }
@@ -151,7 +170,8 @@ impl Interconnect {
     pub fn send(&self, src: usize, dst: usize, bytes: Vec<u8>) {
         let t = &self.traffic[src];
         t.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        t.bytes_sent.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        t.bytes_sent
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         let mbox = &self.boxes[dst];
         let mut q = mbox.q.lock();
         match self.mode {
@@ -163,6 +183,16 @@ impl Interconnect {
             }
         }
         mbox.cv.notify_one();
+    }
+
+    /// Deliver `bytes` into `dst`'s mailbox from *outside* the machine —
+    /// the entry point used by front-ends such as CCS that inject
+    /// external request traffic. The packet is attributed to `dst`
+    /// itself (there is no external PE id), so per-(src,dst) FIFO and
+    /// the traffic counters stay well-defined, and it is subject to the
+    /// same [`DeliveryMode`] scrambling as native sends.
+    pub fn inject(&self, dst: usize, bytes: Vec<u8>) {
+        self.send(dst, dst, bytes);
     }
 
     /// Broadcast to every PE except `src` (`CmiSyncBroadcast` semantics:
@@ -256,6 +286,25 @@ impl Interconnect {
             bytes_sent: t.bytes_sent.load(Ordering::Relaxed),
             msgs_recv: t.msgs_recv.load(Ordering::Relaxed),
         }
+    }
+
+    /// Live load snapshot for one PE: cumulative traffic counters plus
+    /// the current mailbox depth. This is the public read side used by
+    /// the CCS bench and load balancers; it takes the mailbox lock only
+    /// long enough to read the queue length.
+    pub fn load_of(&self, pe: usize) -> PeLoad {
+        PeLoad {
+            pe,
+            traffic: self.traffic(pe),
+            queued: self.pending(pe),
+        }
+    }
+
+    /// Snapshot of every PE's load, in PE order. The per-PE reads are
+    /// not mutually atomic (the machine keeps running underneath), which
+    /// is fine for the monitoring/balancing uses this serves.
+    pub fn load_snapshot(&self) -> Vec<PeLoad> {
+        (0..self.num_pes()).map(|pe| self.load_of(pe)).collect()
     }
 
     /// Aggregate traffic over all PEs.
@@ -356,7 +405,12 @@ mod tests {
         let net = Interconnect::new(1);
         net.send(0, 0, vec![5]);
         net.close();
-        assert_eq!(net.recv_timeout(0, Duration::from_millis(10)).unwrap().bytes, vec![5]);
+        assert_eq!(
+            net.recv_timeout(0, Duration::from_millis(10))
+                .unwrap()
+                .bytes,
+            vec![5]
+        );
         assert!(net.recv_timeout(0, Duration::from_millis(10)).is_none());
     }
 
@@ -382,7 +436,9 @@ mod tests {
             for i in 0..20u8 {
                 net.send(0, 1, vec![i]);
             }
-            (0..20).map(|_| net.try_recv(1).unwrap().bytes[0]).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| net.try_recv(1).unwrap().bytes[0])
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));
@@ -417,6 +473,21 @@ mod tests {
         assert_eq!(net.pending(1), 2);
         net.try_recv(1);
         assert_eq!(net.pending(1), 1);
+    }
+
+    #[test]
+    fn inject_and_load_snapshot() {
+        let net = Interconnect::new(3);
+        net.inject(2, vec![1, 2, 3]);
+        net.send(0, 2, vec![4]);
+        let snap = net.load_snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[2].pe, 2);
+        assert_eq!(snap[2].queued, 2);
+        assert_eq!(snap[0].traffic.msgs_sent, 1);
+        // The injected packet is attributed to the destination itself.
+        assert_eq!(net.try_recv(2).unwrap().src, 2);
+        assert_eq!(net.load_of(2).queued, 1);
     }
 
     #[test]

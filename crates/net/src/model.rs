@@ -51,7 +51,8 @@ impl NetModel {
     pub fn one_way_us(&self, n: usize) -> f64 {
         let billed = n.saturating_sub(self.included_bytes) as f64;
         let packets = n.div_ceil(self.packet_bytes).max(1) as f64;
-        let mut t = self.alpha_us + self.beta_us_per_byte * billed + self.per_packet_us * (packets - 1.0);
+        let mut t =
+            self.alpha_us + self.beta_us_per_byte * billed + self.per_packet_us * (packets - 1.0);
         if let Some(thresh) = self.copy_threshold {
             if n > thresh {
                 t += self.copy_us_per_byte * n as f64;
@@ -168,7 +169,13 @@ impl NetModel {
 
     /// All five figure machines in paper order (Figs 4–8).
     pub fn all_figures() -> Vec<NetModel> {
-        vec![Self::atm_hp(), Self::t3d(), Self::myrinet_fm(), Self::sp1(), Self::paragon()]
+        vec![
+            Self::atm_hp(),
+            Self::t3d(),
+            Self::myrinet_fm(),
+            Self::sp1(),
+            Self::paragon(),
+        ]
     }
 
     /// Every modeled machine, the figure set plus the SP-2.
@@ -251,8 +258,10 @@ mod tests {
     #[test]
     fn bandwidths_are_sane() {
         // Paragon fastest, SP-1 slowest of the modeled set.
-        let bw: Vec<(f64, &str)> =
-            NetModel::all_figures().iter().map(|m| (m.bandwidth_mb_s(), m.name)).collect();
+        let bw: Vec<(f64, &str)> = NetModel::all_figures()
+            .iter()
+            .map(|m| (m.bandwidth_mb_s(), m.name))
+            .collect();
         let paragon = bw.iter().find(|b| b.1.contains("Paragon")).unwrap().0;
         let sp1 = bw.iter().find(|b| b.1.contains("SP-1")).unwrap().0;
         for (b, _) in &bw {

@@ -149,7 +149,10 @@ impl Ord for PrioEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse so the smallest (most urgent)
         // key pops first.
-        other.key.cmp(&self.key).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -236,7 +239,11 @@ impl SchedulingQueue for CsdQueue {
             QueueingMode::PrioFifo | QueueingMode::PrioLifo => {
                 let key = unified_key(&msg.priority());
                 self.seq += 1;
-                let seq = if mode == QueueingMode::PrioFifo { self.seq } else { -self.seq };
+                let seq = if mode == QueueingMode::PrioFifo {
+                    self.seq
+                } else {
+                    -self.seq
+                };
                 self.prio.push(PrioEntry { key, seq, msg });
             }
         }
@@ -380,9 +387,15 @@ mod tests {
         // hence more urgent than int 0.
         let mut q = CsdQueue::new();
         q.enqueue(pmsg(1, Priority::Int(-1)), QueueingMode::PrioFifo);
-        q.enqueue(pmsg(2, Priority::BitVec(BitVecPrio::from_bits(&[false]))), QueueingMode::PrioFifo);
+        q.enqueue(
+            pmsg(2, Priority::BitVec(BitVecPrio::from_bits(&[false]))),
+            QueueingMode::PrioFifo,
+        );
         q.enqueue(pmsg(3, Priority::Int(0)), QueueingMode::PrioFifo);
-        q.enqueue(pmsg(4, Priority::BitVec(BitVecPrio::from_bits(&[true]))), QueueingMode::PrioFifo);
+        q.enqueue(
+            pmsg(4, Priority::BitVec(BitVecPrio::from_bits(&[true]))),
+            QueueingMode::PrioFifo,
+        );
         assert_eq!(drain(&mut q), vec![2, 1, 4, 3]);
     }
 

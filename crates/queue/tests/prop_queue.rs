@@ -70,7 +70,10 @@ fn arb_op() -> impl Strategy<Value = Op> {
         Just(Op::EnqFifo),
         Just(Op::EnqLifo),
         (any::<i32>(), any::<bool>()).prop_map(|(i, f)| Op::EnqPrioInt(i, f)),
-        (proptest::collection::vec(any::<bool>(), 0..40), any::<bool>())
+        (
+            proptest::collection::vec(any::<bool>(), 0..40),
+            any::<bool>()
+        )
             .prop_map(|(b, f)| Op::EnqPrioBits(b, f)),
         Just(Op::Deq),
         Just(Op::Deq),

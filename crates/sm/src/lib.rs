@@ -93,7 +93,11 @@ impl Sm {
     /// blocks the sender.
     pub fn send(&self, pe: &Pe, dst: usize, tag: i32, data: &[u8]) {
         assert_ne!(tag, ANY, "cannot send with the wildcard tag");
-        let payload = Packer::new().i32(tag).usize(pe.my_pe()).bytes(data).finish();
+        let payload = Packer::new()
+            .i32(tag)
+            .usize(pe.my_pe())
+            .bytes(data)
+            .finish();
         pe.sync_send_and_free(dst, Message::new(self.data_h, &payload));
     }
 
@@ -101,7 +105,9 @@ impl Sm {
     /// waiter, if any.
     fn ingest(&self, pe: &Pe, msg: &Message) {
         let parsed = decode(msg);
-        self.mailbox.lock().put(&[parsed.tag, parsed.src as i32], parsed.data);
+        self.mailbox
+            .lock()
+            .put(&[parsed.tag, parsed.src as i32], parsed.data);
         let woken = {
             let mut ws = self.waiters.lock();
             ws.iter()
@@ -118,7 +124,11 @@ impl Sm {
 
     fn take_match(&self, tag: i32, src: i32) -> Option<SmMsg> {
         let stored = self.mailbox.lock().get(&[tag, src])?;
-        Some(SmMsg { tag: stored.tags[0], src: stored.tags[1] as usize, data: stored.data })
+        Some(SmMsg {
+            tag: stored.tags[0],
+            src: stored.tags[1] as usize,
+            data: stored.data,
+        })
     }
 
     /// Blocking SPM receive (`SMRecv`): waits for a message matching
@@ -156,7 +166,11 @@ impl Sm {
                     pe.my_pe()
                 )
             });
-            self.waiters.lock().push(Waiter { tag, src, thread: me });
+            self.waiters.lock().push(Waiter {
+                tag,
+                src,
+                thread: me,
+            });
             cth_suspend(pe);
         }
     }

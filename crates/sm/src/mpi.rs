@@ -95,8 +95,12 @@ impl Mpi {
             *e += 1;
             v
         };
-        let payload =
-            Packer::new().usize(pe.my_pe()).u64(seq).i32(tag).bytes(data).finish();
+        let payload = Packer::new()
+            .usize(pe.my_pe())
+            .u64(seq)
+            .i32(tag)
+            .bytes(data)
+            .finish();
         pe.sync_send_and_free(dst, Message::new(self.data_h, &payload));
     }
 
@@ -123,7 +127,10 @@ impl Mpi {
                     *want += 1;
                 }
             } else {
-                debug_assert!(seq > *want, "duplicate or replayed sequence {seq} from {src}");
+                debug_assert!(
+                    seq > *want,
+                    "duplicate or replayed sequence {seq} from {src}"
+                );
                 self.held.lock().insert((src, seq), (tag, data));
             }
         }
@@ -135,7 +142,11 @@ impl Mpi {
 
     fn take(&self, tag: i32, src: i32) -> Option<MpiMsg> {
         let stored = self.mailbox.lock().get(&[tag, src])?;
-        Some(MpiMsg { tag: stored.tags[0], src: stored.tags[1] as usize, data: stored.data })
+        Some(MpiMsg {
+            tag: stored.tags[0],
+            src: stored.tags[1] as usize,
+            data: stored.data,
+        })
     }
 
     /// Blocking receive (`MPI_Recv`): waits for a message matching

@@ -10,7 +10,10 @@ use converse_sm::mpi::{Mpi, ANY};
 fn pairwise_fifo_under_reordered_delivery() {
     // The raw net scrambles order (window 16); MPI resequencing must
     // restore exact per-pair send order.
-    let cfg = MachineConfig::new(2).delivery(DeliveryMode::Reorder { seed: 31, window: 16 });
+    let cfg = MachineConfig::new(2).delivery(DeliveryMode::Reorder {
+        seed: 31,
+        window: 16,
+    });
     run_with(cfg, |pe| {
         let mpi = Mpi::install(pe);
         pe.barrier();

@@ -58,7 +58,10 @@ impl CtsLock {
     /// Allocate a new lock (`CtsNewLock`).
     pub fn new() -> Arc<CtsLock> {
         Arc::new(CtsLock {
-            inner: Mutex::new(LockInner { owner: None, waiters: VecDeque::new() }),
+            inner: Mutex::new(LockInner {
+                owner: None,
+                waiters: VecDeque::new(),
+            }),
         })
     }
 
@@ -107,7 +110,10 @@ impl CtsLock {
         let next = {
             let mut l = self.inner.lock();
             if l.owner != Some(me) {
-                return Err(NotOwner { caller: me, owner: l.owner });
+                return Err(NotOwner {
+                    caller: me,
+                    owner: l.owner,
+                });
             }
             match l.waiters.pop_front() {
                 Some(t) => {
@@ -146,7 +152,9 @@ pub struct CtsCondn {
 impl CtsCondn {
     /// Allocate a new condition variable (`CtsNewCondn`).
     pub fn new() -> Arc<CtsCondn> {
-        Arc::new(CtsCondn { waiters: Mutex::new(VecDeque::new()) })
+        Arc::new(CtsCondn {
+            waiters: Mutex::new(VecDeque::new()),
+        })
     }
 
     /// Re-initialize, awakening all current waiters (`CtsCondnInit`).
@@ -211,7 +219,11 @@ impl CtsBarrier {
     pub fn new(num: usize) -> Arc<CtsBarrier> {
         assert!(num > 0, "a barrier needs at least one participant");
         Arc::new(CtsBarrier {
-            inner: Mutex::new(BarrierInner { needed: num, arrived: 0, waiters: VecDeque::new() }),
+            inner: Mutex::new(BarrierInner {
+                needed: num,
+                arrived: 0,
+                waiters: VecDeque::new(),
+            }),
         })
     }
 

@@ -162,7 +162,11 @@ fn barrier_kth_wait_broadcasts() {
         csd_scheduler_until_idle(pe);
         let log = log.lock();
         let first_after = log.iter().position(|(_, s)| *s == "after").unwrap();
-        let befores = log.iter().take(first_after).filter(|(_, s)| *s == "before").count();
+        let befores = log
+            .iter()
+            .take(first_after)
+            .filter(|(_, s)| *s == "before")
+            .count();
         assert_eq!(befores, 4, "every before precedes every after");
         assert_eq!(log.len(), 8);
         assert_eq!(bar.waiting(), 0);
@@ -190,7 +194,11 @@ fn barrier_is_reusable_across_phases() {
         assert_eq!(log.len(), 9);
         // Phases never interleave: all of phase p precede all of p+1.
         for w in 0..log.len() - 1 {
-            assert!(log[w].0 <= log[w + 1].0, "phase regression at {w}: {:?}", *log);
+            assert!(
+                log[w].0 <= log[w + 1].0,
+                "phase regression at {w}: {:?}",
+                *log
+            );
         }
     });
 }
@@ -244,7 +252,12 @@ fn producer_consumer_with_lock_and_condn() {
         const CAP: usize = 4;
         const N: u32 = 20;
 
-        let (l1, ne1, nf1, b1) = (lock.clone(), not_empty.clone(), not_full.clone(), buf.clone());
+        let (l1, ne1, nf1, b1) = (
+            lock.clone(),
+            not_empty.clone(),
+            not_full.clone(),
+            buf.clone(),
+        );
         rt.spawn_scheduled(pe, move |pe| {
             for i in 0..N {
                 l1.lock(pe);
@@ -259,8 +272,13 @@ fn producer_consumer_with_lock_and_condn() {
                 converse_threads::cth_yield(pe);
             }
         });
-        let (l2, ne2, nf2, b2, c2) =
-            (lock.clone(), not_empty.clone(), not_full.clone(), buf.clone(), consumed.clone());
+        let (l2, ne2, nf2, b2, c2) = (
+            lock.clone(),
+            not_empty.clone(),
+            not_full.clone(),
+            buf.clone(),
+            consumed.clone(),
+        );
         rt.spawn_scheduled(pe, move |pe| {
             for _ in 0..N {
                 l2.lock(pe);

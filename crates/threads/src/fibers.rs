@@ -89,7 +89,9 @@ impl FiberRt {
     /// The fiber runtime of this PE, created on first call. Must always
     /// be called from the PE's main execution context (asserted).
     pub fn get(pe: &Pe) -> FiberRt {
-        let slot = pe.local(|| FiberSlot { rt: parking_lot::Mutex::new(None) });
+        let slot = pe.local(|| FiberSlot {
+            rt: parking_lot::Mutex::new(None),
+        });
         let mut guard = slot.rt.lock();
         if let Some(rt) = &*guard {
             assert_eq!(
@@ -148,8 +150,13 @@ impl FiberRt {
             f(&pe_arc);
             HANDLE.with(|slot| slot.borrow_mut().remove(&id));
         });
-        self.inner.fibers.borrow_mut().insert(id, FiberState::Parked(fiber));
-        pe.trace_event(converse_trace::Event::ThreadCreate { tid: id | (1 << 63) });
+        self.inner
+            .fibers
+            .borrow_mut()
+            .insert(id, FiberState::Parked(fiber));
+        pe.trace_event(converse_trace::Event::ThreadCreate {
+            tid: id | (1 << 63),
+        });
         tid
     }
 
@@ -176,7 +183,10 @@ impl FiberRt {
 
     /// True once `t`'s closure has returned.
     pub fn is_done(&self, t: FThread) -> bool {
-        matches!(self.inner.fibers.borrow().get(&t.0), Some(FiberState::Done) | None)
+        matches!(
+            self.inner.fibers.borrow().get(&t.0),
+            Some(FiberState::Done) | None
+        )
     }
 
     /// Transfer control to `t` immediately (`CthResume`). From the main
@@ -213,7 +223,11 @@ impl FiberRt {
     /// Add `t` to the ready pool via the Csd scheduler (`CthAwaken` with
     /// the integrated strategy): a generalized message will resume it.
     pub fn awaken(&self, pe: &Pe, t: FThread) {
-        assert!(!self.is_done(t), "PE {}: awaken of finished fiber {t:?}", pe.my_pe());
+        assert!(
+            !self.is_done(t),
+            "PE {}: awaken of finished fiber {t:?}",
+            pe.my_pe()
+        );
         self.inner.scheduled.borrow_mut().insert(t.0, ());
         let payload = Packer::new().u64(t.0).finish();
         let msg = Message::with_priority(self.inner.resume_handler, &Priority::None, &payload);
@@ -223,7 +237,11 @@ impl FiberRt {
     /// Add `t` to the plain FIFO ready pool (picked up by the next
     /// suspend), bypassing the scheduler.
     pub fn awaken_pool(&self, pe: &Pe, t: FThread) {
-        assert!(!self.is_done(t), "PE {}: awaken of finished fiber {t:?}", pe.my_pe());
+        assert!(
+            !self.is_done(t),
+            "PE {}: awaken of finished fiber {t:?}",
+            pe.my_pe()
+        );
         self.inner.ready.borrow_mut().push_back(t);
     }
 
@@ -248,7 +266,11 @@ impl FiberRt {
     /// Run `t` (and any fibers it transfers to) until everything parks.
     /// Main-context only.
     fn drive(&self, pe: &Pe, mut t: FThread) {
-        assert!(self.current().is_none(), "PE {}: drive() from inside a fiber", pe.my_pe());
+        assert!(
+            self.current().is_none(),
+            "PE {}: drive() from inside a fiber",
+            pe.my_pe()
+        );
         loop {
             let mut fiber = {
                 let mut fs = self.inner.fibers.borrow_mut();
@@ -270,7 +292,9 @@ impl FiberRt {
                 }
             };
             self.inner.current.set(Some(t));
-            pe.trace_event(converse_trace::Event::ThreadResume { tid: t.0 | (1 << 63) });
+            pe.trace_event(converse_trace::Event::ThreadResume {
+                tid: t.0 | (1 << 63),
+            });
             let alive = fiber.resume();
             self.inner.current.set(None);
             {
@@ -304,7 +328,9 @@ impl FiberRt {
     /// Yield from fiber `me` back to the main context (directive set by
     /// the caller).
     fn yield_to_main(&self, pe: &Pe, me: FThread) {
-        pe.trace_event(converse_trace::Event::ThreadSuspend { tid: me.0 | (1 << 63) });
+        pe.trace_event(converse_trace::Event::ThreadSuspend {
+            tid: me.0 | (1 << 63),
+        });
         let h = HANDLE.with(|slot| {
             *slot
                 .borrow()

@@ -231,7 +231,11 @@ impl CthRuntime {
 
     /// Number of live (created, not yet exited) threads.
     pub fn live_len(&self) -> usize {
-        self.live.lock().iter().filter(|(t, _)| !t.is_exited()).count()
+        self.live
+            .lock()
+            .iter()
+            .filter(|(t, _)| !t.is_exited())
+            .count()
     }
 
     /// Poison every still-suspended thread and join their OS threads.
@@ -413,7 +417,11 @@ pub fn cth_awaken(pe: &Pe, t: &Thread) {
 pub fn cth_yield(pe: &Pe) {
     let rt = rt(pe);
     let me = rt.current.lock().clone();
-    assert!(!me.same(&rt.main), "PE {}: cth_yield from the main context", pe.my_pe());
+    assert!(
+        !me.same(&rt.main),
+        "PE {}: cth_yield from the main context",
+        pe.my_pe()
+    );
     cth_awaken(pe, &me);
     cth_suspend(pe);
 }
@@ -425,7 +433,11 @@ pub fn cth_yield(pe: &Pe) {
 pub fn cth_exit(pe: &Pe) -> ! {
     let rt = rt(pe);
     let me = rt.current.lock().clone();
-    assert!(!me.same(&rt.main), "PE {}: cth_exit from the main context", pe.my_pe());
+    assert!(
+        !me.same(&rt.main),
+        "PE {}: cth_exit from the main context",
+        pe.my_pe()
+    );
     std::panic::resume_unwind(Box::new(ExitRequested));
 }
 

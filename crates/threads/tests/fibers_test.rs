@@ -2,7 +2,9 @@
 
 #![cfg(all(target_arch = "x86_64", unix))]
 
-use converse_core::{csd_enqueue, csd_exit_scheduler, csd_scheduler, csd_scheduler_until_idle, run, Message};
+use converse_core::{
+    csd_enqueue, csd_exit_scheduler, csd_scheduler, csd_scheduler_until_idle, run, Message,
+};
 use converse_threads::fibers::FiberRt;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -29,7 +31,8 @@ fn create_resume_runs_to_completion() {
 fn suspend_and_pool_resume_interleave() {
     run(1, |pe| {
         let rt = FiberRt::get(pe);
-        let log: Arc<parking_lot::Mutex<Vec<String>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log: Arc<parking_lot::Mutex<Vec<String>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
         let l2 = log.clone();
         let t = rt.create(pe, 32 * 1024, move |pe| {
             let rt = FiberRt::get(pe);
@@ -49,7 +52,8 @@ fn suspend_and_pool_resume_interleave() {
 fn pool_yield_round_robin() {
     run(1, |pe| {
         let rt = FiberRt::get(pe);
-        let log: Arc<parking_lot::Mutex<Vec<(u8, u32)>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log: Arc<parking_lot::Mutex<Vec<(u8, u32)>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
         let mk = |tag: u8, log: Arc<parking_lot::Mutex<Vec<(u8, u32)>>>| {
             move |pe: &converse_core::Pe| {
                 let rt = FiberRt::get(pe);
@@ -63,7 +67,14 @@ fn pool_yield_round_robin() {
         let tb = rt.create(pe, 32 * 1024, mk(b'b', log.clone()));
         rt.awaken_pool(pe, tb);
         rt.resume(pe, ta);
-        let expect = vec![(b'a', 0), (b'b', 0), (b'a', 1), (b'b', 1), (b'a', 2), (b'b', 2)];
+        let expect = vec![
+            (b'a', 0),
+            (b'b', 0),
+            (b'a', 1),
+            (b'b', 1),
+            (b'a', 2),
+            (b'b', 2),
+        ];
         assert_eq!(*log.lock(), expect);
         assert!(rt.is_done(ta) && rt.is_done(tb));
     });
@@ -90,7 +101,9 @@ fn scheduled_fibers_run_via_csd() {
 fn fiber_blocks_on_message_wakeup() {
     // The tSM pattern on fibers: a fiber suspends; a handler awakens it.
     run(2, |pe| {
-        let data = pe.local(|| parking_lot::Mutex::new((None::<converse_threads::fibers::FThread>, None::<Vec<u8>>)));
+        let data = pe.local(|| {
+            parking_lot::Mutex::new((None::<converse_threads::fibers::FThread>, None::<Vec<u8>>))
+        });
         let d2 = data.clone();
         let h = pe.register_handler(move |pe, msg| {
             let mut d = d2.lock();
@@ -162,7 +175,8 @@ fn many_fiber_threads_cheaply() {
 fn fiber_to_fiber_transfer() {
     run(1, |pe| {
         let rt = FiberRt::get(pe);
-        let log: Arc<parking_lot::Mutex<Vec<&'static str>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log: Arc<parking_lot::Mutex<Vec<&'static str>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
         let l1 = log.clone();
         let l2 = log.clone();
         let tb = rt.create(pe, 32 * 1024, move |_pe| {
@@ -185,7 +199,8 @@ fn fiber_to_fiber_transfer() {
 fn mixed_with_handlers_and_queue() {
     run(1, |pe| {
         let rt = FiberRt::get(pe);
-        let order: Arc<parking_lot::Mutex<Vec<String>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let order: Arc<parking_lot::Mutex<Vec<String>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
         let o1 = order.clone();
         let h = pe.register_handler(move |_pe, msg| {
             o1.lock().push(format!("handler {}", msg.payload()[0]));
@@ -202,7 +217,11 @@ fn mixed_with_handlers_and_queue() {
         // FIFO: fiber start, handler, fiber continuation.
         assert_eq!(
             *order.lock(),
-            vec!["fiber part 1".to_string(), "handler 1".to_string(), "fiber part 2".to_string()]
+            vec![
+                "fiber part 1".to_string(),
+                "handler 1".to_string(),
+                "fiber part 2".to_string()
+            ]
         );
     });
 }

@@ -40,7 +40,10 @@ fn suspend_returns_to_main_then_resume_continues() {
         cth_resume(pe, &t);
         log.lock().push("main between");
         cth_resume(pe, &t);
-        assert_eq!(*log.lock(), vec!["first half", "main between", "second half"]);
+        assert_eq!(
+            *log.lock(),
+            vec!["first half", "main between", "second half"]
+        );
         assert!(t.is_exited());
     });
 }
@@ -84,7 +87,14 @@ fn yield_rotates_between_two_threads() {
         // After A's first yield B runs, etc. When both exit, control
         // returns here (exit pops the pool; the last exit falls to main).
         assert!(ta.is_exited() && tb.is_exited());
-        let expect = vec![(b'a', 0), (b'b', 0), (b'a', 1), (b'b', 1), (b'a', 2), (b'b', 2)];
+        let expect = vec![
+            (b'a', 0),
+            (b'b', 0),
+            (b'a', 1),
+            (b'b', 1),
+            (b'a', 2),
+            (b'b', 2),
+        ];
         assert_eq!(*log.lock(), expect);
     });
 }
@@ -118,7 +128,9 @@ fn custom_strategy_lifo_scheduling() {
             }
         };
         let driver_log = log.clone();
-        let ts: Vec<_> = (0..3u8).map(|i| cth_create(pe, mk(i, log.clone()))).collect();
+        let ts: Vec<_> = (0..3u8)
+            .map(|i| cth_create(pe, mk(i, log.clone())))
+            .collect();
         for t in &ts {
             let st = stack.clone();
             let st2 = stack.clone();

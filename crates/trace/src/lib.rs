@@ -20,13 +20,12 @@
 //!   trace, the kind of digest a Projections-style tool would display.
 
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One standard trace record. Times are nanoseconds since machine boot.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// A message left this PE (`CmiSyncSend` & co.).
     MsgSent {
@@ -81,10 +80,40 @@ pub enum Event {
         /// Free-form datum.
         data: u64,
     },
+    /// An external (CCS) request arrived off the wire at its
+    /// destination PE, before scheduling.
+    CcsRequestArrive {
+        /// Server-assigned connection id.
+        conn: u64,
+        /// Per-connection request sequence number.
+        seq: u64,
+        /// Client payload bytes.
+        bytes: usize,
+    },
+    /// An external request was dispatched from the scheduler queue to
+    /// its target handler.
+    CcsDispatch {
+        /// Server-assigned connection id.
+        conn: u64,
+        /// Per-connection request sequence number.
+        seq: u64,
+        /// Resolved target handler index.
+        handler: u32,
+    },
+    /// A reply to an external request reached the gateway on its way
+    /// back to the connection writer.
+    CcsReply {
+        /// Server-assigned connection id.
+        conn: u64,
+        /// Per-connection request sequence number.
+        seq: u64,
+        /// Reply payload bytes.
+        bytes: usize,
+    },
 }
 
 /// A timestamped record as stored by sinks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
     /// PE that emitted the event.
     pub pe: usize,
@@ -185,7 +214,9 @@ pub struct TextSink {
 impl TextSink {
     /// New empty text sink.
     pub fn new() -> Arc<Self> {
-        Arc::new(TextSink { buf: Mutex::new(String::new()) })
+        Arc::new(TextSink {
+            buf: Mutex::new(String::new()),
+        })
     }
 
     /// The accumulated log text.
@@ -206,8 +237,15 @@ impl TraceSink for TextSink {
     fn record(&self, pe: usize, t_ns: u64, event: Event) {
         let mut b = self.buf.lock();
         let _ = match &event {
-            Event::MsgSent { dst, bytes, handler } => {
-                writeln!(b, "{pe} {t_ns} SEND dst={dst} bytes={bytes} handler={handler}")
+            Event::MsgSent {
+                dst,
+                bytes,
+                handler,
+            } => {
+                writeln!(
+                    b,
+                    "{pe} {t_ns} SEND dst={dst} bytes={bytes} handler={handler}"
+                )
             }
             Event::Enqueue { handler } => writeln!(b, "{pe} {t_ns} ENQ handler={handler}"),
             Event::BeginProcessing { handler, src } => {
@@ -219,19 +257,34 @@ impl TraceSink for TextSink {
             Event::ThreadSuspend { tid } => writeln!(b, "{pe} {t_ns} THSUSPEND tid={tid}"),
             Event::ObjectCreate { kind } => writeln!(b, "{pe} {t_ns} OBJCREATE kind={kind}"),
             Event::User { id, data } => writeln!(b, "{pe} {t_ns} USER id={id} data={data}"),
+            Event::CcsRequestArrive { conn, seq, bytes } => {
+                writeln!(b, "{pe} {t_ns} CCSREQ conn={conn} seq={seq} bytes={bytes}")
+            }
+            Event::CcsDispatch { conn, seq, handler } => {
+                writeln!(
+                    b,
+                    "{pe} {t_ns} CCSDISPATCH conn={conn} seq={seq} handler={handler}"
+                )
+            }
+            Event::CcsReply { conn, seq, bytes } => {
+                writeln!(
+                    b,
+                    "{pe} {t_ns} CCSREPLY conn={conn} seq={seq} bytes={bytes}"
+                )
+            }
         };
     }
 }
 
 /// Per-PE digest of a trace: message counts and handler-busy utilization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// One row per PE.
     pub pes: Vec<PeSummary>,
 }
 
 /// One PE's digest.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PeSummary {
     /// Messages sent.
     pub sends: u64,
@@ -243,6 +296,10 @@ pub struct PeSummary {
     pub threads_created: u64,
     /// Objects created.
     pub objects_created: u64,
+    /// External (CCS) requests that arrived on this PE.
+    pub ccs_requests: u64,
+    /// CCS replies that passed back through this PE's gateway handler.
+    pub ccs_replies: u64,
     /// Nanoseconds spent inside handlers.
     pub busy_ns: u64,
     /// Fraction of the observed span spent inside handlers (0..=1);
@@ -276,6 +333,8 @@ impl Summary {
                 }
                 Event::ThreadCreate { .. } => s.threads_created += 1,
                 Event::ObjectCreate { .. } => s.objects_created += 1,
+                Event::CcsRequestArrive { .. } => s.ccs_requests += 1,
+                Event::CcsReply { .. } => s.ccs_replies += 1,
                 _ => {}
             }
         }
@@ -315,7 +374,15 @@ mod tests {
     #[test]
     fn memory_sink_stores_in_order() {
         let s = MemorySink::new(2, 16);
-        s.record(0, 10, Event::MsgSent { dst: 1, bytes: 8, handler: 3 });
+        s.record(
+            0,
+            10,
+            Event::MsgSent {
+                dst: 1,
+                bytes: 8,
+                handler: 3,
+            },
+        );
         s.record(1, 20, Event::BeginProcessing { handler: 3, src: 0 });
         s.record(1, 30, Event::EndProcessing { handler: 3 });
         assert_eq!(s.records(0).len(), 1);
@@ -342,7 +409,15 @@ mod tests {
         let s = MemorySink::new(1, 64);
         s.record(0, 0, Event::BeginProcessing { handler: 1, src: 0 });
         s.record(0, 50, Event::EndProcessing { handler: 1 });
-        s.record(0, 60, Event::MsgSent { dst: 0, bytes: 1, handler: 1 });
+        s.record(
+            0,
+            60,
+            Event::MsgSent {
+                dst: 0,
+                bytes: 1,
+                handler: 1,
+            },
+        );
         s.record(0, 80, Event::BeginProcessing { handler: 1, src: 0 });
         s.record(0, 100, Event::EndProcessing { handler: 1 });
         let sum = s.summary();
@@ -377,14 +452,26 @@ mod tests {
     #[test]
     fn summary_handles_unbalanced_begin() {
         // An unmatched Begin contributes no busy time and must not panic.
-        let recs = vec![Record { pe: 0, t_ns: 5, event: Event::BeginProcessing { handler: 0, src: 0 } }];
+        let recs = vec![Record {
+            pe: 0,
+            t_ns: 5,
+            event: Event::BeginProcessing { handler: 0, src: 0 },
+        }];
         let sum = Summary::from_records(1, &recs);
         assert_eq!(sum.pes[0].busy_ns, 0);
     }
 
     #[test]
     fn record_clone_eq() {
-        let r = Record { pe: 1, t_ns: 123, event: Event::MsgSent { dst: 0, bytes: 9, handler: 2 } };
+        let r = Record {
+            pe: 1,
+            t_ns: 123,
+            event: Event::MsgSent {
+                dst: 0,
+                bytes: 9,
+                handler: 2,
+            },
+        };
         assert_eq!(r.clone(), r);
     }
 }

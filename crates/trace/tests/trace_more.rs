@@ -11,7 +11,10 @@ fn user_events_flow_through_all_sinks() {
         sink.record(0, 5, Event::User { id: 3, data: 77 });
     }
     assert_eq!(mem.records(0).len(), 1);
-    assert!(matches!(mem.records(0)[0].event, Event::User { id: 3, data: 77 }));
+    assert!(matches!(
+        mem.records(0)[0].event,
+        Event::User { id: 3, data: 77 }
+    ));
     assert!(text.text().contains("USER id=3 data=77"));
 }
 
@@ -62,7 +65,15 @@ fn thread_and_object_lifecycle_counted() {
 #[test]
 fn text_format_one_line_per_record() {
     let t = TextSink::new();
-    t.record(0, 1, Event::MsgSent { dst: 1, bytes: 10, handler: 5 });
+    t.record(
+        0,
+        1,
+        Event::MsgSent {
+            dst: 1,
+            bytes: 10,
+            handler: 5,
+        },
+    );
     t.record(1, 2, Event::Enqueue { handler: 5 });
     t.record(0, 3, Event::BeginProcessing { handler: 5, src: 1 });
     t.record(0, 4, Event::EndProcessing { handler: 5 });
@@ -98,7 +109,15 @@ fn capacity_bound_is_per_pe() {
 fn total_counters_sum_over_pes() {
     let s = MemorySink::new(3, 16);
     for pe in 0..3 {
-        s.record(pe, 1, Event::MsgSent { dst: 0, bytes: 1, handler: 0 });
+        s.record(
+            pe,
+            1,
+            Event::MsgSent {
+                dst: 0,
+                bytes: 1,
+                handler: 0,
+            },
+        );
         s.record(pe, 2, Event::BeginProcessing { handler: 0, src: 0 });
         s.record(pe, 3, Event::EndProcessing { handler: 0 });
     }

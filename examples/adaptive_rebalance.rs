@@ -64,7 +64,9 @@ fn main() {
                 charm.create(pe, kind, b"", Priority::None);
             }
             csd_scheduler_until_idle(pe);
-            (1..=WORKERS as u64).map(|slot| ChareId { pe: 0, slot }).collect()
+            (1..=WORKERS as u64)
+                .map(|slot| ChareId { pe: 0, slot })
+                .collect()
         } else {
             Vec::new()
         };

@@ -71,7 +71,10 @@ mod mdt {
 
         /// The runtime previously installed here.
         pub fn get(pe: &Pe) -> Arc<Mdt> {
-            pe.try_local::<Slot>().expect("Mdt::install first").0.clone()
+            pe.try_local::<Slot>()
+                .expect("Mdt::install first")
+                .0
+                .clone()
         }
 
         /// Dynamically create a language thread, scheduled by Csd.

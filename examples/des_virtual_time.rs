@@ -118,7 +118,10 @@ fn run_des(num_pes: usize) -> (u64, Vec<u64>, bool) {
                 payload.extend_from_slice(&(job as u16).to_le_bytes());
                 payload.extend_from_slice(&0i32.to_le_bytes());
                 qd.msg_created(1);
-                pe.sync_send_and_free(dst, Message::with_priority(recv, &Priority::Int(0), &payload));
+                pe.sync_send_and_free(
+                    dst,
+                    Message::with_priority(recv, &Priority::Int(0), &payload),
+                );
             }
             qd.start(pe, Message::new(done, b""));
             csd_scheduler(pe, -1);
@@ -130,7 +133,11 @@ fn run_des(num_pes: usize) -> (u64, Vec<u64>, bool) {
     });
     (
         stats.events.load(Ordering::Relaxed),
-        stats.visits.iter().map(|v| v.load(Ordering::Relaxed)).collect(),
+        stats
+            .visits
+            .iter()
+            .map(|v| v.load(Ordering::Relaxed))
+            .collect(),
         stats.monotone.load(Ordering::SeqCst) == 1,
     )
 }
@@ -146,7 +153,10 @@ fn main() {
     let (par_events, par_visits, _) = run_des(4);
     println!("parallel  DES (4 PE): {par_events} events, visits {par_visits:?}");
 
-    assert_eq!(seq_events, par_events, "event count is delivery-order independent");
+    assert_eq!(
+        seq_events, par_events,
+        "event count is delivery-order independent"
+    );
     assert_eq!(seq_visits, par_visits, "per-node statistics agree");
     println!("sequential and parallel runs agree — virtual time as priority works");
 }

@@ -45,7 +45,12 @@ impl Chare for Cell {
         // Tell PE 0 where this cell lives so particles can be routed.
         let body = Packer::new().u64(index).raw(&self_id.encode()).finish();
         pe.sync_send_and_free(0, Message::new(announce, &body));
-        Cell { index, expected, received: 0, mass: 0.0 }
+        Cell {
+            index,
+            expected,
+            received: 0,
+            mass: 0.0,
+        }
     }
 
     fn entry(&mut self, pe: &Pe, _id: ChareId, _ep: u32, payload: &[u8]) {
@@ -63,7 +68,13 @@ impl Chare for Cell {
 
 fn main() {
     converse::core::run(4, |pe| {
-        let charm = Charm::install(pe, LdbPolicy::Spray { threshold: 2, max_hops: 3 });
+        let charm = Charm::install(
+            pe,
+            LdbPolicy::Spray {
+                threshold: 2,
+                max_hops: 3,
+            },
+        );
         let sm = Sm::install(pe);
         let dp = Dp::install(pe);
         let kind = charm.register::<Cell>();
@@ -137,8 +148,11 @@ fn main() {
             // waiting for the directory message.
             schedule_until(pe, || cells.lock().iter().all(|c| c.is_some()));
         }
-        let directory: Vec<ChareId> =
-            cells.lock().iter().map(|c| c.expect("directory complete")).collect();
+        let directory: Vec<ChareId> = cells
+            .lock()
+            .iter()
+            .map(|c| c.expect("directory complete"))
+            .collect();
 
         // Mail every particle to its cell, from every PE, no barrier.
         for (c, mass) in &particles {

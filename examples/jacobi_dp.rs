@@ -32,9 +32,16 @@ fn main() {
                     if g == 0 || g == N - 1 {
                         continue;
                     }
-                    let lv = if g > lo { old[g - 1 - lo] } else { left.expect("interior halo") };
-                    let rv =
-                        if g + 1 < hi { old[g + 1 - lo] } else { right.expect("interior halo") };
+                    let lv = if g > lo {
+                        old[g - 1 - lo]
+                    } else {
+                        left.expect("interior halo")
+                    };
+                    let rv = if g + 1 < hi {
+                        old[g + 1 - lo]
+                    } else {
+                        right.expect("interior halo")
+                    };
                     let nv = 0.5 * (lv + rv);
                     maxdiff = maxdiff.max((nv - old[g - lo]).abs());
                     vals[g - lo] = nv;

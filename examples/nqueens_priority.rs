@@ -24,9 +24,9 @@ const LEVEL_BITS: u32 = 3;
 
 fn safe(rows: &[u8], col: u8) -> bool {
     let r = rows.len();
-    rows.iter().enumerate().all(|(i, &c)| {
-        c != col && (r - i) as i64 != (col as i64 - c as i64).abs()
-    })
+    rows.iter()
+        .enumerate()
+        .all(|(i, &c)| c != col && (r - i) as i64 != (col as i64 - c as i64).abs())
 }
 
 fn main() {
@@ -36,7 +36,13 @@ fn main() {
 
     let report = converse::core::run(4, move |pe| {
         let qd = Quiescence::install(pe);
-        let ldb = Ldb::install(pe, LdbPolicy::Spray { threshold: 4, max_hops: 3 });
+        let ldb = Ldb::install(
+            pe,
+            LdbPolicy::Spray {
+                threshold: 4,
+                max_hops: 3,
+            },
+        );
         let sols = s2.clone();
         let exps = e2.clone();
         let slot = pe.local(|| parking_lot::Mutex::new(None::<HandlerId>));
@@ -105,5 +111,9 @@ fn main() {
         report.total_msgs(),
         report.elapsed,
     );
-    assert_eq!(solutions.load(Ordering::Relaxed), 92, "8-queens has 92 solutions");
+    assert_eq!(
+        solutions.load(Ordering::Relaxed),
+        92,
+        "8-queens has 92 solutions"
+    );
 }

@@ -30,7 +30,12 @@ impl Chare for Worker {
         if depth > 0 {
             let charm = Charm::get(pe);
             for _ in 0..2 {
-                charm.create(pe, converse::charm::ChareKind(0), &[depth - 1], Priority::None);
+                charm.create(
+                    pe,
+                    converse::charm::ChareKind(0),
+                    &[depth - 1],
+                    Priority::None,
+                );
             }
         }
         Worker
@@ -43,7 +48,13 @@ fn main() {
     let text = TextSink::new();
     let cfg = MachineConfig::new(4).trace(sink.clone());
     converse::core::run_with(cfg, move |pe| {
-        let charm = Charm::install(pe, LdbPolicy::Spray { threshold: 2, max_hops: 3 });
+        let charm = Charm::install(
+            pe,
+            LdbPolicy::Spray {
+                threshold: 2,
+                max_hops: 3,
+            },
+        );
         let kind = charm.register::<Worker>();
         let rt = CthRuntime::get(pe);
         let done = pe.register_handler(|pe, _| csd_exit_scheduler(pe));
@@ -104,5 +115,8 @@ fn main() {
     for r in sink.all_records().into_iter().take(5) {
         text.record(r.pe, r.t_ns, r.event);
     }
-    println!("first records in the interchange text format:\n{}", text.text());
+    println!(
+        "first records in the interchange text format:\n{}",
+        text.text()
+    );
 }

@@ -1,0 +1,278 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so the criterion
+//! surface the bench crate uses is provided here: [`Criterion`],
+//! benchmark groups with [`Throughput`] and `sample_size`,
+//! [`BenchmarkId`], `bench_function` / `bench_with_input`, `Bencher`
+//! with `iter` and `iter_custom`, [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — warm up, time a batch, report
+//! mean ns/iter (plus derived throughput) on stdout — because the
+//! figures pipeline in `converse-bench` does its own measurement and
+//! only relies on criterion for a uniform runner.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per measured benchmark (shim fixed budget).
+const TARGET: Duration = Duration::from_millis(200);
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name and a parameter display.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units processed per iteration, for derived throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Logical elements handled per iteration.
+    Elements(u64),
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`/`iter_custom`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f` by running it repeatedly until the time budget is
+    /// spent.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up and rate estimate.
+        let t0 = Instant::now();
+        black_box(f());
+        let one = t0.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (TARGET.as_nanos() / 4 / one.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < TARGET && iters < 10_000_000 {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            total += t.elapsed();
+            iters += per_batch;
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / iters as f64;
+    }
+
+    /// Measure with a caller-supplied timer: `f(iters)` runs `iters`
+    /// iterations and returns the time they took.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        // Calibrate with a small run, then one sized run.
+        let probe = 10u64;
+        let t = f(probe).max(Duration::from_nanos(1));
+        let per_iter = t.as_nanos() as f64 / probe as f64;
+        let iters = ((TARGET.as_nanos() as f64 / per_iter) as u64).clamp(10, 1_000_000);
+        let total = f(iters);
+        self.ns_per_iter = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Set the per-iteration throughput used in the report line.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (no-op in the shim; present for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark runner.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with generated mains.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id.id, None, f);
+        self
+    }
+
+    fn run_one(&mut self, name: &str, tp: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut b);
+        let ns = b.ns_per_iter;
+        let extra = match tp {
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  ({:.2} Melem/s)", n as f64 / ns * 1e9 / 1e6)
+            }
+            _ => String::new(),
+        };
+        if ns.is_nan() {
+            println!("bench {name:<48} (no measurement recorded)");
+        } else {
+            println!("bench {name:<48} {ns:>12.1} ns/iter{extra}");
+        }
+    }
+}
+
+/// Declare a group-runner function over benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declare `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.ns_per_iter.is_finite() && b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn iter_custom_uses_reported_time() {
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+        };
+        b.iter_custom(|iters| Duration::from_nanos(iters * 5));
+        assert!((b.ns_per_iter - 5.0).abs() < 1.0, "got {}", b.ns_per_iter);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(1));
+        let mut ran = false;
+        g.bench_function(BenchmarkId::new("noop", 1), |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -25,6 +25,7 @@
 //! | [`charm`] | mini message-driven object runtime (§2.1) | `converse-charm` |
 //! | [`sm`] | SM / tSM / PVM / NX layers (§4) | `converse-sm` |
 //! | [`dp`] | data-parallel layer (DP-Charm stand-in) | `converse-dp` |
+//! | [`ccs`] | client-server interface (external requests) | `converse-ccs` |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@
 //! });
 //! ```
 
+pub use converse_ccs as ccs;
 pub use converse_charm as charm;
 pub use converse_core as core;
 pub use converse_dp as dp;
@@ -66,8 +68,8 @@ pub use converse_trace as trace;
 pub mod prelude {
     pub use converse_core::{
         csd_enqueue, csd_enqueue_general, csd_exit_scheduler, csd_scheduler,
-        csd_scheduler_until_idle, run, run_with, schedule_until, HandlerId, MachineConfig,
-        Message, Pe, QueueKind, Quiescence, RunReport,
+        csd_scheduler_until_idle, run, run_with, schedule_until, HandlerId, MachineConfig, Message,
+        Pe, QueueKind, Quiescence, RunReport,
     };
     pub use converse_msg::{pack::Packer, pack::Unpacker, BitVecPrio, Priority};
     pub use converse_queue::QueueingMode;

@@ -129,7 +129,13 @@ fn fma_style_three_paradigm_pipeline() {
             schedule_until(pe, || ids.lock().len() == 4);
             let cells = ids.lock().clone();
             for (k, id) in cells.iter().enumerate() {
-                charm.send(pe, *id, 0, &((k as i64 + 1) * 3).to_le_bytes(), Priority::None);
+                charm.send(
+                    pe,
+                    *id,
+                    0,
+                    &((k as i64 + 1) * 3).to_le_bytes(),
+                    Priority::None,
+                );
             }
         }
         // Everyone serves the scheduler until PE0 has collected all
@@ -220,7 +226,11 @@ fn unified_queue_orders_across_modules() {
         csd_scheduler_until_idle(pe);
         assert_eq!(
             *shared.lock(),
-            vec!["chare p1".to_string(), "thread".to_string(), "chare p10".to_string()]
+            vec![
+                "chare p1".to_string(),
+                "thread".to_string(),
+                "chare p10".to_string()
+            ]
         );
         let _ = order;
     });
@@ -252,7 +262,10 @@ fn trace_captures_mixed_paradigm_run() {
         pe.barrier();
     });
     let summary = sink.summary();
-    assert!(summary.total_sends() > 0, "collective + charm traffic traced");
+    assert!(
+        summary.total_sends() > 0,
+        "collective + charm traffic traced"
+    );
     assert!(summary.total_handler_runs() > 0);
     let p0 = &summary.pes[0];
     assert_eq!(p0.objects_created, 1, "the chare construction was traced");

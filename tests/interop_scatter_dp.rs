@@ -2,8 +2,8 @@
 //! SPM/data-parallel consumer, and vector-send gather on the producer
 //! side — the full gather/scatter story of §3.1.3 in one program.
 
-use converse::machine::scatter::{ScatterPiece, ScatterSpec};
 use converse::dp::{Dp, Op};
+use converse::machine::scatter::{ScatterPiece, ScatterSpec};
 use converse::prelude::*;
 
 const MAGIC: u32 = 0x5CA7_7E55;
@@ -23,8 +23,16 @@ fn gathered_halo_pieces_scatter_into_areas_then_reduce() {
             match_offset: 0,
             match_value: MAGIC,
             pieces: vec![
-                ScatterPiece { src_offset: 4, len: 8, area: 1 },
-                ScatterPiece { src_offset: 12, len: 8, area: 2 },
+                ScatterPiece {
+                    src_offset: 4,
+                    len: 8,
+                    area: 1,
+                },
+                ScatterPiece {
+                    src_offset: 12,
+                    len: 8,
+                    area: 2,
+                },
             ],
             notify: None,
         });
@@ -77,7 +85,11 @@ fn scatter_and_plain_handler_coexist_per_match_value() {
                 handler: data_h,
                 match_offset: 0,
                 match_value: MAGIC,
-                pieces: vec![ScatterPiece { src_offset: 4, len: 3, area: 1 }],
+                pieces: vec![ScatterPiece {
+                    src_offset: 4,
+                    len: 3,
+                    area: 1,
+                }],
                 notify: None,
             });
         }

@@ -59,7 +59,10 @@ fn repeated_migration_with_concurrent_sends_loses_nothing() {
         let kind = charm.register_migratable::<Sponge>();
         let f3 = f2.clone();
         let report = pe.register_handler(move |pe, msg| {
-            f3.0.store(u64::from_le_bytes(msg.payload()[..8].try_into().unwrap()), Ordering::SeqCst);
+            f3.0.store(
+                u64::from_le_bytes(msg.payload()[..8].try_into().unwrap()),
+                Ordering::SeqCst,
+            );
             f3.1.store(
                 u64::from_le_bytes(msg.payload()[8..16].try_into().unwrap()),
                 Ordering::SeqCst,
@@ -102,8 +105,16 @@ fn repeated_migration_with_concurrent_sends_loses_nothing() {
     });
     let total_sends = SENDS_PER_ROUND * ROUNDS as u64;
     let expect_sum: u64 = (1..=total_sends).sum();
-    assert_eq!(finals.1.load(Ordering::SeqCst), total_sends, "every send executed once");
-    assert_eq!(finals.0.load(Ordering::SeqCst), expect_sum, "payloads intact");
+    assert_eq!(
+        finals.1.load(Ordering::SeqCst),
+        total_sends,
+        "every send executed once"
+    );
+    assert_eq!(
+        finals.0.load(Ordering::SeqCst),
+        expect_sum,
+        "payloads intact"
+    );
 }
 
 #[test]
@@ -141,12 +152,7 @@ fn ping_pong_migration_between_two_pes() {
         pe.barrier();
     });
 
-    fn converse_wait_home(
-        pe: &Pe,
-        charm: &std::sync::Arc<Charm>,
-        id: ChareId,
-        want: usize,
-    ) {
+    fn converse_wait_home(pe: &Pe, charm: &std::sync::Arc<Charm>, id: ChareId, want: usize) {
         converse::core::schedule_until(pe, || charm.current_home(pe, id).pe == want);
     }
 }

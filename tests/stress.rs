@@ -66,13 +66,23 @@ fn deep_chare_tree_under_reorder() {
             } else {
                 (None, Some(u.u32().unwrap()))
             };
-            let mut me = F { pending: 0, acc: 0, parent, report };
+            let mut me = F {
+                pending: 0,
+                acc: 0,
+                parent,
+                report,
+            };
             if n < 2 {
                 me.done(pe, n);
             } else {
                 let charm = Charm::get(pe);
                 for k in [n - 1, n - 2] {
-                    let p = Packer::new().u64(k).u32(kind).u8(1).raw(&self_id.encode()).finish();
+                    let p = Packer::new()
+                        .u64(k)
+                        .u32(kind)
+                        .u8(1)
+                        .raw(&self_id.encode())
+                        .finish();
                     charm.create(pe, converse::charm::ChareKind(kind), &p, Priority::None);
                     me.pending += 1;
                 }
@@ -100,19 +110,29 @@ fn deep_chare_tree_under_reorder() {
             }
         }
     }
-    let cfg = MachineConfig::new(8)
-        .delivery(converse::machine::DeliveryMode::Reorder { seed: 1234, window: 10 });
+    let cfg = MachineConfig::new(8).delivery(converse::machine::DeliveryMode::Reorder {
+        seed: 1234,
+        window: 10,
+    });
     converse::core::run_with(cfg, move |pe| {
         let charm = Charm::install(pe, LdbPolicy::Random { seed: 8 });
         let kind = charm.register::<F>();
         let r3 = r2.clone();
         let report = pe.register_handler(move |pe, msg| {
-            r3.store(u64::from_le_bytes(msg.payload().try_into().unwrap()), Ordering::SeqCst);
+            r3.store(
+                u64::from_le_bytes(msg.payload().try_into().unwrap()),
+                Ordering::SeqCst,
+            );
             Charm::get(pe).exit_all(pe);
         });
         pe.barrier();
         if pe.my_pe() == 0 {
-            let p = Packer::new().u64(14).u32(kind.0).u8(0).u32(report.0).finish();
+            let p = Packer::new()
+                .u64(14)
+                .u32(kind.0)
+                .u8(0)
+                .u32(report.0)
+                .finish();
             charm.create(pe, kind, &p, Priority::None);
         }
         csd_scheduler(pe, -1);
@@ -145,8 +165,10 @@ fn five_hundred_threads_on_one_pe() {
 
 #[test]
 fn sm_bulk_tagged_traffic_with_reorder() {
-    let cfg = MachineConfig::new(4)
-        .delivery(converse::machine::DeliveryMode::Reorder { seed: 77, window: 12 });
+    let cfg = MachineConfig::new(4).delivery(converse::machine::DeliveryMode::Reorder {
+        seed: 77,
+        window: 12,
+    });
     converse::core::run_with(cfg, |pe| {
         let sm = Sm::install(pe);
         pe.barrier();
@@ -168,8 +190,7 @@ fn sm_bulk_tagged_traffic_with_reorder() {
                 sum += u32::from_le_bytes(m.data.try_into().unwrap()) as u64;
                 got += 1;
             }
-            let expect: u64 =
-                3 * (0..50u64).map(|i| i + 2 * i + 3 * i).sum::<u64>();
+            let expect: u64 = 3 * (0..50u64).map(|i| i + 2 * i + 3 * i).sum::<u64>();
             assert_eq!(sum, expect);
         }
         pe.barrier();
