@@ -61,15 +61,17 @@ where
 /// floor of this substrate.
 pub fn raw_loopback_ns(size: usize, iters: u64) -> f64 {
     let net = converse_net::Interconnect::new(1);
-    let payload = vec![7u8; size];
+    // One block for the whole run; each send moves a share — the same
+    // zero-copy discipline real senders use.
+    let payload = converse_msg::MsgBlock::copy_from(&vec![7u8; size]);
     // Warm up.
     for _ in 0..100 {
-        net.send(0, 0, payload.clone());
+        net.send(0, 0, payload.share());
         net.try_recv(0).expect("loopback");
     }
     let t0 = Instant::now();
     for _ in 0..iters {
-        net.send(0, 0, payload.clone());
+        net.send(0, 0, payload.share());
         std::hint::black_box(net.try_recv(0).expect("loopback"));
     }
     t0.elapsed().as_nanos() as f64 / iters as f64

@@ -40,8 +40,9 @@ pub mod server;
 pub use charm_bridge::{entry_request, export_chare_entry};
 pub use client::{CcsClient, CcsError, CcsTicket};
 pub use converse_machine::exo::status;
-pub use protocol::{Reply, Request};
+pub use protocol::{Reply, Request, ANY_PE};
 pub use registry::CcsRegistry;
+pub use server::pick_least_loaded;
 pub use server::{CcsServer, CcsServerConfig, CcsServerHandle};
 
 use converse_machine::Pe;

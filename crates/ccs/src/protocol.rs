@@ -22,12 +22,18 @@ use std::io::{self, Read, Write};
 /// as a corrupt stream rather than an allocation request.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
+/// Sentinel destination meaning "any PE": the server picks the least
+/// loaded processor at admission time. Encodes on the wire as
+/// `u32::MAX`, which no real machine reaches, so existing clients and
+/// servers are unaffected.
+pub const ANY_PE: usize = u32::MAX as usize;
+
 /// One client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Client-chosen sequence number, echoed in the reply.
     pub seq: u64,
-    /// Destination PE.
+    /// Destination PE, or [`ANY_PE`] to let the server route by load.
     pub dest_pe: usize,
     /// Registered handler name.
     pub name: String,
@@ -147,6 +153,18 @@ mod tests {
         };
         assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
         assert_eq!(peek_seq(&encode_request(&r)), Some(7));
+    }
+
+    #[test]
+    fn any_pe_roundtrips_on_the_wire() {
+        let r = Request {
+            seq: 1,
+            dest_pe: ANY_PE,
+            name: "whoami".into(),
+            payload: Vec::new(),
+        };
+        let back = decode_request(&encode_request(&r)).unwrap();
+        assert_eq!(back.dest_pe, ANY_PE);
     }
 
     #[test]

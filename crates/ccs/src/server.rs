@@ -18,10 +18,11 @@
 //! runs on the panic path of `Machine::run`, and releases the port and
 //! every thread before returning.
 
-use crate::protocol::{self, Reply};
+use crate::protocol::{self, Reply, ANY_PE};
 use crate::registry::CcsRegistry;
 use converse_machine::exo::status;
 use converse_machine::{ExoReply, MachineHandle, MachineService};
+use converse_net::PeLoad;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::io;
@@ -334,6 +335,27 @@ impl Drop for CcsServer {
     }
 }
 
+/// Choose the target for an [`ANY_PE`] request: the PE with the
+/// shallowest mailbox, breaking ties by lightest lifetime inbound
+/// volume (native + injected), then by lowest PE id for determinism.
+/// Queue depth leads because it is the live signal — a PE stuck inside
+/// a long handler accumulates undelivered packets, while cumulative
+/// counters only say who was busy in the past.
+pub fn pick_least_loaded(loads: &[PeLoad]) -> usize {
+    assert!(!loads.is_empty(), "a machine has at least one PE");
+    loads
+        .iter()
+        .min_by_key(|l| {
+            (
+                l.queued,
+                l.traffic.msgs_recv + l.traffic.msgs_injected,
+                l.pe,
+            )
+        })
+        .expect("non-empty")
+        .pe
+}
+
 /// Per-connection reader: frames off the socket, requests into the
 /// machine.
 fn reader_loop(
@@ -372,13 +394,21 @@ fn reader_loop(
             );
             continue;
         };
-        if req.dest_pe >= machine.num_pes() {
+        // Destination-less requests: route to the least loaded PE as of
+        // this instant. The snapshot races with the machine, which is
+        // fine — this is load balancing, not placement correctness.
+        let dest_pe = if req.dest_pe == ANY_PE {
+            pick_least_loaded(&machine.load_snapshot())
+        } else {
+            req.dest_pe
+        };
+        if dest_pe >= machine.num_pes() {
             let _ = conn.write_reply(
                 req.seq,
                 status::BAD_PE,
                 format!(
                     "PE {} out of range (machine has {})",
-                    req.dest_pe,
+                    dest_pe,
                     machine.num_pes()
                 )
                 .as_bytes(),
@@ -399,11 +429,43 @@ fn reader_loop(
             }
             inf.insert(req.seq, Instant::now() + cfg.request_timeout);
         }
-        if !machine.inject_request(req.dest_pe, conn.id, req.seq, target, &req.payload) {
+        if !machine.inject_request(dest_pe, conn.id, req.seq, target, &req.payload) {
             // Machine already closed underneath us.
             if conn.complete(req.seq) {
                 let _ = conn.write_reply(req.seq, status::SHUTDOWN, b"machine is down");
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use converse_net::PeTraffic;
+
+    fn load(pe: usize, queued: usize, recv: u64, injected: u64) -> PeLoad {
+        PeLoad {
+            pe,
+            queued,
+            traffic: PeTraffic {
+                msgs_recv: recv,
+                msgs_injected: injected,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn least_loaded_prefers_shallow_queue() {
+        let loads = [load(0, 5, 0, 0), load(1, 0, 900, 0), load(2, 2, 0, 0)];
+        assert_eq!(pick_least_loaded(&loads), 1);
+    }
+
+    #[test]
+    fn least_loaded_ties_break_by_inbound_volume_then_pe() {
+        let loads = [load(0, 1, 10, 5), load(1, 1, 3, 2), load(2, 1, 3, 2)];
+        assert_eq!(pick_least_loaded(&loads), 1);
+        let even = [load(0, 0, 0, 0), load(1, 0, 0, 0)];
+        assert_eq!(pick_least_loaded(&even), 0);
     }
 }

@@ -210,9 +210,11 @@ impl Pe {
     }
 
     fn initiate_down(&self, seq: u64, data: Vec<u8>) {
+        // One down-wave message; every child gets a share of its block.
+        let payload = Packer::new().u64(seq).bytes(&data).finish();
+        let msg = Message::new(self.ids.coll_down, &payload);
         for c in tree_children(self.my_pe(), self.num_pes()) {
-            let payload = Packer::new().u64(seq).bytes(&data).finish();
-            self.sync_send_and_free(c, Message::new(self.ids.coll_down, &payload));
+            self.sync_send(c, &msg);
         }
     }
 
@@ -244,11 +246,12 @@ pub(crate) fn handle_up(pe: &Pe, msg: Message) {
         UP_KIND_RELAY => {
             debug_assert_eq!(pe.my_pe(), 0, "relay targets the tree root");
             // Root participates in this broadcast too: store its own copy
-            // (its wait_down will find it) and fan out.
-            pe.coll.inbox_down.lock().insert(seq, bytes.clone());
+            // (its wait_down will find it) and fan out one shared block.
+            let payload = Packer::new().u64(seq).bytes(&bytes).finish();
+            let down = Message::new(pe.ids.coll_down, &payload);
+            pe.coll.inbox_down.lock().insert(seq, bytes);
             for c in tree_children(pe.my_pe(), pe.num_pes()) {
-                let payload = Packer::new().u64(seq).bytes(&bytes).finish();
-                pe.sync_send_and_free(c, Message::new(pe.ids.coll_down, &payload));
+                pe.sync_send(c, &down);
             }
         }
         k => panic!("PE {}: unknown collective up-kind {k}", pe.my_pe()),
@@ -259,9 +262,11 @@ pub(crate) fn handle_down(pe: &Pe, msg: Message) {
     let mut u = Unpacker::new(msg.payload());
     let seq = u.u64().expect("coll down: seq");
     let bytes = u.bytes().expect("coll down: bytes").to_vec();
+    // Forward the *same* message down the tree: the children receive
+    // shares of the block this PE was handed — the down wave repacks and
+    // copies nothing at any hop.
     for c in tree_children(pe.my_pe(), pe.num_pes()) {
-        let payload = Packer::new().u64(seq).bytes(&bytes).finish();
-        pe.sync_send_and_free(c, Message::new(pe.ids.coll_down, &payload));
+        pe.sync_send(c, &msg);
     }
     pe.coll.inbox_down.lock().insert(seq, bytes);
 }

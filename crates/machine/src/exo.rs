@@ -176,8 +176,7 @@ impl MachineHandle {
             .u32(target.0)
             .bytes(payload)
             .finish();
-        self.net
-            .inject(dst, Message::new(self.exo_req, &body).into_bytes());
+        self.net.inject(dst, Message::new(self.exo_req, &body));
         true
     }
 

@@ -67,17 +67,19 @@ impl Pe {
     // ---- sends -----------------------------------------------------------
 
     /// Send `msg` to `dst`; the caller keeps the message and may reuse it
-    /// immediately (`CmiSyncSend`).
+    /// immediately (`CmiSyncSend`). Zero-copy: the wire carries a share
+    /// of the caller's block, so this costs a refcount bump, not a
+    /// payload copy (later in-place edits by the caller copy-on-write).
     pub fn sync_send(&self, dst: usize, msg: &Message) {
         self.trace_send(dst, msg);
-        self.net().send(self.my_pe(), dst, msg.as_bytes().to_vec());
+        self.net().send(self.my_pe(), dst, msg.block().share());
     }
 
-    /// Send `msg` to `dst`, consuming it and avoiding the copy
-    /// (`CmiSyncSendAndFree`).
+    /// Send `msg` to `dst`, consuming it (`CmiSyncSendAndFree`). The
+    /// block moves to the wire outright — no copy, no refcount traffic.
     pub fn sync_send_and_free(&self, dst: usize, msg: Message) {
         self.trace_send(dst, &msg);
-        self.net().send(self.my_pe(), dst, msg.into_bytes());
+        self.net().send(self.my_pe(), dst, msg.into_block());
     }
 
     /// Begin an asynchronous send (`CmiAsyncSend`). On this machine the
@@ -124,29 +126,31 @@ impl Pe {
             off += p.len();
         }
         self.trace_send(dst, &msg);
-        self.net().send(self.my_pe(), dst, msg.into_bytes());
+        self.net().send(self.my_pe(), dst, msg.into_block());
         self.comm.create(true)
     }
 
     // ---- broadcasts --------------------------------------------------------
 
     /// Send to every other PE (`CmiSyncBroadcast`). Not a barrier: only
-    /// the sender participates.
+    /// the sender participates. One block, P−1 refcount bumps — every
+    /// destination aliases the same allocation.
     pub fn sync_broadcast(&self, msg: &Message) {
         for dst in 0..self.num_pes() {
             if dst != self.my_pe() {
                 self.trace_send(dst, msg);
             }
         }
-        self.net().broadcast_excl(self.my_pe(), msg.as_bytes());
+        self.net().broadcast_excl(self.my_pe(), msg.block().share());
     }
 
-    /// Send to every PE including self (`CmiSyncBroadcastAll`).
+    /// Send to every PE including self (`CmiSyncBroadcastAll`). One
+    /// block, P refcount bumps.
     pub fn sync_broadcast_all(&self, msg: &Message) {
         for dst in 0..self.num_pes() {
             self.trace_send(dst, msg);
         }
-        self.net().broadcast_all(self.my_pe(), msg.as_bytes());
+        self.net().broadcast_all(self.my_pe(), msg.block().share());
     }
 
     /// Broadcast to all and consume the message
@@ -182,14 +186,10 @@ impl Pe {
     /// reporting the source PE; internal use by the delivery loop.
     pub(crate) fn get_packet(&self) -> Option<(usize, Message)> {
         let p = self.net().try_recv(self.my_pe())?;
-        let msg = Message::from_bytes(p.bytes).unwrap_or_else(|e| {
-            panic!(
-                "PE {}: corrupt message from PE {}: {e}",
-                self.my_pe(),
-                p.src
-            )
-        });
-        Some((p.src, msg))
+        let src = p.src;
+        let msg = Message::from_block(p.block)
+            .unwrap_or_else(|e| panic!("PE {}: corrupt message from PE {src}: {e}", self.my_pe()));
+        Some((src, msg))
     }
 
     /// Deliver received messages straight to their handlers

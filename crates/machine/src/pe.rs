@@ -548,6 +548,29 @@ impl Pe {
     pub fn trace_enabled(&self) -> bool {
         self.trace.enabled()
     }
+
+    /// This PE's message-buffer pool counters (the CmiAlloc/CmiFree
+    /// free list). The pool is per-OS-thread and each PE is one thread,
+    /// so this must be called from the PE's own thread — which is where
+    /// all handler and entry code runs anyway.
+    pub fn msg_pool_stats(&self) -> converse_msg::PoolStats {
+        converse_msg::pool::stats()
+    }
+
+    /// Emit a [`Event::MsgPool`] snapshot of this PE's buffer-pool
+    /// counters into the trace. Called at PE teardown by the runner;
+    /// user code may also call it mid-run to bracket a phase.
+    pub fn trace_msg_pool(&self) {
+        if self.trace.enabled() {
+            let s = self.msg_pool_stats();
+            self.trace_event(Event::MsgPool {
+                hits: s.hits,
+                misses: s.misses,
+                recycled: s.recycled,
+                discarded: s.discarded,
+            });
+        }
+    }
 }
 
 impl std::fmt::Debug for Pe {

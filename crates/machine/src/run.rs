@@ -213,6 +213,9 @@ where
                 let hooks = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     pe.run_exit_hooks();
                 }));
+                // Final buffer-pool snapshot so traces carry the hit/miss
+                // balance of this PE's whole lifetime.
+                pe.trace_msg_pool();
                 let result = result.and(hooks);
                 if result.is_err() {
                     shared.panicked.store(true, Ordering::Release);

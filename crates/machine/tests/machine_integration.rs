@@ -159,6 +159,75 @@ fn broadcast_all_includes_sender() {
 }
 
 #[test]
+fn broadcast_is_one_pool_take_end_to_end() {
+    // The zero-copy acceptance bar: broadcasting N bytes to P PEs costs
+    // exactly ONE payload allocation — the Message construction — and
+    // every receiver's message aliases that very block.
+    let n = 6;
+    let sender_ptr = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let sp = sender_ptr.clone();
+    run(n, move |pe| {
+        let sp = sp.clone();
+        let sp2 = sp.clone();
+        let done = Arc::new(AtomicU64::new(0));
+        let d2 = done.clone();
+        let id = pe.register_handler(move |_pe, msg| {
+            assert_eq!(msg.payload(), &[0xAB; 4096][..]);
+            assert_eq!(
+                msg.block().as_ptr() as usize,
+                sp2.load(Ordering::SeqCst),
+                "receiver's message must alias the sender's block"
+            );
+            d2.fetch_add(1, Ordering::Relaxed);
+        });
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            let before = pe.msg_pool_stats().takes();
+            let msg = Message::new(id, &[0xAB; 4096]);
+            sp.store(msg.block().as_ptr() as usize, Ordering::SeqCst);
+            pe.sync_broadcast(&msg);
+            let after = pe.msg_pool_stats().takes();
+            assert_eq!(
+                after - before,
+                1,
+                "broadcast to {n} PEs must allocate exactly once"
+            );
+        } else {
+            pe.deliver_until(|| done.load(Ordering::Relaxed) == 1);
+        }
+        pe.barrier();
+    });
+}
+
+#[test]
+fn pool_counters_reach_the_trace() {
+    // The per-PE free-list counters surface as MsgPool records at PE
+    // teardown; a summary folds them in.
+    let sink = converse_trace::MemorySink::new(3, 4096);
+    let cfg = MachineConfig::new(3).trace(sink.clone());
+    run_with(cfg, |pe| {
+        let (id, count) = counting_handler(pe);
+        pe.barrier();
+        pe.sync_broadcast_all(&Message::new(id, b"fill the pool"));
+        pe.deliver_until(|| count.load(Ordering::Relaxed) == pe.num_pes() as u64);
+        pe.barrier();
+    });
+    // Every PE allocated at least once (hits OR misses: a PE that
+    // recycled inbound buffers before its first allocation is all-hits).
+    for pe in 0..3 {
+        let has_pool = sink.records(pe).iter().any(|r| {
+            matches!(
+                r.event,
+                converse_trace::Event::MsgPool { hits, misses, .. } if hits + misses > 0
+            )
+        });
+        assert!(has_pool, "PE {pe} must emit a MsgPool teardown snapshot");
+    }
+    let sum = sink.summary();
+    assert!(sum.pes.iter().all(|p| p.pool_hits + p.pool_misses > 0));
+}
+
+#[test]
 fn async_send_handle_lifecycle() {
     run(2, |pe| {
         let id = pe.register_handler(|_, _| {});

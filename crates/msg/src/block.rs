@@ -1,0 +1,249 @@
+//! The refcounted, pool-backed message block.
+//!
+//! The paper's generalized message (§3.1.1) is *one block of memory that
+//! is never copied* as it moves from the machine layer through the
+//! scheduler to a handler. [`MsgBlock`] is that block for this runtime:
+//! a contiguous byte buffer behind an `Arc`, whose backing storage comes
+//! from (and returns to) the per-PE free-list pool in [`crate::pool`].
+//!
+//! * [`MsgBlock::share`] is a refcount bump — broadcasting one message
+//!   to P destinations is one buffer plus P bumps, never P copies.
+//! * [`MsgBlock::make_mut`] is copy-on-write: a uniquely held block
+//!   (the common case for a freshly received message) is edited in
+//!   place; a shared block is first copied into a fresh pooled buffer.
+//!   This is what lets the §3.3 retarget idiom (`CmiSetHandler` on a
+//!   message you were just handed) stay zero-copy.
+//! * Dropping the last reference returns the storage to the dropping
+//!   thread's pool (`CmiFree`).
+
+use crate::pool;
+use std::fmt;
+use std::sync::Arc;
+
+/// Pool-backed storage; its `Drop` is the `CmiFree`.
+struct Pooled {
+    buf: Vec<u8>,
+}
+
+impl Drop for Pooled {
+    fn drop(&mut self) {
+        pool::give(std::mem::take(&mut self.buf));
+    }
+}
+
+/// A refcounted contiguous message buffer. See the module docs.
+#[derive(Clone)]
+pub struct MsgBlock {
+    inner: Arc<Pooled>,
+}
+
+impl MsgBlock {
+    /// A zero-filled block of `len` bytes from the pool (`CmiAlloc`).
+    pub fn alloc(len: usize) -> MsgBlock {
+        let mut buf = pool::take(len);
+        buf.resize(len, 0);
+        MsgBlock::adopt(buf)
+    }
+
+    /// A block holding a pooled copy of `bytes`.
+    pub fn copy_from(bytes: &[u8]) -> MsgBlock {
+        let mut buf = pool::take(bytes.len());
+        buf.extend_from_slice(bytes);
+        MsgBlock::adopt(buf)
+    }
+
+    /// Wrap an existing buffer without copying. The buffer joins the
+    /// pool's circulation: when the last reference drops, its capacity
+    /// is recycled.
+    pub fn adopt(buf: Vec<u8>) -> MsgBlock {
+        MsgBlock {
+            inner: Arc::new(Pooled { buf }),
+        }
+    }
+
+    /// Another handle to the same block: a refcount bump, no copy.
+    #[inline]
+    pub fn share(&self) -> MsgBlock {
+        MsgBlock {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// The block's bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.inner.buf
+    }
+
+    /// Address of the backing storage — lets tests observe aliasing
+    /// (shared blocks) and pool reuse (recycled allocations).
+    #[inline]
+    pub fn as_ptr(&self) -> *const u8 {
+        self.inner.buf.as_ptr()
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.buf.len()
+    }
+
+    /// True when the block holds no bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.buf.is_empty()
+    }
+
+    /// True when this handle is the only reference.
+    #[inline]
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.inner) == 1
+    }
+
+    /// Number of handles sharing this block.
+    #[inline]
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    /// Mutable access, copy-on-write: in place when uniquely held,
+    /// otherwise the contents move to a fresh pooled buffer first (so
+    /// other holders never observe the edit).
+    pub fn make_mut(&mut self) -> &mut Vec<u8> {
+        if Arc::get_mut(&mut self.inner).is_none() {
+            *self = MsgBlock::copy_from(self.as_slice());
+        }
+        &mut Arc::get_mut(&mut self.inner)
+            .expect("block is unique after copy-on-write")
+            .buf
+    }
+
+    /// Extract the bytes as a `Vec`. Free when uniquely held (the
+    /// buffer moves out); a pooled copy otherwise.
+    pub fn into_vec(self) -> Vec<u8> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(mut p) => std::mem::take(&mut p.buf),
+            Err(arc) => {
+                let mut v = pool::take(arc.buf.len());
+                v.extend_from_slice(&arc.buf);
+                v
+            }
+        }
+    }
+}
+
+impl From<Vec<u8>> for MsgBlock {
+    fn from(v: Vec<u8>) -> MsgBlock {
+        MsgBlock::adopt(v)
+    }
+}
+
+impl From<&[u8]> for MsgBlock {
+    fn from(v: &[u8]) -> MsgBlock {
+        MsgBlock::copy_from(v)
+    }
+}
+
+impl PartialEq for MsgBlock {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for MsgBlock {}
+
+impl fmt::Debug for MsgBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MsgBlock")
+            .field("len", &self.len())
+            .field("refs", &self.ref_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_aliases_same_storage() {
+        let a = MsgBlock::copy_from(b"hello");
+        let b = a.share();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(a.ref_count(), 2);
+        assert_eq!(b.as_slice(), b"hello");
+    }
+
+    #[test]
+    fn share_costs_no_allocation() {
+        let a = MsgBlock::copy_from(&[7u8; 256]);
+        let takes = pool::stats().takes();
+        let handles: Vec<MsgBlock> = (0..32).map(|_| a.share()).collect();
+        assert_eq!(pool::stats().takes(), takes, "share must not allocate");
+        assert_eq!(a.ref_count(), 33);
+        drop(handles);
+        assert!(a.is_unique());
+    }
+
+    #[test]
+    fn make_mut_in_place_when_unique() {
+        let mut a = MsgBlock::copy_from(b"abc");
+        let ptr = a.as_ptr();
+        a.make_mut()[0] = b'x';
+        assert_eq!(a.as_ptr(), ptr, "unique block edits in place");
+        assert_eq!(a.as_slice(), b"xbc");
+    }
+
+    #[test]
+    fn make_mut_copies_when_shared() {
+        let mut a = MsgBlock::copy_from(b"abc");
+        let b = a.share();
+        a.make_mut()[0] = b'x';
+        assert_eq!(a.as_slice(), b"xbc");
+        assert_eq!(b.as_slice(), b"abc", "other holder unaffected");
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        assert!(a.is_unique() && b.is_unique());
+    }
+
+    #[test]
+    fn into_vec_moves_when_unique() {
+        let a = MsgBlock::copy_from(b"move me");
+        let ptr = a.as_ptr();
+        let v = a.into_vec();
+        assert_eq!(v.as_ptr(), ptr);
+        assert_eq!(v, b"move me");
+    }
+
+    #[test]
+    fn into_vec_copies_when_shared() {
+        let a = MsgBlock::copy_from(b"shared");
+        let b = a.share();
+        let v = a.into_vec();
+        assert_eq!(v, b"shared");
+        assert_eq!(b.as_slice(), b"shared");
+    }
+
+    #[test]
+    fn drop_recycles_into_pool() {
+        let before = pool::stats();
+        let a = MsgBlock::alloc(128);
+        let ptr = a.as_ptr();
+        drop(a);
+        let after = pool::stats();
+        assert_eq!(after.recycled - before.recycled, 1);
+        // The very next block of the same class reuses the storage.
+        let b = MsgBlock::alloc(128);
+        assert_eq!(b.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn shared_block_recycles_only_once() {
+        let a = MsgBlock::alloc(64);
+        let b = a.share();
+        let before = pool::stats();
+        drop(a);
+        assert_eq!(pool::stats().recycled, before.recycled);
+        drop(b);
+        assert_eq!(pool::stats().recycled, before.recycled + 1);
+    }
+}

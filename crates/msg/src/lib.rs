@@ -11,12 +11,16 @@
 //! 3. a delayed function with its argument.
 //!
 //! This crate defines the on-the-wire layout ([`Message`]), the handler
-//! index type ([`HandlerId`]), scheduling priorities ([`Priority`],
-//! [`BitVecPrio`]) and small packing helpers ([`pack::Packer`],
-//! [`pack::Unpacker`]) used by the language runtimes to build payloads
-//! without a serialization framework in the hot path.
+//! index type ([`HandlerId`]), the refcounted pool-backed storage every
+//! message lives in ([`MsgBlock`], [`pool`]), scheduling priorities
+//! ([`Priority`], [`BitVecPrio`]) and small packing helpers
+//! ([`pack::Packer`], [`pack::Unpacker`]) used by the language runtimes
+//! to build payloads without a serialization framework in the hot path.
 //!
 //! # Layout
+//!
+//! A message is **one contiguous block**; header, priority area and
+//! payload are offsets into it, never separate allocations:
 //!
 //! ```text
 //! offset 0..4   handler index   (u32, little endian)   — CmiSetHandler
@@ -30,10 +34,29 @@
 //! `CmiMsgHeaderSizeBytes` in the paper's appendix corresponds to
 //! [`HEADER_BYTES`] (the fixed part; the priority area is variable, as in
 //! real Converse where bit-vector priorities have arbitrary length).
+//!
+//! # Ownership & zero-copy
+//!
+//! The block behind a [`Message`] is an `Arc`-backed [`MsgBlock`] whose
+//! storage comes from the per-PE free-list [`pool`] (the
+//! `CmiAlloc`/`CmiFree` analogue). [`Message::share`] (and `clone`,
+//! which is the same operation) is a refcount bump; the interconnect
+//! moves and shares blocks, so a send transfers ownership without
+//! copying and a broadcast to P destinations is one buffer plus P
+//! bumps. Mutators ([`Message::set_handler`], [`Message::set_flags`],
+//! [`Message::payload_mut`]) are copy-on-write: in place on a uniquely
+//! held message — the common case for a freshly received one, which is
+//! what keeps the §3.3 retarget idiom free — and a single pooled copy
+//! when the block is shared. `docs/API.md` ("Message ownership &
+//! zero-copy rules") spells out the rules handlers rely on.
 
+pub mod block;
 pub mod pack;
+pub mod pool;
 pub mod prio;
 
+pub use block::MsgBlock;
+pub use pool::PoolStats;
 pub use prio::{BitVecPrio, Priority};
 
 use std::fmt;
@@ -110,13 +133,17 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// A generalized Converse message: one contiguous, owned block of bytes.
+/// A generalized Converse message: one contiguous block of bytes.
 ///
 /// The first word names the handler; an optional priority area follows;
-/// the rest is an opaque payload interpreted by the handler. Messages are
-/// `Send` and contain no pointers, so they can cross processor (thread)
-/// boundaries and — as in the paper — also represent local scheduler
-/// entries such as "resume this thread".
+/// the rest is an opaque payload interpreted by the handler. Messages
+/// are `Send` and contain no pointers, so they can cross processor
+/// (thread) boundaries and — as in the paper — also represent local
+/// scheduler entries such as "resume this thread".
+///
+/// The bytes live in a refcounted, pool-backed [`MsgBlock`];
+/// [`Message::share`] / `clone` alias the block (a refcount bump, not a
+/// copy) and the mutators are copy-on-write. See the module docs.
 ///
 /// ```
 /// use converse_msg::{Message, HandlerId, Priority};
@@ -133,7 +160,7 @@ impl std::error::Error for DecodeError {}
 /// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct Message {
-    bytes: Vec<u8>,
+    block: MsgBlock,
 }
 
 impl Message {
@@ -154,7 +181,7 @@ impl Message {
             "priority too long: {} words",
             words.len()
         );
-        let mut bytes = Vec::with_capacity(HEADER_BYTES + words.len() * 4 + payload.len());
+        let mut bytes = pool::take(HEADER_BYTES + words.len() * 4 + payload.len());
         bytes.extend_from_slice(&handler.0.to_le_bytes());
         bytes.push(kind);
         bytes.push(words.len() as u8);
@@ -165,21 +192,31 @@ impl Message {
         // Bit-vector priorities additionally record their exact bit length
         // in the first priority word; see `prio::BitVecPrio::words`.
         bytes.extend_from_slice(payload);
-        Message { bytes }
+        Message {
+            block: MsgBlock::adopt(bytes),
+        }
     }
 
     /// Allocate a message with an uninitialized (`INVALID`) handler and a
     /// zero-filled payload of `payload_len` bytes. Mirrors the C pattern
     /// of `CmiAlloc` followed by `CmiSetHandler`.
     pub fn alloc(payload_len: usize) -> Self {
-        let mut m = Message::new(HandlerId::INVALID, &[]);
-        m.bytes.resize(HEADER_BYTES + payload_len, 0);
-        m
+        let mut block = MsgBlock::alloc(HEADER_BYTES + payload_len);
+        block.make_mut()[0..4].copy_from_slice(&HandlerId::INVALID.0.to_le_bytes());
+        Message { block }
     }
 
     /// Decode raw bytes received from the interconnect, validating the
     /// header. The inverse of [`Message::into_bytes`].
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, DecodeError> {
+        Self::from_block(MsgBlock::adopt(bytes))
+    }
+
+    /// Validate a received block as a message without copying it. The
+    /// inverse of [`Message::into_block`]; this is how the machine layer
+    /// turns a delivered [`MsgBlock`] back into a `Message`.
+    pub fn from_block(block: MsgBlock) -> Result<Self, DecodeError> {
+        let bytes = block.as_slice();
         if bytes.len() < HEADER_BYTES {
             return Err(DecodeError::TooShort { len: bytes.len() });
         }
@@ -194,55 +231,75 @@ impl Message {
                 len: bytes.len(),
             });
         }
-        Ok(Message { bytes })
+        Ok(Message { block })
     }
 
-    /// The wire representation. Exactly the bytes a remote processor will
-    /// decode with [`Message::from_bytes`].
+    /// The wire representation as a plain `Vec`. Free when the message
+    /// is uniquely held; prefer [`Message::into_block`] on hot paths.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.bytes
+        self.block.into_vec()
+    }
+
+    /// Surrender the underlying block (no copy) — what the send paths
+    /// hand to the interconnect.
+    #[inline]
+    pub fn into_block(self) -> MsgBlock {
+        self.block
+    }
+
+    /// The underlying block.
+    #[inline]
+    pub fn block(&self) -> &MsgBlock {
+        &self.block
+    }
+
+    /// Another handle to the same message: a refcount bump, no copy.
+    /// `clone` is the same operation; `share` states the intent.
+    #[inline]
+    pub fn share(&self) -> Message {
+        Message {
+            block: self.block.share(),
+        }
     }
 
     /// Borrow the full wire representation.
     #[inline]
     pub fn as_bytes(&self) -> &[u8] {
-        &self.bytes
+        self.block.as_slice()
     }
 
     /// Handler index stored in the first word (`CmiGetHandler`).
     #[inline]
     pub fn handler(&self) -> HandlerId {
-        HandlerId(u32::from_le_bytes([
-            self.bytes[0],
-            self.bytes[1],
-            self.bytes[2],
-            self.bytes[3],
-        ]))
+        let b = self.as_bytes();
+        HandlerId(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Overwrite the handler index (`CmiSetHandler`). Language runtimes
     /// use this to retarget a queued message at a second handler so it is
-    /// not re-enqueued (paper §3.3).
+    /// not re-enqueued (paper §3.3). Copy-on-write: in place on a
+    /// uniquely held message, one pooled copy on a shared one.
     #[inline]
     pub fn set_handler(&mut self, h: HandlerId) {
-        self.bytes[0..4].copy_from_slice(&h.0.to_le_bytes());
+        self.block.make_mut()[0..4].copy_from_slice(&h.0.to_le_bytes());
     }
 
     /// Runtime-private flag word.
     #[inline]
     pub fn flags(&self) -> u16 {
-        u16::from_le_bytes([self.bytes[6], self.bytes[7]])
+        let b = self.as_bytes();
+        u16::from_le_bytes([b[6], b[7]])
     }
 
-    /// Set the runtime-private flag word.
+    /// Set the runtime-private flag word (copy-on-write when shared).
     #[inline]
     pub fn set_flags(&mut self, f: u16) {
-        self.bytes[6..8].copy_from_slice(&f.to_le_bytes());
+        self.block.make_mut()[6..8].copy_from_slice(&f.to_le_bytes());
     }
 
     #[inline]
     fn prio_words(&self) -> usize {
-        self.bytes[5] as usize
+        self.as_bytes()[5] as usize
     }
 
     #[inline]
@@ -252,7 +309,7 @@ impl Message {
 
     /// Decode the scheduling priority.
     pub fn priority(&self) -> Priority {
-        match self.bytes[4] {
+        match self.as_bytes()[4] {
             KIND_NONE => Priority::None,
             KIND_INT => {
                 let w = self.prio_word(0);
@@ -272,32 +329,28 @@ impl Message {
     #[inline]
     fn prio_word(&self, i: usize) -> u32 {
         let o = HEADER_BYTES + i * 4;
-        u32::from_le_bytes([
-            self.bytes[o],
-            self.bytes[o + 1],
-            self.bytes[o + 2],
-            self.bytes[o + 3],
-        ])
+        let b = self.as_bytes();
+        u32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]])
     }
 
     /// The opaque payload following header and priority area.
     #[inline]
     pub fn payload(&self) -> &[u8] {
-        &self.bytes[self.payload_offset()..]
+        &self.as_bytes()[self.payload_offset()..]
     }
 
     /// Mutable access to the payload, e.g. to fill a message allocated
-    /// with [`Message::alloc`].
+    /// with [`Message::alloc`] (copy-on-write when shared).
     #[inline]
     pub fn payload_mut(&mut self) -> &mut [u8] {
         let o = self.payload_offset();
-        &mut self.bytes[o..]
+        &mut self.block.make_mut()[o..]
     }
 
     /// Total size in bytes, header included — what `CmiSyncSend` sends.
     #[inline]
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        self.block.len()
     }
 
     /// True when there is no payload (headers are always present).
@@ -314,6 +367,12 @@ impl fmt::Debug for Message {
             .field("priority", &self.priority())
             .field("payload_len", &self.payload().len())
             .finish()
+    }
+}
+
+impl From<Message> for MsgBlock {
+    fn from(m: Message) -> MsgBlock {
+        m.into_block()
     }
 }
 
@@ -422,5 +481,59 @@ mod tests {
         let m = Message::new(HandlerId(1), b"");
         assert!(m.is_empty());
         assert_eq!(m.len(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn share_aliases_clone_is_share() {
+        let m = Message::new(HandlerId(3), b"alias");
+        let s = m.share();
+        let c = m.clone();
+        assert_eq!(m.block().as_ptr(), s.block().as_ptr());
+        assert_eq!(m.block().as_ptr(), c.block().as_ptr());
+        assert_eq!(m.block().ref_count(), 3);
+    }
+
+    #[test]
+    fn retarget_on_shared_message_is_copy_on_write() {
+        let m = Message::with_priority(HandlerId(1), &Priority::Int(5), b"body");
+        let mut other = m.share();
+        other.set_handler(HandlerId(2));
+        // The retargeted copy diverged; the original is untouched.
+        assert_eq!(m.handler(), HandlerId(1));
+        assert_eq!(other.handler(), HandlerId(2));
+        assert_eq!(other.priority(), Priority::Int(5));
+        assert_eq!(other.payload(), b"body");
+        assert_ne!(m.block().as_ptr(), other.block().as_ptr());
+    }
+
+    #[test]
+    fn retarget_on_unique_message_is_in_place() {
+        let mut m = Message::new(HandlerId(1), b"x");
+        let ptr = m.block().as_ptr();
+        m.set_handler(HandlerId(9));
+        assert_eq!(m.block().as_ptr(), ptr, "unique retarget must not copy");
+    }
+
+    #[test]
+    fn message_storage_cycles_through_pool() {
+        // alloc → free → alloc of the same size class reuses the block.
+        let m = Message::new(HandlerId(1), &[7u8; 100]);
+        let ptr = m.block().as_ptr();
+        drop(m);
+        let m2 = Message::new(HandlerId(2), &[8u8; 90]);
+        assert_eq!(
+            m2.block().as_ptr(),
+            ptr,
+            "same backing allocation must be observed across alloc/free/alloc"
+        );
+    }
+
+    #[test]
+    fn construction_is_one_pool_take() {
+        let before = pool::stats().takes();
+        let m = Message::new(HandlerId(1), &[0u8; 64]);
+        assert_eq!(pool::stats().takes() - before, 1);
+        let _shared: Vec<Message> = (0..8).map(|_| m.share()).collect();
+        assert_eq!(pool::stats().takes() - before, 1, "shares are free");
     }
 }

@@ -1,0 +1,208 @@
+//! The per-PE message-buffer pool — the `CmiAlloc`/`CmiFree` analogue.
+//!
+//! Real Converse routes message memory through `CmiAlloc` so the machine
+//! layer, the scheduler, and the language runtimes can hand the *same*
+//! block across layers and eventually `CmiFree` it back cheaply. This
+//! module reproduces that with **size-classed thread-local free lists**:
+//! each PE is one OS thread, so the thread-local pool *is* the per-PE
+//! pool, uncontended by construction.
+//!
+//! Capacity classes are powers of two from [`MIN_CLASS`] to
+//! [`MAX_CLASS`]; larger buffers bypass the pool and go straight to the
+//! global allocator. A buffer freed on a PE other than its allocator
+//! joins the *freeing* PE's free list — the same receiver-side recycling
+//! real Converse gets when the receiving processor calls `CmiFree` on a
+//! delivered message.
+//!
+//! Every [`take`] is counted as a **hit** (served from a free list) or a
+//! **miss** (touched the global allocator); `hits + misses` is therefore
+//! the number of message buffers this thread materialized, which is what
+//! the zero-copy tests assert on (a broadcast to P PEs must cost exactly
+//! one). Counters are monotonic and per-thread; the machine layer
+//! surfaces them through `converse-trace` at PE teardown.
+
+use std::cell::{Cell, RefCell};
+
+/// Smallest pooled capacity class in bytes.
+pub const MIN_CLASS: usize = 64;
+/// Largest pooled capacity class in bytes; bigger buffers bypass the
+/// pool entirely.
+pub const MAX_CLASS: usize = 64 * 1024;
+/// Free buffers retained per class before further frees are dropped.
+const PER_CLASS_CAP: usize = 64;
+/// Number of power-of-two classes between `MIN_CLASS` and `MAX_CLASS`.
+const NUM_CLASSES: usize = (MAX_CLASS / MIN_CLASS).ilog2() as usize + 1;
+
+/// Monotonic counters of this thread's (this PE's) pool activity.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// [`take`] calls served from a free list (no allocator touch).
+    pub hits: u64,
+    /// [`take`] calls that had to allocate.
+    pub misses: u64,
+    /// Buffers recycled into a free list by [`give`].
+    pub recycled: u64,
+    /// Freed buffers dropped instead (class full, or not poolable).
+    pub discarded: u64,
+}
+
+impl PoolStats {
+    /// Buffers materialized by this thread (`hits + misses`) — the
+    /// "payload allocation" count the zero-copy assertions use.
+    pub fn takes(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+thread_local! {
+    static FREE: RefCell<[Vec<Vec<u8>>; NUM_CLASSES]> =
+        RefCell::new(std::array::from_fn(|_| Vec::new()));
+    static STATS: Cell<PoolStats> = const { Cell::new(PoolStats {
+        hits: 0,
+        misses: 0,
+        recycled: 0,
+        discarded: 0,
+    }) };
+}
+
+/// Capacity of class `i`.
+#[inline]
+fn class_size(i: usize) -> usize {
+    MIN_CLASS << i
+}
+
+/// Smallest class that can hold `len` bytes, if one exists.
+#[inline]
+fn class_for_len(len: usize) -> Option<usize> {
+    if len > MAX_CLASS {
+        return None;
+    }
+    let c = len.max(MIN_CLASS).next_power_of_two();
+    Some((c / MIN_CLASS).ilog2() as usize)
+}
+
+/// Largest class a buffer of capacity `cap` can serve, if any.
+#[inline]
+fn class_for_cap(cap: usize) -> Option<usize> {
+    if cap < MIN_CLASS {
+        return None;
+    }
+    let i = (cap / MIN_CLASS).ilog2() as usize;
+    Some(i.min(NUM_CLASSES - 1))
+}
+
+/// Obtain an empty buffer with capacity for at least `len` bytes,
+/// preferring this thread's free lists (`CmiAlloc`).
+pub fn take(len: usize) -> Vec<u8> {
+    let mut s = STATS.get();
+    let v = match class_for_len(len) {
+        Some(ci) => match FREE.with(|f| f.borrow_mut()[ci].pop()) {
+            Some(mut v) => {
+                v.clear();
+                s.hits += 1;
+                v
+            }
+            None => {
+                s.misses += 1;
+                Vec::with_capacity(class_size(ci))
+            }
+        },
+        None => {
+            s.misses += 1;
+            Vec::with_capacity(len)
+        }
+    };
+    STATS.set(s);
+    v
+}
+
+/// Return a no-longer-needed buffer to this thread's free lists
+/// (`CmiFree`). Buffers with unpoolable capacities — or arriving when
+/// their class is full — are simply dropped.
+pub fn give(v: Vec<u8>) {
+    let mut s = STATS.get();
+    match class_for_cap(v.capacity()) {
+        Some(ci) => {
+            let kept = FREE.with(|f| {
+                let mut f = f.borrow_mut();
+                if f[ci].len() < PER_CLASS_CAP {
+                    f[ci].push(v);
+                    true
+                } else {
+                    false
+                }
+            });
+            if kept {
+                s.recycled += 1;
+            } else {
+                s.discarded += 1;
+            }
+        }
+        None => s.discarded += 1,
+    }
+    STATS.set(s);
+}
+
+/// This thread's pool counters. Each PE is one OS thread, so calling
+/// this from a PE's own execution context yields that PE's counters.
+pub fn stats() -> PoolStats {
+    STATS.get()
+}
+
+/// Free buffers currently retained by this thread's pool.
+pub fn retained() -> usize {
+    FREE.with(|f| f.borrow().iter().map(|c| c.len()).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_cover_range() {
+        assert_eq!(class_for_len(0), Some(0));
+        assert_eq!(class_for_len(64), Some(0));
+        assert_eq!(class_for_len(65), Some(1));
+        assert_eq!(class_for_len(MAX_CLASS), Some(NUM_CLASSES - 1));
+        assert_eq!(class_for_len(MAX_CLASS + 1), None);
+        assert_eq!(class_for_cap(63), None);
+        assert_eq!(class_for_cap(200), Some(1)); // serves the 128 class
+        assert_eq!(class_for_cap(usize::MAX), Some(NUM_CLASSES - 1));
+    }
+
+    #[test]
+    fn take_give_take_reuses_backing_storage() {
+        let before = stats();
+        let v = take(100);
+        assert!(v.capacity() >= 100);
+        let ptr = v.as_ptr();
+        give(v);
+        let v2 = take(80); // same 128-byte class
+        assert_eq!(v2.as_ptr(), ptr, "pool must hand back the same buffer");
+        let after = stats();
+        assert_eq!(after.hits - before.hits, 1);
+        assert_eq!(after.misses - before.misses, 1);
+        assert_eq!(after.recycled - before.recycled, 1);
+        give(v2);
+    }
+
+    #[test]
+    fn oversized_buffers_bypass_pool() {
+        let before = stats();
+        let v = take(MAX_CLASS + 1);
+        assert!(v.capacity() > MAX_CLASS);
+        give(v); // still recyclable: lands in the top class
+        let after = stats();
+        assert_eq!(after.misses - before.misses, 1);
+        assert_eq!(after.recycled - before.recycled, 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_discarded() {
+        let before = stats();
+        give(Vec::new());
+        let after = stats();
+        assert_eq!(after.discarded - before.discarded, 1);
+        assert_eq!(after.recycled, before.recycled);
+    }
+}

@@ -23,19 +23,32 @@ pub mod model;
 
 pub use model::NetModel;
 
+use converse_msg::MsgBlock;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A block of bytes in flight, tagged with its source PE.
+/// A message block in flight, tagged with its source PE.
+///
+/// The block is the *same* refcounted buffer the sender built — a send
+/// moves (or shares) it, never copies it. Broadcast packets on
+/// different PEs alias one backing allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Sending PE.
     pub src: usize,
-    /// The generalized-message bytes.
-    pub bytes: Vec<u8>,
+    /// The generalized-message block.
+    pub block: MsgBlock,
+}
+
+impl Packet {
+    /// The wire bytes (the block's contents).
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        self.block.as_slice()
+    }
 }
 
 /// Delivery-order policy of the interconnect.
@@ -79,6 +92,12 @@ pub struct PeTraffic {
     pub bytes_sent: u64,
     /// Messages received (popped) by this PE.
     pub msgs_recv: u64,
+    /// External messages injected *into* this PE (CCS and other
+    /// front-ends). Accounted separately from `msgs_sent` so external
+    /// request volume never skews a PE's send-side load.
+    pub msgs_injected: u64,
+    /// Bytes injected into this PE from outside the machine.
+    pub bytes_injected: u64,
 }
 
 /// Point-in-time load view of one PE: cumulative traffic plus the
@@ -99,6 +118,8 @@ struct TrafficCell {
     msgs_sent: AtomicU64,
     bytes_sent: AtomicU64,
     msgs_recv: AtomicU64,
+    msgs_injected: AtomicU64,
+    bytes_injected: AtomicU64,
 }
 
 /// Simple multiplicative-congruential RNG so reorder mode stays
@@ -164,52 +185,69 @@ impl Interconnect {
         self.epoch.elapsed()
     }
 
-    /// Deliver `bytes` from `src` into `dst`'s mailbox. Never blocks;
-    /// the simulated wire has unbounded buffering, like the reliable-
-    /// delivery abstraction the MMI exposes.
-    pub fn send(&self, src: usize, dst: usize, bytes: Vec<u8>) {
-        let t = &self.traffic[src];
-        t.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        t.bytes_sent
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+    /// Queue a block into `dst`'s mailbox (no counter updates).
+    fn push(&self, src: usize, dst: usize, block: MsgBlock) {
         let mbox = &self.boxes[dst];
         let mut q = mbox.q.lock();
         match self.mode {
-            DeliveryMode::Fifo => q.push_back(Packet { src, bytes }),
+            DeliveryMode::Fifo => q.push_back(Packet { src, block }),
             DeliveryMode::Reorder { window, .. } => {
                 let w = window.min(q.len());
                 let pos = q.len() - (self.reorder_rng.lock().next() as usize % (w + 1));
-                q.insert(pos, Packet { src, bytes });
+                q.insert(pos, Packet { src, block });
             }
         }
         mbox.cv.notify_one();
     }
 
-    /// Deliver `bytes` into `dst`'s mailbox from *outside* the machine —
+    /// Deliver a message block from `src` into `dst`'s mailbox. The
+    /// block **moves** — no copy is taken; share it first to keep a
+    /// handle. Never blocks; the simulated wire has unbounded buffering,
+    /// like the reliable-delivery abstraction the MMI exposes.
+    pub fn send(&self, src: usize, dst: usize, block: impl Into<MsgBlock>) {
+        let block = block.into();
+        let t = &self.traffic[src];
+        t.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        t.bytes_sent
+            .fetch_add(block.len() as u64, Ordering::Relaxed);
+        self.push(src, dst, block);
+    }
+
+    /// Deliver a block into `dst`'s mailbox from *outside* the machine —
     /// the entry point used by front-ends such as CCS that inject
-    /// external request traffic. The packet is attributed to `dst`
-    /// itself (there is no external PE id), so per-(src,dst) FIFO and
-    /// the traffic counters stay well-defined, and it is subject to the
-    /// same [`DeliveryMode`] scrambling as native sends.
-    pub fn inject(&self, dst: usize, bytes: Vec<u8>) {
-        self.send(dst, dst, bytes);
+    /// external request traffic. The packet's `src` reads as `dst`
+    /// itself (there is no external PE id) so per-(src,dst) FIFO stays
+    /// well-defined, but the traffic is counted under the separate
+    /// `msgs_injected`/`bytes_injected` counters, never as sends — so
+    /// [`Interconnect::load_of`] is not skewed by external volume. It is
+    /// subject to the same [`DeliveryMode`] scrambling as native sends.
+    pub fn inject(&self, dst: usize, block: impl Into<MsgBlock>) {
+        let block = block.into();
+        let t = &self.traffic[dst];
+        t.msgs_injected.fetch_add(1, Ordering::Relaxed);
+        t.bytes_injected
+            .fetch_add(block.len() as u64, Ordering::Relaxed);
+        self.push(dst, dst, block);
     }
 
     /// Broadcast to every PE except `src` (`CmiSyncBroadcast` semantics:
-    /// the paper notes the broadcast is *not* a barrier — only the sender
-    /// calls it).
-    pub fn broadcast_excl(&self, src: usize, bytes: &[u8]) {
+    /// the paper notes the broadcast is *not* a barrier — only the
+    /// sender calls it). One block, P−1 refcount bumps: every
+    /// destination's packet aliases the same allocation.
+    pub fn broadcast_excl(&self, src: usize, block: impl Into<MsgBlock>) {
+        let block = block.into();
         for dst in 0..self.num_pes() {
             if dst != src {
-                self.send(src, dst, bytes.to_vec());
+                self.send(src, dst, block.share());
             }
         }
     }
 
-    /// Broadcast to every PE including `src`.
-    pub fn broadcast_all(&self, src: usize, bytes: &[u8]) {
+    /// Broadcast to every PE including `src` (one block, P bumps).
+    pub fn broadcast_all(&self, src: usize, block: impl Into<MsgBlock>) {
+        let block = block.into();
         for dst in 0..self.num_pes() {
-            self.send(src, dst, bytes.to_vec());
+            self.send(src, dst, block.share());
         }
     }
 
@@ -285,6 +323,8 @@ impl Interconnect {
             msgs_sent: t.msgs_sent.load(Ordering::Relaxed),
             bytes_sent: t.bytes_sent.load(Ordering::Relaxed),
             msgs_recv: t.msgs_recv.load(Ordering::Relaxed),
+            msgs_injected: t.msgs_injected.load(Ordering::Relaxed),
+            bytes_injected: t.bytes_injected.load(Ordering::Relaxed),
         }
     }
 
@@ -315,6 +355,8 @@ impl Interconnect {
             out.msgs_sent += t.msgs_sent;
             out.bytes_sent += t.bytes_sent;
             out.msgs_recv += t.msgs_recv;
+            out.msgs_injected += t.msgs_injected;
+            out.bytes_injected += t.bytes_injected;
         }
         out
     }
@@ -330,7 +372,7 @@ mod tests {
         net.send(0, 1, vec![1, 2, 3]);
         let p = net.try_recv(1).unwrap();
         assert_eq!(p.src, 0);
-        assert_eq!(p.bytes, vec![1, 2, 3]);
+        assert_eq!(p.bytes(), vec![1, 2, 3]);
         assert!(net.try_recv(1).is_none());
     }
 
@@ -338,7 +380,7 @@ mod tests {
     fn self_send_works() {
         let net = Interconnect::new(1);
         net.send(0, 0, vec![9]);
-        assert_eq!(net.try_recv(0).unwrap().bytes, vec![9]);
+        assert_eq!(net.try_recv(0).unwrap().bytes(), vec![9]);
     }
 
     #[test]
@@ -348,26 +390,26 @@ mod tests {
             net.send(0, 1, vec![i]);
         }
         for i in 0..10u8 {
-            assert_eq!(net.try_recv(1).unwrap().bytes, vec![i]);
+            assert_eq!(net.try_recv(1).unwrap().bytes(), vec![i]);
         }
     }
 
     #[test]
     fn broadcast_excl_skips_sender() {
         let net = Interconnect::new(4);
-        net.broadcast_excl(1, &[7]);
+        net.broadcast_excl(1, vec![7u8]);
         assert!(net.try_recv(1).is_none());
         for pe in [0, 2, 3] {
-            assert_eq!(net.try_recv(pe).unwrap().bytes, vec![7]);
+            assert_eq!(net.try_recv(pe).unwrap().bytes(), vec![7]);
         }
     }
 
     #[test]
     fn broadcast_all_includes_sender() {
         let net = Interconnect::new(3);
-        net.broadcast_all(0, &[8]);
+        net.broadcast_all(0, vec![8u8]);
         for pe in 0..3 {
-            assert_eq!(net.try_recv(pe).unwrap().bytes, vec![8]);
+            assert_eq!(net.try_recv(pe).unwrap().bytes(), vec![8]);
         }
     }
 
@@ -379,7 +421,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         net.send(0, 1, vec![42]);
         let p = h.join().unwrap().unwrap();
-        assert_eq!(p.bytes, vec![42]);
+        assert_eq!(p.bytes(), vec![42]);
     }
 
     #[test]
@@ -408,7 +450,7 @@ mod tests {
         assert_eq!(
             net.recv_timeout(0, Duration::from_millis(10))
                 .unwrap()
-                .bytes,
+                .bytes(),
             vec![5]
         );
         assert!(net.recv_timeout(0, Duration::from_millis(10)).is_none());
@@ -421,7 +463,9 @@ mod tests {
         for i in 0..n {
             net.send(0, 1, vec![i]);
         }
-        let mut got: Vec<u8> = (0..n).map(|_| net.try_recv(1).unwrap().bytes[0]).collect();
+        let mut got: Vec<u8> = (0..n)
+            .map(|_| net.try_recv(1).unwrap().bytes()[0])
+            .collect();
         assert!(net.try_recv(1).is_none());
         let in_order = got.windows(2).all(|w| w[0] < w[1]);
         assert!(!in_order, "reorder mode should scramble order");
@@ -437,7 +481,7 @@ mod tests {
                 net.send(0, 1, vec![i]);
             }
             (0..20)
-                .map(|_| net.try_recv(1).unwrap().bytes[0])
+                .map(|_| net.try_recv(1).unwrap().bytes()[0])
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(1));
@@ -485,9 +529,51 @@ mod tests {
         assert_eq!(snap[2].pe, 2);
         assert_eq!(snap[2].queued, 2);
         assert_eq!(snap[0].traffic.msgs_sent, 1);
-        // The injected packet is attributed to the destination itself.
+        // Injected traffic is accounted separately: it must not inflate
+        // the destination's own send counters.
+        assert_eq!(snap[2].traffic.msgs_sent, 0);
+        assert_eq!(snap[2].traffic.bytes_sent, 0);
+        assert_eq!(snap[2].traffic.msgs_injected, 1);
+        assert_eq!(snap[2].traffic.bytes_injected, 3);
+        let total = net.total_traffic();
+        assert_eq!(total.msgs_sent, 1);
+        assert_eq!(total.msgs_injected, 1);
+        // The injected packet still reads as coming from the destination
+        // itself (there is no external PE id).
         assert_eq!(net.try_recv(2).unwrap().src, 2);
         assert_eq!(net.load_of(2).queued, 1);
+    }
+
+    #[test]
+    fn broadcast_is_one_allocation_and_all_packets_alias() {
+        let net = Interconnect::new(8);
+        let block = MsgBlock::copy_from(&[9u8; 777]);
+        let src_ptr = block.as_ptr();
+        let takes = converse_msg::pool::stats().takes();
+        net.broadcast_all(0, block);
+        assert_eq!(
+            converse_msg::pool::stats().takes(),
+            takes,
+            "broadcast must be refcount bumps only — zero further allocations"
+        );
+        for pe in 0..8 {
+            let p = net.try_recv(pe).unwrap();
+            assert_eq!(p.bytes(), &[9u8; 777][..]);
+            assert_eq!(
+                p.block.as_ptr(),
+                src_ptr,
+                "PE {pe}'s packet must alias the sender's allocation"
+            );
+        }
+    }
+
+    #[test]
+    fn send_moves_block_without_copy() {
+        let net = Interconnect::new(2);
+        let block = MsgBlock::copy_from(b"zero copy");
+        let ptr = block.as_ptr();
+        net.send(0, 1, block);
+        assert_eq!(net.try_recv(1).unwrap().block.as_ptr(), ptr);
     }
 
     #[test]

@@ -45,7 +45,7 @@ proptest! {
                 Op::BroadcastExcl { src } => {
                     stamp += 1;
                     let bytes = stamp.to_le_bytes().to_vec();
-                    net.broadcast_excl(src, &bytes);
+                    net.broadcast_excl(src, bytes.clone());
                     for dst in 0..n {
                         if dst != src {
                             model.entry((src, dst)).or_default().push(bytes.clone());
@@ -55,7 +55,7 @@ proptest! {
                 Op::BroadcastAll { src } => {
                     stamp += 1;
                     let bytes = stamp.to_le_bytes().to_vec();
-                    net.broadcast_all(src, &bytes);
+                    net.broadcast_all(src, bytes.clone());
                     for dst in 0..n {
                         model.entry((src, dst)).or_default().push(bytes.clone());
                     }
@@ -67,7 +67,7 @@ proptest! {
                             let lane = model.get_mut(&(p.src, pe)).expect("lane exists");
                             prop_assert!(!lane.is_empty());
                             let expect = lane.remove(0);
-                            prop_assert_eq!(p.bytes, expect);
+                            prop_assert_eq!(p.bytes(), &expect[..]);
                         }
                         None => {
                             // Model must agree nothing is pending for pe.
@@ -87,7 +87,7 @@ proptest! {
             while let Some(p) = net.try_recv(pe) {
                 let lane = model.get_mut(&(p.src, pe)).expect("lane");
                 let expect = lane.remove(0);
-                prop_assert_eq!(p.bytes, expect);
+                prop_assert_eq!(p.bytes(), &expect[..]);
                 remaining -= 1;
             }
             prop_assert_eq!(remaining, 0);
@@ -103,7 +103,7 @@ proptest! {
         }
         let mut got: Vec<u64> = Vec::new();
         while let Some(p) = net.try_recv(1) {
-            got.push(u64::from_le_bytes(p.bytes.try_into().unwrap()));
+            got.push(u64::from_le_bytes(p.bytes().try_into().unwrap()));
         }
         got.sort_unstable();
         prop_assert_eq!(got, (0..count as u64).collect::<Vec<_>>());
@@ -124,6 +124,51 @@ proptest! {
             let t = net.traffic(pe);
             prop_assert_eq!(t.msgs_sent, sent_msgs[pe]);
             prop_assert_eq!(t.bytes_sent, sent_bytes[pe]);
+        }
+    }
+
+    /// Aliasing safety of shared blocks: broadcasts under adversarial
+    /// reordering still deliver bit-identical payloads to every PE, even
+    /// with unicast noise interleaved and with the sender's own handle
+    /// kept alive — sharing one allocation must never let one receiver's
+    /// traffic corrupt another's view.
+    #[test]
+    fn reorder_broadcast_delivers_identical_shared_payloads(
+        seed in any::<u64>(),
+        window in 1usize..16,
+        rounds in 1usize..12,
+        noise in 0usize..8,
+    ) {
+        let n = 5;
+        let net = Interconnect::with_mode(n, DeliveryMode::Reorder { seed, window });
+        let mut kept: Vec<converse_msg::MsgBlock> = Vec::new();
+        for r in 0..rounds {
+            // Distinctive payload per round; tail encodes the round.
+            let mut payload = vec![r as u8; 64];
+            payload[..8].copy_from_slice(&(r as u64).to_le_bytes());
+            let block = converse_msg::MsgBlock::copy_from(&payload);
+            for k in 0..noise {
+                net.send(r % n, (r + k) % n, vec![0xEE; 16]);
+            }
+            net.broadcast_all(r % n, block.share());
+            kept.push(block);
+        }
+        // Every PE sees every round's broadcast, bit-identical, aliasing
+        // the sender's retained block.
+        for pe in 0..n {
+            let mut seen = vec![false; rounds];
+            while let Some(p) = net.try_recv(pe) {
+                if p.bytes().len() == 16 {
+                    prop_assert!(p.bytes().iter().all(|&b| b == 0xEE));
+                    continue;
+                }
+                let r = u64::from_le_bytes(p.bytes()[..8].try_into().unwrap()) as usize;
+                prop_assert_eq!(p.bytes(), kept[r].as_slice());
+                prop_assert_eq!(p.block.as_ptr(), kept[r].as_ptr());
+                prop_assert!(!seen[r], "duplicate broadcast delivery");
+                seen[r] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s), "PE {} missed a broadcast", pe);
         }
     }
 

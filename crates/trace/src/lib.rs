@@ -110,6 +110,18 @@ pub enum Event {
         /// Reply payload bytes.
         bytes: usize,
     },
+    /// Snapshot of this PE's message-buffer pool counters (the
+    /// CmiAlloc/CmiFree free-list), emitted at PE teardown.
+    MsgPool {
+        /// Allocations served from the free list.
+        hits: u64,
+        /// Allocations that went to the system allocator.
+        misses: u64,
+        /// Freed buffers retained for reuse.
+        recycled: u64,
+        /// Freed buffers dropped (class full or unpoolable).
+        discarded: u64,
+    },
 }
 
 /// A timestamped record as stored by sinks.
@@ -272,6 +284,17 @@ impl TraceSink for TextSink {
                     "{pe} {t_ns} CCSREPLY conn={conn} seq={seq} bytes={bytes}"
                 )
             }
+            Event::MsgPool {
+                hits,
+                misses,
+                recycled,
+                discarded,
+            } => {
+                writeln!(
+                    b,
+                    "{pe} {t_ns} MSGPOOL hits={hits} misses={misses} recycled={recycled} discarded={discarded}"
+                )
+            }
         };
     }
 }
@@ -300,6 +323,10 @@ pub struct PeSummary {
     pub ccs_requests: u64,
     /// CCS replies that passed back through this PE's gateway handler.
     pub ccs_replies: u64,
+    /// Buffer-pool hits (from the last [`Event::MsgPool`] snapshot).
+    pub pool_hits: u64,
+    /// Buffer-pool misses (from the last [`Event::MsgPool`] snapshot).
+    pub pool_misses: u64,
     /// Nanoseconds spent inside handlers.
     pub busy_ns: u64,
     /// Fraction of the observed span spent inside handlers (0..=1);
@@ -335,6 +362,11 @@ impl Summary {
                 Event::ObjectCreate { .. } => s.objects_created += 1,
                 Event::CcsRequestArrive { .. } => s.ccs_requests += 1,
                 Event::CcsReply { .. } => s.ccs_replies += 1,
+                Event::MsgPool { hits, misses, .. } => {
+                    // Snapshots are cumulative; keep the latest.
+                    s.pool_hits = *hits;
+                    s.pool_misses = *misses;
+                }
                 _ => {}
             }
         }
@@ -459,6 +491,51 @@ mod tests {
         }];
         let sum = Summary::from_records(1, &recs);
         assert_eq!(sum.pes[0].busy_ns, 0);
+    }
+
+    #[test]
+    fn msg_pool_snapshot_formats_and_summarizes() {
+        let s = TextSink::new();
+        s.record(
+            1,
+            7,
+            Event::MsgPool {
+                hits: 10,
+                misses: 2,
+                recycled: 9,
+                discarded: 1,
+            },
+        );
+        assert!(s
+            .text()
+            .contains("1 7 MSGPOOL hits=10 misses=2 recycled=9 discarded=1"));
+
+        let recs = vec![
+            Record {
+                pe: 0,
+                t_ns: 1,
+                event: Event::MsgPool {
+                    hits: 3,
+                    misses: 4,
+                    recycled: 0,
+                    discarded: 0,
+                },
+            },
+            // Later snapshot supersedes (counters are cumulative).
+            Record {
+                pe: 0,
+                t_ns: 2,
+                event: Event::MsgPool {
+                    hits: 8,
+                    misses: 5,
+                    recycled: 2,
+                    discarded: 0,
+                },
+            },
+        ];
+        let sum = Summary::from_records(1, &recs);
+        assert_eq!(sum.pes[0].pool_hits, 8);
+        assert_eq!(sum.pes[0].pool_misses, 5);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! CCS deferred replies: a handler that parks in a thread object and
+//! answers its client later, from a *different* PE.
+//!
+//! The reply token ([`converse::ccs::CcsReplyToken`]) outlives the
+//! handler invocation that captured it: it is a plain value, routable
+//! from any PE at any later time. This example exercises the full
+//! stretch of that guarantee:
+//!
+//! 1. an external client calls `"defer"` on PE 0;
+//! 2. the PE 0 handler captures its token, hands the work (and the
+//!    token) to PE 1, and suspends inside a Cth thread object —
+//!    returning the scheduler to other work;
+//! 3. PE 1 computes the answer and calls `ccs::send_reply` *from PE 1*
+//!    (the reply routes itself through the token's home PE), then sends
+//!    a wake-up message back;
+//! 4. PE 0's wake handler awakens the parked thread, which observes
+//!    that the request it was created for has already been answered.
+//!
+//! ```sh
+//! cargo run --example ccs_deferred_reply
+//! ```
+
+use converse::ccs::{self, CcsClient, CcsRegistry, CcsReplyToken, CcsServer, CcsServerConfig};
+use converse::prelude::*;
+use converse::threads::{cth_awaken, cth_self, cth_suspend, CthRuntime, Thread};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// PE-local registry of parked threads, keyed by the request they wait
+/// on. The wake handler looks its thread up here.
+#[derive(Default)]
+struct Parked(Mutex<HashMap<(u64, u64), Thread>>);
+
+fn pack_token(p: Packer, t: CcsReplyToken) -> Packer {
+    p.u64(t.conn).u64(t.seq).usize(t.home)
+}
+
+fn unpack_token(u: &mut Unpacker) -> CcsReplyToken {
+    CcsReplyToken {
+        conn: u.u64().expect("token conn"),
+        seq: u.u64().expect("token seq"),
+        home: u.usize().expect("token home"),
+    }
+}
+
+fn main() {
+    let registry = CcsRegistry::new();
+    let server = CcsServer::new(registry.clone(), CcsServerConfig::default());
+    let handle = server.handle();
+
+    let client = std::thread::spawn(move || {
+        let addr = handle
+            .wait_addr(Duration::from_secs(10))
+            .expect("server bound");
+        let mut c = CcsClient::connect(addr).expect("connect");
+        c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        // Retry while the PEs finish registering names.
+        let answer = loop {
+            match c.call("defer", 0, b"fortune") {
+                Ok(r) => break r,
+                Err(ccs::CcsError::Status { .. }) => std::thread::sleep(Duration::from_millis(5)),
+                Err(e) => panic!("defer call failed: {e}"),
+            }
+        };
+        let text = String::from_utf8_lossy(&answer);
+        println!("client: deferred answer = {text:?}");
+        assert_eq!(text, "FORTUNE (computed on PE 1)");
+
+        // Pipelined: several deferred requests in flight at once.
+        let tickets: Vec<_> = (0..4)
+            .map(|i| c.submit("defer", 0, format!("req{i}").as_bytes()).unwrap())
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let r = c.wait_ok(t).expect("deferred reply");
+            assert_eq!(
+                String::from_utf8_lossy(&r),
+                format!("REQ{i} (computed on PE 1)")
+            );
+        }
+        println!("client: all pipelined deferred replies matched");
+        let _ = c.submit("shutdown", 0, b"");
+    });
+
+    let report =
+        converse::core::run_with(MachineConfig::new(2).attach(Box::new(server)), move |pe| {
+            pe.local(Parked::default);
+            CthRuntime::get(pe);
+
+            // Wake-up handler: find the parked thread and resume it.
+            let wake_h = pe.register_handler(|pe, msg| {
+                let mut u = Unpacker::new(msg.payload());
+                let key = (u.u64().expect("conn"), u.u64().expect("seq"));
+                let t = pe
+                    .try_local::<Parked>()
+                    .expect("parked map")
+                    .0
+                    .lock()
+                    .remove(&key)
+                    .expect("a thread is parked for this request");
+                cth_awaken(pe, &t);
+            });
+
+            // Worker: runs on PE 1. Computes the answer, replies to the
+            // external client directly from here, then wakes PE 0.
+            let work_h = pe.register_handler(move |pe, msg| {
+                let mut u = Unpacker::new(msg.payload());
+                let token = unpack_token(&mut u);
+                let body = u.bytes().expect("work payload");
+                let mut answer = String::from_utf8_lossy(body).to_uppercase();
+                answer.push_str(&format!(" (computed on PE {})", pe.my_pe()));
+                // The token works from any PE, long after the "defer"
+                // handler that captured it has returned.
+                ccs::send_reply(pe, token, answer.as_bytes());
+                let wake = Packer::new().u64(token.conn).u64(token.seq).finish();
+                pe.sync_send_and_free(token.home, Message::new(wake_h, &wake));
+            });
+
+            registry.register(pe, "defer", move |pe, msg| {
+                let token = ccs::current_token(pe).expect("gateway dispatch");
+                let work = pack_token(Packer::new(), token)
+                    .bytes(msg.payload())
+                    .finish();
+                CthRuntime::get(pe).spawn_scheduled(pe, move |pe| {
+                    // Park this thread until the worker's wake-up; the
+                    // scheduler keeps serving other requests meanwhile.
+                    let me = cth_self(pe).expect("inside a thread object");
+                    pe.try_local::<Parked>()
+                        .expect("parked map")
+                        .0
+                        .lock()
+                        .insert((token.conn, token.seq), me);
+                    pe.sync_send_and_free(1, Message::new(work_h, &work));
+                    cth_suspend(pe);
+                    // By the time we are awakened the client has already
+                    // been answered — from PE 1.
+                    pe.cmi_printf(format!(
+                        "PE {}: thread for request {} woke after its reply",
+                        pe.my_pe(),
+                        token.seq
+                    ));
+                });
+            });
+            registry.register(pe, "shutdown", |pe, _msg| {
+                let exit_h = pe
+                    .try_local::<ExitSlot>()
+                    .expect("exit handler registered")
+                    .0;
+                pe.sync_broadcast_all(&Message::new(exit_h, b""));
+            });
+            let exit_h = pe.register_handler(|pe, _| csd_exit_scheduler(pe));
+            pe.local(|| ExitSlot(exit_h));
+
+            pe.barrier();
+            csd_scheduler(pe, -1);
+        });
+
+    client.join().expect("client thread");
+    println!(
+        "machine ran: {} messages, {:?}",
+        report.total_msgs(),
+        report.elapsed
+    );
+}
+
+/// PE-local slot holding the exit handler id for the shutdown broadcast.
+struct ExitSlot(HandlerId);

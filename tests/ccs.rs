@@ -216,6 +216,74 @@ fn concurrent_clients_get_their_own_replies_under_reorder() {
 }
 
 #[test]
+fn dest_pe_less_requests_avoid_a_hot_pe() {
+    let registry = CcsRegistry::new();
+    let server = CcsServer::new(registry.clone(), CcsServerConfig::default());
+    let handle = server.handle();
+
+    const HOT: usize = 2;
+    const NAP: Duration = Duration::from_millis(400);
+
+    let driver = std::thread::spawn(move || {
+        let addr = handle
+            .wait_addr(Duration::from_secs(10))
+            .expect("server bound");
+        let mut c = CcsClient::connect(addr).expect("connect");
+        c.set_timeout(Some(Duration::from_secs(20))).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            call_retry(&mut c, "whoami", 0, b"");
+            // Pin PE 2: one sleep to occupy it, then — once it is
+            // certainly inside the handler — two more that sit in its
+            // mailbox, keeping its queue depth visibly nonzero.
+            let s1 = c.submit("sleep", HOT, b"").expect("submit");
+            std::thread::sleep(NAP / 3);
+            let s2 = c.submit("sleep", HOT, b"").expect("submit");
+            let s3 = c.submit("sleep", HOT, b"").expect("submit");
+
+            // Destination-less requests must route around the hot PE.
+            let mut used = std::collections::HashSet::new();
+            for _ in 0..6 {
+                let r = c.call_any("whoami", b"").expect("routed call");
+                let pe = r[0] as usize;
+                assert_ne!(pe, HOT, "ANY_PE request landed on the hot PE");
+                used.insert(pe);
+            }
+            assert!(
+                used.len() >= 2,
+                "load routing should spread across idle PEs, used {used:?}"
+            );
+            for t in [s1, s2, s3] {
+                assert_eq!(c.wait_ok(t).expect("sleep reply"), b"woke");
+            }
+        }));
+        let _ = c.submit("exit", 0, b"");
+        if let Err(p) = result {
+            std::panic::resume_unwind(p);
+        }
+    });
+
+    let reg2 = registry.clone();
+    converse::core::run_with(MachineConfig::new(4).attach(Box::new(server)), move |pe| {
+        let _charm = Charm::install(pe, LdbPolicy::Direct);
+        reg2.register(pe, "whoami", |pe, _msg| {
+            let token = ccs::current_token(pe).expect("gateway dispatch");
+            ccs::send_reply(pe, token, &[pe.my_pe() as u8]);
+        });
+        reg2.register(pe, "sleep", move |pe, _msg| {
+            let token = ccs::current_token(pe).expect("gateway dispatch");
+            std::thread::sleep(NAP);
+            ccs::send_reply(pe, token, b"woke");
+        });
+        reg2.register(pe, "exit", |pe, _msg| {
+            Charm::get(pe).exit_all(pe);
+        });
+        pe.barrier();
+        csd_scheduler(pe, -1);
+    });
+    driver.join().expect("driver thread");
+}
+
+#[test]
 fn pe_panic_tears_down_server_port_and_threads() {
     let registry = CcsRegistry::new();
     let server = CcsServer::new(registry, CcsServerConfig::default());
