@@ -16,7 +16,7 @@ use crate::protocol::{self, Reply, Request};
 use std::collections::HashMap;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Receipt for a submitted request; redeem with [`CcsClient::wait`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +39,16 @@ pub enum CcsError {
         /// The server's diagnostic payload.
         detail: String,
     },
+    /// A deadline call ran out of time: every attempt inside the window
+    /// timed out (server-side or on the socket). If the last attempt
+    /// timed out on the socket itself, the connection may hold a
+    /// half-read frame — drop it and reconnect before reuse.
+    DeadlineExceeded {
+        /// The client-imposed overall deadline.
+        deadline: Duration,
+        /// How many requests were attempted inside the window.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for CcsError {
@@ -49,6 +59,12 @@ impl std::fmt::Display for CcsError {
             CcsError::Protocol(m) => write!(f, "ccs protocol error: {m}"),
             CcsError::Status { code, detail } => {
                 write!(f, "ccs request failed (status {code}): {detail}")
+            }
+            CcsError::DeadlineExceeded { deadline, attempts } => {
+                write!(
+                    f,
+                    "ccs deadline of {deadline:?} exceeded after {attempts} attempt(s)"
+                )
             }
         }
     }
@@ -169,5 +185,78 @@ impl CcsClient {
     /// Replies received early and not yet claimed by a `wait`.
     pub fn stashed(&self) -> usize {
         self.stash.len()
+    }
+
+    /// Synchronous call with an overall deadline: retries server-side
+    /// timeouts (e.g. the destination PE sits inside a stall window)
+    /// with capped backoff until the reply lands or `deadline` elapses,
+    /// then returns [`CcsError::DeadlineExceeded`] instead of hanging.
+    /// The socket read timeout is clamped to the remaining window for
+    /// the duration of the call and restored afterwards.
+    pub fn call_with_deadline(
+        &mut self,
+        name: &str,
+        dest_pe: usize,
+        payload: &[u8],
+        deadline: Duration,
+    ) -> Result<Vec<u8>, CcsError> {
+        self.call_retrying(name, dest_pe, payload, deadline)
+    }
+
+    /// Destination-less [`CcsClient::call_with_deadline`]: each retry
+    /// re-runs the server's least-loaded routing, so a request that
+    /// first landed on a since-stalled PE migrates to a live one.
+    pub fn call_any_with_deadline(
+        &mut self,
+        name: &str,
+        payload: &[u8],
+        deadline: Duration,
+    ) -> Result<Vec<u8>, CcsError> {
+        self.call_retrying(name, crate::protocol::ANY_PE, payload, deadline)
+    }
+
+    fn call_retrying(
+        &mut self,
+        name: &str,
+        dest_pe: usize,
+        payload: &[u8],
+        deadline: Duration,
+    ) -> Result<Vec<u8>, CcsError> {
+        let t0 = Instant::now();
+        let saved = self.stream.read_timeout().unwrap_or(None);
+        let mut attempts = 0u32;
+        let out = loop {
+            let remaining = deadline.saturating_sub(t0.elapsed());
+            if remaining.is_zero() {
+                break Err(CcsError::DeadlineExceeded { deadline, attempts });
+            }
+            attempts += 1;
+            if self.stream.set_read_timeout(Some(remaining)).is_err() {
+                break Err(CcsError::DeadlineExceeded { deadline, attempts });
+            }
+            match self.call(name, dest_pe, payload) {
+                Ok(p) => break Ok(p),
+                Err(CcsError::Status { code, .. }) if code == crate::status::TIMEOUT => {
+                    // The server gave up on this attempt (in-flight
+                    // window slot reclaimed) — safe to re-ask. Back off
+                    // so a stalled PE's window has a chance to pass.
+                    let backoff = Duration::from_millis(1u64 << attempts.min(5))
+                        .min(Duration::from_millis(40))
+                        .min(deadline.saturating_sub(t0.elapsed()));
+                    std::thread::sleep(backoff);
+                }
+                Err(CcsError::Io(e))
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // The socket wait itself ran out: the client-side
+                    // deadline is spent.
+                    break Err(CcsError::DeadlineExceeded { deadline, attempts });
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        self.stream.set_read_timeout(saved).ok();
+        out
     }
 }

@@ -335,11 +335,13 @@ impl Drop for CcsServer {
     }
 }
 
-/// Choose the target for an [`ANY_PE`] request: the PE with the
-/// shallowest mailbox, breaking ties by lightest lifetime inbound
-/// volume (native + injected), then by lowest PE id for determinism.
-/// Queue depth leads because it is the live signal — a PE stuck inside
-/// a long handler accumulates undelivered packets, while cumulative
+/// Choose the target for an [`ANY_PE`] request: any non-stalled PE
+/// before any stalled one (a stalled PE is not retrieving messages, so
+/// routing to it guarantees a timeout), then the shallowest mailbox,
+/// breaking ties by lightest lifetime inbound volume (native +
+/// injected), then by lowest PE id for determinism. Queue depth leads
+/// among live PEs because it is the live signal — a PE stuck inside a
+/// long handler accumulates undelivered packets, while cumulative
 /// counters only say who was busy in the past.
 pub fn pick_least_loaded(loads: &[PeLoad]) -> usize {
     assert!(!loads.is_empty(), "a machine has at least one PE");
@@ -347,6 +349,7 @@ pub fn pick_least_loaded(loads: &[PeLoad]) -> usize {
         .iter()
         .min_by_key(|l| {
             (
+                l.stalled,
                 l.queued,
                 l.traffic.msgs_recv + l.traffic.msgs_injected,
                 l.pe,
@@ -447,6 +450,7 @@ mod tests {
         PeLoad {
             pe,
             queued,
+            stalled: false,
             traffic: PeTraffic {
                 msgs_recv: recv,
                 msgs_injected: injected,
@@ -467,5 +471,19 @@ mod tests {
         assert_eq!(pick_least_loaded(&loads), 1);
         let even = [load(0, 0, 0, 0), load(1, 0, 0, 0)];
         assert_eq!(pick_least_loaded(&even), 0);
+    }
+
+    #[test]
+    fn least_loaded_routes_around_stalled_pes() {
+        // PE 0 has the shallowest queue but is stalled: any live PE,
+        // however deep, must win over it.
+        let mut loads = [load(0, 0, 0, 0), load(1, 40, 900, 30), load(2, 50, 10, 0)];
+        loads[0].stalled = true;
+        assert_eq!(pick_least_loaded(&loads), 1);
+        // With every PE stalled, the normal ordering still yields a
+        // deterministic (if doomed) choice rather than a panic.
+        loads[1].stalled = true;
+        loads[2].stalled = true;
+        assert_eq!(pick_least_loaded(&loads), 0);
     }
 }

@@ -36,7 +36,9 @@ mod run;
 pub mod scatter;
 
 pub use converse_msg::{HandlerId, Message};
-pub use converse_net::{DeliveryMode, NetModel, PeLoad};
+pub use converse_net::{
+    DeliveryMode, FaultPlan, FaultStats, LinkFaults, NetModel, PeLoad, StallWindow,
+};
 pub use exo::{ExoReply, ExoToken, MachineHandle, MachineService, ReplySink};
 pub use pe::{Handler, Pe};
 pub use run::{run, run_with, MachineConfig, QueueKind, RunReport};

@@ -234,6 +234,26 @@ impl Pe {
         &self.net
     }
 
+    /// Arm a stall window: PE `target` stops retrieving messages for the
+    /// next `dur` of machine uptime (its mailbox keeps filling). The
+    /// chaos-testing entry point for runtime-scripted stalls — boot-time
+    /// windows would block the registration barriers every program runs
+    /// first. See [`converse_net::StallWindow`].
+    pub fn stall_pe(&self, target: usize, dur: std::time::Duration) {
+        self.net.stall_for(target, dur);
+    }
+
+    /// True while `target` sits inside a stall window.
+    pub fn pe_stalled(&self, target: usize) -> bool {
+        self.net.stalled(target)
+    }
+
+    /// Aggregate fault-plane and reliability counters of the machine's
+    /// interconnect (all zero when no fault plan is installed).
+    pub fn fault_stats(&self) -> converse_net::FaultStats {
+        self.net.fault_stats()
+    }
+
     /// Seconds since machine boot with sub-microsecond resolution
     /// (`CmiTimer`).
     pub fn timer(&self) -> f64 {

@@ -14,7 +14,7 @@
 use crate::exo::{MachineHandle, MachineService};
 pub use crate::pe::QueueKind;
 use crate::pe::{MachineShared, Pe};
-use converse_net::{DeliveryMode, Interconnect, PeTraffic};
+use converse_net::{DeliveryMode, FaultPlan, FaultStats, Interconnect, PeTraffic};
 use converse_trace::{NullSink, TraceSink};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -26,6 +26,10 @@ pub struct MachineConfig {
     pub num_pes: usize,
     /// Interconnect delivery-order policy.
     pub delivery: DeliveryMode,
+    /// Optional deterministic fault plan: drops, duplication, bounded
+    /// delay and scripted stalls, masked by the net's reliability
+    /// sublayer. `None` = perfectly reliable wire, zero overhead.
+    pub faults: Option<FaultPlan>,
     /// Scheduler-queue implementation each PE uses.
     pub queue: QueueKind,
     /// Trace sink shared by all PEs (default: the zero-cost null sink).
@@ -51,6 +55,7 @@ impl MachineConfig {
         MachineConfig {
             num_pes,
             delivery: DeliveryMode::Fifo,
+            faults: None,
             queue: QueueKind::Csd,
             trace: Arc::new(NullSink),
             stdin_lines: Vec::new(),
@@ -63,6 +68,12 @@ impl MachineConfig {
     /// Set the delivery mode.
     pub fn delivery(mut self, d: DeliveryMode) -> Self {
         self.delivery = d;
+        self
+    }
+
+    /// Install a deterministic fault plan (see [`FaultPlan`]).
+    pub fn faults(mut self, p: FaultPlan) -> Self {
+        self.faults = Some(p);
         self
     }
 
@@ -110,6 +121,9 @@ impl MachineConfig {
 pub struct RunReport {
     /// Per-PE traffic counters.
     pub traffic: Vec<PeTraffic>,
+    /// Aggregate fault-plane and reliability counters (all zero when no
+    /// fault plan was installed).
+    pub fault_stats: FaultStats,
     /// Captured `cmi_printf` lines (empty unless capture was enabled).
     pub output: Vec<String>,
     /// Wall-clock duration of the run.
@@ -159,7 +173,12 @@ where
     F: Fn(&Pe) + Send + Sync + 'static,
 {
     assert!(cfg.num_pes > 0, "a machine needs at least one PE");
-    let net = Interconnect::with_mode(cfg.num_pes, cfg.delivery);
+    let net = Interconnect::with_config(
+        cfg.num_pes,
+        cfg.delivery,
+        cfg.faults.take(),
+        Some(cfg.trace.clone()),
+    );
     let shared = Arc::new(MachineShared {
         console: crate::io::Console::new(cfg.capture_output, cfg.stdin_lines.clone()),
         panicked: std::sync::atomic::AtomicBool::new(false),
@@ -257,6 +276,7 @@ where
 
     RunReport {
         traffic: (0..cfg.num_pes).map(|p| net.traffic(p)).collect(),
+        fault_stats: net.fault_stats(),
         output: shared.console.captured(),
         elapsed: started.elapsed(),
     }

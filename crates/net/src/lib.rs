@@ -13,22 +13,40 @@
 //!   paying for it), so an optional seeded [`DeliveryMode::Reorder`] mode
 //!   scrambles arrival order to let tests verify nothing above depends
 //!   on it.
+//! * [`FaultPlan`] — a deterministic adversarial wire: seeded per-link
+//!   drop/duplication/delay plus scripted PE stall and crash windows.
+//!   When a plan is installed, a **reliability sublayer** masks it:
+//!   every packet carries a per-link sequence number, the receive side
+//!   deduplicates and reorders back into sequence, and a background pump
+//!   retransmits unacknowledged packets with capped exponential backoff
+//!   — so the machine layer above keeps its exactly-once in-order
+//!   contract even over a lossy net. Every fault decision is a pure
+//!   function of `(seed, link, seq, attempt)`, so one seed replays one
+//!   adversarial schedule regardless of thread interleaving.
 //! * [`NetModel`] — an analytic wire-time model: `α` per-message latency,
 //!   `β` per-byte cost, per-packet cost, and an optional packetization
 //!   copy threshold (the T3D's 16 KB copy jump, §5.1). Benchmarks combine
 //!   the *measured* software path time on the real Rust code with this
 //!   model's wire time, reproducing the figures' shape.
 
+pub mod fault;
 pub mod model;
 
+pub use fault::{FaultPlan, FaultStats, LinkFaults, StallWindow};
 pub use model::NetModel;
 
 use converse_msg::MsgBlock;
+use converse_trace::{Event, FaultKind, TraceSink};
+use fault::{link_draw, unit, SALT_DELAY, SALT_DELAY_SLOTS, SALT_DROP, SALT_DUP, SALT_REORDER};
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
+
+/// How long a stalled PE naps between checks of its stall window, and
+/// the wait-slice receivers use while any stall window is armed.
+const STALL_SLICE: Duration = Duration::from_millis(2);
 
 /// A message block in flight, tagged with its source PE.
 ///
@@ -39,6 +57,10 @@ use std::time::{Duration, Instant};
 pub struct Packet {
     /// Sending PE.
     pub src: usize,
+    /// Per-link sequence number stamped by the reliability sublayer.
+    /// Zero when no [`FaultPlan`] is installed (the wire is already
+    /// reliable, so no sequencing is needed).
+    pub seq: u64,
     /// The generalized-message block.
     pub block: MsgBlock,
 }
@@ -111,6 +133,10 @@ pub struct PeLoad {
     pub traffic: PeTraffic,
     /// Packets delivered but not yet retrieved (queue depth).
     pub queued: usize,
+    /// True while the PE is inside a [`StallWindow`] (scripted by the
+    /// fault plan or armed at runtime): it is not retrieving messages,
+    /// so routing new work to it only deepens its queue.
+    pub stalled: bool,
 }
 
 #[derive(Default)]
@@ -122,19 +148,54 @@ struct TrafficCell {
     bytes_injected: AtomicU64,
 }
 
-/// Simple multiplicative-congruential RNG so reorder mode stays
-/// deterministic per seed without external dependency state.
-struct Lcg(u64);
+/// Aggregate fault-plane counters, atomically updated.
+#[derive(Default)]
+struct FaultCell {
+    transmissions: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    retransmitted: AtomicU64,
+    dedup_dropped: AtomicU64,
+}
 
-impl Lcg {
-    fn next(&mut self) -> u64 {
-        // Numerical Recipes LCG constants.
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 33
-    }
+/// A transmitted-but-unacknowledged packet held for retransmission.
+struct InFlight {
+    block: MsgBlock,
+    attempt: u32,
+    due: Instant,
+}
+
+/// A fault-delayed copy waiting in limbo for its release slot.
+struct Limbo {
+    seq: u64,
+    block: MsgBlock,
+    due: Instant,
+}
+
+/// Reliability state of one directed link. Both endpoints live in the
+/// same process, so the sender's retransmit buffer and the receiver's
+/// reassembly window share one mutex; acknowledgment is a direct state
+/// update (advancing `expected` releases everything below it), not a
+/// wire message.
+///
+/// Lock order: a link mutex may be held while taking a mailbox mutex,
+/// never the reverse.
+#[derive(Default)]
+struct LinkState {
+    /// Sender side: next sequence number to stamp.
+    next_seq: u64,
+    /// Sender side: transmitted, not yet acknowledged, keyed by seq.
+    unacked: BTreeMap<u64, InFlight>,
+    /// Fault plane: delayed copies awaiting release.
+    limbo: Vec<Limbo>,
+    /// Receiver side: next sequence number to hand to the mailbox.
+    expected: u64,
+    /// Receiver side: arrived out of order, awaiting `expected`.
+    ooo: BTreeMap<u64, MsgBlock>,
+    /// Receiver side: count of mailbox deliveries on this link — the
+    /// deterministic per-link key for reorder-mode position draws.
+    arrivals: u64,
 }
 
 /// The simulated machine: `n` processors connected all-to-all.
@@ -144,33 +205,88 @@ pub struct Interconnect {
     boxes: Vec<Mailbox>,
     traffic: Vec<TrafficCell>,
     mode: DeliveryMode,
-    reorder_rng: Mutex<Lcg>,
+    /// Installed adversarial schedule, if any. `None` = reliable wire,
+    /// zero-overhead fast path.
+    plan: Option<FaultPlan>,
+    /// Per-directed-link reliability state, indexed `src * n + dst`.
+    /// Only touched when a plan is installed or reorder mode needs its
+    /// per-link arrival counter.
+    links: Vec<Mutex<LinkState>>,
+    fstats: FaultCell,
+    trace: Option<Arc<dyn TraceSink>>,
+    /// Stall windows: scripted ones from the plan plus any armed at
+    /// runtime via [`Interconnect::stall_for`].
+    stalls: Mutex<Vec<StallWindow>>,
+    /// Fast-path guard: true once any stall window exists.
+    has_stalls: AtomicBool,
     epoch: Instant,
     /// Set once at shutdown so blocked receivers wake and observe it.
-    closed: std::sync::atomic::AtomicBool,
+    closed: AtomicBool,
 }
 
 impl Interconnect {
     /// Build a machine with `n` PEs and FIFO delivery.
     pub fn new(n: usize) -> Arc<Self> {
-        Self::with_mode(n, DeliveryMode::Fifo)
+        Self::with_config(n, DeliveryMode::Fifo, None, None)
     }
 
     /// Build a machine with an explicit delivery mode.
     pub fn with_mode(n: usize, mode: DeliveryMode) -> Arc<Self> {
+        Self::with_config(n, mode, None, None)
+    }
+
+    /// Build a machine with an explicit delivery mode, an optional
+    /// fault plan, and an optional trace sink for `Event::Fault`
+    /// records. Installing a plan spawns the background pump thread
+    /// that releases fault-delayed packets and drives retransmission;
+    /// the pump holds only a `Weak` reference and exits once the
+    /// machine closes or is dropped.
+    pub fn with_config(
+        n: usize,
+        mode: DeliveryMode,
+        plan: Option<FaultPlan>,
+        trace: Option<Arc<dyn TraceSink>>,
+    ) -> Arc<Self> {
         assert!(n > 0, "a machine needs at least one PE");
-        let seed = match mode {
-            DeliveryMode::Reorder { seed, .. } => seed,
-            DeliveryMode::Fifo => 0,
-        };
-        Arc::new(Interconnect {
+        if let Some(p) = &plan {
+            p.validate(n);
+        }
+        let stalls: Vec<StallWindow> = plan.as_ref().map(|p| p.stalls.clone()).unwrap_or_default();
+        let has_stalls = !stalls.is_empty();
+        let net = Arc::new(Interconnect {
             boxes: (0..n).map(|_| Mailbox::new()).collect(),
             traffic: (0..n).map(|_| TrafficCell::default()).collect(),
             mode,
-            reorder_rng: Mutex::new(Lcg(seed ^ 0x9E3779B97F4A7C15)),
+            links: (0..n * n)
+                .map(|_| Mutex::new(LinkState::default()))
+                .collect(),
+            fstats: FaultCell::default(),
+            trace: trace.filter(|t| t.enabled()),
+            stalls: Mutex::new(stalls),
+            has_stalls: AtomicBool::new(has_stalls),
             epoch: Instant::now(),
-            closed: std::sync::atomic::AtomicBool::new(false),
-        })
+            closed: AtomicBool::new(false),
+            plan,
+        });
+        if let Some(tick) = net.plan.as_ref().map(|p| p.tick) {
+            let weak: Weak<Interconnect> = Arc::downgrade(&net);
+            std::thread::Builder::new()
+                .name("net-fault-pump".into())
+                .spawn(move || loop {
+                    std::thread::sleep(tick);
+                    let Some(net) = weak.upgrade() else { return };
+                    net.pump_tick();
+                    if net.is_closed() {
+                        // One more sweep with `closed` observed: flushes
+                        // every remaining limbo copy so late receivers
+                        // can still drain their mailboxes.
+                        net.pump_tick();
+                        return;
+                    }
+                })
+                .expect("spawn net-fault-pump");
+        }
+        net
     }
 
     /// Number of processors (`CmiNumPe`).
@@ -185,19 +301,226 @@ impl Interconnect {
         self.epoch.elapsed()
     }
 
-    /// Queue a block into `dst`'s mailbox (no counter updates).
-    fn push(&self, src: usize, dst: usize, block: MsgBlock) {
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Aggregate fault-plane and reliability counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            transmissions: self.fstats.transmissions.load(Ordering::Relaxed),
+            dropped: self.fstats.dropped.load(Ordering::Relaxed),
+            duplicated: self.fstats.duplicated.load(Ordering::Relaxed),
+            delayed: self.fstats.delayed.load(Ordering::Relaxed),
+            retransmitted: self.fstats.retransmitted.load(Ordering::Relaxed),
+            dedup_dropped: self.fstats.dedup_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn li(&self, src: usize, dst: usize) -> usize {
+        src * self.boxes.len() + dst
+    }
+
+    fn trace_fault(&self, pe: usize, kind: FaultKind, src: usize, dst: usize, seq: u64) {
+        if let Some(t) = &self.trace {
+            t.record(
+                pe,
+                self.uptime().as_nanos() as u64,
+                Event::Fault {
+                    kind,
+                    src,
+                    dst,
+                    seq,
+                },
+            );
+        }
+    }
+
+    /// Insert one packet into `dst`'s mailbox, applying the delivery
+    /// mode. `arrival` is the per-link arrival index keying the
+    /// reorder-mode position draw (ignored under FIFO).
+    fn mailbox_insert(&self, src: usize, dst: usize, seq: u64, block: MsgBlock, arrival: u64) {
         let mbox = &self.boxes[dst];
         let mut q = mbox.q.lock();
         match self.mode {
-            DeliveryMode::Fifo => q.push_back(Packet { src, block }),
-            DeliveryMode::Reorder { window, .. } => {
+            DeliveryMode::Fifo => q.push_back(Packet { src, seq, block }),
+            DeliveryMode::Reorder { seed, window } => {
                 let w = window.min(q.len());
-                let pos = q.len() - (self.reorder_rng.lock().next() as usize % (w + 1));
-                q.insert(pos, Packet { src, block });
+                let draw = link_draw(seed, src, dst, arrival, 0, SALT_REORDER);
+                let pos = q.len() - (draw as usize % (w + 1));
+                q.insert(pos, Packet { src, seq, block });
             }
         }
         mbox.cv.notify_one();
+    }
+
+    /// Transmit a block over link `src → dst`: the reliable-wire fast
+    /// path when no plan is installed, otherwise sequence + buffer +
+    /// one wire attempt through the fault plane.
+    fn transmit(&self, src: usize, dst: usize, block: MsgBlock) {
+        let Some(plan) = &self.plan else {
+            match self.mode {
+                DeliveryMode::Fifo => self.mailbox_insert(src, dst, 0, block, 0),
+                DeliveryMode::Reorder { .. } => {
+                    // The arrival index must be read and the insert done
+                    // under the link lock so the draw keyed by it lands
+                    // at the position it determines.
+                    let mut link = self.links[self.li(src, dst)].lock();
+                    let arrival = link.arrivals;
+                    link.arrivals += 1;
+                    self.mailbox_insert(src, dst, 0, block, arrival);
+                }
+            }
+            return;
+        };
+        let seq;
+        {
+            let mut link = self.links[self.li(src, dst)].lock();
+            seq = link.next_seq;
+            link.next_seq += 1;
+            link.unacked.insert(
+                seq,
+                InFlight {
+                    block: block.share(),
+                    attempt: 1,
+                    due: Instant::now() + plan.rto,
+                },
+            );
+        }
+        self.wire_transmit(src, dst, seq, 1, block);
+    }
+
+    /// One attempt to push `seq` of link `src → dst` across the faulty
+    /// wire: may be dropped, duplicated, or (per copy) delayed into
+    /// limbo; surviving immediate copies reach [`Self::deliver_link`].
+    /// Only called with a plan installed.
+    fn wire_transmit(&self, src: usize, dst: usize, seq: u64, attempt: u32, block: MsgBlock) {
+        let plan = self.plan.as_ref().expect("wire_transmit requires a plan");
+        self.fstats.transmissions.fetch_add(1, Ordering::Relaxed);
+        let f = plan.faults_for(src, dst);
+        if f.drop > 0.0 && unit(link_draw(plan.seed, src, dst, seq, attempt, SALT_DROP)) < f.drop {
+            self.fstats.dropped.fetch_add(1, Ordering::Relaxed);
+            self.trace_fault(src, FaultKind::Drop, src, dst, seq);
+            return;
+        }
+        let copies: u64 = if f.dup > 0.0
+            && unit(link_draw(plan.seed, src, dst, seq, attempt, SALT_DUP)) < f.dup
+        {
+            self.fstats.transmissions.fetch_add(1, Ordering::Relaxed);
+            self.fstats.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.trace_fault(src, FaultKind::Duplicate, src, dst, seq);
+            2
+        } else {
+            1
+        };
+        let closed = self.is_closed();
+        for copy in 0..copies {
+            let b = block.share();
+            // Distinct decision streams per copy: shift the salt space.
+            let delay_salt = SALT_DELAY + copy * 16;
+            let slots_salt = SALT_DELAY_SLOTS + copy * 16;
+            let delayed = !closed
+                && f.delay > 0.0
+                && f.max_delay_slots > 0
+                && unit(link_draw(plan.seed, src, dst, seq, attempt, delay_salt)) < f.delay;
+            if delayed {
+                let slots = 1
+                    + (link_draw(plan.seed, src, dst, seq, attempt, slots_salt) as usize
+                        % f.max_delay_slots);
+                self.fstats.delayed.fetch_add(1, Ordering::Relaxed);
+                self.trace_fault(src, FaultKind::Delay, src, dst, seq);
+                let due = Instant::now() + plan.tick * slots as u32;
+                self.links[self.li(src, dst)]
+                    .lock()
+                    .limbo
+                    .push(Limbo { seq, block: b, due });
+            } else {
+                self.deliver_link(src, dst, seq, b);
+            }
+        }
+    }
+
+    /// Receive side of the reliability sublayer: dedup, reassemble into
+    /// sequence, hand in-order packets to the mailbox, and acknowledge
+    /// (drop the sender's retransmit buffer below the watermark).
+    fn deliver_link(&self, src: usize, dst: usize, seq: u64, block: MsgBlock) {
+        let mut link = self.links[self.li(src, dst)].lock();
+        if seq < link.expected || link.ooo.contains_key(&seq) {
+            self.fstats.dedup_dropped.fetch_add(1, Ordering::Relaxed);
+            self.trace_fault(dst, FaultKind::DedupDrop, src, dst, seq);
+            return;
+        }
+        // Selective acknowledgement: the copy is on the receiver now, so
+        // stop retransmitting this seq even if it sits out-of-order
+        // behind a gap. Without this, one dropped packet makes every
+        // later in-flight seq on the link look lost, and the spurious
+        // retransmits blow the wire-overhead budget.
+        link.unacked.remove(&seq);
+        link.ooo.insert(seq, block);
+        loop {
+            let next = link.expected;
+            let Some(block) = link.ooo.remove(&next) else {
+                break;
+            };
+            link.expected += 1;
+            let arrival = link.arrivals;
+            link.arrivals += 1;
+            // Mailbox lock nests inside the link lock (never reversed),
+            // keeping the seq→mailbox order atomic per link.
+            self.mailbox_insert(src, dst, next, block, arrival);
+        }
+        let watermark = link.expected;
+        link.unacked.retain(|s, _| *s >= watermark);
+    }
+
+    /// One pump pass: release due (or, once closed, all) limbo copies
+    /// in sequence order, then retransmit overdue unacknowledged
+    /// packets with capped exponential backoff.
+    fn pump_tick(&self) {
+        let Some(plan) = &self.plan else { return };
+        let now = Instant::now();
+        let closed = self.is_closed();
+        let n = self.boxes.len();
+        for li in 0..self.links.len() {
+            let (src, dst) = (li / n, li % n);
+            let mut releases: Vec<Limbo> = Vec::new();
+            let mut retx: Vec<(u64, u32, MsgBlock)> = Vec::new();
+            {
+                let mut link = self.links[li].lock();
+                if link.limbo.is_empty() && link.unacked.is_empty() {
+                    continue;
+                }
+                let mut i = 0;
+                while i < link.limbo.len() {
+                    if closed || link.limbo[i].due <= now {
+                        releases.push(link.limbo.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+                releases.sort_by_key(|l| l.seq);
+                if !closed {
+                    for (seq, inf) in link.unacked.iter_mut() {
+                        if inf.due <= now {
+                            inf.attempt += 1;
+                            let backoff = plan.rto * (1u32 << (inf.attempt - 1).min(10));
+                            inf.due = now + backoff.min(plan.rto_cap);
+                            retx.push((*seq, inf.attempt, inf.block.share()));
+                        }
+                    }
+                }
+            }
+            for l in releases {
+                self.deliver_link(src, dst, l.seq, l.block);
+            }
+            for (seq, attempt, block) in retx {
+                self.fstats.retransmitted.fetch_add(1, Ordering::Relaxed);
+                self.trace_fault(src, FaultKind::Retransmit, src, dst, seq);
+                self.wire_transmit(src, dst, seq, attempt, block);
+            }
+        }
     }
 
     /// Deliver a message block from `src` into `dst`'s mailbox. The
@@ -210,7 +533,7 @@ impl Interconnect {
         t.msgs_sent.fetch_add(1, Ordering::Relaxed);
         t.bytes_sent
             .fetch_add(block.len() as u64, Ordering::Relaxed);
-        self.push(src, dst, block);
+        self.transmit(src, dst, block);
     }
 
     /// Deliver a block into `dst`'s mailbox from *outside* the machine —
@@ -220,14 +543,15 @@ impl Interconnect {
     /// well-defined, but the traffic is counted under the separate
     /// `msgs_injected`/`bytes_injected` counters, never as sends — so
     /// [`Interconnect::load_of`] is not skewed by external volume. It is
-    /// subject to the same [`DeliveryMode`] scrambling as native sends.
+    /// subject to the same [`DeliveryMode`] scrambling — and the same
+    /// fault plane — as native sends.
     pub fn inject(&self, dst: usize, block: impl Into<MsgBlock>) {
         let block = block.into();
         let t = &self.traffic[dst];
         t.msgs_injected.fetch_add(1, Ordering::Relaxed);
         t.bytes_injected
             .fetch_add(block.len() as u64, Ordering::Relaxed);
-        self.push(dst, dst, block);
+        self.transmit(dst, dst, block);
     }
 
     /// Broadcast to every PE except `src` (`CmiSyncBroadcast` semantics:
@@ -251,8 +575,42 @@ impl Interconnect {
         }
     }
 
-    /// Non-blocking receive: the next packet for `pe`, if any.
+    /// True while `pe` sits inside a stall window — scripted by the
+    /// fault plan or armed via [`Interconnect::stall_for`]. A stalled
+    /// PE's receive paths yield nothing (its mailbox keeps filling). A
+    /// closed machine overrides every stall so teardown can drain.
+    pub fn stalled(&self, pe: usize) -> bool {
+        if !self.has_stalls.load(Ordering::Acquire) || self.is_closed() {
+            return false;
+        }
+        let t = self.uptime();
+        self.stalls
+            .lock()
+            .iter()
+            .any(|w| w.pe == pe && t >= w.from && w.to.is_none_or(|to| t < to))
+    }
+
+    /// Arm a stall window for `pe` covering the next `dur` of uptime.
+    /// Packets keep queuing; the PE's receive paths return nothing until
+    /// the window passes. Usable with or without a fault plan — this is
+    /// how tests stall a PE *after* boot-time barriers have completed.
+    pub fn stall_for(&self, pe: usize, dur: Duration) {
+        assert!(pe < self.num_pes(), "stall_for: PE {pe} out of range");
+        let from = self.uptime();
+        self.stalls.lock().push(StallWindow {
+            pe,
+            from,
+            to: Some(from + dur),
+        });
+        self.has_stalls.store(true, Ordering::Release);
+    }
+
+    /// Non-blocking receive: the next packet for `pe`, if any. Yields
+    /// nothing while `pe` is stalled.
     pub fn try_recv(&self, pe: usize) -> Option<Packet> {
+        if self.stalled(pe) {
+            return None;
+        }
         let out = self.boxes[pe].q.lock().pop_front();
         if out.is_some() {
             self.traffic[pe].msgs_recv.fetch_add(1, Ordering::Relaxed);
@@ -261,12 +619,22 @@ impl Interconnect {
     }
 
     /// Blocking receive with timeout. Returns `None` on timeout or once
-    /// the machine has been closed and the mailbox drained.
+    /// the machine has been closed and the mailbox drained. While `pe`
+    /// is stalled the call sleeps in short slices — it never pops a
+    /// packet inside a stall window.
     pub fn recv_timeout(&self, pe: usize, timeout: Duration) -> Option<Packet> {
         let mbox = &self.boxes[pe];
         let deadline = Instant::now() + timeout;
-        let mut q = mbox.q.lock();
         loop {
+            let now = Instant::now();
+            if self.stalled(pe) {
+                if now >= deadline {
+                    return None;
+                }
+                std::thread::sleep(STALL_SLICE.min(deadline.saturating_duration_since(now)));
+                continue;
+            }
+            let mut q = mbox.q.lock();
             if let Some(p) = q.pop_front() {
                 self.traffic[pe].msgs_recv.fetch_add(1, Ordering::Relaxed);
                 return Some(p);
@@ -274,7 +642,14 @@ impl Interconnect {
             if self.closed.load(Ordering::Acquire) {
                 return None;
             }
-            if mbox.cv.wait_until(&mut q, deadline).timed_out() {
+            // With stall windows armed, wait only a slice at a time so a
+            // window opening mid-wait is observed before any pop.
+            let wake = if self.has_stalls.load(Ordering::Acquire) {
+                (now + STALL_SLICE).min(deadline)
+            } else {
+                deadline
+            };
+            if mbox.cv.wait_until(&mut q, wake).timed_out() && Instant::now() >= deadline {
                 return None;
             }
         }
@@ -282,13 +657,30 @@ impl Interconnect {
 
     /// Park until `pe`'s mailbox is non-empty, the machine closes, or the
     /// timeout expires. Used by the scheduler's idle loop so an idle PE
-    /// does not spin.
+    /// does not spin. A stalled PE parks for the duration (a non-empty
+    /// mailbox it is forbidden to read is not a wake condition).
     pub fn wait_nonempty(&self, pe: usize, timeout: Duration) {
         let mbox = &self.boxes[pe];
         let deadline = Instant::now() + timeout;
-        let mut q = mbox.q.lock();
-        while q.is_empty() && !self.closed.load(Ordering::Acquire) {
-            if mbox.cv.wait_until(&mut q, deadline).timed_out() {
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            if self.stalled(pe) {
+                std::thread::sleep(STALL_SLICE.min(deadline.saturating_duration_since(now)));
+                continue;
+            }
+            let mut q = mbox.q.lock();
+            if !q.is_empty() || self.closed.load(Ordering::Acquire) {
+                return;
+            }
+            let wake = if self.has_stalls.load(Ordering::Acquire) {
+                (now + STALL_SLICE).min(deadline)
+            } else {
+                deadline
+            };
+            if mbox.cv.wait_until(&mut q, wake).timed_out() && wake == deadline {
                 return;
             }
         }
@@ -300,7 +692,8 @@ impl Interconnect {
     }
 
     /// Mark the machine closed and wake all blocked receivers. Receives
-    /// drain remaining packets, then return `None`.
+    /// drain remaining packets, then return `None`. Stall windows stop
+    /// applying; the fault pump does one final limbo flush and exits.
     pub fn close(&self) {
         self.closed.store(true, Ordering::Release);
         for b in &self.boxes {
@@ -329,14 +722,15 @@ impl Interconnect {
     }
 
     /// Live load snapshot for one PE: cumulative traffic counters plus
-    /// the current mailbox depth. This is the public read side used by
-    /// the CCS bench and load balancers; it takes the mailbox lock only
-    /// long enough to read the queue length.
+    /// the current mailbox depth and stall state. This is the public
+    /// read side used by the CCS bench and load balancers; it takes the
+    /// mailbox lock only long enough to read the queue length.
     pub fn load_of(&self, pe: usize) -> PeLoad {
         PeLoad {
             pe,
             traffic: self.traffic(pe),
             queued: self.pending(pe),
+            stalled: self.stalled(pe),
         }
     }
 
@@ -587,5 +981,222 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         net.send(0, 1, vec![1]);
         assert_eq!(h.join().unwrap(), 1);
+    }
+
+    // ---- fault plane + reliability sublayer ---------------------------
+
+    /// A plan with timing tight enough for unit tests.
+    fn fast_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .retransmit(Duration::from_micros(500), Duration::from_millis(5))
+            .tick(Duration::from_micros(200))
+    }
+
+    fn chaos_net(plan: FaultPlan, n: usize) -> Arc<Interconnect> {
+        Interconnect::with_config(n, DeliveryMode::Fifo, Some(plan), None)
+    }
+
+    /// Drain `count` packets for `pe`, panicking if the net stops
+    /// producing them.
+    fn drain(net: &Interconnect, pe: usize, count: usize) -> Vec<Packet> {
+        (0..count)
+            .map(|i| {
+                net.recv_timeout(pe, Duration::from_secs(10))
+                    .unwrap_or_else(|| panic!("packet {i}/{count} never arrived"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lossy_link_still_delivers_exactly_once_in_order() {
+        let plan = fast_plan(0xBAD5EED).faults(LinkFaults {
+            drop: 0.5,
+            dup: 0.3,
+            delay: 0.5,
+            max_delay_slots: 3,
+        });
+        let net = chaos_net(plan, 2);
+        let n = 200u32;
+        for i in 0..n {
+            net.send(0, 1, i.to_le_bytes().to_vec());
+        }
+        let got = drain(&net, 1, n as usize);
+        for (i, p) in got.iter().enumerate() {
+            assert_eq!(
+                u32::from_le_bytes(p.bytes().try_into().unwrap()),
+                i as u32,
+                "payloads must arrive exactly once, in per-link order"
+            );
+        }
+        // Exactly once: nothing further may surface, even after giving
+        // straggler duplicates time to be pumped out of limbo.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(net.try_recv(1).is_none(), "duplicate escaped dedup");
+        let s = net.fault_stats();
+        assert!(
+            s.dropped > 0 && s.retransmitted > 0,
+            "plan was exercised: {s:?}"
+        );
+        assert!(
+            s.duplicated > 0 && s.dedup_dropped > 0,
+            "dup path exercised: {s:?}"
+        );
+        net.close();
+    }
+
+    #[test]
+    fn clean_plan_is_invisible_but_counts_transmissions() {
+        let net = chaos_net(fast_plan(1), 2);
+        for i in 0..50u8 {
+            net.send(0, 1, vec![i]);
+        }
+        for i in 0..50u8 {
+            assert_eq!(net.try_recv(1).unwrap().bytes(), vec![i]);
+        }
+        let s = net.fault_stats();
+        assert_eq!(s.transmissions, 50);
+        assert_eq!(s.dropped + s.duplicated + s.delayed + s.dedup_dropped, 0);
+        net.close();
+    }
+
+    #[test]
+    fn delayed_packets_surface_in_order_after_pump() {
+        // Every packet delayed: nothing is immediately receivable, but
+        // the pump releases limbo copies and order still holds.
+        let plan = fast_plan(3).faults(LinkFaults {
+            drop: 0.0,
+            dup: 0.0,
+            delay: 1.0,
+            max_delay_slots: 2,
+        });
+        let net = chaos_net(plan, 2);
+        for i in 0..20u8 {
+            net.send(0, 1, vec![i]);
+        }
+        assert!(net.try_recv(1).is_none(), "all copies should sit in limbo");
+        let got = drain(&net, 1, 20);
+        let payloads: Vec<u8> = got.iter().map(|p| p.bytes()[0]).collect();
+        assert_eq!(payloads, (0..20).collect::<Vec<_>>());
+        // ≥, not ==: spurious retransmits of limbo-held packets get
+        // delayed again by the same plan.
+        assert!(net.fault_stats().delayed >= 20);
+        net.close();
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_fault_traces() {
+        // Satellite regression: two identically-seeded runs emit the
+        // same trace event sequence. A dup-only plan keeps every fault
+        // decision on the sender's thread (no pump involvement), so the
+        // full per-PE sequence is deterministic.
+        let run = |seed: u64| {
+            let sink = converse_trace::MemorySink::new(2, 4096);
+            let plan = fast_plan(seed).faults(LinkFaults {
+                drop: 0.0,
+                dup: 0.5,
+                delay: 0.0,
+                max_delay_slots: 0,
+            });
+            let net = Interconnect::with_config(
+                2,
+                DeliveryMode::Fifo,
+                Some(plan),
+                Some(sink.clone() as Arc<dyn TraceSink>),
+            );
+            for i in 0..100u32 {
+                net.send(0, 1, i.to_le_bytes().to_vec());
+            }
+            let _ = drain(&net, 1, 100);
+            net.close();
+            let events: Vec<Event> = (0..2)
+                .flat_map(|pe| sink.records(pe))
+                .map(|r| r.event)
+                .collect();
+            assert!(!events.is_empty(), "dup plan must emit fault events");
+            events
+        };
+        assert_eq!(run(42), run(42), "same seed must replay the same schedule");
+        assert_ne!(run(42), run(43), "different seeds must diverge");
+    }
+
+    #[test]
+    fn stall_window_blocks_recv_until_it_passes() {
+        let net = Interconnect::new(2);
+        net.send(0, 1, vec![7]);
+        net.stall_for(1, Duration::from_millis(60));
+        assert!(net.stalled(1));
+        assert!(net.try_recv(1).is_none(), "stalled PE must not pop");
+        assert!(
+            net.recv_timeout(1, Duration::from_millis(10)).is_none(),
+            "blocking recv must not pop inside the window"
+        );
+        // Queue keeps filling underneath.
+        net.send(0, 1, vec![8]);
+        assert_eq!(net.pending(1), 2);
+        assert!(net.load_of(1).stalled);
+        // After the window, everything drains in order.
+        let p = net.recv_timeout(1, Duration::from_secs(5)).unwrap();
+        assert_eq!(p.bytes(), vec![7]);
+        assert!(!net.stalled(1));
+        assert_eq!(net.try_recv(1).unwrap().bytes(), vec![8]);
+    }
+
+    #[test]
+    fn crash_window_never_recovers_but_close_overrides() {
+        let plan = fast_plan(5).crash(0, Duration::ZERO);
+        let net = chaos_net(plan, 1);
+        net.send(0, 0, vec![1]);
+        assert!(net.stalled(0));
+        assert!(net.recv_timeout(0, Duration::from_millis(30)).is_none());
+        // Teardown must still be able to drain the mailbox.
+        net.close();
+        assert!(!net.stalled(0));
+        assert_eq!(
+            net.recv_timeout(0, Duration::from_millis(100))
+                .unwrap()
+                .bytes(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn reliability_composes_with_reorder_mode() {
+        // Reliability reassembles per-link sequence; reorder mode then
+        // scrambles mailbox order on purpose. Exactly-once must still
+        // hold: every payload surfaces once.
+        let plan = fast_plan(9).faults(LinkFaults {
+            drop: 0.3,
+            dup: 0.2,
+            delay: 0.3,
+            max_delay_slots: 2,
+        });
+        let net = Interconnect::with_config(
+            2,
+            DeliveryMode::Reorder {
+                seed: 11,
+                window: 6,
+            },
+            Some(plan),
+            None,
+        );
+        let n = 100u32;
+        for i in 0..n {
+            net.send(0, 1, i.to_le_bytes().to_vec());
+        }
+        let mut got: Vec<u32> = drain(&net, 1, n as usize)
+            .iter()
+            .map(|p| u32::from_le_bytes(p.bytes().try_into().unwrap()))
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(net.try_recv(1).is_none(), "duplicate escaped dedup");
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+        net.close();
+    }
+
+    #[test]
+    #[should_panic(expected = "no liveness")]
+    fn plan_with_total_loss_rejected_at_boot() {
+        let _ = chaos_net(FaultPlan::lossy(1, 1.0, 0.0, 0.0, 0), 2);
     }
 }

@@ -110,6 +110,20 @@ pub enum Event {
         /// Reply payload bytes.
         bytes: usize,
     },
+    /// The fault-injection plane or the reliability sublayer acted on a
+    /// packet of link `src → dst`. Send-side kinds (drop, duplicate,
+    /// delay, retransmit) are recorded under the sending PE; the
+    /// receive-side kind (dedup-drop) under the destination PE.
+    Fault {
+        /// What happened to the packet.
+        kind: FaultKind,
+        /// Sending PE of the affected link.
+        src: usize,
+        /// Destination PE of the affected link.
+        dst: usize,
+        /// Per-link sequence number of the affected packet.
+        seq: u64,
+    },
     /// Snapshot of this PE's message-buffer pool counters (the
     /// CmiAlloc/CmiFree free-list), emitted at PE teardown.
     MsgPool {
@@ -122,6 +136,35 @@ pub enum Event {
         /// Freed buffers dropped (class full or unpoolable).
         discarded: u64,
     },
+}
+
+/// What the fault plane (or the reliability layer masking it) did to a
+/// packet; the discriminant of [`Event::Fault`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The packet was dropped on the wire (the sender will retransmit).
+    Drop,
+    /// The packet was duplicated on the wire.
+    Duplicate,
+    /// The packet was held back a bounded number of delivery slots.
+    Delay,
+    /// The sender retransmitted an unacknowledged packet.
+    Retransmit,
+    /// The receiver discarded a duplicate delivery (dedup).
+    DedupDrop,
+}
+
+impl FaultKind {
+    /// Short lowercase label for text logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "dup",
+            FaultKind::Delay => "delay",
+            FaultKind::Retransmit => "retransmit",
+            FaultKind::DedupDrop => "dedup",
+        }
+    }
 }
 
 /// A timestamped record as stored by sinks.
@@ -284,6 +327,18 @@ impl TraceSink for TextSink {
                     "{pe} {t_ns} CCSREPLY conn={conn} seq={seq} bytes={bytes}"
                 )
             }
+            Event::Fault {
+                kind,
+                src,
+                dst,
+                seq,
+            } => {
+                writeln!(
+                    b,
+                    "{pe} {t_ns} FAULT kind={} src={src} dst={dst} seq={seq}",
+                    kind.label()
+                )
+            }
             Event::MsgPool {
                 hits,
                 misses,
@@ -323,6 +378,16 @@ pub struct PeSummary {
     pub ccs_requests: u64,
     /// CCS replies that passed back through this PE's gateway handler.
     pub ccs_replies: u64,
+    /// Packets the fault plane dropped with this PE as sender.
+    pub net_dropped: u64,
+    /// Packets the fault plane duplicated with this PE as sender.
+    pub net_duplicated: u64,
+    /// Packets the fault plane delayed with this PE as sender.
+    pub net_delayed: u64,
+    /// Retransmissions issued by this PE's reliability send side.
+    pub net_retransmitted: u64,
+    /// Duplicate deliveries this PE's reliability receive side dropped.
+    pub net_dedup_dropped: u64,
     /// Buffer-pool hits (from the last [`Event::MsgPool`] snapshot).
     pub pool_hits: u64,
     /// Buffer-pool misses (from the last [`Event::MsgPool`] snapshot).
@@ -362,6 +427,13 @@ impl Summary {
                 Event::ObjectCreate { .. } => s.objects_created += 1,
                 Event::CcsRequestArrive { .. } => s.ccs_requests += 1,
                 Event::CcsReply { .. } => s.ccs_replies += 1,
+                Event::Fault { kind, .. } => match kind {
+                    FaultKind::Drop => s.net_dropped += 1,
+                    FaultKind::Duplicate => s.net_duplicated += 1,
+                    FaultKind::Delay => s.net_delayed += 1,
+                    FaultKind::Retransmit => s.net_retransmitted += 1,
+                    FaultKind::DedupDrop => s.net_dedup_dropped += 1,
+                },
                 Event::MsgPool { hits, misses, .. } => {
                     // Snapshots are cumulative; keep the latest.
                     s.pool_hits = *hits;
@@ -536,6 +608,47 @@ mod tests {
         let sum = Summary::from_records(1, &recs);
         assert_eq!(sum.pes[0].pool_hits, 8);
         assert_eq!(sum.pes[0].pool_misses, 5);
+    }
+
+    #[test]
+    fn fault_events_format_and_summarize() {
+        let s = TextSink::new();
+        s.record(
+            0,
+            11,
+            Event::Fault {
+                kind: FaultKind::Drop,
+                src: 0,
+                dst: 3,
+                seq: 42,
+            },
+        );
+        assert!(s.text().contains("0 11 FAULT kind=drop src=0 dst=3 seq=42"));
+
+        let mk = |pe, kind| Record {
+            pe,
+            t_ns: 1,
+            event: Event::Fault {
+                kind,
+                src: pe,
+                dst: 1,
+                seq: 0,
+            },
+        };
+        let recs = vec![
+            mk(0, FaultKind::Drop),
+            mk(0, FaultKind::Retransmit),
+            mk(0, FaultKind::Retransmit),
+            mk(0, FaultKind::Duplicate),
+            mk(0, FaultKind::Delay),
+            mk(1, FaultKind::DedupDrop),
+        ];
+        let sum = Summary::from_records(2, &recs);
+        assert_eq!(sum.pes[0].net_dropped, 1);
+        assert_eq!(sum.pes[0].net_retransmitted, 2);
+        assert_eq!(sum.pes[0].net_duplicated, 1);
+        assert_eq!(sum.pes[0].net_delayed, 1);
+        assert_eq!(sum.pes[1].net_dedup_dropped, 1);
     }
 
     #[test]
