@@ -16,6 +16,19 @@
 //! queue module is pluggable (chosen per machine via
 //! `MachineConfig::queue`), so "the user can plug in different queuing
 //! strategies".
+//!
+//! **Hot-path shape.** `DeliverMsgs` is batched underneath: the machine
+//! layer swaps the PE's whole mailbox into a local intake buffer in one
+//! lock acquisition and dispatches from there, so the per-message cost
+//! of the drain phase no longer includes a contended lock op (see
+//! `Interconnect::drain_into`). Per-link FIFO order is preserved —
+//! intake drains strictly before the wire. The scheduler-queue phase
+//! stays per-entry on purpose: a handler that enqueues urgent
+//! prioritized work mid-batch still sees it preempt at the very next
+//! dequeue. When both phases come up empty the loop idles with a
+//! spin-then-park policy (`MachineConfig::idle_spin` probes of the
+//! lock-free mailbox depth, then a condvar park), so short-message
+//! latency does not pay a full condvar wakeup.
 
 use converse_machine::{Message, Pe};
 use converse_msg::Priority;

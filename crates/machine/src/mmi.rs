@@ -174,18 +174,22 @@ impl Pe {
     // ---- retrieval ---------------------------------------------------------
 
     /// The next received message, if any (`CmiGetMsg`): first anything
-    /// buffered by [`Pe::get_specific_msg`], then the network.
+    /// buffered by [`Pe::get_specific_msg`], then the intake buffer /
+    /// network.
     pub fn get_msg(&self) -> Option<Message> {
         if let Some(m) = self.pending_pop() {
             return Some(m);
         }
-        self.get_packet().map(|(_src, m)| m)
+        self.get_packet(1).map(|(_src, m)| m)
     }
 
     /// Like [`Pe::get_msg`] but bypassing the pending buffer and
-    /// reporting the source PE; internal use by the delivery loop.
-    pub(crate) fn get_packet(&self) -> Option<(usize, Message)> {
-        let p = self.net().try_recv(self.my_pe())?;
+    /// reporting the source PE; internal use by the delivery loops. The
+    /// packet comes from the PE's intake buffer, refilled from the net
+    /// in batches of up to `budget` — single-message callers pass 1,
+    /// bulk callers a large budget, and both observe one delivery order.
+    pub(crate) fn get_packet(&self, budget: usize) -> Option<(usize, Message)> {
+        let p = self.next_inbound(budget)?;
         let src = p.src;
         let msg = Message::from_block(p.block)
             .unwrap_or_else(|e| panic!("PE {}: corrupt message from PE {src}: {e}", self.my_pe()));
@@ -195,6 +199,10 @@ impl Pe {
     /// Deliver received messages straight to their handlers
     /// (`CmiDeliverMsgs`): up to `max` of them (all if `None`). Returns
     /// how many were delivered. Buffered (pending) messages go first.
+    /// Network intake is batched: the whole mailbox is swapped into the
+    /// PE's intake buffer in one lock acquisition and dispatched from
+    /// there, so the per-message cost no longer includes a contended
+    /// lock op.
     pub fn deliver_msgs(&self, max: Option<usize>) -> usize {
         let mut n = 0;
         let limit = max.unwrap_or(usize::MAX);
@@ -208,7 +216,7 @@ impl Pe {
                 n += 1;
                 continue;
             }
-            match self.get_packet() {
+            match self.get_packet(limit - n) {
                 Some((src, m)) => {
                     if self.scatter_try(&m) {
                         n += 1;
@@ -235,7 +243,7 @@ impl Pe {
             if let Some(m) = self.pending_take_matching(handler) {
                 return m;
             }
-            match self.get_packet() {
+            match self.get_packet(crate::pe::INTERNAL_BUDGET) {
                 Some((src, m)) => {
                     if m.handler() == handler {
                         return m;
@@ -253,8 +261,7 @@ impl Pe {
                 None => {
                     self.check_abort();
                     self.check_deadline(deadline, "get_specific_msg");
-                    self.net()
-                        .wait_nonempty(self.my_pe(), Duration::from_millis(20));
+                    self.idle_wait(Duration::from_millis(20));
                 }
             }
         }

@@ -14,13 +14,13 @@ use crate::mmi::CommHandles;
 use crate::pgrp::PgrpState;
 use crate::scatter::ScatterState;
 use converse_msg::{HandlerId, Message};
-use converse_net::Interconnect;
+use converse_net::{Interconnect, Packet};
 use converse_queue::{CsdQueue, FifoQueue, LifoQueue, QueueingMode, SchedulingQueue};
 use converse_trace::{Event, TraceSink};
 use parking_lot::{Mutex, RwLock};
 use std::any::{Any, TypeId};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -69,6 +69,12 @@ pub(crate) const INTERNAL_LAYOUT: InternalIds = InternalIds {
     exo_reply: HandlerId(10),
 };
 
+/// Intake-refill batch size for blocking retrieval paths
+/// (`get_specific_msg`, `deliver_internal_until`): big enough to
+/// amortize the mailbox lock, small enough that a blocked context never
+/// hoards the whole mailbox in its intake while deciding one message.
+pub(crate) const INTERNAL_BUDGET: usize = 32;
+
 /// Which scheduler queue implementation a machine uses — the "plug in
 /// different queuing strategies" hook at machine-configuration level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -99,6 +105,10 @@ pub(crate) struct MachineShared {
     pub panicked: AtomicBool,
     /// Watchdog limit for machine-level blocking calls.
     pub block_timeout: Duration,
+    /// Idle-policy spin budget: how many lock-free mailbox-depth probes
+    /// a PE burns before parking on the condvar
+    /// (`MachineConfig::idle_spin`).
+    pub idle_spin: u32,
     /// External-request gateway state (reply sink, service count).
     pub exo: crate::exo::ExoState,
 }
@@ -111,6 +121,19 @@ pub struct Pe {
     /// Messages taken off the wire by `get_specific_msg` that were meant
     /// for other handlers; consumed before the network on retrieval.
     pending: Mutex<VecDeque<Message>>,
+    /// Local intake batch: packets pulled off the net by a bulk
+    /// [`Interconnect::drain_into_bounded`] and not yet retrieved. Every
+    /// retrieval path pops here before touching the network, so a batch
+    /// never lets a later wire arrival overtake an earlier one — the
+    /// per-link FIFO contract survives recursive retrieval (a handler
+    /// calling `get_specific_msg` mid-batch included). Only this PE's
+    /// own contexts touch it: the lock is uncontended by construction.
+    intake: Mutex<VecDeque<Packet>>,
+    /// Spin iterations consumed by the most recent idle wait.
+    last_spin: AtomicU32,
+    /// Intake batches drained so far — the sampling key for
+    /// `Event::SchedBatch`.
+    sched_batches: AtomicU64,
     queue: Mutex<Box<dyn SchedulingQueue>>,
     sched_exit: AtomicBool,
     locals: Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
@@ -164,6 +187,9 @@ impl Pe {
             net,
             handlers: RwLock::new(table),
             pending: Mutex::new(VecDeque::new()),
+            intake: Mutex::new(VecDeque::new()),
+            last_spin: AtomicU32::new(0),
+            sched_batches: AtomicU64::new(0),
             queue: Mutex::new(make_queue(queue)),
             sched_exit: AtomicBool::new(false),
             locals: Mutex::new(HashMap::new()),
@@ -443,7 +469,10 @@ impl Pe {
         if self.shared.panicked.load(Ordering::Acquire) {
             panic!("PE {}: aborting — another PE panicked", self.id);
         }
-        if self.net.is_closed() && self.net.pending(self.id) == 0 && self.pending.lock().is_empty()
+        if self.net.is_closed()
+            && self.net.pending(self.id) == 0
+            && self.intake.lock().is_empty()
+            && self.pending.lock().is_empty()
         {
             panic!(
                 "PE {}: blocked on a message but the machine has shut down",
@@ -486,7 +515,7 @@ impl Pe {
                 }
                 self.check_abort();
                 self.check_deadline(deadline, "deliver_until");
-                self.net.wait_nonempty(self.id, Duration::from_millis(20));
+                self.idle_wait(Duration::from_millis(20));
             }
         }
     }
@@ -518,7 +547,7 @@ impl Pe {
                 self.call_handler(m);
                 progressed = true;
             }
-            while let Some((src, m)) = self.get_packet() {
+            while let Some((src, m)) = self.get_packet(INTERNAL_BUDGET) {
                 if self.is_internal_handler(m.handler()) {
                     self.call_handler_from(src, m);
                     progressed = true;
@@ -534,21 +563,68 @@ impl Pe {
                 }
                 self.check_abort();
                 self.check_deadline(deadline, "deliver_internal_until");
-                self.net.wait_nonempty(self.id, Duration::from_millis(20));
+                self.idle_wait(Duration::from_millis(20));
             }
         }
     }
 
-    /// Messages waiting to be retrieved: undelivered network packets
-    /// plus anything buffered by `get_specific_msg`.
+    /// Messages waiting to be retrieved: undelivered network packets,
+    /// batch-drained packets sitting in the intake buffer, plus anything
+    /// buffered by `get_specific_msg`.
     pub fn inbound_pending(&self) -> usize {
-        self.net.pending(self.id) + self.pending.lock().len()
+        self.net.pending(self.id) + self.intake.lock().len() + self.pending.lock().len()
     }
 
-    /// Park until a message arrives, the machine closes, or `timeout`
-    /// expires — the scheduler's idle wait.
-    pub fn idle_wait(&self, timeout: Duration) {
-        self.net.wait_nonempty(self.id, timeout);
+    /// The next inbound packet in delivery order, refilling the intake
+    /// buffer from the network in batches of up to `budget` when it runs
+    /// dry. This is the single chokepoint between the wire and every
+    /// retrieval path: intake drains strictly before the net, so batched
+    /// and single-message retrieval interleave without reordering.
+    /// Returns `None` when nothing is queued (or this PE is stalled).
+    pub(crate) fn next_inbound(&self, budget: usize) -> Option<Packet> {
+        let mut intake = self.intake.lock();
+        if let Some(p) = intake.pop_front() {
+            return Some(p);
+        }
+        let n = self
+            .net
+            .drain_into_bounded(self.id, &mut *intake, budget.max(1));
+        if n > 0 {
+            self.trace_sched_batch(n);
+        }
+        intake.pop_front()
+    }
+
+    /// Sampled [`Event::SchedBatch`] emission: every 32nd intake batch
+    /// (the first included) records its size and the spin count of the
+    /// most recent idle wait, so batch shapes and idle-spin behavior are
+    /// observable in `trace_profile` without per-batch trace cost.
+    fn trace_sched_batch(&self, drained: usize) {
+        let count = self.sched_batches.fetch_add(1, Ordering::Relaxed);
+        if count.is_multiple_of(32) && self.trace.enabled() {
+            self.trace.record(
+                self.id,
+                self.now_ns(),
+                Event::SchedBatch {
+                    drained,
+                    spin_iters: self.last_spin.load(Ordering::Relaxed),
+                },
+            );
+        }
+    }
+
+    /// Spin-then-park until a message arrives, the machine closes, or
+    /// `timeout` expires — the scheduler's idle wait. Spins up to the
+    /// machine's configured `idle_spin` budget on the lock-free mailbox
+    /// depth before parking on the condvar, so short-message latency
+    /// does not pay a full condvar wakeup. Returns the spin iterations
+    /// consumed (== the budget when the call actually parked).
+    pub fn idle_wait(&self, timeout: Duration) -> u32 {
+        let spun = self
+            .net
+            .wait_nonempty_spin(self.id, timeout, self.shared.idle_spin);
+        self.last_spin.store(spun, Ordering::Relaxed);
+        spun
     }
 
     /// The configured watchdog limit for blocking calls.

@@ -42,15 +42,36 @@ pub struct MachineConfig {
     /// pointer wait, collective) may wait without progress before the PE
     /// panics. A deadlock detector for tests, not a semantic timeout.
     pub block_timeout: Duration,
+    /// Idle-policy spin budget: an idle PE probes its (lock-free)
+    /// mailbox depth this many times before parking on the condvar, so
+    /// a message landing within the budget skips the condvar wakeup —
+    /// the paper's "scheduling delta visible only for short messages"
+    /// shape. `0` parks immediately (the pre-batching behavior). The
+    /// default is `0` on a single-hardware-thread host (spinning there
+    /// only steals the timeslice the sender needs to produce the very
+    /// message being waited for) and 160 probes otherwise.
+    pub idle_spin: u32,
     /// Background services (e.g. the CCS server) whose lifetime is
     /// bounded by this run: started before the PEs boot, stopped after
     /// every PE joined — on the panic path too.
     pub services: Vec<Box<dyn MachineService>>,
 }
 
+/// Host-appropriate idle-spin default: 160 depth probes when real
+/// parallelism is available, `0` (park immediately) when the host has a
+/// single hardware thread — there, every spin iteration delays the
+/// sender whose message would end the wait.
+pub fn default_idle_spin() -> u32 {
+    match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => 160,
+        _ => 0,
+    }
+}
+
 impl MachineConfig {
     /// Defaults: FIFO delivery, the full Csd queue, no tracing, captured
-    /// output off, 30-second block watchdog.
+    /// output off, 30-second block watchdog, and an idle spin budget
+    /// picked for the host (see [`default_idle_spin`]).
     pub fn new(num_pes: usize) -> Self {
         MachineConfig {
             num_pes,
@@ -61,6 +82,7 @@ impl MachineConfig {
             stdin_lines: Vec::new(),
             capture_output: false,
             block_timeout: Duration::from_secs(30),
+            idle_spin: default_idle_spin(),
             services: Vec::new(),
         }
     }
@@ -104,6 +126,12 @@ impl MachineConfig {
     /// Change the blocking-call watchdog.
     pub fn block_timeout(mut self, t: Duration) -> Self {
         self.block_timeout = t;
+        self
+    }
+
+    /// Change the idle-policy spin budget (`0` = park immediately).
+    pub fn idle_spin(mut self, probes: u32) -> Self {
+        self.idle_spin = probes;
         self
     }
 
@@ -183,6 +211,7 @@ where
         console: crate::io::Console::new(cfg.capture_output, cfg.stdin_lines.clone()),
         panicked: std::sync::atomic::AtomicBool::new(false),
         block_timeout: cfg.block_timeout,
+        idle_spin: cfg.idle_spin,
         exo: crate::exo::ExoState::default(),
     });
     let mut services = std::mem::take(&mut cfg.services);

@@ -40,7 +40,7 @@ use converse_trace::{Event, FaultKind, TraceSink};
 use fault::{link_draw, unit, SALT_DELAY, SALT_DELAY_SLOTS, SALT_DROP, SALT_DUP, SALT_REORDER};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -91,17 +91,59 @@ pub enum DeliveryMode {
     },
 }
 
+/// A per-PE mailbox built as **two lists** so the delivery hot path is
+/// low-contention:
+///
+/// * `inbox` — senders append here under a short lock. This is the only
+///   lock the send path ever touches, and it is held just long enough
+///   for one push.
+/// * `staged` — the receiver's private list. When it runs dry, the
+///   receiver swaps the *entire* inbox into it under one short inbox
+///   lock acquisition and then drains it without any further sender
+///   contention: one lock op amortized over N messages instead of N+1.
+///
+/// Only the receiving PE touches `staged`, so its mutex is uncontended
+/// by construction. Queue depth is published through two length
+/// mirrors, `inbox_len` and `staged_len`, each written with a plain
+/// store while its list's lock is held — **never** a read-modify-write.
+/// Depth reads (`pending`, load snapshots, the idle spin loop) are two
+/// plain atomic loads, and the message hot path carries no atomic RMW
+/// at all beyond the mutexes themselves.
+/// Layout is pinned (`repr(C, align(64))`) so the per-message hot path
+/// — `inbox_len`, `staged_len`, the `inbox` mutex word + its inline
+/// `VecDeque` header, and the condvar — all sit on the mailbox's first
+/// cache line (8+8+40+8 = 64 bytes), matching the one-line footprint of
+/// a single-mutex mailbox; `staged` lives on the second line, touched
+/// only when a drain actually stages. The alignment also keeps
+/// neighbouring PEs' mailboxes from false-sharing a line.
+#[repr(C, align(64))]
 struct Mailbox {
-    q: Mutex<VecDeque<Packet>>,
+    /// Length of `inbox`; written only under the `inbox` lock.
+    inbox_len: AtomicUsize,
+    /// Length of `staged`; written only by the receiver (under the
+    /// `staged` lock), read lock-free by the receiver's fast paths.
+    staged_len: AtomicUsize,
+    inbox: Mutex<VecDeque<Packet>>,
+    /// Paired with the `inbox` mutex: senders signal arrivals here.
     cv: Condvar,
+    staged: Mutex<VecDeque<Packet>>,
 }
 
 impl Mailbox {
     fn new() -> Self {
         Mailbox {
-            q: Mutex::new(VecDeque::new()),
+            inbox_len: AtomicUsize::new(0),
+            staged_len: AtomicUsize::new(0),
+            inbox: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
+            staged: Mutex::new(VecDeque::new()),
         }
+    }
+
+    /// Undelivered packets (`inbox` + `staged`): two plain loads.
+    #[inline]
+    fn depth(&self) -> usize {
+        self.inbox_len.load(Ordering::Acquire) + self.staged_len.load(Ordering::Acquire)
     }
 }
 
@@ -146,6 +188,20 @@ struct TrafficCell {
     msgs_recv: AtomicU64,
     msgs_injected: AtomicU64,
     bytes_injected: AtomicU64,
+}
+
+/// Advance a single-writer stat counter without a lock-prefixed RMW.
+///
+/// `msgs_sent`/`bytes_sent` are only ever advanced by PE `src`'s own
+/// thread (sends originate on the sending PE) and `msgs_recv` only by
+/// the receiving PE's thread, so a plain load/store pair suffices on
+/// the message hot path; readers are monitoring snapshots that tolerate
+/// staleness. `msgs_injected`/`bytes_injected` keep `fetch_add` — they
+/// are fed by external front-end threads with no single-writer
+/// discipline.
+#[inline]
+fn bump(counter: &AtomicU64, by: u64) {
+    counter.store(counter.load(Ordering::Relaxed) + by, Ordering::Relaxed);
 }
 
 /// Aggregate fault-plane counters, atomically updated.
@@ -338,27 +394,60 @@ impl Interconnect {
         }
     }
 
-    /// Insert one packet into `dst`'s mailbox, applying the delivery
+    /// Insert one packet into `dst`'s inbox, applying the delivery
     /// mode. `arrival` is the per-link arrival index keying the
-    /// reorder-mode position draw (ignored under FIFO).
+    /// reorder-mode position draw (ignored under FIFO). The inbox lock
+    /// is held only for the push itself; the wakeup is signalled after
+    /// it drops (safe: waiters re-check under the lock before parking).
+    #[inline]
     fn mailbox_insert(&self, src: usize, dst: usize, seq: u64, block: MsgBlock, arrival: u64) {
         let mbox = &self.boxes[dst];
-        let mut q = mbox.q.lock();
-        match self.mode {
-            DeliveryMode::Fifo => q.push_back(Packet { src, seq, block }),
-            DeliveryMode::Reorder { seed, window } => {
-                let w = window.min(q.len());
-                let draw = link_draw(seed, src, dst, arrival, 0, SALT_REORDER);
-                let pos = q.len() - (draw as usize % (w + 1));
-                q.insert(pos, Packet { src, seq, block });
+        {
+            let mut q = mbox.inbox.lock();
+            match self.mode {
+                DeliveryMode::Fifo => q.push_back(Packet { src, seq, block }),
+                DeliveryMode::Reorder { seed, window } => {
+                    // The scramble window covers the not-yet-swapped part
+                    // of the queue (the inbox); anything already staged
+                    // on the receiver's side is out of reach.
+                    let w = window.min(q.len());
+                    let draw = link_draw(seed, src, dst, arrival, 0, SALT_REORDER);
+                    let pos = q.len() - (draw as usize % (w + 1));
+                    q.insert(pos, Packet { src, seq, block });
+                }
             }
+            mbox.inbox_len.store(q.len(), Ordering::Release);
         }
         mbox.cv.notify_one();
+    }
+
+    /// Pop one packet for `pe` in delivery order, without the stall
+    /// check or traffic accounting. Fast paths: a lock-free depth read
+    /// when the mailbox is empty, and a single inbox lock when nothing
+    /// is staged (the common single-message case).
+    #[inline]
+    fn mailbox_pop(&self, pe: usize) -> Option<Packet> {
+        let mbox = &self.boxes[pe];
+        // Staged packets (swapped out of the inbox earlier) are older
+        // than anything still in the inbox and must drain first.
+        if mbox.staged_len.load(Ordering::Acquire) > 0 {
+            let mut staged = mbox.staged.lock();
+            let p = staged.pop_front();
+            mbox.staged_len.store(staged.len(), Ordering::Release);
+            return p;
+        }
+        let mut q = mbox.inbox.lock();
+        let p = q.pop_front();
+        if p.is_some() {
+            mbox.inbox_len.store(q.len(), Ordering::Release);
+        }
+        p
     }
 
     /// Transmit a block over link `src → dst`: the reliable-wire fast
     /// path when no plan is installed, otherwise sequence + buffer +
     /// one wire attempt through the fault plane.
+    #[inline]
     fn transmit(&self, src: usize, dst: usize, block: MsgBlock) {
         let Some(plan) = &self.plan else {
             match self.mode {
@@ -527,12 +616,12 @@ impl Interconnect {
     /// block **moves** — no copy is taken; share it first to keep a
     /// handle. Never blocks; the simulated wire has unbounded buffering,
     /// like the reliable-delivery abstraction the MMI exposes.
+    #[inline]
     pub fn send(&self, src: usize, dst: usize, block: impl Into<MsgBlock>) {
         let block = block.into();
         let t = &self.traffic[src];
-        t.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        t.bytes_sent
-            .fetch_add(block.len() as u64, Ordering::Relaxed);
+        bump(&t.msgs_sent, 1);
+        bump(&t.bytes_sent, block.len() as u64);
         self.transmit(src, dst, block);
     }
 
@@ -559,19 +648,33 @@ impl Interconnect {
     /// sender calls it). One block, P−1 refcount bumps: every
     /// destination's packet aliases the same allocation.
     pub fn broadcast_excl(&self, src: usize, block: impl Into<MsgBlock>) {
-        let block = block.into();
-        for dst in 0..self.num_pes() {
-            if dst != src {
-                self.send(src, dst, block.share());
-            }
-        }
+        self.broadcast_to(src, block.into(), false);
     }
 
     /// Broadcast to every PE including `src` (one block, P bumps).
     pub fn broadcast_all(&self, src: usize, block: impl Into<MsgBlock>) {
-        let block = block.into();
+        self.broadcast_to(src, block.into(), true);
+    }
+
+    /// Shared broadcast body: **pre-stage** all per-destination shares
+    /// before touching any link or mailbox lock, then run the append
+    /// loop. The refcount traffic (P bumps on one allocation, nothing
+    /// else) completes up front, so no destination's inbox lock is ever
+    /// held while another share is being minted — the append loop holds
+    /// exactly one short lock at a time. The original handle is dropped
+    /// before the appends, so a broadcast to P PEs is exactly 1
+    /// allocation + P live references, which tests assert via
+    /// [`MsgBlock::ref_count`] and the pool's take counter.
+    fn broadcast_to(&self, src: usize, block: MsgBlock, include_src: bool) {
+        let mut shares: Vec<(usize, MsgBlock)> = Vec::with_capacity(self.num_pes());
         for dst in 0..self.num_pes() {
-            self.send(src, dst, block.share());
+            if include_src || dst != src {
+                shares.push((dst, block.share()));
+            }
+        }
+        drop(block);
+        for (dst, b) in shares {
+            self.send(src, dst, b);
         }
     }
 
@@ -579,6 +682,7 @@ impl Interconnect {
     /// fault plan or armed via [`Interconnect::stall_for`]. A stalled
     /// PE's receive paths yield nothing (its mailbox keeps filling). A
     /// closed machine overrides every stall so teardown can drain.
+    #[inline]
     pub fn stalled(&self, pe: usize) -> bool {
         if !self.has_stalls.load(Ordering::Acquire) || self.is_closed() {
             return false;
@@ -606,16 +710,71 @@ impl Interconnect {
     }
 
     /// Non-blocking receive: the next packet for `pe`, if any. Yields
-    /// nothing while `pe` is stalled.
+    /// nothing while `pe` is stalled. This is the thin single-message
+    /// wrapper over the two-list mailbox; bulk consumers (the scheduler)
+    /// should use [`Interconnect::drain_into`] instead, which amortizes
+    /// the lock traffic over whole batches.
+    #[inline]
     pub fn try_recv(&self, pe: usize) -> Option<Packet> {
         if self.stalled(pe) {
             return None;
         }
-        let out = self.boxes[pe].q.lock().pop_front();
+        let out = self.mailbox_pop(pe);
         if out.is_some() {
-            self.traffic[pe].msgs_recv.fetch_add(1, Ordering::Relaxed);
+            bump(&self.traffic[pe].msgs_recv, 1);
         }
         out
+    }
+
+    /// Batched receive: move **every** packet currently queued for `pe`
+    /// into `out` (preserving delivery order) and return how many moved.
+    /// The whole inbox is swapped out under one short lock acquisition —
+    /// the per-message cost of intake no longer includes a contended
+    /// lock op. Yields nothing while `pe` is stalled.
+    #[inline]
+    pub fn drain_into(&self, pe: usize, out: &mut Vec<Packet>) -> usize {
+        self.drain_into_bounded(pe, out, usize::MAX)
+    }
+
+    /// Like [`Interconnect::drain_into`] but moves at most `max`
+    /// packets; the remainder stays queued (staged on the receiver side,
+    /// still ahead of anything later in delivery order).
+    #[inline]
+    pub fn drain_into_bounded(
+        &self,
+        pe: usize,
+        out: &mut impl Extend<Packet>,
+        max: usize,
+    ) -> usize {
+        if max == 0 || self.stalled(pe) {
+            return 0;
+        }
+        let mbox = &self.boxes[pe];
+        if mbox.depth() == 0 {
+            return 0;
+        }
+        let mut staged = mbox.staged.lock();
+        if staged.len() < max {
+            // One short lock acquisition moves the whole inbox over.
+            let mut inbox = mbox.inbox.lock();
+            if staged.is_empty() {
+                // Swap rather than drain: the old staged buffer's
+                // capacity becomes the new inbox, so steady state
+                // recycles two deques with zero allocation.
+                std::mem::swap(&mut *staged, &mut *inbox);
+            } else {
+                staged.extend(inbox.drain(..));
+            }
+            mbox.inbox_len.store(inbox.len(), Ordering::Release);
+        }
+        let n = staged.len().min(max);
+        out.extend(staged.drain(..n));
+        mbox.staged_len.store(staged.len(), Ordering::Release);
+        drop(staged);
+        if n > 0 {
+            bump(&self.traffic[pe].msgs_recv, n as u64);
+        }
+        n
     }
 
     /// Blocking receive with timeout. Returns `None` on timeout or once
@@ -634,10 +793,16 @@ impl Interconnect {
                 std::thread::sleep(STALL_SLICE.min(deadline.saturating_duration_since(now)));
                 continue;
             }
-            let mut q = mbox.q.lock();
-            if let Some(p) = q.pop_front() {
-                self.traffic[pe].msgs_recv.fetch_add(1, Ordering::Relaxed);
+            if let Some(p) = self.mailbox_pop(pe) {
+                bump(&self.traffic[pe].msgs_recv, 1);
                 return Some(p);
+            }
+            // Nothing staged and the inbox was empty at the pop: park on
+            // the inbox condvar. The re-check under the lock closes the
+            // race with a sender that pushed between the pop and here.
+            let mut q = mbox.inbox.lock();
+            if !q.is_empty() {
+                continue;
             }
             if self.closed.load(Ordering::Acquire) {
                 return None;
@@ -671,8 +836,13 @@ impl Interconnect {
                 std::thread::sleep(STALL_SLICE.min(deadline.saturating_duration_since(now)));
                 continue;
             }
-            let mut q = mbox.q.lock();
-            if !q.is_empty() || self.closed.load(Ordering::Acquire) {
+            let mut q = mbox.inbox.lock();
+            // Depth covers staged packets too: a receiver that left
+            // mail staged must not park on it.
+            if !q.is_empty()
+                || mbox.staged_len.load(Ordering::Acquire) > 0
+                || self.closed.load(Ordering::Acquire)
+            {
                 return;
             }
             let wake = if self.has_stalls.load(Ordering::Acquire) {
@@ -686,9 +856,32 @@ impl Interconnect {
         }
     }
 
-    /// Queued (undelivered) packet count for `pe`.
+    /// Spin-then-park idle wait: spin up to `spin` iterations on the
+    /// lock-free mailbox depth (so a message landing within the spin
+    /// budget is noticed without paying a condvar wakeup), then fall
+    /// back to [`Interconnect::wait_nonempty`]. Returns the number of
+    /// spin iterations consumed (`spin` means the budget ran out and
+    /// the call parked). With stall windows armed it parks immediately —
+    /// a stalled PE must not burn a core polling mail it cannot read.
+    pub fn wait_nonempty_spin(&self, pe: usize, timeout: Duration, spin: u32) -> u32 {
+        if spin > 0 && !self.has_stalls.load(Ordering::Acquire) {
+            let mbox = &self.boxes[pe];
+            for i in 0..spin {
+                if mbox.depth() > 0 || self.closed.load(Ordering::Acquire) {
+                    return i;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        self.wait_nonempty(pe, timeout);
+        spin
+    }
+
+    /// Queued (undelivered) packet count for `pe` — two atomic reads,
+    /// safe to poll from monitoring paths at any rate.
+    #[inline]
     pub fn pending(&self, pe: usize) -> usize {
-        self.boxes[pe].q.lock().len()
+        self.boxes[pe].depth()
     }
 
     /// Mark the machine closed and wake all blocked receivers. Receives
@@ -699,7 +892,7 @@ impl Interconnect {
         for b in &self.boxes {
             // Hold the lock so a receiver between its check and its wait
             // cannot miss the notification.
-            let _q = b.q.lock();
+            let _q = b.inbox.lock();
             b.cv.notify_all();
         }
     }
@@ -1198,5 +1391,129 @@ mod tests {
     #[should_panic(expected = "no liveness")]
     fn plan_with_total_loss_rejected_at_boot() {
         let _ = chaos_net(FaultPlan::lossy(1, 1.0, 0.0, 0.0, 0), 2);
+    }
+
+    // ---- two-list mailbox + batched drain -----------------------------
+
+    #[test]
+    fn drain_into_moves_everything_in_order() {
+        let net = Interconnect::new(2);
+        for i in 0..50u8 {
+            net.send(0, 1, vec![i]);
+        }
+        let mut out = Vec::new();
+        assert_eq!(net.drain_into(1, &mut out), 50);
+        let payloads: Vec<u8> = out.iter().map(|p| p.bytes()[0]).collect();
+        assert_eq!(payloads, (0..50).collect::<Vec<_>>());
+        assert_eq!(net.pending(1), 0);
+        assert_eq!(net.traffic(1).msgs_recv, 50);
+        assert_eq!(net.drain_into(1, &mut out), 0);
+    }
+
+    #[test]
+    fn bounded_drain_leaves_remainder_ahead_of_new_arrivals() {
+        let net = Interconnect::new(2);
+        for i in 0..10u8 {
+            net.send(0, 1, vec![i]);
+        }
+        let mut out = Vec::new();
+        assert_eq!(net.drain_into_bounded(1, &mut out, 4), 4);
+        assert_eq!(net.pending(1), 6);
+        // New mail lands behind the staged remainder: delivery order is
+        // unchanged by where a bounded drain stopped.
+        for i in 10..13u8 {
+            net.send(0, 1, vec![i]);
+        }
+        // Mix single pops and a final drain; the order must read 0..13.
+        out.push(net.try_recv(1).unwrap());
+        net.drain_into(1, &mut out);
+        let payloads: Vec<u8> = out.iter().map(|p| p.bytes()[0]).collect();
+        assert_eq!(payloads, (0..13).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_respects_stall_window() {
+        let net = Interconnect::new(2);
+        net.send(0, 1, vec![1]);
+        net.stall_for(1, Duration::from_millis(50));
+        let mut out = Vec::new();
+        assert_eq!(net.drain_into(1, &mut out), 0, "stalled PE must not drain");
+        assert!(out.is_empty());
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(net.drain_into(1, &mut out), 1);
+    }
+
+    #[test]
+    fn drain_into_bounded_zero_is_a_noop() {
+        let net = Interconnect::new(1);
+        net.send(0, 0, vec![1]);
+        let mut out = Vec::new();
+        assert_eq!(net.drain_into_bounded(0, &mut out, 0), 0);
+        assert_eq!(net.pending(0), 1);
+    }
+
+    #[test]
+    fn swap_drain_sees_concurrent_enqueues_exactly_once() {
+        // The satellite's race test: a sender pushes while the receiver
+        // swap-drains in a tight loop. Every payload must surface exactly
+        // once, in per-link FIFO order, regardless of where each swap
+        // cuts the stream.
+        let net = Interconnect::new(2);
+        let n: u32 = 20_000;
+        let sender = {
+            let net = net.clone();
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    net.send(0, 1, i.to_le_bytes().to_vec());
+                }
+            })
+        };
+        let mut got: Vec<u32> = Vec::with_capacity(n as usize);
+        let mut batch = Vec::new();
+        while got.len() < n as usize {
+            if net.drain_into(1, &mut batch) == 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            got.extend(
+                batch
+                    .drain(..)
+                    .map(|p| u32::from_le_bytes(p.bytes().try_into().unwrap())),
+            );
+        }
+        sender.join().unwrap();
+        assert_eq!(got, (0..n).collect::<Vec<_>>(), "exactly once, in order");
+        assert_eq!(net.pending(1), 0);
+        assert_eq!(net.traffic(1).msgs_recv, n as u64);
+    }
+
+    #[test]
+    fn broadcast_packets_hold_exactly_p_references() {
+        // Pre-staged broadcast: the original handle is dropped before the
+        // appends, so P delivered packets are the only owners — refcount
+        // is exactly P, proving 1 allocation + P bumps survived the
+        // two-list mailbox rework.
+        let p_count = 6;
+        let net = Interconnect::new(p_count);
+        net.broadcast_all(0, MsgBlock::copy_from(&[3u8; 64]));
+        let packets: Vec<Packet> = (0..p_count).map(|pe| net.try_recv(pe).unwrap()).collect();
+        for p in &packets {
+            assert_eq!(p.block.ref_count(), p_count);
+        }
+        drop(packets);
+    }
+
+    #[test]
+    fn spin_wait_notices_mail_within_budget() {
+        let net = Interconnect::new(1);
+        net.send(0, 0, vec![1]);
+        // Mail already queued: the spin loop returns on its first probe.
+        assert_eq!(net.wait_nonempty_spin(0, Duration::from_secs(1), 1000), 0);
+        net.try_recv(0);
+        // Empty mailbox: the budget burns out, then the park path runs
+        // (bounded here by the timeout) and the call reports `spin`.
+        let t0 = Instant::now();
+        assert_eq!(net.wait_nonempty_spin(0, Duration::from_millis(20), 64), 64);
+        assert!(t0.elapsed() >= Duration::from_millis(15));
     }
 }

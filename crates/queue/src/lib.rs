@@ -51,6 +51,24 @@ pub trait SchedulingQueue: Send {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Move up to `max` messages into `out` in dequeue order; returns
+    /// how many moved. A bulk companion to [`SchedulingQueue::dequeue`]
+    /// for consumers that drain whole batches (benches, drainers); the
+    /// scheduler's own loop intentionally stays per-entry so work
+    /// enqueued mid-batch at a more urgent priority still preempts.
+    fn dequeue_into(&mut self, out: &mut Vec<Message>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.dequeue() {
+                Some(m) => {
+                    out.push(m);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 }
 
 /// Plain FIFO queue: the cheapest strategy. `Prio*` modes degrade to
@@ -425,6 +443,24 @@ mod tests {
         assert!(CsdQueue::new().dequeue().is_none());
         assert!(FifoQueue::new().dequeue().is_none());
         assert!(LifoQueue::new().dequeue().is_none());
+    }
+
+    #[test]
+    fn dequeue_into_respects_order_and_bound() {
+        let mut q = CsdQueue::new();
+        q.enqueue(msg(1), QueueingMode::Fifo);
+        q.enqueue(pmsg(2, Priority::Int(-1)), QueueingMode::PrioFifo);
+        q.enqueue(msg(3), QueueingMode::Fifo);
+        q.enqueue(pmsg(4, Priority::Int(9)), QueueingMode::PrioFifo);
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_into(&mut out, 2), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dequeue_into(&mut out, usize::MAX), 2);
+        let tags: Vec<u8> = out.iter().map(|m| m.payload()[0]).collect();
+        // Same total order dequeue() would produce: urgent, zero lane,
+        // then the rest of the priority lane.
+        assert_eq!(tags, vec![2, 1, 3, 4]);
+        assert_eq!(q.dequeue_into(&mut out, 5), 0);
     }
 
     #[test]

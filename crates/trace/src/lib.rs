@@ -124,6 +124,16 @@ pub enum Event {
         /// Per-link sequence number of the affected packet.
         seq: u64,
     },
+    /// The scheduler pulled a batch of packets off the wire into its
+    /// local intake in one mailbox-swap. Sampled (one record per N
+    /// batches), not per-batch — this sits on the hot path.
+    SchedBatch {
+        /// Packets moved by this batch drain.
+        drained: usize,
+        /// Spin iterations the most recent idle wait consumed before
+        /// mail arrived (== the configured budget when it parked).
+        spin_iters: u32,
+    },
     /// Snapshot of this PE's message-buffer pool counters (the
     /// CmiAlloc/CmiFree free-list), emitted at PE teardown.
     MsgPool {
@@ -339,6 +349,15 @@ impl TraceSink for TextSink {
                     kind.label()
                 )
             }
+            Event::SchedBatch {
+                drained,
+                spin_iters,
+            } => {
+                writeln!(
+                    b,
+                    "{pe} {t_ns} SCHEDBATCH drained={drained} spin={spin_iters}"
+                )
+            }
             Event::MsgPool {
                 hits,
                 misses,
@@ -388,6 +407,13 @@ pub struct PeSummary {
     pub net_retransmitted: u64,
     /// Duplicate deliveries this PE's reliability receive side dropped.
     pub net_dedup_dropped: u64,
+    /// Sampled scheduler batch-drain records observed.
+    pub sched_batches: u64,
+    /// Packets moved by the sampled batch drains (sum of `drained`).
+    pub batch_drained: u64,
+    /// Spin iterations reported by the sampled batch drains (sum of
+    /// `spin_iters`); divide by `sched_batches` for the mean.
+    pub idle_spins: u64,
     /// Buffer-pool hits (from the last [`Event::MsgPool`] snapshot).
     pub pool_hits: u64,
     /// Buffer-pool misses (from the last [`Event::MsgPool`] snapshot).
@@ -434,6 +460,14 @@ impl Summary {
                     FaultKind::Retransmit => s.net_retransmitted += 1,
                     FaultKind::DedupDrop => s.net_dedup_dropped += 1,
                 },
+                Event::SchedBatch {
+                    drained,
+                    spin_iters,
+                } => {
+                    s.sched_batches += 1;
+                    s.batch_drained += *drained as u64;
+                    s.idle_spins += *spin_iters as u64;
+                }
                 Event::MsgPool { hits, misses, .. } => {
                     // Snapshots are cumulative; keep the latest.
                     s.pool_hits = *hits;
@@ -608,6 +642,33 @@ mod tests {
         let sum = Summary::from_records(1, &recs);
         assert_eq!(sum.pes[0].pool_hits, 8);
         assert_eq!(sum.pes[0].pool_misses, 5);
+    }
+
+    #[test]
+    fn sched_batch_formats_and_summarizes() {
+        let s = TextSink::new();
+        s.record(
+            3,
+            21,
+            Event::SchedBatch {
+                drained: 17,
+                spin_iters: 40,
+            },
+        );
+        assert!(s.text().contains("3 21 SCHEDBATCH drained=17 spin=40"));
+
+        let mk = |drained, spin_iters| Record {
+            pe: 0,
+            t_ns: 1,
+            event: Event::SchedBatch {
+                drained,
+                spin_iters,
+            },
+        };
+        let sum = Summary::from_records(1, &[mk(4, 160), mk(12, 0)]);
+        assert_eq!(sum.pes[0].sched_batches, 2);
+        assert_eq!(sum.pes[0].batch_drained, 16);
+        assert_eq!(sum.pes[0].idle_spins, 160);
     }
 
     #[test]

@@ -101,6 +101,26 @@ fn main() {
             s.utilization * 100.0
         );
     }
+    // Scheduler hot-path shape: SchedBatch records are sampled (1 in 32
+    // batched intakes), so these are a profile of the drain loop, not an
+    // exact count — `drained/rec` is the mean batch size at the sampled
+    // points, `spins` the idle probes spent before the last park.
+    println!("\nscheduler batch profile (SchedBatch records, sampled 1/32):");
+    println!(
+        "{:>4} {:>9} {:>12} {:>11}",
+        "PE", "records", "drained/rec", "idle spins"
+    );
+    for (pe, s) in summary.pes.iter().enumerate() {
+        let per = if s.sched_batches > 0 {
+            s.batch_drained as f64 / s.sched_batches as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>4} {:>9} {:>12.1} {:>11}",
+            pe, s.sched_batches, per, s.idle_spins
+        );
+    }
     println!(
         "\ntotals: {} sends, {} handler runs, {} records dropped",
         summary.total_sends(),
