@@ -1,19 +1,27 @@
-//! Cost of the thread object's primitives (paper §3.2.2). The 1996
-//! implementation context-switched with `setjmp`/`longjmp` (~100 ns
-//! class); this reproduction hands off between OS threads (~µs class).
-//! EXPERIMENTS.md reports the constant; what matters architecturally is
-//! that the *shape* of thread-based programs is unchanged — suspension
-//! costs a constant, independent of thread count.
+//! Cost of the thread object's primitives (paper §3.2.2), per backend.
+//! The 1996 implementation context-switched with `setjmp`/`longjmp`
+//! (~100 ns class); the default `fiber` backend reproduces that class
+//! (~20 ns register switch), while the portable `handoff` fallback pays
+//! an OS hand-off (~µs class). EXPERIMENTS.md reports the constants;
+//! what matters architecturally is that the *shape* of thread-based
+//! programs is unchanged — suspension costs a constant, independent of
+//! thread count.
 
-use converse_bench::run_timed;
-use converse_threads::{cth_awaken, cth_create, cth_resume, cth_yield};
+use converse_bench::run_timed_with;
+use converse_core::MachineConfig;
+use converse_threads::{cth_awaken, cth_create, cth_resume, cth_yield, CthBackend, CthRuntime};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One full yield cycle between two threads = two context switches.
-fn yield_pair_ns(iters: u64) -> f64 {
-    let d = run_timed(1, move |pe| {
+fn cfg(backend: CthBackend) -> MachineConfig {
+    MachineConfig::new(1).thread_backend(backend.to_config())
+}
+
+/// One full yield cycle between two threads = two context switches
+/// (direct handoffs: the ready pool is never empty mid-cycle).
+fn yield_pair_ns(backend: CthBackend, iters: u64) -> f64 {
+    let d = run_timed_with(cfg(backend), move |pe| {
         let spins = Arc::new(AtomicU64::new(0));
         let mk = |spins: Arc<AtomicU64>| {
             move |pe: &converse_core::Pe| loop {
@@ -33,9 +41,10 @@ fn yield_pair_ns(iters: u64) -> f64 {
     d.as_nanos() as f64 / (2.0 * iters as f64)
 }
 
-/// Create + first resume + exit of a fresh thread (includes OS spawn).
-fn create_run_exit_ns(iters: u64) -> f64 {
-    let d = run_timed(1, move |pe| {
+/// Create + first resume + exit of a fresh thread (fiber backend: a
+/// pooled-stack fiber; handoff backend: an OS thread spawn).
+fn create_run_exit_ns(backend: CthBackend, iters: u64) -> f64 {
+    let d = run_timed_with(cfg(backend), move |pe| {
         let t0 = Instant::now();
         for _ in 0..iters {
             let t = cth_create(pe, |_pe| {});
@@ -48,9 +57,9 @@ fn create_run_exit_ns(iters: u64) -> f64 {
 
 /// Suspend-to-scheduler and resume-by-message through the Csd queue:
 /// the integrated path that tSM receives take.
-fn scheduled_wakeup_ns(iters: u64) -> f64 {
-    let d = run_timed(1, move |pe| {
-        let rt = converse_threads::CthRuntime::get(pe);
+fn scheduled_wakeup_ns(backend: CthBackend, iters: u64) -> f64 {
+    let d = run_timed_with(cfg(backend), move |pe| {
+        let rt = CthRuntime::get(pe);
         let done = Arc::new(AtomicU64::new(0));
         let d2 = done.clone();
         rt.spawn_scheduled(pe, move |pe| {
@@ -68,28 +77,9 @@ fn scheduled_wakeup_ns(iters: u64) -> f64 {
     d.as_nanos() as f64 / iters as f64
 }
 
-/// Csd-scheduled wakeup through the FIBER runtime (the fast path): the
-/// same tSM-style pattern as `scheduled_wakeup_ns`, on user-level
-/// stacks.
-fn fiber_rt_wakeup_ns(iters: u64) -> f64 {
-    let d = run_timed(1, move |pe| {
-        let rt = converse_threads::fibers::FiberRt::get(pe);
-        rt.spawn_scheduled(pe, move |pe| {
-            let rt = converse_threads::fibers::FiberRt::get(pe);
-            for _ in 0..iters {
-                rt.yield_now(pe);
-            }
-            converse_core::csd_exit_scheduler(pe);
-        });
-        let t0 = Instant::now();
-        converse_core::csd_scheduler(pe, -1);
-        Some(t0.elapsed())
-    });
-    d.as_nanos() as f64 / iters as f64
-}
-
-/// The converse-fiber prototype: a true user-level (setjmp/longjmp
-/// class) switch, for comparison with the hand-off substitute.
+/// The raw converse-fiber switch: a true user-level (setjmp/longjmp
+/// class) switch with nothing else on the path — the floor under the
+/// fiber backend's numbers.
 fn fiber_switch_ns(iters: u64) -> f64 {
     let mut f = converse_fiber::Fiber::new(64 * 1024, move |h| {
         for _ in 0..iters {
@@ -103,28 +93,33 @@ fn fiber_switch_ns(iters: u64) -> f64 {
 }
 
 fn main() {
-    println!("\nThread-object constants (measured):");
+    println!("\nThread-object constants (measured, per backend):");
+    for &backend in CthBackend::available() {
+        // The handoff backend's constants are 2–3 orders slower; keep
+        // its iteration budget proportionate.
+        let scale = match backend {
+            CthBackend::Fiber => 1,
+            CthBackend::Handoff => 20,
+        };
+        println!("  [{}]", backend.label());
+        println!(
+            "    context switch (yield pair)    : {:>8.0} ns",
+            yield_pair_ns(backend, 10_000 / scale)
+        );
+        println!(
+            "    create + run + exit            : {:>8.0} ns",
+            create_run_exit_ns(backend, 2_000 / scale)
+        );
+        println!(
+            "    csd-scheduled wakeup (tSM path): {:>8.0} ns",
+            scheduled_wakeup_ns(backend, 100_000 / scale)
+        );
+    }
     println!(
-        "  context switch (yield pair)    : {:>8.0} ns",
-        yield_pair_ns(10_000)
-    );
-    println!(
-        "  create + run + exit            : {:>8.0} ns",
-        create_run_exit_ns(1_000)
-    );
-    println!(
-        "  csd-scheduled wakeup (tSM path): {:>8.0} ns",
-        scheduled_wakeup_ns(10_000)
-    );
-    println!(
-        "  same wakeup on the fiber runtime: {:>7.0} ns",
-        fiber_rt_wakeup_ns(200_000)
-    );
-    println!(
-        "  fiber switch (converse-fiber)  : {:>8.1} ns  ← the 1996 mechanism's class",
+        "  fiber switch (converse-fiber)    : {:>8.1} ns  ← the 1996 mechanism's class",
         fiber_switch_ns(2_000_000)
     );
     println!("  (paper's setjmp/longjmp switch was ~100 ns-class on 1995 CPUs; the");
-    println!("   hand-off substitution trades the constant, not the shape — and the");
-    println!("   fiber prototype shows the native constant is reachable in Rust)");
+    println!("   fiber backend is the default where supported, the OS hand-off is");
+    println!("   the portable fallback — same API, same semantics, different constant)");
 }

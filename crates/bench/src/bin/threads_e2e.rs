@@ -1,0 +1,322 @@
+//! End-to-end thread-path scorecard (paper §5's thread-overhead table).
+//!
+//! The fiber backend's claim is that the paper's ~100 ns-class context
+//! switch survives **integration**: not just the raw register switch
+//! (see the `threads_switch` bench) but the full paths a threaded
+//! runtime actually exercises — Csd-scheduled wakeups, tSM blocking
+//! produce/consume round-trips, and N-thread ping rings. Each workload
+//! runs on both backends and emits `BENCH_threads.json` rows in the
+//! hand-off-vs-fiber (before/after) shape:
+//!
+//! * `csd_wakeup` — suspend-to-scheduler, resume-by-generalized-message:
+//!   the path tSM receives take. Acceptance: fiber p50 ≤ 1 µs.
+//! * `tsm_roundtrip` — two tSM threads ping-ponging tagged messages
+//!   through blocking `trecv`: the §3.2.2 produce/consume pattern.
+//!   Acceptance: fiber ≥ 5× faster than hand-off.
+//! * `ring_switch` — N threads yielding in a ring, N ∈ {2, 16, 128}:
+//!   suspension must cost a constant independent of thread count.
+//!
+//! Backends are sampled in **alternating** runs (one fresh machine per
+//! sample) so slow machine-state drift biases both the same way; each
+//! row reports the median of its samples.
+//!
+//! The run also regression-gates itself against the checked-in
+//! `BENCH_threads.json`: if the fiber `csd_wakeup` p50 exceeds the
+//! baseline by >25% the process exits non-zero (CI fails). Set
+//! `THREADS_GATE=off` to skip the gate (e.g. when re-baselining on new
+//! hardware).
+//!
+//! ```sh
+//! cargo run --release -p converse-bench --bin threads_e2e
+//! ```
+
+use converse_bench::run_timed_with;
+use converse_core::MachineConfig;
+use converse_sm::{Sm, ANY};
+use converse_threads::{cth_awaken, cth_create, cth_resume, cth_yield, CthBackend, CthRuntime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Median over this many alternating-backend samples per row.
+const SAMPLES: usize = 9;
+/// Ring sizes for the N-thread rotation rows.
+const RING_THREADS: [u64; 3] = [2, 16, 128];
+
+fn cfg(backend: CthBackend) -> MachineConfig {
+    MachineConfig::new(1).thread_backend(backend.to_config())
+}
+
+/// Iteration budget per sample: the hand-off backend's constants are
+/// 2–3 orders slower, so it gets a proportionately smaller budget.
+fn budget(backend: CthBackend, fiber_iters: u64) -> u64 {
+    match backend {
+        CthBackend::Fiber => fiber_iters,
+        CthBackend::Handoff => (fiber_iters / 25).max(64),
+    }
+}
+
+/// One sample of the Csd-scheduled wakeup path: a thread under the Csd
+/// strategy yields `iters` times; every wakeup is a generalized message
+/// through the scheduler queue. Returns ns per wakeup.
+fn csd_wakeup_sample(backend: CthBackend) -> u64 {
+    let iters = budget(backend, 20_000);
+    let d = run_timed_with(cfg(backend), move |pe| {
+        let rt = CthRuntime::get(pe);
+        let done = Arc::new(AtomicU64::new(0));
+        let d2 = done.clone();
+        rt.spawn_scheduled(pe, move |pe| {
+            for _ in 0..iters {
+                cth_yield(pe);
+            }
+            d2.store(1, Ordering::SeqCst);
+            converse_core::csd_exit_scheduler(pe);
+        });
+        let t0 = Instant::now();
+        converse_core::csd_scheduler(pe, -1);
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        Some(t0.elapsed())
+    });
+    d.as_nanos() as u64 / iters
+}
+
+/// One sample of the tSM produce/consume round-trip: a producer thread
+/// sends a tagged message and blocks for the ack; a consumer thread
+/// blocks for the request and acks it. Both receives are `trecv` —
+/// suspend under the Csd strategy, awaken from the message handler.
+/// Returns ns per round-trip.
+fn tsm_roundtrip_sample(backend: CthBackend) -> u64 {
+    let iters = budget(backend, 4_000);
+    let d = run_timed_with(cfg(backend), move |pe| {
+        let sm = Sm::install(pe);
+        const REQ: i32 = 1;
+        const ACK: i32 = 2;
+        let sm_c = sm.clone();
+        sm.tspawn(pe, move |pe| {
+            for _ in 0..iters {
+                let m = sm_c.trecv(pe, REQ, ANY);
+                sm_c.send(pe, 0, ACK, &m.data);
+            }
+        });
+        let sm_p = sm.clone();
+        sm.tspawn(pe, move |pe| {
+            for i in 0..iters {
+                sm_p.send(pe, 0, REQ, &i.to_le_bytes());
+                let m = sm_p.trecv(pe, ACK, ANY);
+                assert_eq!(m.data, i.to_le_bytes());
+            }
+            converse_core::csd_exit_scheduler(pe);
+        });
+        let t0 = Instant::now();
+        converse_core::csd_scheduler(pe, -1);
+        Some(t0.elapsed())
+    });
+    d.as_nanos() as u64 / iters
+}
+
+/// One sample of the N-thread ping ring: `threads` threads in the
+/// default ready pool, each yielding `laps` times — the pool rotates
+/// them in FIFO order, so every switch is a direct handoff to the next
+/// ring member. Returns ns per switch.
+fn ring_switch_sample(backend: CthBackend, threads: u64) -> u64 {
+    let laps = budget(backend, 25_000 / threads.max(1)).max(8);
+    let total = threads * laps;
+    let d = run_timed_with(cfg(backend), move |pe| {
+        let ts: Vec<_> = (0..threads)
+            .map(|_| {
+                cth_create(pe, move |pe| {
+                    for _ in 0..laps {
+                        cth_yield(pe);
+                    }
+                })
+            })
+            .collect();
+        for t in &ts[1..] {
+            cth_awaken(pe, t);
+        }
+        let t0 = Instant::now();
+        cth_resume(pe, &ts[0]);
+        assert!(ts.iter().all(|t| t.is_exited()));
+        Some(t0.elapsed())
+    });
+    d.as_nanos() as u64 / total
+}
+
+fn median(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Collect `SAMPLES` per backend in alternating order and return the
+/// per-backend medians as `(handoff_p50, fiber_p50)`.
+fn measure_pair(mut sample: impl FnMut(CthBackend) -> u64) -> (u64, u64) {
+    let mut fiber = Vec::with_capacity(SAMPLES);
+    let mut handoff = Vec::with_capacity(SAMPLES);
+    // Warm-up: one throwaway sample per backend (allocator, page cache).
+    sample(CthBackend::Fiber);
+    sample(CthBackend::Handoff);
+    for s in 0..SAMPLES {
+        if s % 2 == 0 {
+            fiber.push(sample(CthBackend::Fiber));
+            handoff.push(sample(CthBackend::Handoff));
+        } else {
+            handoff.push(sample(CthBackend::Handoff));
+            fiber.push(sample(CthBackend::Fiber));
+        }
+    }
+    (median(handoff), median(fiber))
+}
+
+struct Row {
+    kind: &'static str,
+    threads: u64,
+    /// Hand-off backend p50 — the "before" column.
+    handoff: u64,
+    /// Fiber backend p50 — the "after" column.
+    fiber: u64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.handoff as f64 / self.fiber as f64
+    }
+}
+
+/// One result object per line so the gate (and CI diffing) can parse
+/// the checked-in file with line-based matching, no JSON parser needed.
+fn render_json(rows: &[Row]) -> String {
+    let mut s = String::from("{\n  \"bench\": \"threads_e2e\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"threads\": {}, \"unit\": \"ns_p50\", \"handoff\": {}, \"fiber\": {}, \"speedup\": {:.1}}}{}\n",
+            r.kind,
+            r.threads,
+            r.handoff,
+            r.fiber,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Pull the fiber `csd_wakeup` p50 out of the checked-in baseline.
+fn baseline_fiber_wakeup(text: &str) -> Option<f64> {
+    for line in text.lines() {
+        if !line.contains("\"kind\": \"csd_wakeup\"") {
+            continue;
+        }
+        let pat = "\"fiber\": ";
+        let at = line.find(pat)? + pat.len();
+        let rest = &line[at..];
+        let end = rest
+            .find(|c: char| c != '.' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        return rest[..end].parse().ok();
+    }
+    None
+}
+
+fn main() {
+    if !CthBackend::fiber_supported() {
+        // The scorecard is a fiber-vs-handoff comparison; without the
+        // fiber backend there is nothing to compare or to gate.
+        println!("threads_e2e: fiber backend unsupported on this target; skipping");
+        return;
+    }
+    let gate_on = std::env::var("THREADS_GATE")
+        .map(|v| v != "off")
+        .unwrap_or(true);
+    let baseline = std::fs::read_to_string("BENCH_threads.json").ok();
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    println!("thread path end-to-end: hand-off backend vs fiber backend");
+    println!(
+        "{:>14} {:>8} {:>12} {:>12} {:>8}",
+        "workload", "threads", "handoff p50", "fiber p50", "speedup"
+    );
+
+    let (h, f) = measure_pair(csd_wakeup_sample);
+    rows.push(Row {
+        kind: "csd_wakeup",
+        threads: 1,
+        handoff: h,
+        fiber: f,
+    });
+    let (h, f) = measure_pair(tsm_roundtrip_sample);
+    rows.push(Row {
+        kind: "tsm_roundtrip",
+        threads: 2,
+        handoff: h,
+        fiber: f,
+    });
+    for threads in RING_THREADS {
+        let (h, f) = measure_pair(|b| ring_switch_sample(b, threads));
+        rows.push(Row {
+            kind: "ring_switch",
+            threads,
+            handoff: h,
+            fiber: f,
+        });
+    }
+    for r in &rows {
+        println!(
+            "{:>14} {:>8} {:>10}ns {:>10}ns {:>7.1}x",
+            r.kind,
+            r.threads,
+            r.handoff,
+            r.fiber,
+            r.speedup()
+        );
+    }
+
+    // Acceptance: the integrated fiber wakeup stays in the paper's
+    // sub-microsecond class, and the threaded-receive round-trip beats
+    // the portable fallback by at least 5x.
+    let wakeup = rows.iter().find(|r| r.kind == "csd_wakeup").unwrap();
+    assert!(
+        wakeup.fiber <= 1_000,
+        "fiber csd wakeup p50 {} ns above the 1 us acceptance ceiling",
+        wakeup.fiber
+    );
+    let tsm = rows.iter().find(|r| r.kind == "tsm_roundtrip").unwrap();
+    assert!(
+        tsm.speedup() >= 5.0,
+        "tSM round-trip speedup {:.1}x below the 5x acceptance floor",
+        tsm.speedup()
+    );
+
+    // Regression gate against the checked-in baseline (fresh fiber
+    // wakeup p50 vs baseline, 25% tolerance).
+    let mut gate_failed = false;
+    if let Some(base) = baseline.as_deref().and_then(baseline_fiber_wakeup) {
+        let fresh = wakeup.fiber as f64;
+        let limit = base * 1.25;
+        if fresh > limit {
+            eprintln!(
+                "GATE: fiber csd wakeup p50 {fresh:.0} ns exceeds baseline {base:.0} ns by >25%"
+            );
+            gate_failed = true;
+        } else {
+            println!(
+                "gate ok: fiber csd wakeup p50 {fresh:.0} ns <= {limit:.0} ns (baseline {base:.0} ns + 25%)"
+            );
+        }
+    } else {
+        println!("no checked-in BENCH_threads.json baseline; gate skipped (first run)");
+    }
+
+    std::fs::write("BENCH_threads.json", render_json(&rows)).expect("write BENCH_threads.json");
+    println!("\nwrote BENCH_threads.json ({} rows)", rows.len());
+
+    if gate_failed {
+        if gate_on {
+            eprintln!("fiber wakeup regression gate FAILED (set THREADS_GATE=off to re-baseline)");
+            std::process::exit(1);
+        } else {
+            println!("gate failures ignored: THREADS_GATE=off");
+        }
+    }
+}

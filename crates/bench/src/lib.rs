@@ -24,7 +24,7 @@
 
 pub mod ccs_load;
 
-use converse_core::{csd_scheduler, run, Message, Pe};
+use converse_core::{csd_scheduler, run, run_with, MachineConfig, Message, Pe};
 use converse_msg::HEADER_BYTES;
 pub use converse_net::NetModel;
 use converse_queue::QueueingMode;
@@ -48,6 +48,23 @@ where
     let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
     let o2 = out.clone();
     run(num_pes, move |pe| {
+        if let Some(d) = f(pe) {
+            *o2.lock() = d;
+        }
+    });
+    let d = *out.lock();
+    d
+}
+
+/// [`run_timed`] with an explicit machine configuration (thread backend,
+/// queue kind, …).
+pub fn run_timed_with<F>(cfg: MachineConfig, f: F) -> Duration
+where
+    F: Fn(&Pe) -> Option<Duration> + Send + Sync + 'static,
+{
+    let out = Arc::new(parking_lot::Mutex::new(Duration::ZERO));
+    let o2 = out.clone();
+    run_with(cfg, move |pe| {
         if let Some(d) = f(pe) {
             *o2.lock() = d;
         }

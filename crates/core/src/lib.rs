@@ -26,7 +26,7 @@ pub mod csd;
 pub mod quiescence;
 
 pub use converse_machine::{
-    run, run_with, HandlerId, MachineConfig, Message, Pe, QueueKind, RunReport,
+    run, run_with, HandlerId, MachineConfig, Message, Pe, QueueKind, RunReport, ThreadBackend,
 };
 pub use converse_queue::QueueingMode;
 pub use csd::{

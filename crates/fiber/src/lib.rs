@@ -4,16 +4,18 @@
 //! The paper's thread object "is primarily implemented through the C
 //! language calls to `setjmp` and `longjmp` which allow state
 //! information (program counter, stack pointer and registers) to be
-//! *saved* and later *jumped* to" (§3.2.2). The main `converse-threads`
-//! crate substitutes hand-off OS threads for safety (see its module
-//! docs); this crate is the **measured prototype of the original
-//! mechanism**: a minimal stackful coroutine whose context switch saves
+//! *saved* and later *jumped* to" (§3.2.2). This crate is that
+//! mechanism: a minimal stackful coroutine whose context switch saves
 //! and restores exactly the System-V callee-saved register set — the
 //! same work `setjmp`/`longjmp` did — in ~10 ns on a modern x86-64
 //! core, i.e. the "native-class" constant the 1996 implementation paid.
+//! It is the engine of the **default** (`fiber`) backend of
+//! `converse-threads`; the hand-off OS-thread backend remains as the
+//! portable fallback on targets this crate does not support.
 //!
-//! The `threads_switch` bench reports this constant next to the hand-off
-//! substitute's, closing the loop on the substitution note in DESIGN.md.
+//! The `threads_switch` bench reports this constant next to the
+//! hand-off fallback's, closing the loop on the substitution note in
+//! DESIGN.md.
 //!
 //! # Safety model
 //!
@@ -94,8 +96,9 @@ enum State {
 type Entry = Box<dyn FnOnce(&FiberHandle)>;
 
 struct FiberInner {
-    /// The fiber's stack (kept alive for the fiber's lifetime).
-    _stack: Box<[u8]>,
+    /// The fiber's stack (kept alive for the fiber's lifetime; `None`
+    /// only after [`Fiber::take_stack`] reclaimed it).
+    stack: Option<Box<[u8]>>,
     /// Saved rsp of the fiber while it is suspended.
     fiber_rsp: UnsafeCell<*mut u8>,
     /// Saved rsp of the resumer while the fiber runs.
@@ -182,7 +185,20 @@ impl Fiber {
         F: FnOnce(&FiberHandle) + 'static,
     {
         let stack_size = stack_size.max(4096);
-        let mut stack = vec![0u8; stack_size].into_boxed_slice();
+        Fiber::with_stack(vec![0u8; stack_size].into_boxed_slice(), f)
+    }
+
+    /// Create a fiber on a caller-provided stack — the pooling entry
+    /// point: a stack reclaimed from a finished fiber via
+    /// [`Fiber::take_stack`] can be handed straight back in, skipping
+    /// the allocation (and zeroing) [`Fiber::new`] pays per fiber.
+    /// Panics if the stack is smaller than 4 KiB.
+    pub fn with_stack<F>(mut stack: Box<[u8]>, f: F) -> Fiber
+    where
+        F: FnOnce(&FiberHandle) + 'static,
+    {
+        let stack_size = stack.len();
+        assert!(stack_size >= 4096, "fiber stack must be at least 4 KiB");
         // Highest 16-aligned address within the stack.
         let top = {
             let end = stack.as_mut_ptr() as usize + stack_size;
@@ -204,7 +220,7 @@ impl Fiber {
                 *regs_base.add(i) = 0;
             }
             let inner = Box::new(FiberInner {
-                _stack: stack,
+                stack: Some(stack),
                 fiber_rsp: UnsafeCell::new(regs_base as *mut u8),
                 caller_rsp: UnsafeCell::new(std::ptr::null_mut()),
                 state: Cell::new(State::Suspended),
@@ -243,6 +259,20 @@ impl Fiber {
     /// True once the fiber's closure has returned.
     pub fn is_done(&self) -> bool {
         self.inner.state.get() == State::Done
+    }
+
+    /// Reclaim the stack of a **finished** fiber for reuse (feed it back
+    /// to [`Fiber::with_stack`]). Returns `None` for a fiber that has
+    /// not run to completion: a suspended fiber's stack still holds live
+    /// frames, and taking it out from under them would be unsound — the
+    /// caller must either resume the fiber to completion first or accept
+    /// the documented dropped-while-suspended leak.
+    pub fn take_stack(mut self) -> Option<Box<[u8]>> {
+        if self.inner.state.get() == State::Done {
+            self.inner.stack.take()
+        } else {
+            None
+        }
     }
 }
 
@@ -360,6 +390,60 @@ mod tests {
             resumes += 1;
         }
         assert_eq!(resumes, 1000);
+    }
+
+    #[test]
+    fn finished_fiber_stack_is_reusable() {
+        let mut f = Fiber::new(32 * 1024, |h| h.yield_now());
+        assert!(f.resume());
+        assert!(!f.resume());
+        let stack = f.take_stack().expect("finished fiber yields its stack");
+        assert_eq!(stack.len(), 32 * 1024);
+        // The reclaimed (dirty, un-zeroed) stack must host a new fiber
+        // correctly: nothing in the mechanism depends on fresh zeroes.
+        let out = Rc::new(Cell::new(0u64));
+        let o2 = out.clone();
+        let mut g = Fiber::with_stack(stack, move |h| {
+            let mut acc = [1u64; 16];
+            h.yield_now();
+            for (i, a) in acc.iter_mut().enumerate() {
+                *a += i as u64;
+            }
+            o2.set(acc.iter().sum());
+        });
+        while g.resume() {}
+        assert_eq!(out.get(), 16 + (15 * 16 / 2));
+    }
+
+    #[test]
+    fn suspended_fiber_refuses_to_give_up_its_stack() {
+        let mut f = Fiber::new(32 * 1024, |h| h.yield_now());
+        assert!(f.resume(), "suspended at the yield");
+        assert!(
+            f.take_stack().is_none(),
+            "a suspended fiber's stack holds live frames and must not be reclaimed"
+        );
+    }
+
+    #[test]
+    fn dropping_suspended_fiber_leaks_stack_contents() {
+        // Pins the documented caveat: destructors on a dropped suspended
+        // fiber's stack do NOT run, exactly like discarding a `setjmp`
+        // context in 1996. If this test ever fails, the caveat in the
+        // crate docs (and docs/API.md) no longer holds.
+        let alive = Rc::new(());
+        let a2 = alive.clone();
+        let mut f = Fiber::new(32 * 1024, move |h| {
+            let _hold = a2;
+            h.yield_now();
+        });
+        assert!(f.resume(), "suspended with the Rc live on its stack");
+        drop(f);
+        assert_eq!(
+            Rc::strong_count(&alive),
+            2,
+            "the clone on the dropped stack was leaked, not dropped"
+        );
     }
 
     #[test]

@@ -41,4 +41,6 @@ pub use converse_net::{
 };
 pub use exo::{ExoReply, ExoToken, MachineHandle, MachineService, ReplySink};
 pub use pe::{Handler, Pe};
-pub use run::{default_idle_spin, run, run_with, MachineConfig, QueueKind, RunReport};
+pub use run::{
+    default_idle_spin, run, run_with, MachineConfig, QueueKind, RunReport, ThreadBackend,
+};

@@ -97,6 +97,27 @@ fn make_queue(kind: QueueKind) -> Box<dyn SchedulingQueue> {
     }
 }
 
+/// Which mechanism backs the thread objects (`cth_*`) of a machine.
+///
+/// The machine layer only carries the choice; `converse-threads`
+/// interprets it. `Auto` (the default) lets the thread runtime pick:
+/// the fiber backend where supported (x86-64 SysV), the hand-off
+/// OS-thread backend elsewhere, with a `CTH_BACKEND` environment
+/// override (`"fiber"` / `"handoff"`) honoured only under `Auto` so an
+/// explicit per-machine configuration always wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThreadBackend {
+    /// Runtime's choice: fiber where supported, else hand-off;
+    /// `CTH_BACKEND` may override.
+    #[default]
+    Auto,
+    /// Stackful user-level fibers (~20 ns switch). Falls back to
+    /// hand-off on targets without fiber support.
+    Fiber,
+    /// Hand-off OS threads (portable fallback, ~10 µs switch).
+    Handoff,
+}
+
 /// Machine-wide state shared by all PEs of one [`crate::run`] invocation.
 pub(crate) struct MachineShared {
     pub console: Console,
@@ -111,6 +132,9 @@ pub(crate) struct MachineShared {
     pub idle_spin: u32,
     /// External-request gateway state (reply sink, service count).
     pub exo: crate::exo::ExoState,
+    /// Thread-object backend requested for this machine
+    /// (`MachineConfig::thread_backend`).
+    pub thread_backend: ThreadBackend,
 }
 
 /// One logical processor of the simulated machine.
@@ -232,6 +256,13 @@ impl Pe {
                 None => break,
             }
         }
+    }
+
+    /// The thread-object backend requested for this machine
+    /// (`MachineConfig::thread_backend`; default [`ThreadBackend::Auto`]).
+    /// The thread runtime resolves `Auto` on first use.
+    pub fn thread_backend(&self) -> ThreadBackend {
+        self.shared.thread_backend
     }
 
     /// Mark the whole machine as failed and wake every blocked context.

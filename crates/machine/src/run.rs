@@ -12,8 +12,8 @@
 //! instead of hanging; the first panic is re-raised to the caller.
 
 use crate::exo::{MachineHandle, MachineService};
-pub use crate::pe::QueueKind;
 use crate::pe::{MachineShared, Pe};
+pub use crate::pe::{QueueKind, ThreadBackend};
 use converse_net::{DeliveryMode, FaultPlan, FaultStats, Interconnect, PeTraffic};
 use converse_trace::{NullSink, TraceSink};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -55,6 +55,10 @@ pub struct MachineConfig {
     /// bounded by this run: started before the PEs boot, stopped after
     /// every PE joined — on the panic path too.
     pub services: Vec<Box<dyn MachineService>>,
+    /// Which backend implements thread objects (`cth_*`); see
+    /// [`ThreadBackend`]. `Auto` (default) = fiber where supported,
+    /// subject to the `CTH_BACKEND` environment override.
+    pub thread_backend: ThreadBackend,
 }
 
 /// Host-appropriate idle-spin default: 160 depth probes when real
@@ -84,6 +88,7 @@ impl MachineConfig {
             block_timeout: Duration::from_secs(30),
             idle_spin: default_idle_spin(),
             services: Vec::new(),
+            thread_backend: ThreadBackend::Auto,
         }
     }
 
@@ -132,6 +137,14 @@ impl MachineConfig {
     /// Change the idle-policy spin budget (`0` = park immediately).
     pub fn idle_spin(mut self, probes: u32) -> Self {
         self.idle_spin = probes;
+        self
+    }
+
+    /// Pin the thread-object backend for this machine (overrides the
+    /// `CTH_BACKEND` environment variable, which only applies under
+    /// [`ThreadBackend::Auto`]).
+    pub fn thread_backend(mut self, b: ThreadBackend) -> Self {
+        self.thread_backend = b;
         self
     }
 
@@ -213,6 +226,7 @@ where
         block_timeout: cfg.block_timeout,
         idle_spin: cfg.idle_spin,
         exo: crate::exo::ExoState::default(),
+        thread_backend: cfg.thread_backend,
     });
     let mut services = std::mem::take(&mut cfg.services);
     shared.exo.services.store(services.len(), Ordering::Release);

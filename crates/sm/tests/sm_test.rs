@@ -1,8 +1,14 @@
 //! SM/tSM behaviour: SPM blocking receive, tag matching, threaded
 //! receive overlap, and the PVM/NX facades.
+//!
+//! The tSM tests (thread-blocking receives) run on **each available
+//! thread backend** via [`run_on_each_backend`]: tSM is written purely
+//! against the `cth_*` API and must behave identically on fibers and on
+//! hand-off OS threads.
 
 use converse_core::{csd_scheduler, csd_scheduler_until_idle, run};
 use converse_sm::{nx, pvm, Sm, ANY};
+use converse_threads::run_on_each_backend;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -93,7 +99,7 @@ fn threaded_recv_overlaps_with_other_threads() {
     // Two tSM threads on PE0 block on different tags; messages arrive in
     // the opposite order; both complete — the scheduler interleaves them
     // (the paper's "maximal overlap" motivation for implicit control).
-    run(2, |pe| {
+    run_on_each_backend(2, |pe| {
         let sm = Sm::install(pe);
         let log = pe.local(|| Mutex::new(Vec::<i32>::new()));
         pe.barrier();
@@ -125,7 +131,7 @@ fn threaded_recv_overlaps_with_other_threads() {
 
 #[test]
 fn trecv_finds_already_buffered_message() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let sm = Sm::install(pe);
         sm.send(pe, 0, 7, b"early");
         // Deliver it into the mailbox via the scheduler.
@@ -148,7 +154,7 @@ fn trecv_finds_already_buffered_message() {
 fn many_threads_tagged_pipeline() {
     // A ring of tSM threads on one PE: thread i waits for tag i, then
     // sends tag i+1. Exercises waiter bookkeeping under load.
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let sm = Sm::install(pe);
         let n = 30i32;
         let done = Arc::new(AtomicU64::new(0));
@@ -209,7 +215,7 @@ fn nx_facade_type_matching() {
 
 #[test]
 fn pvm_recv_inside_thread_uses_threaded_path() {
-    run(2, |pe| {
+    run_on_each_backend(2, |pe| {
         let sm = Sm::install(pe);
         pe.barrier();
         if pe.my_pe() == 0 {

@@ -1,14 +1,18 @@
 //! Lock/condition-variable/barrier semantics among cooperative threads.
+//!
+//! Every semantic test runs on **each available thread backend** (fiber
+//! and hand-off) via [`run_on_each_backend`]: the synchronization layer
+//! sits purely on the `cth_*` API and must not notice the mechanism.
 
 use converse_core::{csd_scheduler_until_idle, run};
 use converse_sync::{CtsBarrier, CtsCondn, CtsLock};
-use converse_threads::{cth_awaken, cth_create, cth_resume, CthRuntime};
+use converse_threads::{cth_awaken, cth_create, cth_resume, run_on_each_backend, CthRuntime};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
 #[test]
 fn trylock_and_unlock_from_main_context() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let lock = CtsLock::new();
         assert!(lock.try_lock(pe));
         assert_eq!(lock.owner(), Some(0), "main context is owner 0");
@@ -20,7 +24,7 @@ fn trylock_and_unlock_from_main_context() {
 
 #[test]
 fn unlock_by_non_owner_is_error() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let lock = CtsLock::new();
         let err = lock.unlock(pe).unwrap_err();
         assert_eq!(err.owner, None);
@@ -38,7 +42,7 @@ fn unlock_by_non_owner_is_error() {
 
 #[test]
 fn contended_lock_hands_off_in_arrival_order() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let rt = CthRuntime::get(pe);
         let lock = CtsLock::new();
         let log = Arc::new(Mutex::new(Vec::<u32>::new()));
@@ -73,7 +77,7 @@ fn contended_lock_hands_off_in_arrival_order() {
 fn lock_critical_section_is_exclusive() {
     // Threads increment a naive counter with deliberate yields inside
     // the critical section; the lock must serialize them.
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let rt = CthRuntime::get(pe);
         let lock = CtsLock::new();
         let counter = Arc::new(Mutex::new(0u64));
@@ -97,7 +101,7 @@ fn lock_critical_section_is_exclusive() {
 
 #[test]
 fn condn_signal_releases_in_order() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let rt = CthRuntime::get(pe);
         let cv = CtsCondn::new();
         let log = Arc::new(Mutex::new(Vec::<u32>::new()));
@@ -125,7 +129,7 @@ fn condn_signal_releases_in_order() {
 
 #[test]
 fn condn_reinit_awakens_everyone() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let rt = CthRuntime::get(pe);
         let cv = CtsCondn::new();
         let released = Arc::new(Mutex::new(0u32));
@@ -146,7 +150,7 @@ fn condn_reinit_awakens_everyone() {
 
 #[test]
 fn barrier_kth_wait_broadcasts() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let rt = CthRuntime::get(pe);
         let bar = CtsBarrier::new(4);
         let log = Arc::new(Mutex::new(Vec::<(u32, &'static str)>::new()));
@@ -175,7 +179,7 @@ fn barrier_kth_wait_broadcasts() {
 
 #[test]
 fn barrier_is_reusable_across_phases() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let rt = CthRuntime::get(pe);
         let bar = CtsBarrier::new(3);
         let phase_log = Arc::new(Mutex::new(Vec::<(u32, u32)>::new()));
@@ -205,7 +209,7 @@ fn barrier_is_reusable_across_phases() {
 
 #[test]
 fn barrier_reinit_frees_waiters() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let rt = CthRuntime::get(pe);
         let bar = CtsBarrier::new(10); // more than will ever arrive
         let freed = Arc::new(Mutex::new(0u32));
@@ -242,7 +246,7 @@ fn main_context_blocking_panics_with_guidance() {
 #[test]
 fn producer_consumer_with_lock_and_condn() {
     // The classic pattern: bounded buffer with a lock + two condvars.
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let rt = CthRuntime::get(pe);
         let lock = CtsLock::new();
         let not_empty = CtsCondn::new();
@@ -303,7 +307,7 @@ fn producer_consumer_with_lock_and_condn() {
 fn lock_waiter_awakened_through_ready_pool_strategy() {
     // Default-strategy threads (manual resume, ready pool) also work
     // with the lock's hand-off.
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let lock = CtsLock::new();
         let log = Arc::new(Mutex::new(Vec::<u8>::new()));
         let (la, ga) = (lock.clone(), log.clone());

@@ -16,17 +16,40 @@
 //! ([`cth_set_strategy`]) through which "each module can control the
 //! order in which its own threads are scheduled".
 //!
-//! # Substitution note (user-level → hand-off OS threads)
+//! # Backends
 //!
 //! The 1996 implementation multiplexes user-level stacks with
-//! `setjmp`/`longjmp`. Safe Rust cannot re-point the stack pointer, so a
-//! thread object here owns a real OS thread gated by a hand-off token:
-//! **exactly one context per PE runs at any instant**, transfers of
-//! control are explicit, and every semantic property of the thread
-//! object (own stack, cooperative scheduling, pluggable awaken/suspend
-//! strategy, integration with the Csd scheduler as a generalized
-//! message) is preserved. Only the context-switch constant differs
-//! (~µs instead of ~100 ns); EXPERIMENTS.md reports it honestly.
+//! `setjmp`/`longjmp` (~100 ns per switch). Two interchangeable backends
+//! implement the same API here ([`CthBackend`]):
+//!
+//! * **`fiber`** (the default where supported: x86-64 System-V) — each
+//!   thread object is a stackful [`converse_fiber::Fiber`]: a context
+//!   switch saves/restores the callee-saved register set in ~20 ns, the
+//!   same constant class the paper paid. Thread stacks come from a
+//!   per-PE size-classed **stack pool** (create-run-exit reuses a hot
+//!   stack instead of allocating; see [`CthRuntime::stack_pool_stats`]),
+//!   and [`cth_suspend`] with a ready successor switches **directly** to
+//!   it without bouncing through the Csd queue (the direct-handoff fast
+//!   path; per-thread strategies are consulted as always).
+//! * **`handoff`** (portable fallback) — a thread object owns a real OS
+//!   thread gated by a hand-off token: exactly one context per PE runs
+//!   at any instant. Every semantic property is identical; only the
+//!   constant differs (~10 µs per switch).
+//!
+//! Selection: [`converse_machine::MachineConfig::thread_backend`] pins a
+//! backend per machine; under the default `Auto`, the `CTH_BACKEND`
+//! environment variable (`"fiber"` / `"handoff"`) overrides, else the
+//! fiber backend is chosen where supported. Requesting `fiber` on an
+//! unsupported target silently falls back to `handoff`, so portable code
+//! never breaks.
+//!
+//! One caveat is inherited from the mechanism itself (and pinned by a
+//! test in `converse-fiber`): a fiber-backed thread that is **dropped
+//! while suspended leaks whatever is live on its stack** — destructors
+//! do not run, exactly like discarding a `setjmp` context in 1996. The
+//! runtime never does this on its own: machine teardown *poisons*
+//! still-suspended threads, which unwinds their stacks and reclaims
+//! them into the pool.
 //!
 //! # Scheduler integration
 //!
@@ -34,14 +57,12 @@
 //! awakening it enqueues a generalized message whose handler resumes the
 //! thread — the unification of threads and messages the paper's design
 //! rests on (§3.1.1: a generalized message can be "a scheduler entry for
-//! a ready thread").
-
-#[cfg(all(target_arch = "x86_64", unix))]
-pub mod fibers;
+//! a ready thread"). This holds on both backends: the generalized
+//! message format and the Csd queue are backend-independent.
 
 use converse_core::csd;
-use converse_machine::{HandlerId, Message, Pe};
-use converse_msg::{pack::Packer, pack::Unpacker, Priority};
+use converse_machine::{HandlerId, Message, Pe, ThreadBackend};
+use converse_msg::{pack::Unpacker, Priority};
 use converse_queue::QueueingMode;
 use converse_trace::Event;
 use parking_lot::{Condvar, Mutex};
@@ -67,9 +88,10 @@ pub type AwakenFn = Box<dyn FnMut(&Pe, Thread) + Send>;
 pub type SuspendFn = Box<dyn FnMut(&Pe) -> Option<Thread> + Send>;
 
 enum State {
-    /// Created, no OS thread yet; holds the entry function.
+    /// Created, no execution context yet; holds the entry function.
     NotStarted(Option<Entry>),
-    /// Suspended: the OS thread is blocked on the hand-off condvar.
+    /// Suspended: fiber parked in the runtime map, or OS thread blocked
+    /// on the hand-off condvar.
     Parked,
     /// This context currently holds the PE's run token.
     Running,
@@ -82,9 +104,17 @@ enum State {
 struct Inner {
     id: u64,
     state: Mutex<State>,
+    /// Hand-off backend only: the condvar the owning OS thread parks on.
     cv: Condvar,
+    /// `None` = the default ready-pool strategy (the common case pays no
+    /// boxed-closure indirection on the switch path).
     strategy: Mutex<Option<Strategy>>,
     stack_size: usize,
+    /// Fiber backend only: the running fiber's yield handle
+    /// (`*const FiberHandle` as usize; 0 while not on a fiber stack).
+    /// Only dereferenced from the fiber itself, where it is valid by
+    /// construction.
+    handle: AtomicU64,
 }
 
 /// How a thread is awakened and what runs when it suspends
@@ -137,8 +167,117 @@ impl Eq for Thread {}
 /// Default stack size for thread objects (`STACKSIZE`).
 pub const DEFAULT_STACK_SIZE: usize = 256 * 1024;
 
+/// Identity hasher for runtime-assigned thread ids: they are already
+/// unique sequential u64s, so SipHash buys nothing on the switch path.
+#[derive(Default)]
+struct TidHasher(u64);
+
+impl std::hash::Hasher for TidHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("thread ids hash via write_u64")
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type TidBuild = std::hash::BuildHasherDefault<TidHasher>;
+
+/// How often a [`Event::ThreadSwitch`] record is emitted: one per this
+/// many context switches. A fiber switch is ~20 ns; recording each one
+/// would dwarf the thing being measured.
+const SWITCH_SAMPLE: u64 = 32;
+
+/// The mechanism backing the thread objects of one PE's runtime — the
+/// *resolved* form of [`converse_machine::ThreadBackend`] (no `Auto`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CthBackend {
+    /// Stackful user-level fibers (x86-64 SysV): ~20 ns switch, pooled
+    /// stacks, direct-handoff suspend fast path.
+    Fiber,
+    /// Hand-off OS threads: portable, ~10 µs switch.
+    Handoff,
+}
+
+impl CthBackend {
+    /// Short lowercase label (`"fiber"` / `"handoff"`), as used in
+    /// [`Event::ThreadSwitch`] and the `CTH_BACKEND` variable.
+    pub fn label(self) -> &'static str {
+        match self {
+            CthBackend::Fiber => "fiber",
+            CthBackend::Handoff => "handoff",
+        }
+    }
+
+    /// True when this build target supports the fiber backend.
+    pub fn fiber_supported() -> bool {
+        cfg!(all(target_arch = "x86_64", unix))
+    }
+
+    /// The backends usable on this target, fastest first. Test suites
+    /// iterate this to prove API equivalence on every backend.
+    pub fn available() -> &'static [CthBackend] {
+        if Self::fiber_supported() {
+            &[CthBackend::Fiber, CthBackend::Handoff]
+        } else {
+            &[CthBackend::Handoff]
+        }
+    }
+
+    /// The machine-config request pinning this backend.
+    pub fn to_config(self) -> ThreadBackend {
+        match self {
+            CthBackend::Fiber => ThreadBackend::Fiber,
+            CthBackend::Handoff => ThreadBackend::Handoff,
+        }
+    }
+
+    /// Resolve the machine's requested backend for `pe`: an explicit
+    /// config wins; `Auto` honours `CTH_BACKEND` and otherwise picks
+    /// fiber where supported; an unsupported fiber request falls back to
+    /// hand-off.
+    fn resolve(pe: &Pe) -> CthBackend {
+        let choice = match pe.thread_backend() {
+            ThreadBackend::Fiber => CthBackend::Fiber,
+            ThreadBackend::Handoff => CthBackend::Handoff,
+            ThreadBackend::Auto => match std::env::var("CTH_BACKEND").ok().as_deref() {
+                Some("fiber") => CthBackend::Fiber,
+                Some("handoff") => CthBackend::Handoff,
+                Some(other) => {
+                    panic!("CTH_BACKEND must be \"fiber\" or \"handoff\", got {other:?}")
+                }
+                None => CthBackend::Fiber,
+            },
+        };
+        if choice == CthBackend::Fiber && !Self::fiber_supported() {
+            CthBackend::Handoff
+        } else {
+            choice
+        }
+    }
+}
+
+/// Stack-pool counters (fiber backend): the thread-stack analogue of the
+/// message-buffer pool's `PoolStats`. All zero on the hand-off backend.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StackPoolStats {
+    /// Stack requests served from the free list (no allocation).
+    pub hits: u64,
+    /// Stack requests that went to the system allocator.
+    pub misses: u64,
+    /// Finished-thread stacks retained for reuse.
+    pub recycled: u64,
+    /// Finished-thread stacks dropped (class full or unpoolable size).
+    pub discarded: u64,
+}
+
 /// Per-PE thread runtime (`CthInit` creates it implicitly on first use).
 pub struct CthRuntime {
+    /// Which mechanism backs this PE's thread objects.
+    backend: CthBackend,
     /// The context currently holding the run token.
     current: Mutex<Thread>,
     /// The PE's original context: the scheduler/entry stack.
@@ -146,16 +285,26 @@ pub struct CthRuntime {
     /// Default ready pool used by the default suspend/awaken strategy.
     ready: Mutex<VecDeque<Thread>>,
     /// Every thread created on this PE, with its OS join handle once
-    /// started; consumed at teardown.
+    /// started (hand-off backend); consumed at teardown.
     live: Mutex<Vec<(Thread, Option<std::thread::JoinHandle<()>>)>>,
     next_id: AtomicU64,
     /// Handler resuming a thread from a generalized message (the Csd
     /// integration).
     resume_handler: HandlerId,
     /// Threads awaiting their Csd resume message, by id.
-    scheduled: Mutex<HashMap<u64, Thread>>,
-    /// A panic raised inside a thread, carried to the main context.
+    scheduled: Mutex<HashMap<u64, Thread, TidBuild>>,
+    /// A panic raised inside a hand-off thread, carried to the main
+    /// context (fiber panics propagate synchronously instead).
     pending_panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Context switches performed (both backends) — the sampling key for
+    /// [`Event::ThreadSwitch`].
+    switches: AtomicU64,
+    /// Switches that took the direct-handoff fast path: suspend went
+    /// straight to the next ready thread, no Csd queue bounce.
+    direct: AtomicU64,
+    /// Fiber-backend state (parked fibers, pending directive, stack
+    /// pool); inert in hand-off mode.
+    fiber: fb::FiberCell,
 }
 
 struct RtSlot(Arc<CthRuntime>);
@@ -185,21 +334,31 @@ impl CthRuntime {
             cv: Condvar::new(),
             strategy: Mutex::new(None),
             stack_size: 0,
+            handle: AtomicU64::new(0),
         }));
         let rt = Arc::new(CthRuntime {
+            backend: CthBackend::resolve(pe),
             current: Mutex::new(main.clone()),
             main,
             ready: Mutex::new(VecDeque::new()),
             live: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
             resume_handler,
-            scheduled: Mutex::new(HashMap::new()),
+            scheduled: Mutex::new(HashMap::default()),
             pending_panic: Mutex::new(None),
+            switches: AtomicU64::new(0),
+            direct: AtomicU64::new(0),
+            fiber: fb::FiberCell::new(),
         });
         pe.local(|| RtSlot(rt.clone()));
         let rt2 = rt.clone();
         pe.on_exit(move |pe| rt2.teardown(pe));
         rt
+    }
+
+    /// The backend this PE's thread objects run on.
+    pub fn backend(&self) -> CthBackend {
+        self.backend
     }
 
     /// Spawn a thread under the **Csd strategy** and awaken it, so it
@@ -238,39 +397,120 @@ impl CthRuntime {
             .count()
     }
 
-    /// Poison every still-suspended thread and join their OS threads.
-    fn teardown(&self, pe: &Pe) {
-        let entries: Vec<(Thread, Option<std::thread::JoinHandle<()>>)> =
-            std::mem::take(&mut *self.live.lock());
-        for (t, _) in &entries {
-            let mut s = t.0.state.lock();
-            match &mut *s {
-                State::NotStarted(entry) => {
-                    entry.take();
-                    *s = State::Exited;
-                }
-                State::Parked => {
-                    *s = State::Poisoned;
-                    t.0.cv.notify_all();
-                }
-                State::Running => unreachable!(
-                    "PE {}: teardown while thread {} runs — the main context holds the token",
-                    pe.my_pe(),
-                    t.id()
-                ),
-                State::Exited | State::Poisoned => {}
-            }
+    /// Context switches performed so far on this PE (both backends).
+    pub fn switches(&self) -> u64 {
+        self.switches.load(Ordering::Relaxed)
+    }
+
+    /// Switches that took the direct-handoff fast path (suspend handed
+    /// control straight to the next ready thread).
+    pub fn direct_handoffs(&self) -> u64 {
+        self.direct.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the fiber backend's stack-pool counters (all zero on
+    /// the hand-off backend, which uses OS thread stacks).
+    pub fn stack_pool_stats(&self) -> StackPoolStats {
+        if self.backend == CthBackend::Fiber {
+            fb::pool_stats(self)
+        } else {
+            StackPoolStats::default()
         }
-        for (_, handle) in entries {
-            if let Some(h) = handle {
-                let _ = h.join();
+    }
+
+    /// Count a control transfer and emit the sampled
+    /// [`Event::ThreadSwitch`] record.
+    fn note_switch(&self, pe: &Pe, direct: bool) {
+        if direct {
+            self.direct.fetch_add(1, Ordering::Relaxed);
+        }
+        let n = self.switches.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(SWITCH_SAMPLE) && pe.trace_enabled() {
+            pe.trace_event(Event::ThreadSwitch {
+                backend: self.backend.label(),
+                direct_handoff: direct,
+            });
+        }
+    }
+
+    /// Poison every still-suspended thread: fibers are driven through a
+    /// poison unwind on the spot (stacks reclaimed into the pool);
+    /// hand-off OS threads are woken poisoned and joined.
+    fn teardown(&self, pe: &Pe) {
+        match self.backend {
+            CthBackend::Fiber => fb::teardown(pe, self),
+            CthBackend::Handoff => {
+                let entries: Vec<(Thread, Option<std::thread::JoinHandle<()>>)> =
+                    std::mem::take(&mut *self.live.lock());
+                for (t, _) in &entries {
+                    let mut s = t.0.state.lock();
+                    match &mut *s {
+                        State::NotStarted(entry) => {
+                            entry.take();
+                            *s = State::Exited;
+                        }
+                        State::Parked => {
+                            *s = State::Poisoned;
+                            t.0.cv.notify_all();
+                        }
+                        State::Running => unreachable!(
+                            "PE {}: teardown while thread {} runs — the main context holds the token",
+                            pe.my_pe(),
+                            t.id()
+                        ),
+                        State::Exited | State::Poisoned => {}
+                    }
+                }
+                for (_, handle) in entries {
+                    if let Some(h) = handle {
+                        let _ = h.join();
+                    }
+                }
             }
         }
     }
 }
 
+thread_local! {
+    /// Per-OS-thread cache of the last `(Pe, CthRuntime)` pair resolved,
+    /// keyed by PE identity. `CthRuntime::get` goes through the PE-local
+    /// type map (a mutex + hash lookup); the switch hot path calls `rt`
+    /// several times per yield, so this turns those into a pointer
+    /// compare. Holding the `Arc<Pe>` pins the allocation, so the
+    /// pointer-equality key can never be reused while cached.
+    static RT_CACHE: std::cell::RefCell<Option<(Arc<Pe>, Arc<CthRuntime>)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
 fn rt(pe: &Pe) -> Arc<CthRuntime> {
-    CthRuntime::get(pe)
+    RT_CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        if let Some((cpe, crt)) = c.as_ref() {
+            if std::ptr::eq(Arc::as_ptr(cpe), pe) {
+                return crt.clone();
+            }
+        }
+        let rt = CthRuntime::get(pe);
+        *c = Some((pe.arc(), rt.clone()));
+        rt
+    })
+}
+
+/// Run `entry` once per backend available on this target (see
+/// [`CthBackend::available`]), each time on a fresh machine of
+/// `num_pes` PEs with that backend pinned. The workhorse of the
+/// backend-parity test suites: code that passes here is proven
+/// API-equivalent on every backend.
+pub fn run_on_each_backend<F>(num_pes: usize, entry: F)
+where
+    F: Fn(&Pe) + Send + Sync + 'static,
+{
+    let entry = Arc::new(entry);
+    for &b in CthBackend::available() {
+        let e = entry.clone();
+        let cfg = converse_machine::MachineConfig::new(num_pes).thread_backend(b.to_config());
+        converse_machine::run_with(cfg, move |pe| e(pe));
+    }
 }
 
 /// Create a thread object with the default stack size (`CthCreate`).
@@ -294,21 +534,15 @@ where
         id,
         state: Mutex::new(State::NotStarted(Some(Box::new(f)))),
         cv: Condvar::new(),
-        strategy: Mutex::new(Some(default_strategy())),
+        // None = the default ready-pool strategy: awaken appends to the
+        // PE's ready pool, suspend pops its oldest entry.
+        strategy: Mutex::new(None),
         stack_size,
+        handle: AtomicU64::new(0),
     }));
     rt.live.lock().push((t.clone(), None));
     pe.trace_event(Event::ThreadCreate { tid: id });
     t
-}
-
-fn default_strategy() -> Strategy {
-    Strategy {
-        awaken: Box::new(|pe, t| {
-            rt(pe).ready.lock().push_back(t);
-        }),
-        suspend: Box::new(|pe| rt(pe).ready.lock().pop_front()),
-    }
 }
 
 /// Install a per-thread scheduling strategy (`CthSetStrategy`): how
@@ -330,7 +564,8 @@ pub fn set_csd_strategy(pe: &Pe, t: &Thread, prio: Priority) {
             awaken: Box::new(move |pe, t| {
                 let rt = rt(pe);
                 rt.scheduled.lock().insert(tid, t);
-                let payload = Packer::new().u64(tid).finish();
+                // Same wire format as `Packer::u64`, no Vec allocation.
+                let payload = tid.to_le_bytes();
                 let msg = Message::with_priority(rt.resume_handler, &prio, &payload);
                 let mode = if prio == Priority::None {
                     QueueingMode::Fifo
@@ -365,12 +600,17 @@ pub fn cth_resume(pe: &Pe, t: &Thread) {
     if me.same(t) {
         return;
     }
-    transfer(pe, &rt, &me, t);
+    match rt.backend {
+        CthBackend::Handoff => transfer(pe, &rt, &me, t, false),
+        CthBackend::Fiber => fb::resume(pe, &rt, &me, t),
+    }
 }
 
 /// Suspend the current thread and transfer control according to its
 /// strategy (`CthSuspend`): by default the oldest thread in the ready
-/// pool, else the PE's main context.
+/// pool, else the PE's main context. On the fiber backend a `Some`
+/// successor is switched to **directly** — one ~20 ns context switch, no
+/// Csd queue bounce (the direct-handoff fast path).
 pub fn cth_suspend(pe: &Pe) {
     let rt = rt(pe);
     let me = rt.current.lock().clone();
@@ -379,6 +619,10 @@ pub fn cth_suspend(pe: &Pe) {
         "PE {}: cth_suspend called from the main context — only thread objects suspend",
         pe.my_pe()
     );
+    suspend_inner(pe, &rt, me);
+}
+
+fn suspend_inner(pe: &Pe, rt: &Arc<CthRuntime>, me: Thread) {
     let next = {
         let mut strat = me.0.strategy.lock();
         match strat.as_mut() {
@@ -386,9 +630,22 @@ pub fn cth_suspend(pe: &Pe) {
             None => rt.ready.lock().pop_front(),
         }
     };
-    let target = next.unwrap_or_else(|| rt.main.clone());
+    // A strategy may hand back the suspending thread itself (a solo
+    // thread yielding); control simply stays put.
+    if let Some(n) = &next {
+        if n.same(&me) {
+            return;
+        }
+    }
     pe.trace_event(Event::ThreadSuspend { tid: me.id() });
-    transfer(pe, &rt, &me, &target);
+    match rt.backend {
+        CthBackend::Handoff => {
+            let direct = next.is_some();
+            let target = next.unwrap_or_else(|| rt.main.clone());
+            transfer(pe, rt, &me, &target, direct);
+        }
+        CthBackend::Fiber => fb::suspend(pe, rt, &me, next),
+    }
 }
 
 /// Add `t` to its scheduler's ready pool (`CthAwaken`): permission for a
@@ -423,7 +680,7 @@ pub fn cth_yield(pe: &Pe) {
         pe.my_pe()
     );
     cth_awaken(pe, &me);
-    cth_suspend(pe);
+    suspend_inner(pe, &rt, me);
 }
 
 /// Terminate the current thread (`CthExit`): control transfers per the
@@ -441,11 +698,16 @@ pub fn cth_exit(pe: &Pe) -> ! {
     std::panic::resume_unwind(Box::new(ExitRequested));
 }
 
+// ---------------------------------------------------------------------
+// Hand-off backend: one OS thread per thread object, gated by a token.
+// ---------------------------------------------------------------------
+
 /// The core hand-off: mark `from` parked, start/wake `to`, wait until
 /// someone hands the token back to `from`.
-fn transfer(pe: &Pe, rt: &Arc<CthRuntime>, from: &Thread, to: &Thread) {
+fn transfer(pe: &Pe, rt: &Arc<CthRuntime>, from: &Thread, to: &Thread, direct: bool) {
     debug_assert!(!from.same(to));
     *rt.current.lock() = to.clone();
+    rt.note_switch(pe, direct && !to.same(&rt.main));
     pe.trace_event(Event::ThreadResume { tid: to.id() });
     // Park self BEFORE waking the target so the target can immediately
     // re-resume us without a lost wakeup.
@@ -531,8 +793,8 @@ fn spawn_os_thread(pe: &Pe, rt: &Arc<CthRuntime>, t: &Thread, entry: Entry) {
     }
 }
 
-/// Common tail of a thread's life: mark exited and hand the token to the
-/// next context (per strategy, else ready pool, else main).
+/// Common tail of a hand-off thread's life: mark exited and hand the
+/// token to the next context (per strategy, else ready pool, else main).
 fn finish_thread(
     pe: &Pe,
     rt: &Arc<CthRuntime>,
@@ -569,6 +831,417 @@ fn finish_thread(
     let target = next.unwrap_or_else(|| rt.main.clone());
     *me.0.state.lock() = State::Exited;
     *rt.current.lock() = target.clone();
+    rt.note_switch(pe, false);
     pe.trace_event(Event::ThreadResume { tid: target.id() });
     wake(pe, rt, &target);
+}
+
+// ---------------------------------------------------------------------
+// Fiber backend: stackful user-level fibers driven from the main
+// context, with pooled stacks and the direct-handoff fast path.
+// ---------------------------------------------------------------------
+
+#[cfg(all(target_arch = "x86_64", unix))]
+mod fb {
+    use super::*;
+    use converse_fiber::{Fiber, FiberHandle};
+    use std::cell::RefCell;
+
+    /// What the fiber that just yielded wants the drive loop to do.
+    pub(super) enum Directive {
+        /// Return control to the main/scheduler context.
+        Suspend,
+        /// Switch straight to this thread; `direct` marks the suspend
+        /// fast path (no Csd queue bounce) for the switch statistics.
+        Transfer { to: Thread, direct: bool },
+    }
+
+    /// Smallest pooled stack class.
+    const MIN_CLASS: usize = 16 * 1024;
+    /// Largest pooled stack class; bigger stacks are allocated exactly
+    /// and never retained.
+    const MAX_CLASS: usize = 1024 * 1024;
+    /// Free stacks retained per class.
+    const PER_CLASS_CAP: usize = 32;
+    /// Number of power-of-two classes in `MIN_CLASS..=MAX_CLASS`.
+    const NUM_CLASSES: usize = (MAX_CLASS / MIN_CLASS).trailing_zeros() as usize + 1;
+
+    /// Per-PE size-classed free list of fiber stacks — the thread-stack
+    /// analogue of the message-buffer pool: create-run-exit cycles reuse
+    /// a hot stack instead of paying an allocation (and zeroing) per
+    /// thread.
+    pub(super) struct StackPool {
+        free: [Vec<Box<[u8]>>; NUM_CLASSES],
+        pub stats: StackPoolStats,
+    }
+
+    impl StackPool {
+        fn new() -> StackPool {
+            StackPool {
+                free: Default::default(),
+                stats: StackPoolStats::default(),
+            }
+        }
+
+        /// Class index for a pooled stack of exactly `len` bytes.
+        fn class_of(len: usize) -> Option<usize> {
+            if len.is_power_of_two() && (MIN_CLASS..=MAX_CLASS).contains(&len) {
+                Some((len / MIN_CLASS).trailing_zeros() as usize)
+            } else {
+                None
+            }
+        }
+
+        /// A stack of at least `want` bytes: pooled (rounded up to its
+        /// size class) when `want` fits a class, else an exact one-off
+        /// allocation that will not be retained.
+        fn take(&mut self, want: usize) -> Box<[u8]> {
+            let rounded = want.max(MIN_CLASS).next_power_of_two();
+            if rounded <= MAX_CLASS {
+                let class = (rounded / MIN_CLASS).trailing_zeros() as usize;
+                if let Some(stack) = self.free[class].pop() {
+                    self.stats.hits += 1;
+                    return stack;
+                }
+                self.stats.misses += 1;
+                vec![0u8; rounded].into_boxed_slice()
+            } else {
+                self.stats.misses += 1;
+                vec![0u8; want].into_boxed_slice()
+            }
+        }
+
+        /// Return a finished fiber's stack for reuse.
+        fn give(&mut self, stack: Box<[u8]>) {
+            match Self::class_of(stack.len()) {
+                Some(class) if self.free[class].len() < PER_CLASS_CAP => {
+                    self.stats.recycled += 1;
+                    self.free[class].push(stack);
+                }
+                _ => self.stats.discarded += 1,
+            }
+        }
+    }
+
+    pub(super) struct FiberState {
+        /// Parked fibers by thread id; the running fiber (at most one)
+        /// is owned by the drive loop's stack frame.
+        fibers: HashMap<u64, Fiber, TidBuild>,
+        /// Set by the fiber that is about to yield; consumed by the
+        /// drive loop to pick the next context.
+        directive: Option<Directive>,
+        /// Machine teardown in progress: finished fibers stop selecting
+        /// successors.
+        poisoning: bool,
+        pool: StackPool,
+    }
+
+    /// Thread-affinity wrapper: all fiber state lives on the PE's own OS
+    /// thread (fibers share that thread's stack-switching); the runtime
+    /// is `Sync` only because every access asserts it happens there.
+    pub(super) struct FiberCell {
+        home: std::thread::ThreadId,
+        state: RefCell<FiberState>,
+    }
+
+    // SAFETY: every path reaching `with` runs on the PE's own OS thread
+    // (the drive loop and the directives set by fibers it hosts), so the
+    // `RefCell` (and the `!Send` fibers inside) are never touched
+    // concurrently. Debug builds verify the affinity on each access;
+    // release builds rely on the PE-local discipline (thread objects are
+    // documented PE-local) to keep the check off the ~20 ns switch path.
+    unsafe impl Send for FiberCell {}
+    unsafe impl Sync for FiberCell {}
+
+    impl FiberCell {
+        pub fn new() -> FiberCell {
+            FiberCell {
+                home: std::thread::current().id(),
+                state: RefCell::new(FiberState {
+                    fibers: HashMap::default(),
+                    directive: None,
+                    poisoning: false,
+                    pool: StackPool::new(),
+                }),
+            }
+        }
+
+        fn with<R>(&self, f: impl FnOnce(&mut FiberState) -> R) -> R {
+            debug_assert_eq!(
+                std::thread::current().id(),
+                self.home,
+                "fiber-backend state touched off its home PE thread"
+            );
+            f(&mut self.state.borrow_mut())
+        }
+    }
+
+    /// Drop guard clearing the thread's yield-handle pointer
+    /// (`Inner::handle`) even when the fiber finishes by unwind (poison,
+    /// exit, user panic).
+    struct HandleGuard<'a>(&'a Thread);
+
+    impl Drop for HandleGuard<'_> {
+        fn drop(&mut self) {
+            self.0 .0.handle.store(0, Ordering::Relaxed);
+        }
+    }
+
+    pub(super) fn pool_stats(rt: &CthRuntime) -> StackPoolStats {
+        rt.fiber.with(|fs| fs.pool.stats)
+    }
+
+    /// `cth_resume` on the fiber backend: from the main context, enter
+    /// the drive loop; from inside a fiber, hand the drive loop a
+    /// transfer directive and park.
+    pub(super) fn resume(pe: &Pe, rt: &Arc<CthRuntime>, me: &Thread, t: &Thread) {
+        if me.same(&rt.main) {
+            drive(pe, rt, t.clone(), false);
+        } else {
+            rt.fiber.with(|fs| {
+                fs.directive = Some(Directive::Transfer {
+                    to: t.clone(),
+                    direct: false,
+                })
+            });
+            yield_to_main(me);
+        }
+    }
+
+    /// `cth_suspend` on the fiber backend: `Some` successor = direct
+    /// handoff (the fast path), `None` = back to the scheduler.
+    pub(super) fn suspend(pe: &Pe, rt: &Arc<CthRuntime>, me: &Thread, next: Option<Thread>) {
+        let _ = pe;
+        rt.fiber.with(|fs| {
+            fs.directive = Some(match next {
+                Some(to) => Directive::Transfer { to, direct: true },
+                None => Directive::Suspend,
+            })
+        });
+        yield_to_main(me);
+    }
+
+    /// Suspend the current fiber, returning control to the drive loop.
+    /// On wakeup, re-raise teardown poison so the stack unwinds.
+    fn yield_to_main(me: &Thread) {
+        let h = me.0.handle.load(Ordering::Relaxed) as *const FiberHandle;
+        debug_assert!(
+            !h.is_null(),
+            "suspending fiber has a registered yield handle"
+        );
+        // SAFETY: `h` points at the FiberHandle on this very fiber's
+        // stack (we are the fiber suspending; `fiber_entry` stored it),
+        // live until completion.
+        unsafe { (*h).yield_now() };
+        if matches!(*me.0.state.lock(), State::Poisoned) {
+            std::panic::resume_unwind(Box::new(ThreadPoison));
+        }
+    }
+
+    /// Materialize or retrieve the execution context for `t`, marking it
+    /// running. A `NotStarted` thread gets a fiber on a pooled stack
+    /// here — creation is lazy, so a never-resumed thread costs no
+    /// stack at all.
+    fn take_fiber(pe: &Pe, rt: &CthRuntime, t: &Thread) -> Fiber {
+        let mut s = t.0.state.lock();
+        match &mut *s {
+            State::NotStarted(entry) => {
+                let entry = entry.take().expect("entry present before first start");
+                *s = State::Running;
+                drop(s);
+                let stack = rt.fiber.with(|fs| fs.pool.take(t.0.stack_size));
+                let pe_arc = pe.arc();
+                let t2 = t.clone();
+                Fiber::with_stack(stack, move |h| fiber_entry(&pe_arc, &t2, entry, h))
+            }
+            State::Parked | State::Poisoned => {
+                // Poison is left set: the wakeup check in
+                // `yield_to_main` turns it into an unwind.
+                if matches!(*s, State::Parked) {
+                    *s = State::Running;
+                }
+                drop(s);
+                rt.fiber
+                    .with(|fs| fs.fibers.remove(&t.0.id))
+                    .unwrap_or_else(|| {
+                        panic!("PE {}: parked thread {} has no fiber", pe.my_pe(), t.id())
+                    })
+            }
+            State::Running => panic!("PE {}: resume of running thread {}", pe.my_pe(), t.id()),
+            State::Exited => {
+                panic!("PE {}: resume of exited thread {}", pe.my_pe(), t.id())
+            }
+        }
+    }
+
+    /// First code on a fresh fiber: register the yield handle, run the
+    /// entry, swallow the control-flow unwinds (exit, poison) so the
+    /// fiber finishes cleanly; genuine user panics are re-raised and
+    /// surface from `Fiber::resume` in the drive loop.
+    fn fiber_entry(pe: &Pe, t: &Thread, entry: Entry, h: &FiberHandle) {
+        t.0.handle
+            .store(h as *const FiberHandle as u64, Ordering::Relaxed);
+        let _guard = HandleGuard(t);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| entry(pe)));
+        if let Err(p) = result {
+            if !(p.is::<ExitRequested>() || p.is::<ThreadPoison>()) {
+                std::panic::resume_unwind(p);
+            }
+        }
+    }
+
+    /// The fiber scheduler: runs on the main context, switching into
+    /// `first` and then following the directives fibers leave behind —
+    /// `Transfer` chains stay inside this loop (one ~20 ns switch per
+    /// hop, never touching the Csd queue), `Suspend` returns to the
+    /// caller (the Csd scheduler or the PE entry).
+    fn drive(pe: &Pe, rt: &Arc<CthRuntime>, first: Thread, mut direct: bool) {
+        debug_assert!(
+            rt.current.lock().same(&rt.main),
+            "PE {}: fiber drive entered outside the main context",
+            pe.my_pe()
+        );
+        let mut t = first;
+        loop {
+            let mut fiber = take_fiber(pe, rt, &t);
+            *rt.current.lock() = t.clone();
+            rt.note_switch(pe, direct);
+            pe.trace_event(Event::ThreadResume { tid: t.id() });
+            let resumed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fiber.resume()));
+            *rt.current.lock() = rt.main.clone();
+            let alive = match resumed {
+                Ok(alive) => alive,
+                Err(p) => {
+                    // A user panic inside the fiber: the fiber is done
+                    // (its stack already unwound inside the fiber
+                    // boundary); restore bookkeeping, then let the
+                    // panic propagate out of the PE entry.
+                    *t.0.state.lock() = State::Exited;
+                    rt.fiber.with(|fs| {
+                        fs.directive = None;
+                        if let Some(stack) = fiber.take_stack() {
+                            fs.pool.give(stack);
+                        }
+                    });
+                    pe.abort_machine();
+                    std::panic::resume_unwind(p);
+                }
+            };
+            if alive {
+                let mut s = t.0.state.lock();
+                if matches!(*s, State::Running) {
+                    *s = State::Parked;
+                }
+                drop(s);
+                rt.fiber.with(|fs| fs.fibers.insert(t.id(), fiber));
+            } else {
+                *t.0.state.lock() = State::Exited;
+                rt.fiber.with(|fs| {
+                    if let Some(stack) = fiber.take_stack() {
+                        fs.pool.give(stack);
+                    }
+                });
+            }
+            match rt.fiber.with(|fs| fs.directive.take()) {
+                Some(Directive::Transfer { to, direct: d }) => {
+                    t = to;
+                    direct = d;
+                }
+                Some(Directive::Suspend) => return,
+                None => {
+                    // The fiber finished (exit or return) without
+                    // choosing: consult its suspend strategy, exactly
+                    // like the hand-off backend's finish path.
+                    debug_assert!(!alive);
+                    if rt.fiber.with(|fs| fs.poisoning) {
+                        return;
+                    }
+                    let next = {
+                        let mut strat = t.0.strategy.lock();
+                        match strat.as_mut() {
+                            Some(s) => (s.suspend)(pe),
+                            None => rt.ready.lock().pop_front(),
+                        }
+                    };
+                    match next {
+                        Some(n) if !n.same(&t) => {
+                            t = n;
+                            direct = false;
+                        }
+                        _ => return,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Machine teardown on the fiber backend: every still-parked fiber
+    /// is poisoned and driven through its unwind on the spot, so
+    /// destructors run and its stack returns to the pool — no fiber is
+    /// ever dropped suspended (which would leak; see `converse-fiber`).
+    pub(super) fn teardown(pe: &Pe, rt: &CthRuntime) {
+        rt.fiber.with(|fs| fs.poisoning = true);
+        let entries: Vec<(Thread, Option<std::thread::JoinHandle<()>>)> =
+            std::mem::take(&mut *rt.live.lock());
+        // `drive` needs an Arc; re-borrow the runtime from PE-local
+        // storage (teardown runs before locals drop).
+        let rt_arc = super::rt(pe);
+        for (t, _) in &entries {
+            let poisoned = {
+                let mut s = t.0.state.lock();
+                match &mut *s {
+                    State::NotStarted(entry) => {
+                        // Never ran: no stack exists; drop the entry.
+                        entry.take();
+                        *s = State::Exited;
+                        false
+                    }
+                    State::Parked => {
+                        *s = State::Poisoned;
+                        true
+                    }
+                    State::Running => unreachable!(
+                        "PE {}: teardown while thread {} runs — the main context holds the token",
+                        pe.my_pe(),
+                        t.id()
+                    ),
+                    State::Exited | State::Poisoned => false,
+                }
+            };
+            if poisoned {
+                drive(pe, &rt_arc, t.clone(), false);
+            }
+        }
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", unix)))]
+mod fb {
+    //! Stub for targets without fiber support: `CthBackend::resolve`
+    //! never selects the fiber backend there, so none of these run.
+    use super::*;
+
+    pub(super) struct FiberCell;
+
+    impl FiberCell {
+        pub fn new() -> FiberCell {
+            FiberCell
+        }
+    }
+
+    pub(super) fn pool_stats(_rt: &CthRuntime) -> StackPoolStats {
+        unreachable!("fiber backend on unsupported target")
+    }
+
+    pub(super) fn resume(_pe: &Pe, _rt: &Arc<CthRuntime>, _me: &Thread, _t: &Thread) {
+        unreachable!("fiber backend on unsupported target")
+    }
+
+    pub(super) fn suspend(_pe: &Pe, _rt: &Arc<CthRuntime>, _me: &Thread, _next: Option<Thread>) {
+        unreachable!("fiber backend on unsupported target")
+    }
+
+    pub(super) fn teardown(_pe: &Pe, _rt: &CthRuntime) {
+        unreachable!("fiber backend on unsupported target")
+    }
 }

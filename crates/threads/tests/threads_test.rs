@@ -1,11 +1,17 @@
 //! Thread-object semantics: suspend/resume, yield, strategies, scheduler
 //! integration, and teardown of never-finished threads.
+//!
+//! Every semantic test runs on **each available backend** (fiber and
+//! hand-off) via [`run_on_each_backend`] — the API contract is
+//! backend-independent; only the constants differ.
 
-use converse_core::{csd_enqueue, csd_exit_scheduler, csd_scheduler, run, Message};
+use converse_core::{
+    csd_enqueue, csd_exit_scheduler, csd_scheduler, run, run_with, MachineConfig, Message,
+};
 use converse_msg::Priority;
 use converse_threads::{
     cth_awaken, cth_create, cth_create_of_size, cth_resume, cth_self, cth_set_strategy,
-    cth_suspend, cth_yield, CthRuntime, Strategy,
+    cth_suspend, cth_yield, run_on_each_backend, CthBackend, CthRuntime, Strategy, Thread,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -13,7 +19,7 @@ use std::sync::Arc;
 
 #[test]
 fn resume_runs_thread_to_completion() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let hits = Arc::new(AtomicU64::new(0));
         let h2 = hits.clone();
         let t = cth_create(pe, move |_pe| {
@@ -29,7 +35,7 @@ fn resume_runs_thread_to_completion() {
 
 #[test]
 fn suspend_returns_to_main_then_resume_continues() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let log = Arc::new(Mutex::new(Vec::<&'static str>::new()));
         let l2 = log.clone();
         let t = cth_create(pe, move |pe| {
@@ -50,7 +56,7 @@ fn suspend_returns_to_main_then_resume_continues() {
 
 #[test]
 fn self_identifies_contexts() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         assert!(cth_self(pe).is_none(), "main context has no thread self");
         let observed = Arc::new(Mutex::new(None));
         let o2 = observed.clone();
@@ -68,7 +74,7 @@ fn self_identifies_contexts() {
 fn yield_rotates_between_two_threads() {
     // Two threads alternately yield; the default FIFO ready pool must
     // interleave them strictly.
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let log: Arc<Mutex<Vec<(u8, u32)>>> = Arc::new(Mutex::new(Vec::new()));
         let mk = |tag: u8, log: Arc<Mutex<Vec<(u8, u32)>>>| {
             move |pe: &converse_core::Pe| {
@@ -101,7 +107,7 @@ fn yield_rotates_between_two_threads() {
 
 #[test]
 fn exit_transfers_to_next_ready_thread() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let log = Arc::new(Mutex::new(Vec::<u8>::new()));
         let l1 = log.clone();
         let l2 = log.clone();
@@ -119,7 +125,7 @@ fn custom_strategy_lifo_scheduling() {
     // Override awaken/suspend to use a LIFO stack per the paper: "you may
     // alter the way CthAwaken and CthSuspend work together … only the
     // order of selection should be altered."
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let stack: Arc<Mutex<Vec<converse_threads::Thread>>> = Arc::new(Mutex::new(Vec::new()));
         let log = Arc::new(Mutex::new(Vec::<u8>::new()));
         let mk = |tag: u8, log: Arc<Mutex<Vec<u8>>>| {
@@ -167,7 +173,7 @@ fn custom_strategy_lifo_scheduling() {
 
 #[test]
 fn csd_strategy_threads_run_via_scheduler() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let rt = CthRuntime::get(pe);
         let log = Arc::new(Mutex::new(Vec::<u32>::new()));
         for i in 0..4u32 {
@@ -187,7 +193,7 @@ fn csd_strategy_threads_run_via_scheduler() {
 
 #[test]
 fn csd_strategy_respects_priorities() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let rt = CthRuntime::get(pe);
         let log = Arc::new(Mutex::new(Vec::<i32>::new()));
         for prio in [5, -2, 0, 9, -7] {
@@ -211,7 +217,7 @@ fn csd_strategy_respects_priorities() {
 fn thread_blocks_on_message_and_is_awakened_by_handler() {
     // The tSM pattern from §3.2.2, hand-rolled: a thread blocks; a
     // message handler awakens it with the payload.
-    run(2, |pe| {
+    run_on_each_backend(2, |pe| {
         type WaitSlot = (Option<converse_threads::Thread>, Option<Vec<u8>>);
         let slot: Arc<Mutex<WaitSlot>> = Arc::new(Mutex::new((None, None)));
         let s2 = slot.clone();
@@ -258,7 +264,7 @@ fn thread_blocks_on_message_and_is_awakened_by_handler() {
 
 #[test]
 fn many_threads_with_small_stacks() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let count = Arc::new(AtomicU64::new(0));
         let n = 200;
         let ts: Vec<_> = (0..n)
@@ -287,7 +293,7 @@ fn many_threads_with_small_stacks() {
 #[test]
 fn unfinished_threads_are_reaped_at_machine_exit() {
     // A thread that suspends forever must not hang machine teardown.
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let t = cth_create(pe, |pe| {
             cth_suspend(pe); // never awakened
             unreachable!("poisoned thread unwinds instead of resuming");
@@ -301,7 +307,7 @@ fn unfinished_threads_are_reaped_at_machine_exit() {
 
 #[test]
 fn never_started_threads_are_reaped() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         for _ in 0..10 {
             let _t = cth_create(pe, |_pe| unreachable!("never started"));
         }
@@ -310,21 +316,24 @@ fn never_started_threads_are_reaped() {
 
 #[test]
 fn panic_inside_thread_propagates_to_run() {
-    let result = std::panic::catch_unwind(|| {
-        run(1, |pe| {
-            let t = cth_create(pe, |_pe| panic!("thread boom"));
-            cth_resume(pe, &t);
-            unreachable!("main context must re-raise the thread's panic");
+    for &backend in CthBackend::available() {
+        let result = std::panic::catch_unwind(|| {
+            let cfg = MachineConfig::new(1).thread_backend(backend.to_config());
+            run_with(cfg, |pe| {
+                let t = cth_create(pe, |_pe| panic!("thread boom"));
+                cth_resume(pe, &t);
+                unreachable!("main context must re-raise the thread's panic");
+            });
         });
-    });
-    let err = result.expect_err("panic must propagate");
-    let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
-    assert_eq!(msg, "thread boom");
+        let err = result.expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "thread boom", "[{}]", backend.label());
+    }
 }
 
 #[test]
 fn thread_ids_are_unique_and_nonzero() {
-    run(1, |pe| {
+    run_on_each_backend(1, |pe| {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..50 {
             let t = cth_create(pe, |_pe| {});
@@ -332,5 +341,128 @@ fn thread_ids_are_unique_and_nonzero() {
             assert!(seen.insert(t.id()), "duplicate id {}", t.id());
             cth_resume(pe, &t);
         }
+    });
+}
+
+#[test]
+fn fiber_backend_is_default_where_supported() {
+    if std::env::var_os("CTH_BACKEND").is_some() {
+        // CI pins a backend explicitly; the default is not in play.
+        return;
+    }
+    run(1, |pe| {
+        let rt = CthRuntime::get(pe);
+        let expect = if CthBackend::fiber_supported() {
+            CthBackend::Fiber
+        } else {
+            CthBackend::Handoff
+        };
+        assert_eq!(rt.backend(), expect);
+    });
+}
+
+#[test]
+fn resume_from_inside_thread_chains_directly() {
+    // A thread resuming another thread is a context-to-context transfer
+    // (on the fiber backend: one direct switch, no main-context bounce).
+    run_on_each_backend(1, |pe| {
+        let log = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let slot: Arc<Mutex<Option<Thread>>> = Arc::new(Mutex::new(None));
+        let (lb, sb) = (log.clone(), slot.clone());
+        let tb = cth_create(pe, move |pe| {
+            lb.lock().push("b: run");
+            // Let A finish after us: its exit will return to main.
+            let ta = sb.lock().take().expect("A registered itself");
+            cth_awaken(pe, &ta);
+        });
+        let (la, sa, tb2) = (log.clone(), slot.clone(), tb.clone());
+        let ta = cth_create(pe, move |pe| {
+            la.lock().push("a: start");
+            *sa.lock() = Some(cth_self(pe).expect("inside a thread"));
+            cth_resume(pe, &tb2); // thread-to-thread transfer
+            la.lock().push("a: back");
+        });
+        cth_resume(pe, &ta);
+        assert_eq!(*log.lock(), vec!["a: start", "b: run", "a: back"]);
+        assert!(ta.is_exited() && tb.is_exited());
+    });
+}
+
+#[test]
+fn yield_cycles_count_direct_handoffs() {
+    // Two rotating threads: every intermediate switch takes the
+    // suspend-with-ready-successor fast path on both backends.
+    run_on_each_backend(1, |pe| {
+        let spins = Arc::new(AtomicU64::new(0));
+        let mk = |spins: Arc<AtomicU64>| {
+            move |pe: &converse_core::Pe| {
+                while spins.fetch_add(1, Ordering::Relaxed) < 40 {
+                    cth_yield(pe);
+                }
+            }
+        };
+        let ta = cth_create(pe, mk(spins.clone()));
+        let tb = cth_create(pe, mk(spins.clone()));
+        cth_awaken(pe, &tb);
+        cth_resume(pe, &ta);
+        let rt = CthRuntime::get(pe);
+        assert!(
+            rt.direct_handoffs() >= 20,
+            "[{}] rotating yields must take the fast path (got {})",
+            rt.backend().label(),
+            rt.direct_handoffs()
+        );
+        assert!(rt.switches() > rt.direct_handoffs());
+    });
+}
+
+#[test]
+fn stack_pool_reuses_stacks_across_many_threads() {
+    // The stack-leak regression test: 10 000 create-run-exit cycles must
+    // recycle one hot stack, not allocate 10 000 (fiber backend; the
+    // hand-off backend uses OS stacks and reports zeros).
+    if !CthBackend::fiber_supported() {
+        return;
+    }
+    let cfg = MachineConfig::new(1).thread_backend(CthBackend::Fiber.to_config());
+    run_with(cfg, |pe| {
+        const N: u64 = 10_000;
+        let count = Arc::new(AtomicU64::new(0));
+        for _ in 0..N {
+            let c = count.clone();
+            let t = cth_create(pe, move |_pe| {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+            cth_resume(pe, &t);
+        }
+        assert_eq!(count.load(Ordering::Relaxed), N);
+        let stats = CthRuntime::get(pe).stack_pool_stats();
+        assert_eq!(stats.hits + stats.misses, N, "{stats:?}");
+        assert!(
+            stats.misses <= 1,
+            "first thread allocates, the rest reuse: {stats:?}"
+        );
+        assert_eq!(stats.recycled, N, "every exited stack returns: {stats:?}");
+        assert_eq!(stats.discarded, 0, "{stats:?}");
+    });
+}
+
+#[test]
+fn distinct_stack_sizes_pool_in_separate_classes() {
+    if !CthBackend::fiber_supported() {
+        return;
+    }
+    let cfg = MachineConfig::new(1).thread_backend(CthBackend::Fiber.to_config());
+    run_with(cfg, |pe| {
+        for _ in 0..5 {
+            for size in [16 * 1024, 64 * 1024, 256 * 1024] {
+                let t = cth_create_of_size(pe, |_pe| {}, size);
+                cth_resume(pe, &t);
+            }
+        }
+        let stats = CthRuntime::get(pe).stack_pool_stats();
+        // One miss per class on the first round, hits thereafter.
+        assert_eq!(stats.misses, 3, "{stats:?}");
+        assert_eq!(stats.hits, 12, "{stats:?}");
     });
 }

@@ -134,6 +134,18 @@ pub enum Event {
         /// mail arrived (== the configured budget when it parked).
         spin_iters: u32,
     },
+    /// The thread runtime transferred control between contexts. Sampled
+    /// (one record per N switches), not per-switch — on the fiber
+    /// backend a switch is ~20 ns and a per-event record would dwarf it.
+    ThreadSwitch {
+        /// Which backend performed the switch (`"fiber"` or
+        /// `"handoff"`).
+        backend: &'static str,
+        /// True when a suspending thread handed control straight to the
+        /// next ready thread without bouncing through the Csd queue
+        /// (the fiber backend's direct-handoff fast path).
+        direct_handoff: bool,
+    },
     /// Snapshot of this PE's message-buffer pool counters (the
     /// CmiAlloc/CmiFree free-list), emitted at PE teardown.
     MsgPool {
@@ -358,6 +370,15 @@ impl TraceSink for TextSink {
                     "{pe} {t_ns} SCHEDBATCH drained={drained} spin={spin_iters}"
                 )
             }
+            Event::ThreadSwitch {
+                backend,
+                direct_handoff,
+            } => {
+                writeln!(
+                    b,
+                    "{pe} {t_ns} THSWITCH backend={backend} direct={direct_handoff}"
+                )
+            }
             Event::MsgPool {
                 hits,
                 misses,
@@ -414,6 +435,11 @@ pub struct PeSummary {
     /// Spin iterations reported by the sampled batch drains (sum of
     /// `spin_iters`); divide by `sched_batches` for the mean.
     pub idle_spins: u64,
+    /// Sampled thread context-switch records observed.
+    pub thread_switches: u64,
+    /// Sampled switch records flagged as direct handoffs (suspend went
+    /// straight to the next ready thread, no Csd queue bounce).
+    pub direct_handoffs: u64,
     /// Buffer-pool hits (from the last [`Event::MsgPool`] snapshot).
     pub pool_hits: u64,
     /// Buffer-pool misses (from the last [`Event::MsgPool`] snapshot).
@@ -467,6 +493,12 @@ impl Summary {
                     s.sched_batches += 1;
                     s.batch_drained += *drained as u64;
                     s.idle_spins += *spin_iters as u64;
+                }
+                Event::ThreadSwitch { direct_handoff, .. } => {
+                    s.thread_switches += 1;
+                    if *direct_handoff {
+                        s.direct_handoffs += 1;
+                    }
                 }
                 Event::MsgPool { hits, misses, .. } => {
                     // Snapshots are cumulative; keep the latest.
@@ -585,6 +617,42 @@ mod tests {
         s.flush_to(&mut out).unwrap();
         assert!(!out.is_empty());
         assert!(s.text().is_empty());
+    }
+
+    #[test]
+    fn thread_switch_formats_and_summarizes() {
+        let s = TextSink::new();
+        s.record(
+            1,
+            8,
+            Event::ThreadSwitch {
+                backend: "fiber",
+                direct_handoff: true,
+            },
+        );
+        assert!(s.text().contains("1 8 THSWITCH backend=fiber direct=true"));
+
+        let recs = vec![
+            Record {
+                pe: 0,
+                t_ns: 1,
+                event: Event::ThreadSwitch {
+                    backend: "fiber",
+                    direct_handoff: true,
+                },
+            },
+            Record {
+                pe: 0,
+                t_ns: 2,
+                event: Event::ThreadSwitch {
+                    backend: "fiber",
+                    direct_handoff: false,
+                },
+            },
+        ];
+        let sum = Summary::from_records(1, &recs);
+        assert_eq!(sum.pes[0].thread_switches, 2);
+        assert_eq!(sum.pes[0].direct_handoffs, 1);
     }
 
     #[test]

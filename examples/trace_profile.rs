@@ -101,6 +101,18 @@ fn main() {
             s.utilization * 100.0
         );
     }
+    // Context-switch shape: ThreadSwitch records are sampled (1 in 32
+    // switches). `direct` counts sampled switches that took the
+    // suspend-to-ready-successor fast path — on the fiber backend those
+    // never touch the Csd queue.
+    println!("\nthread switch profile (ThreadSwitch records, sampled 1/32):");
+    println!("{:>4} {:>9} {:>8}", "PE", "switches", "direct");
+    for (pe, s) in summary.pes.iter().enumerate() {
+        println!(
+            "{:>4} {:>9} {:>8}",
+            pe, s.thread_switches, s.direct_handoffs
+        );
+    }
     // Scheduler hot-path shape: SchedBatch records are sampled (1 in 32
     // batched intakes), so these are a profile of the drain loop, not an
     // exact count — `drained/rec` is the mean batch size at the sampled

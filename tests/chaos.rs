@@ -239,6 +239,70 @@ fn scripted_stall_window_does_not_deadlock_scheduler() {
     );
 }
 
+/// The tSM thread fabric on the **fiber backend** over the lossy wire:
+/// eight token-ring lanes of blocking-receive threads per PE. Every hop
+/// asserts the exact expected token value, so any lost, duplicated, or
+/// misordered wakeup of a suspended fiber fails loudly — exactly-once
+/// delivery must survive both the adversarial net and the ~20 ns
+/// user-level context switches underneath `trecv`.
+#[test]
+fn fiber_threads_token_rings_survive_lossy_plan() {
+    use converse::sm::{Sm, ANY};
+    const PES: usize = 4;
+    const LANES: i32 = 8;
+    const ROUNDS: u64 = 6;
+    let report = converse::core::run_with(
+        MachineConfig::new(PES)
+            .thread_backend(converse::machine::ThreadBackend::Fiber)
+            .faults(lossy_plan(chaos_seed())),
+        move |pe| {
+            let sm = Sm::install(pe);
+            let me = pe.my_pe();
+            let next = (me + 1) % PES;
+            let lanes_done = Arc::new(AtomicU64::new(0));
+            pe.barrier();
+            for lane in 0..LANES {
+                let sm2 = sm.clone();
+                let done = lanes_done.clone();
+                let v0 = lane as u64 * 1000;
+                sm.tspawn(pe, move |pe| {
+                    if me == 0 {
+                        sm2.send(pe, next, lane, &v0.to_le_bytes());
+                    }
+                    for round in 0..ROUNDS {
+                        let m = sm2.trecv(pe, lane, ANY);
+                        let v = u64::from_le_bytes(m.data.try_into().unwrap());
+                        let expect = if me == 0 {
+                            v0 + (round + 1) * PES as u64 - 1
+                        } else {
+                            v0 + round * PES as u64 + me as u64 - 1
+                        };
+                        assert_eq!(
+                            v, expect,
+                            "lane {lane} hop corrupted on PE {me}, round {round}"
+                        );
+                        let last = me == 0 && round == ROUNDS - 1;
+                        if !last {
+                            sm2.send(pe, next, lane, &(v + 1).to_le_bytes());
+                        }
+                    }
+                    if done.fetch_add(1, Ordering::SeqCst) + 1 == LANES as u64 {
+                        csd_exit_scheduler(pe);
+                    }
+                });
+            }
+            csd_scheduler(pe, -1);
+            assert_eq!(lanes_done.load(Ordering::SeqCst), LANES as u64);
+            pe.barrier();
+        },
+    );
+    let s = report.fault_stats;
+    assert!(
+        s.dropped > 0 && s.retransmitted > 0,
+        "the plan was supposed to bite: {s:?}"
+    );
+}
+
 // ---- CCS under chaos --------------------------------------------------
 
 /// Call with retry: early requests race PE-side registration.
