@@ -36,7 +36,7 @@
 use crate::pe::{MachineShared, Pe};
 use converse_msg::pack::{PackError, Packer, Unpacker};
 use converse_msg::{HandlerId, Message};
-use converse_net::{Interconnect, PeLoad};
+use converse_net::{CmiTransport, PeLoad};
 use converse_queue::QueueingMode;
 use converse_trace::Event;
 use parking_lot::{Mutex, RwLock};
@@ -125,7 +125,7 @@ pub trait MachineService: Send {
 /// live load. Cloneable; safe to hold in service threads.
 #[derive(Clone)]
 pub struct MachineHandle {
-    pub(crate) net: Arc<Interconnect>,
+    pub(crate) net: Arc<dyn CmiTransport>,
     pub(crate) shared: Arc<MachineShared>,
     pub(crate) exo_req: HandlerId,
 }
@@ -176,7 +176,8 @@ impl MachineHandle {
             .u32(target.0)
             .bytes(payload)
             .finish();
-        self.net.inject(dst, Message::new(self.exo_req, &body));
+        self.net
+            .inject_block(dst, Message::new(self.exo_req, &body).into_block());
         true
     }
 

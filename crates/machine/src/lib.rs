@@ -34,13 +34,16 @@ pub mod pe;
 pub mod pgrp;
 mod run;
 pub mod scatter;
+mod wire_run;
 
 pub use converse_msg::{HandlerId, Message};
 pub use converse_net::{
-    DeliveryMode, FaultPlan, FaultStats, LinkFaults, NetModel, PeLoad, StallWindow,
+    CmiTransport, DeliveryMode, FaultPlan, FaultStats, LinkFaults, NetModel, PeLoad, StallWindow,
 };
 pub use exo::{ExoReply, ExoToken, MachineHandle, MachineService, ReplySink};
 pub use pe::{Handler, Pe};
 pub use run::{
-    default_idle_spin, run, run_with, MachineConfig, QueueKind, RunReport, ThreadBackend,
+    default_idle_spin, run, run_on_each_transport, run_with, try_run_with, MachineConfig,
+    QueueKind, RunError, RunReport, ThreadBackend, Transport, WireKind, WireOptions,
 };
+pub use wire_run::in_socket_worker;

@@ -72,14 +72,15 @@ impl Pe {
     /// payload copy (later in-place edits by the caller copy-on-write).
     pub fn sync_send(&self, dst: usize, msg: &Message) {
         self.trace_send(dst, msg);
-        self.net().send(self.my_pe(), dst, msg.block().share());
+        self.net()
+            .send_block(self.my_pe(), dst, msg.block().share());
     }
 
     /// Send `msg` to `dst`, consuming it (`CmiSyncSendAndFree`). The
     /// block moves to the wire outright — no copy, no refcount traffic.
     pub fn sync_send_and_free(&self, dst: usize, msg: Message) {
         self.trace_send(dst, &msg);
-        self.net().send(self.my_pe(), dst, msg.into_block());
+        self.net().send_block(self.my_pe(), dst, msg.into_block());
     }
 
     /// Begin an asynchronous send (`CmiAsyncSend`). On this machine the
@@ -126,7 +127,7 @@ impl Pe {
             off += p.len();
         }
         self.trace_send(dst, &msg);
-        self.net().send(self.my_pe(), dst, msg.into_block());
+        self.net().send_block(self.my_pe(), dst, msg.into_block());
         self.comm.create(true)
     }
 
@@ -141,7 +142,8 @@ impl Pe {
                 self.trace_send(dst, msg);
             }
         }
-        self.net().broadcast_excl(self.my_pe(), msg.block().share());
+        self.net()
+            .broadcast_excl_block(self.my_pe(), msg.block().share());
     }
 
     /// Send to every PE including self (`CmiSyncBroadcastAll`). One
@@ -150,7 +152,8 @@ impl Pe {
         for dst in 0..self.num_pes() {
             self.trace_send(dst, msg);
         }
-        self.net().broadcast_all(self.my_pe(), msg.block().share());
+        self.net()
+            .broadcast_all_block(self.my_pe(), msg.block().share());
     }
 
     /// Broadcast to all and consume the message

@@ -14,7 +14,7 @@ use crate::mmi::CommHandles;
 use crate::pgrp::PgrpState;
 use crate::scatter::ScatterState;
 use converse_msg::{HandlerId, Message};
-use converse_net::{Interconnect, Packet};
+use converse_net::{CmiTransport, Packet};
 use converse_queue::{CsdQueue, FifoQueue, LifoQueue, QueueingMode, SchedulingQueue};
 use converse_trace::{Event, TraceSink};
 use parking_lot::{Mutex, RwLock};
@@ -140,13 +140,13 @@ pub(crate) struct MachineShared {
 /// One logical processor of the simulated machine.
 pub struct Pe {
     id: usize,
-    net: Arc<Interconnect>,
+    net: Arc<dyn CmiTransport>,
     handlers: RwLock<Vec<Handler>>,
     /// Messages taken off the wire by `get_specific_msg` that were meant
     /// for other handlers; consumed before the network on retrieval.
     pending: Mutex<VecDeque<Message>>,
     /// Local intake batch: packets pulled off the net by a bulk
-    /// [`Interconnect::drain_into_bounded`] and not yet retrieved. Every
+    /// [`CmiTransport::drain_bounded`] and not yet retrieved. Every
     /// retrieval path pops here before touching the network, so a batch
     /// never lets a later wire arrival overtake an earlier one — the
     /// per-link FIFO contract survives recursive retrieval (a handler
@@ -181,7 +181,7 @@ pub struct Pe {
 impl Pe {
     pub(crate) fn new(
         id: usize,
-        net: Arc<Interconnect>,
+        net: Arc<dyn CmiTransport>,
         queue: QueueKind,
         shared: Arc<MachineShared>,
         trace: Arc<dyn TraceSink>,
@@ -285,9 +285,24 @@ impl Pe {
         self.net.num_pes()
     }
 
+    /// Short name of the transport carrying this PE's messages
+    /// (`"inproc"` or `"socket"`).
+    pub fn transport_name(&self) -> &'static str {
+        self.net.transport_name()
+    }
+
+    /// True when a P-way broadcast on this machine shares one
+    /// allocation (refcount bumps only); false when destinations in
+    /// other address spaces each receive a copy. Tests assert the
+    /// broadcast allocation contract through this, never a hard-coded
+    /// count.
+    pub fn broadcast_zero_copy(&self) -> bool {
+        self.net.broadcast_zero_copy()
+    }
+
     /// The interconnect this PE is attached to.
     #[inline]
-    pub(crate) fn net(&self) -> &Arc<Interconnect> {
+    pub(crate) fn net(&self) -> &Arc<dyn CmiTransport> {
         &self.net
     }
 
@@ -617,9 +632,7 @@ impl Pe {
         if let Some(p) = intake.pop_front() {
             return Some(p);
         }
-        let n = self
-            .net
-            .drain_into_bounded(self.id, &mut *intake, budget.max(1));
+        let n = self.net.drain_bounded(self.id, &mut intake, budget.max(1));
         if n > 0 {
             self.trace_sched_batch(n);
         }

@@ -16,9 +16,67 @@ use crate::pe::{MachineShared, Pe};
 pub use crate::pe::{QueueKind, ThreadBackend};
 use converse_net::{DeliveryMode, FaultPlan, FaultStats, Interconnect, PeTraffic};
 use converse_trace::{NullSink, TraceSink};
+pub use converse_wire::{WireKind, WireOptions};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Which transport carries the machine's messages — the `MachineConfig`
+/// axis that decides whether PEs are threads or processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Every PE is a thread of this process behind one
+    /// [`Interconnect`] — the fast path and the test default.
+    #[default]
+    InProcess,
+    /// Every PE is a separate OS process connected to a launcher-side
+    /// hub over a real socket (TCP loopback or Unix-domain); see
+    /// `converse-wire`. The current process becomes the launcher: it
+    /// re-executes itself once per rank with the `CONVERSE_WORKER`
+    /// role, routes frames, and aggregates the [`RunReport`].
+    Socket,
+}
+
+/// Why a machine run failed to produce a report. Worker *panics* are
+/// not errors — they propagate as panics, exactly as on the in-process
+/// transport.
+#[derive(Debug)]
+pub enum RunError {
+    /// The machine never assembled: spawn/connect/handshake failed or
+    /// timed out.
+    Bootstrap(String),
+    /// A worker process died mid-run without reporting (crash,
+    /// kill -9). Surviving workers were torn down.
+    WorkerCrashed {
+        /// The dead worker's PE rank.
+        rank: usize,
+        /// Its exit code, when it exited by code.
+        code: Option<i32>,
+        /// The signal that killed it (Unix), e.g. 9 for SIGKILL.
+        signal: Option<i32>,
+        /// Human-readable context.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Bootstrap(d) => write!(f, "machine bootstrap failed: {d}"),
+            RunError::WorkerCrashed {
+                rank,
+                code,
+                signal,
+                detail,
+            } => write!(
+                f,
+                "worker process for PE {rank} died (code {code:?}, signal {signal:?}): {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// Configuration of a simulated machine.
 pub struct MachineConfig {
@@ -59,6 +117,12 @@ pub struct MachineConfig {
     /// [`ThreadBackend`]. `Auto` (default) = fiber where supported,
     /// subject to the `CTH_BACKEND` environment override.
     pub thread_backend: ThreadBackend,
+    /// Which transport carries messages: threads sharing one address
+    /// space (default) or one OS process per PE over a real socket.
+    pub transport: Transport,
+    /// Socket-transport tunables (family, bootstrap timeouts, failure
+    /// grace); ignored under [`Transport::InProcess`].
+    pub wire: WireOptions,
 }
 
 /// Host-appropriate idle-spin default: 160 depth probes when real
@@ -89,7 +153,22 @@ impl MachineConfig {
             idle_spin: default_idle_spin(),
             services: Vec::new(),
             thread_backend: ThreadBackend::Auto,
+            transport: Transport::default(),
+            wire: WireOptions::default(),
         }
+    }
+
+    /// Select the transport (threads in-process vs one process per PE).
+    pub fn transport(mut self, t: Transport) -> Self {
+        self.transport = t;
+        self
+    }
+
+    /// Tune the socket transport (only meaningful with
+    /// [`Transport::Socket`]).
+    pub fn wire(mut self, w: WireOptions) -> Self {
+        self.wire = w;
+        self
     }
 
     /// Set the delivery mode.
@@ -208,8 +287,57 @@ where
     run_with(MachineConfig::new(num_pes), entry)
 }
 
-/// Boot a machine with explicit configuration; see [`run`].
-pub fn run_with<F>(mut cfg: MachineConfig, entry: F) -> RunReport
+/// Boot a machine with explicit configuration; see [`run`]. Panics on
+/// [`RunError`] — use [`try_run_with`] to handle transport failures
+/// (worker crashes, bootstrap timeouts) programmatically.
+pub fn run_with<F>(cfg: MachineConfig, entry: F) -> RunReport
+where
+    F: Fn(&Pe) + Send + Sync + 'static,
+{
+    try_run_with(cfg, entry).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Boot a machine with explicit configuration, surfacing transport
+/// failures as [`RunError`] instead of panicking. A PE *panic* still
+/// propagates as a panic on every transport (that is program failure,
+/// not machine failure). On [`Transport::InProcess`] this never
+/// returns `Err`.
+pub fn try_run_with<F>(cfg: MachineConfig, entry: F) -> Result<RunReport, RunError>
+where
+    F: Fn(&Pe) + Send + Sync + 'static,
+{
+    match cfg.transport {
+        Transport::InProcess => Ok(run_in_process(cfg, entry)),
+        Transport::Socket => crate::wire_run::run_socket(cfg, entry),
+    }
+}
+
+/// Run `entry` once per transport, each time on a fresh machine of
+/// `num_pes` PEs with that transport selected — the cross-transport
+/// analogue of `converse_threads::run_on_each_backend`. Code that
+/// passes here is proven equivalent with PEs as threads of one process
+/// and as separate OS processes over a real socket.
+///
+/// The entry function (and everything the program does before calling
+/// this) must be deterministic: the socket transport re-executes the
+/// calling binary once per rank to reach the same call site (see
+/// [`Transport::Socket`]), and inside a worker process the in-process
+/// iteration replays first.
+pub fn run_on_each_transport<F>(num_pes: usize, entry: F)
+where
+    F: Fn(&Pe) + Send + Sync + 'static,
+{
+    let entry = Arc::new(entry);
+    for t in [Transport::InProcess, Transport::Socket] {
+        let e = entry.clone();
+        run_with(MachineConfig::new(num_pes).transport(t), move |pe| e(pe));
+    }
+}
+
+/// The in-process machine: one thread per PE over one [`Interconnect`].
+/// Also the body each socket-transport *worker process* would have run
+/// had it been in-process — the shared semantics both transports pin.
+pub(crate) fn run_in_process<F>(mut cfg: MachineConfig, entry: F) -> RunReport
 where
     F: Fn(&Pe) + Send + Sync + 'static,
 {

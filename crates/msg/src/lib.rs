@@ -51,11 +51,15 @@
 //! zero-copy rules") spells out the rules handlers rely on.
 
 pub mod block;
+pub mod frame;
 pub mod pack;
 pub mod pool;
 pub mod prio;
 
 pub use block::MsgBlock;
+pub use frame::{
+    encode_frame, read_frame, write_frame, FrameHeader, FRAME_HEADER_BYTES, MAX_FRAME_BODY,
+};
 pub use pool::PoolStats;
 pub use prio::{BitVecPrio, Priority};
 

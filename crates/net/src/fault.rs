@@ -170,7 +170,7 @@ impl FaultPlan {
     }
 
     /// Panic on a plan that cannot preserve liveness or is out of range.
-    pub(crate) fn validate(&self, num_pes: usize) {
+    pub fn validate(&self, num_pes: usize) {
         let check = |f: &LinkFaults, what: &str| {
             assert!(
                 (0.0..1.0).contains(&f.drop),
@@ -255,14 +255,7 @@ fn mix64(mut x: u64) -> u64 {
 /// so links (0,1) and (1,0) get distinct streams), then keyed by the
 /// packet's sequence number, transmission attempt, and a salt naming
 /// the decision being made.
-pub(crate) fn link_draw(
-    seed: u64,
-    src: usize,
-    dst: usize,
-    seq: u64,
-    attempt: u32,
-    salt: u64,
-) -> u64 {
+pub fn link_draw(seed: u64, src: usize, dst: usize, seq: u64, attempt: u32, salt: u64) -> u64 {
     let link = (src as u64).wrapping_mul(0x9E3779B97F4A7C15)
         ^ (dst as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
     let x = (seed ^ link).wrapping_mul(LCG_MUL).wrapping_add(LCG_ADD);
@@ -274,16 +267,16 @@ pub(crate) fn link_draw(
 }
 
 /// Map a draw onto the unit interval.
-pub(crate) fn unit(draw: u64) -> f64 {
+pub fn unit(draw: u64) -> f64 {
     (draw >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Decision salts (one per kind of question asked about a packet).
-pub(crate) const SALT_DROP: u64 = 1;
-pub(crate) const SALT_DUP: u64 = 2;
-pub(crate) const SALT_DELAY: u64 = 3;
-pub(crate) const SALT_DELAY_SLOTS: u64 = 4;
-pub(crate) const SALT_REORDER: u64 = 5;
+pub const SALT_DROP: u64 = 1;
+pub const SALT_DUP: u64 = 2;
+pub const SALT_DELAY: u64 = 3;
+pub const SALT_DELAY_SLOTS: u64 = 4;
+pub const SALT_REORDER: u64 = 5;
 
 #[cfg(test)]
 mod tests {

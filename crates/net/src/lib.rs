@@ -31,9 +31,11 @@
 
 pub mod fault;
 pub mod model;
+pub mod transport;
 
 pub use fault::{FaultPlan, FaultStats, LinkFaults, StallWindow};
 pub use model::NetModel;
+pub use transport::CmiTransport;
 
 use converse_msg::MsgBlock;
 use converse_trace::{Event, FaultKind, TraceSink};

@@ -146,6 +146,19 @@ pub enum Event {
         /// (the fiber backend's direct-handoff fast path).
         direct_handoff: bool,
     },
+    /// A frame crossed the socket transport's real wire. Sampled (one
+    /// record per N frames) — a per-frame record would rival the frame
+    /// itself in cost on the loopback path.
+    WireFrame {
+        /// Frame discriminator name (`"data"`, `"ack"`, `"stall"`, ...).
+        kind: &'static str,
+        /// The remote PE rank on the other end of the frame.
+        peer: usize,
+        /// Payload bytes carried (header excluded).
+        bytes: usize,
+        /// True for an outbound frame, false for an arrival.
+        sent: bool,
+    },
     /// Snapshot of this PE's message-buffer pool counters (the
     /// CmiAlloc/CmiFree free-list), emitted at PE teardown.
     MsgPool {
@@ -377,6 +390,18 @@ impl TraceSink for TextSink {
                 writeln!(
                     b,
                     "{pe} {t_ns} THSWITCH backend={backend} direct={direct_handoff}"
+                )
+            }
+            Event::WireFrame {
+                kind,
+                peer,
+                bytes,
+                sent,
+            } => {
+                let dir = if *sent { "out" } else { "in" };
+                writeln!(
+                    b,
+                    "{pe} {t_ns} WIRE kind={kind} peer={peer} bytes={bytes} dir={dir}"
                 )
             }
             Event::MsgPool {

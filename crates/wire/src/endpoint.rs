@@ -1,0 +1,689 @@
+//! The worker-side transport endpoint.
+//!
+//! A [`WireEndpoint`] is one rank's view of the socket machine: the hub
+//! connection, a private single-rank mailbox, and (when a fault plan is
+//! installed) the sender/receiver halves of the reliability sublayer
+//! running over the real wire.
+//!
+//! The local mailbox is an [`Interconnect`] built with **no plan**: a
+//! remote arrival that survived the wire's reliability layer is final,
+//! so it goes straight into the mailbox machinery (two-list queues,
+//! condvar wakeups, stall windows, delivery-mode scrambling) that the
+//! in-process transport already proved out. Loopback sends (rank to
+//! itself) never touch the socket at all.
+//!
+//! Reliability over the wire mirrors `Interconnect`'s modeled link
+//! state split across processes: the **sender** keeps per-destination
+//! `next_seq` + retransmit buffer + delayed-copy limbo, injecting
+//! deterministic drop/dup/delay decisions from the same
+//! [`converse_net::fault::link_draw`] streams *before* writing to the
+//! socket; the **receiver** keeps per-source `expected` + out-of-order
+//! stash, dedups, and acknowledges every DATA arrival with a selective
+//! seq plus a cumulative watermark. A pump thread drives retransmission
+//! with the plan's capped exponential backoff. ACKs and control frames
+//! ride the socket un-faulted — the plan models the data channel, the
+//! TCP/Unix stream is the (reliable) physical layer under it.
+
+use crate::{connect, kind, WireOptions, WireStream};
+use converse_msg::{write_frame, FrameHeader, MsgBlock};
+use converse_net::fault::{link_draw, unit, SALT_DELAY, SALT_DELAY_SLOTS, SALT_DROP, SALT_DUP};
+use converse_net::{
+    CmiTransport, DeliveryMode, FaultPlan, FaultStats, Interconnect, Packet, PeTraffic,
+};
+use converse_trace::{Event, FaultKind, TraceSink};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Record one trace event per this many wire frames.
+const FRAME_SAMPLE: u64 = 32;
+
+/// A transmitted-but-unacknowledged packet (sender side).
+struct InFlight {
+    block: MsgBlock,
+    attempt: u32,
+    due: Instant,
+}
+
+/// A fault-delayed copy waiting for its release slot (sender side —
+/// the delay happens before the socket, so the wire stays truthful).
+struct Limbo {
+    seq: u64,
+    block: MsgBlock,
+    due: Instant,
+}
+
+/// Sender half of one directed link (this rank → `dst`).
+#[derive(Default)]
+struct SendLink {
+    next_seq: u64,
+    unacked: BTreeMap<u64, InFlight>,
+    limbo: Vec<Limbo>,
+}
+
+impl SendLink {
+    fn default_vec(n: usize) -> Vec<Mutex<SendLink>> {
+        (0..n).map(|_| Mutex::new(SendLink::default())).collect()
+    }
+}
+
+/// Receiver half of one directed link (`src` → this rank).
+#[derive(Default)]
+struct RecvLink {
+    expected: u64,
+    ooo: BTreeMap<u64, MsgBlock>,
+}
+
+#[derive(Default)]
+struct FaultCells {
+    transmissions: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    retransmitted: AtomicU64,
+    dedup_dropped: AtomicU64,
+}
+
+/// One rank's end of the socket machine. See the module docs.
+/// Callback invoked (once) when the endpoint aborts — the machine
+/// layer uses it to flip its shared panicked flag.
+pub type AbortHook = Box<dyn Fn(&str) + Send + Sync>;
+
+pub struct WireEndpoint {
+    rank: usize,
+    n: usize,
+    inner: Arc<Interconnect>,
+    writer: Mutex<WireStream>,
+    plan: Option<FaultPlan>,
+    send_links: Vec<Mutex<SendLink>>,
+    recv_links: Vec<Mutex<RecvLink>>,
+    wire_msgs: AtomicU64,
+    wire_bytes: AtomicU64,
+    fstats: FaultCells,
+    /// Counts every frame written or read — the trace sampling key.
+    frames: AtomicU64,
+    /// Set while the teardown flush runs: limbo releases immediately.
+    finishing: AtomicBool,
+    /// Set once no further wire activity is expected (FIN, abort, or
+    /// hub loss); reader/pump threads exit and write errors go quiet.
+    shutdown: AtomicBool,
+    fin: Mutex<bool>,
+    fin_cv: Condvar,
+    aborted: Mutex<Option<String>>,
+    on_abort: Mutex<Option<AbortHook>>,
+    trace: Arc<dyn TraceSink>,
+}
+
+impl WireEndpoint {
+    /// Connect rank `rank` of an `n`-PE machine to the hub at `addr`,
+    /// speak HELLO, and block until the hub's GO (the startup barrier).
+    /// Returns with the reader (and, under a plan, the retransmit pump)
+    /// running.
+    pub fn connect(
+        rank: usize,
+        n: usize,
+        addr: &str,
+        delivery: DeliveryMode,
+        plan: Option<FaultPlan>,
+        opts: &WireOptions,
+        trace: Arc<dyn TraceSink>,
+    ) -> io::Result<Arc<WireEndpoint>> {
+        assert!(rank < n, "rank {rank} out of range for {n} PEs");
+        if let Some(p) = &plan {
+            p.validate(n);
+        }
+        let stream = connect(addr, opts.connect_timeout)?;
+        write_frame(
+            &mut stream.try_clone()?,
+            FrameHeader::new(kind::HELLO, rank as u32, 0, 0),
+            b"",
+        )?;
+        let mut reader = stream.try_clone()?;
+        // The GO may lag while slower siblings exec and connect; give
+        // it the whole bootstrap window.
+        stream.set_read_timeout(Some(opts.accept_timeout + opts.connect_timeout))?;
+        match converse_msg::read_frame(&mut reader)? {
+            Some((h, _)) if h.kind == kind::GO => {}
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("wire: expected GO from hub, got {other:?}"),
+                ))
+            }
+        }
+        stream.set_read_timeout(None)?;
+
+        let ep = Arc::new(WireEndpoint {
+            rank,
+            n,
+            inner: Interconnect::with_mode(n, delivery),
+            writer: Mutex::new(stream),
+            send_links: SendLink::default_vec(n),
+            recv_links: (0..n).map(|_| Mutex::new(RecvLink::default())).collect(),
+            plan,
+            wire_msgs: AtomicU64::new(0),
+            wire_bytes: AtomicU64::new(0),
+            fstats: FaultCells::default(),
+            frames: AtomicU64::new(0),
+            finishing: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            fin: Mutex::new(false),
+            fin_cv: Condvar::new(),
+            aborted: Mutex::new(None),
+            on_abort: Mutex::new(None),
+            trace,
+        });
+
+        let rd = ep.clone();
+        std::thread::Builder::new()
+            .name(format!("wire-ep{rank}"))
+            .spawn(move || rd.reader_loop(reader))
+            .expect("spawn wire reader");
+        if ep.plan.is_some() {
+            let pump = ep.clone();
+            std::thread::Builder::new()
+                .name(format!("wire-pump{rank}"))
+                .spawn(move || pump.pump_loop())
+                .expect("spawn wire pump");
+        }
+        Ok(ep)
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Install the machine layer's abort reaction (e.g. marking the
+    /// run panicked so blocked contexts unwind). Called with the abort
+    /// message when a peer panics or the hub connection is lost.
+    pub fn set_abort_hook(&self, f: AbortHook) {
+        *self.on_abort.lock() = Some(f);
+    }
+
+    /// The abort message, if a peer failure reached this worker.
+    pub fn aborted(&self) -> Option<String> {
+        self.aborted.lock().clone()
+    }
+
+    // ---- frame output ---------------------------------------------------
+
+    fn trace_frame(&self, kind_byte: u8, peer: usize, bytes: usize, sent: bool) {
+        let count = self.frames.fetch_add(1, Ordering::Relaxed);
+        if count.is_multiple_of(FRAME_SAMPLE) && self.trace.enabled() {
+            self.trace.record(
+                self.rank,
+                self.inner.uptime().as_nanos() as u64,
+                Event::WireFrame {
+                    kind: kind::name(kind_byte),
+                    peer,
+                    bytes,
+                    sent,
+                },
+            );
+        }
+    }
+
+    fn trace_fault(&self, fk: FaultKind, src: usize, dst: usize, seq: u64) {
+        if self.trace.enabled() {
+            self.trace.record(
+                self.rank,
+                self.inner.uptime().as_nanos() as u64,
+                Event::Fault {
+                    kind: fk,
+                    src,
+                    dst,
+                    seq,
+                },
+            );
+        }
+    }
+
+    /// Write one frame to the hub. Errors are quiet once the endpoint
+    /// is shutting down; otherwise they mean the hub vanished and the
+    /// run is over for this worker.
+    fn write(&self, header: FrameHeader, payload: &[u8]) {
+        let r = write_frame(&mut *self.writer.lock(), header, payload);
+        match r {
+            Ok(()) => self.trace_frame(header.kind, header.dst as usize, payload.len(), true),
+            Err(_) => {
+                if !self.shutdown.load(Ordering::Acquire) {
+                    self.abort_local("wire: hub connection lost (write)");
+                }
+            }
+        }
+    }
+
+    fn data_header(&self, dst: usize, seq: u64) -> FrameHeader {
+        FrameHeader::new(kind::DATA, self.rank as u32, dst as u32, seq)
+    }
+
+    /// One attempt to push `seq` of link `rank → dst` across the wire,
+    /// applying the fault plane *before* the socket — the mirror of the
+    /// in-process `wire_transmit`, with "deliver" replaced by "write".
+    fn wire_attempt(&self, dst: usize, seq: u64, attempt: u32, block: MsgBlock) {
+        let Some(plan) = &self.plan else {
+            self.write(self.data_header(dst, seq), block.as_slice());
+            return;
+        };
+        let src = self.rank;
+        self.fstats.transmissions.fetch_add(1, Ordering::Relaxed);
+        let f = plan.faults_for(src, dst);
+        if f.drop > 0.0 && unit(link_draw(plan.seed, src, dst, seq, attempt, SALT_DROP)) < f.drop {
+            self.fstats.dropped.fetch_add(1, Ordering::Relaxed);
+            self.trace_fault(FaultKind::Drop, src, dst, seq);
+            return;
+        }
+        let copies: u64 = if f.dup > 0.0
+            && unit(link_draw(plan.seed, src, dst, seq, attempt, SALT_DUP)) < f.dup
+        {
+            self.fstats.transmissions.fetch_add(1, Ordering::Relaxed);
+            self.fstats.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.trace_fault(FaultKind::Duplicate, src, dst, seq);
+            2
+        } else {
+            1
+        };
+        let finishing = self.finishing.load(Ordering::Acquire);
+        for copy in 0..copies {
+            let delay_salt = SALT_DELAY + copy * 16;
+            let slots_salt = SALT_DELAY_SLOTS + copy * 16;
+            let delayed = !finishing
+                && f.delay > 0.0
+                && f.max_delay_slots > 0
+                && unit(link_draw(plan.seed, src, dst, seq, attempt, delay_salt)) < f.delay;
+            if delayed {
+                let slots = 1
+                    + (link_draw(plan.seed, src, dst, seq, attempt, slots_salt) as usize
+                        % f.max_delay_slots);
+                self.fstats.delayed.fetch_add(1, Ordering::Relaxed);
+                self.trace_fault(FaultKind::Delay, src, dst, seq);
+                let due = Instant::now() + plan.tick * slots as u32;
+                self.send_links[dst].lock().limbo.push(Limbo {
+                    seq,
+                    block: block.share(),
+                    due,
+                });
+            } else {
+                self.write(self.data_header(dst, seq), block.as_slice());
+            }
+        }
+    }
+
+    /// Sequence, buffer and attempt one remote send.
+    fn wire_send(&self, dst: usize, block: MsgBlock) {
+        self.wire_msgs.fetch_add(1, Ordering::Relaxed);
+        self.wire_bytes
+            .fetch_add(block.len() as u64, Ordering::Relaxed);
+        let Some(plan) = &self.plan else {
+            self.write(self.data_header(dst, 0), block.as_slice());
+            return;
+        };
+        let seq;
+        {
+            let mut link = self.send_links[dst].lock();
+            seq = link.next_seq;
+            link.next_seq += 1;
+            link.unacked.insert(
+                seq,
+                InFlight {
+                    block: block.share(),
+                    attempt: 1,
+                    due: Instant::now() + plan.rto,
+                },
+            );
+        }
+        self.wire_attempt(dst, seq, 1, block);
+    }
+
+    // ---- frame input ----------------------------------------------------
+
+    fn reader_loop(self: Arc<Self>, mut stream: WireStream) {
+        loop {
+            match converse_msg::read_frame(&mut stream) {
+                Ok(Some((h, payload))) => {
+                    self.trace_frame(h.kind, h.src as usize, payload.len(), false);
+                    match h.kind {
+                        kind::DATA => self.on_data(h.src as usize, h.seq, payload),
+                        kind::ACK => self.on_ack(h.src as usize, h.seq, payload.as_slice()),
+                        kind::INJECT => self.inner.inject(self.rank, payload),
+                        kind::STALL => {
+                            let ns = u64_le(payload.as_slice());
+                            self.inner.stall_for(self.rank, Duration::from_nanos(ns));
+                        }
+                        kind::ABORT => {
+                            let msg = String::from_utf8_lossy(payload.as_slice()).into_owned();
+                            self.shutdown.store(true, Ordering::Release);
+                            self.abort_local(&format!("wire: aborted by peer: {msg}"));
+                            return;
+                        }
+                        kind::FIN => {
+                            self.shutdown.store(true, Ordering::Release);
+                            let mut f = self.fin.lock();
+                            *f = true;
+                            self.fin_cv.notify_all();
+                            return;
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    if !self.shutdown.swap(true, Ordering::AcqRel) {
+                        self.abort_local("wire: hub connection lost");
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Receive side of the reliability sublayer — the mirror of the
+    /// in-process `deliver_link`, plus an explicit ACK frame (shared
+    /// memory let the modeled link acknowledge by direct state update).
+    fn on_data(&self, src: usize, seq: u64, block: MsgBlock) {
+        if self.plan.is_none() {
+            self.inner.send(src, self.rank, block);
+            return;
+        }
+        {
+            let mut link = self.recv_links[src].lock();
+            if seq < link.expected || link.ooo.contains_key(&seq) {
+                self.fstats.dedup_dropped.fetch_add(1, Ordering::Relaxed);
+                self.trace_fault(FaultKind::DedupDrop, src, self.rank, seq);
+            } else {
+                link.ooo.insert(seq, block);
+                loop {
+                    let next = link.expected;
+                    let Some(b) = link.ooo.remove(&next) else {
+                        break;
+                    };
+                    link.expected += 1;
+                    // The local mailbox link carries no plan, so the
+                    // packet enters with seq 0 — same as every in-order
+                    // arrival on a clean in-process link.
+                    self.inner.send(src, self.rank, b);
+                }
+            }
+            // Acknowledge even duplicates: the retransmit that produced
+            // them is still waiting for this seq to be confirmed.
+            let cum = link.expected;
+            self.write(
+                FrameHeader::new(kind::ACK, self.rank as u32, src as u32, seq),
+                &cum.to_le_bytes(),
+            );
+        }
+    }
+
+    /// Sender side of an ACK from `acker`: drop the selective seq and
+    /// everything below the cumulative watermark from the retransmit
+    /// buffer (and limbo — a delivered seq no longer needs its delayed
+    /// copies).
+    fn on_ack(&self, acker: usize, selective: u64, payload: &[u8]) {
+        let cum = u64_le(payload);
+        let mut link = self.send_links[acker].lock();
+        link.unacked.remove(&selective);
+        link.unacked.retain(|s, _| *s >= cum);
+        link.limbo.retain(|l| l.seq >= cum && l.seq != selective);
+    }
+
+    /// Record an abort, run the machine layer's hook, and wake anything
+    /// blocked on the mailbox.
+    fn abort_local(&self, msg: &str) {
+        {
+            let mut a = self.aborted.lock();
+            if a.is_some() {
+                return;
+            }
+            *a = Some(msg.to_string());
+        }
+        if let Some(hook) = &*self.on_abort.lock() {
+            hook(msg);
+        }
+        self.inner.close();
+    }
+
+    // ---- retransmit pump ------------------------------------------------
+
+    fn pump_loop(self: Arc<Self>) {
+        let plan = self.plan.as_ref().expect("pump requires a plan");
+        while !self.shutdown.load(Ordering::Acquire) {
+            std::thread::sleep(plan.tick);
+            let now = Instant::now();
+            let finishing = self.finishing.load(Ordering::Acquire);
+            for dst in 0..self.n {
+                if dst == self.rank {
+                    continue;
+                }
+                let mut releases: Vec<Limbo> = Vec::new();
+                let mut retx: Vec<(u64, u32, MsgBlock)> = Vec::new();
+                {
+                    let mut link = self.send_links[dst].lock();
+                    if link.limbo.is_empty() && link.unacked.is_empty() {
+                        continue;
+                    }
+                    let mut i = 0;
+                    while i < link.limbo.len() {
+                        if finishing || link.limbo[i].due <= now {
+                            releases.push(link.limbo.swap_remove(i));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    releases.sort_by_key(|l| l.seq);
+                    for (seq, inf) in link.unacked.iter_mut() {
+                        if inf.due <= now {
+                            inf.attempt += 1;
+                            let backoff = plan.rto * (1u32 << (inf.attempt - 1).min(10));
+                            inf.due = now + backoff.min(plan.rto_cap);
+                            retx.push((*seq, inf.attempt, inf.block.share()));
+                        }
+                    }
+                }
+                for l in releases {
+                    self.write(self.data_header(dst, l.seq), l.block.as_slice());
+                }
+                for (seq, attempt, block) in retx {
+                    self.fstats.retransmitted.fetch_add(1, Ordering::Relaxed);
+                    self.trace_fault(FaultKind::Retransmit, self.rank, dst, seq);
+                    self.wire_attempt(dst, seq, attempt, block);
+                }
+            }
+        }
+    }
+
+    // ---- teardown protocol ----------------------------------------------
+
+    /// Drive the retransmit buffer empty (every remote send confirmed
+    /// delivered) before exiting; limbo copies release immediately.
+    /// Returns false if `deadline` passed first.
+    pub fn flush(&self, deadline: Instant) -> bool {
+        if self.plan.is_none() {
+            return true;
+        }
+        self.finishing.store(true, Ordering::Release);
+        loop {
+            let clean = self.send_links.iter().all(|l| {
+                let l = l.lock();
+                l.unacked.is_empty() && l.limbo.is_empty()
+            });
+            if clean {
+                return true;
+            }
+            if Instant::now() >= deadline || self.shutdown.load(Ordering::Acquire) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Send the clean-completion EXIT frame carrying this worker's
+    /// report bytes.
+    pub fn send_exit(&self, report: &[u8]) {
+        self.write(FrameHeader::new(kind::EXIT, self.rank as u32, 0, 0), report);
+    }
+
+    /// Send the panic ABORT frame (the hub fans it out to the peers).
+    pub fn send_abort(&self, msg: &str) {
+        self.write(
+            FrameHeader::new(kind::ABORT, self.rank as u32, 0, 0),
+            msg.as_bytes(),
+        );
+    }
+
+    /// Wait for the hub's FIN (all ranks exited). Returns false on
+    /// timeout or if the run aborted instead.
+    pub fn wait_fin(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut f = self.fin.lock();
+        while !*f {
+            if self.aborted.lock().is_some() {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.fin_cv.wait_for(&mut f, deadline - now);
+        }
+        true
+    }
+
+    /// This rank's authoritative traffic view: local mailbox counters
+    /// merged with the wire send counters.
+    pub fn local_traffic(&self) -> PeTraffic {
+        let mut t = self.inner.traffic(self.rank);
+        t.msgs_sent += self.wire_msgs.load(Ordering::Relaxed);
+        t.bytes_sent += self.wire_bytes.load(Ordering::Relaxed);
+        t
+    }
+}
+
+fn u64_le(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = bytes.len().min(8);
+    buf[..n].copy_from_slice(&bytes[..n]);
+    u64::from_le_bytes(buf)
+}
+
+impl CmiTransport for WireEndpoint {
+    fn num_pes(&self) -> usize {
+        self.n
+    }
+
+    fn uptime(&self) -> Duration {
+        self.inner.uptime()
+    }
+
+    fn send_block(&self, src: usize, dst: usize, block: MsgBlock) {
+        debug_assert_eq!(src, self.rank, "a wire endpoint sends only as its own rank");
+        if dst == self.rank {
+            self.inner.send(src, dst, block);
+        } else {
+            self.wire_send(dst, block);
+        }
+    }
+
+    fn inject_block(&self, dst: usize, block: MsgBlock) {
+        if dst == self.rank {
+            self.inner.inject(dst, block);
+        } else {
+            self.write(
+                FrameHeader::new(kind::INJECT, self.rank as u32, dst as u32, 0),
+                block.as_slice(),
+            );
+        }
+    }
+
+    fn broadcast_excl_block(&self, src: usize, block: MsgBlock) {
+        for dst in 0..self.n {
+            if dst != src {
+                self.send_block(src, dst, block.share());
+            }
+        }
+    }
+
+    fn broadcast_all_block(&self, src: usize, block: MsgBlock) {
+        for dst in 0..self.n {
+            self.send_block(src, dst, block.share());
+        }
+    }
+
+    /// Destinations live in other address spaces: every remote PE
+    /// receives its own copy off the wire.
+    fn broadcast_zero_copy(&self) -> bool {
+        false
+    }
+
+    fn try_recv(&self, pe: usize) -> Option<Packet> {
+        self.inner.try_recv(pe)
+    }
+
+    fn drain_bounded(&self, pe: usize, out: &mut VecDeque<Packet>, max: usize) -> usize {
+        self.inner.drain_into_bounded(pe, out, max)
+    }
+
+    fn recv_timeout(&self, pe: usize, timeout: Duration) -> Option<Packet> {
+        self.inner.recv_timeout(pe, timeout)
+    }
+
+    fn wait_nonempty(&self, pe: usize, timeout: Duration) {
+        self.inner.wait_nonempty(pe, timeout)
+    }
+
+    fn wait_nonempty_spin(&self, pe: usize, timeout: Duration, spin: u32) -> u32 {
+        self.inner.wait_nonempty_spin(pe, timeout, spin)
+    }
+
+    fn pending(&self, pe: usize) -> usize {
+        self.inner.pending(pe)
+    }
+
+    fn stalled(&self, pe: usize) -> bool {
+        self.inner.stalled(pe)
+    }
+
+    fn stall_for(&self, pe: usize, dur: Duration) {
+        if pe == self.rank {
+            self.inner.stall_for(pe, dur);
+        } else {
+            self.write(
+                FrameHeader::new(kind::STALL, self.rank as u32, pe as u32, 0),
+                &(dur.as_nanos() as u64).to_le_bytes(),
+            );
+        }
+    }
+
+    fn close(&self) {
+        self.inner.close()
+    }
+
+    fn is_closed(&self) -> bool {
+        self.inner.is_closed()
+    }
+
+    fn traffic(&self, pe: usize) -> PeTraffic {
+        if pe == self.rank {
+            self.local_traffic()
+        } else {
+            PeTraffic::default()
+        }
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            transmissions: self.fstats.transmissions.load(Ordering::Relaxed),
+            dropped: self.fstats.dropped.load(Ordering::Relaxed),
+            duplicated: self.fstats.duplicated.load(Ordering::Relaxed),
+            delayed: self.fstats.delayed.load(Ordering::Relaxed),
+            retransmitted: self.fstats.retransmitted.load(Ordering::Relaxed),
+            dedup_dropped: self.fstats.dedup_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    fn transport_name(&self) -> &'static str {
+        "socket"
+    }
+}

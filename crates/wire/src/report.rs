@@ -1,0 +1,115 @@
+//! The per-worker teardown report carried in an `EXIT` frame.
+//!
+//! Counters a distributed transport cannot observe remotely (another
+//! process's traffic, its fault-plane statistics, its captured console
+//! lines) are authoritative only inside the worker that owns them. At
+//! teardown each worker serializes its view into a [`WorkerReport`];
+//! the launcher aggregates the `n` reports into the same `RunReport`
+//! shape the in-process machine produces.
+
+use converse_msg::pack::{PackError, Packer, Unpacker};
+use converse_net::{FaultStats, PeTraffic};
+
+/// One worker's authoritative end-of-run counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// The worker's PE rank.
+    pub rank: usize,
+    /// The rank's traffic counters (wire sends merged with local ones).
+    pub traffic: PeTraffic,
+    /// The worker's fault-plane and reliability counters.
+    pub faults: FaultStats,
+    /// Captured `cmi_printf` lines (empty unless capture was on).
+    pub output: Vec<String>,
+}
+
+impl WorkerReport {
+    /// Serialize for the `EXIT` frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Packer::new()
+            .usize(self.rank)
+            .u64(self.traffic.msgs_sent)
+            .u64(self.traffic.bytes_sent)
+            .u64(self.traffic.msgs_recv)
+            .u64(self.traffic.msgs_injected)
+            .u64(self.traffic.bytes_injected)
+            .u64(self.faults.transmissions)
+            .u64(self.faults.dropped)
+            .u64(self.faults.duplicated)
+            .u64(self.faults.delayed)
+            .u64(self.faults.retransmitted)
+            .u64(self.faults.dedup_dropped)
+            .u32(self.output.len() as u32);
+        for line in &self.output {
+            p = p.str(line);
+        }
+        p.finish()
+    }
+
+    /// Parse an `EXIT` frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<WorkerReport, PackError> {
+        let mut u = Unpacker::new(bytes);
+        let rank = u.usize()?;
+        let traffic = PeTraffic {
+            msgs_sent: u.u64()?,
+            bytes_sent: u.u64()?,
+            msgs_recv: u.u64()?,
+            msgs_injected: u.u64()?,
+            bytes_injected: u.u64()?,
+        };
+        let faults = FaultStats {
+            transmissions: u.u64()?,
+            dropped: u.u64()?,
+            duplicated: u.u64()?,
+            delayed: u.u64()?,
+            retransmitted: u.u64()?,
+            dedup_dropped: u.u64()?,
+        };
+        let n = u.u32()? as usize;
+        let mut output = Vec::with_capacity(n);
+        for _ in 0..n {
+            output.push(u.str()?);
+        }
+        Ok(WorkerReport {
+            rank,
+            traffic,
+            faults,
+            output,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips() {
+        let r = WorkerReport {
+            rank: 3,
+            traffic: PeTraffic {
+                msgs_sent: 10,
+                bytes_sent: 1024,
+                msgs_recv: 9,
+                msgs_injected: 1,
+                bytes_injected: 16,
+            },
+            faults: FaultStats {
+                transmissions: 14,
+                dropped: 2,
+                duplicated: 1,
+                delayed: 1,
+                retransmitted: 2,
+                dedup_dropped: 3,
+            },
+            output: vec!["PE 3 done".into(), "".into()],
+        };
+        assert_eq!(WorkerReport::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let r = WorkerReport::default();
+        assert_eq!(WorkerReport::decode(&r.encode()).unwrap(), r);
+    }
+}

@@ -1,0 +1,92 @@
+//! All-to-all ping across 4 PEs, on either transport.
+//!
+//! ```text
+//! cargo run --example ping_all -- --transport socket   # one process per PE
+//! cargo run --example ping_all -- --transport inproc   # threads (default)
+//! ```
+//!
+//! Under `--transport socket` this process becomes the launcher: it
+//! re-executes itself once per rank (the workers inherit the same
+//! argv, so each reaches this same `run_with` call), routes frames
+//! between the worker processes over a real socket, and aggregates the
+//! final report. Every PE sends one stamped ping to every other PE and
+//! asserts each expected pong arrives intact, exactly once.
+
+use converse::machine::Transport;
+use converse::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const PES: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let transport = match args.iter().position(|a| a == "--transport") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("socket") => Transport::Socket,
+            Some("inproc") | None => Transport::InProcess,
+            Some(other) => {
+                eprintln!("unknown transport {other:?} (want socket|inproc)");
+                std::process::exit(2);
+            }
+        },
+        None => Transport::InProcess,
+    };
+
+    let report = run_with(
+        MachineConfig::new(PES)
+            .transport(transport)
+            .capture_output(),
+        |pe| {
+            let me = pe.my_pe();
+            let got = Arc::new(AtomicU64::new(0));
+            let g2 = got.clone();
+            let pong = pe.register_handler(move |pe, msg| {
+                let from = msg.payload()[0] as usize;
+                let stamp = u64::from_le_bytes(msg.payload()[1..9].try_into().unwrap());
+                assert_eq!(stamp, (from as u64 + 1) * 100 + pe.my_pe() as u64);
+                if g2.fetch_add(1, Ordering::SeqCst) + 1 == (PES - 1) as u64 {
+                    csd_exit_scheduler(pe);
+                }
+            });
+            pe.barrier();
+            for dst in 0..PES {
+                if dst == me {
+                    continue;
+                }
+                let mut payload = vec![me as u8];
+                payload.extend_from_slice(&((me as u64 + 1) * 100 + dst as u64).to_le_bytes());
+                pe.sync_send_and_free(dst, Message::new(pong, &payload));
+            }
+            csd_scheduler(pe, -1);
+            assert_eq!(got.load(Ordering::SeqCst), (PES - 1) as u64);
+            pe.cmi_printf(format!(
+                "PE {me} [{}]: {} pings answered",
+                pe.transport_name(),
+                PES - 1
+            ));
+            pe.barrier();
+        },
+    );
+
+    for line in &report.output {
+        println!("{line}");
+    }
+    let name = match transport {
+        Transport::Socket => "socket",
+        Transport::InProcess => "inproc",
+    };
+    println!(
+        "ping_all over {name}: {} msgs, {} bytes, {:?}",
+        report.total_msgs(),
+        report.total_bytes(),
+        report.elapsed
+    );
+    assert_eq!(report.traffic.len(), PES);
+    for (rank, t) in report.traffic.iter().enumerate() {
+        assert!(
+            t.msgs_recv >= (PES - 1) as u64,
+            "PE {rank} under-received: {t:?}"
+        );
+    }
+}

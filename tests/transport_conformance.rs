@@ -1,0 +1,233 @@
+//! Cross-transport conformance: the same programs, PEs as threads of
+//! one process (`Transport::InProcess`) and as separate OS processes
+//! over a real socket (`Transport::Socket`), must produce the same
+//! answers. The socket iterations re-execute this test binary once per
+//! rank (`CONVERSE_WORKER` role), so every assertion here runs in real
+//! worker processes too.
+//!
+//! Harness caveat (see docs/API.md): the worker re-invocation is
+//! `<exe> <test-name> --exact`, recovered from the test thread's name —
+//! these tests need libtest's default threaded harness, not
+//! `--test-threads=1`.
+
+use converse::machine::{run_on_each_transport, Transport};
+use converse::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Like [`run_on_each_transport`] but with a caller-built config and
+/// the per-transport [`RunReport`]s returned for launcher-side
+/// assertions. (State mutated inside `entry` is only observable after
+/// the run on the in-process transport — socket workers are separate
+/// processes — so cross-transport checks go through the report.)
+fn reports_on_each_transport<F>(
+    mk: impl Fn() -> MachineConfig,
+    entry: F,
+) -> Vec<(Transport, RunReport)>
+where
+    F: Fn(&Pe) + Send + Sync + 'static,
+{
+    let entry = Arc::new(entry);
+    [Transport::InProcess, Transport::Socket]
+        .into_iter()
+        .map(|t| {
+            let e = entry.clone();
+            (t, run_with(mk().transport(t), move |pe| e(pe)))
+        })
+        .collect()
+}
+
+/// The canonical lossy mix from the chaos suite, with retransmit
+/// timing tight enough for tests.
+fn lossy_plan(seed: u64) -> converse::machine::FaultPlan {
+    converse::machine::FaultPlan::new(seed)
+        .faults(converse::machine::LinkFaults {
+            drop: 0.2,
+            dup: 0.1,
+            delay: 0.3,
+            max_delay_slots: 3,
+        })
+        .retransmit(Duration::from_micros(600), Duration::from_millis(8))
+        .tick(Duration::from_micros(250))
+}
+
+/// A message-driven token ring: each PE sends one exact value to its
+/// successor and asserts the exact value from its predecessor.
+#[test]
+fn ring_token_carries_exact_values_on_each_transport() {
+    const PES: usize = 4;
+    run_on_each_transport(PES, |pe| {
+        let me = pe.my_pe();
+        let prev = (me + PES - 1) % PES;
+        let h = pe.register_handler(move |pe, msg| {
+            let v = u64::from_le_bytes(msg.payload().try_into().unwrap());
+            assert_eq!(
+                v,
+                (prev as u64 + 1) * 1000 + 7,
+                "wrong token on PE {}",
+                pe.my_pe()
+            );
+            csd_exit_scheduler(pe);
+        });
+        pe.barrier();
+        let token = (me as u64 + 1) * 1000 + 7;
+        pe.sync_send_and_free((me + 1) % PES, Message::new(h, &token.to_le_bytes()));
+        csd_scheduler(pe, -1);
+        pe.barrier();
+    });
+}
+
+/// Collectives: tree allreduce, root broadcast, and barriers agree on
+/// both transports, several rounds deep.
+#[test]
+fn collectives_agree_on_each_transport() {
+    const PES: usize = 4;
+    const ROUNDS: u64 = 4;
+    run_on_each_transport(PES, |pe| {
+        let sum = pe.register_combiner(|a, b| {
+            let x = u64::from_le_bytes(a.try_into().unwrap());
+            let y = u64::from_le_bytes(b.try_into().unwrap());
+            (x + y).to_le_bytes().to_vec()
+        });
+        pe.barrier();
+        for round in 0..ROUNDS {
+            let mine = (pe.my_pe() as u64 + 1) * (round + 1);
+            let all = pe.allreduce_bytes(mine.to_le_bytes().to_vec(), sum);
+            let expect: u64 = (1..=PES as u64).map(|p| p * (round + 1)).sum();
+            assert_eq!(u64::from_le_bytes(all.try_into().unwrap()), expect);
+            let payload = (pe.my_pe() == 0).then(|| round.to_le_bytes().to_vec());
+            let got = pe.bcast_bytes(0, payload);
+            assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), round);
+            pe.barrier();
+        }
+    });
+}
+
+/// Global pointers: every PE owns a region; every PE reads every
+/// remote region and writes one byte into its successor's. The
+/// request/reply protocol rides ordinary messages, so it must behave
+/// identically whether "remote" means another thread or another
+/// process.
+#[test]
+fn global_pointers_transfer_on_each_transport() {
+    const PES: usize = 3;
+    run_on_each_transport(PES, |pe| {
+        use converse::machine::gptr::GlobalPtr;
+        let me = pe.my_pe();
+        let g = pe.gptr_create(vec![me as u8; 64]);
+        // Handle exchange: each owner broadcasts its encoded pointer.
+        let handles: Vec<GlobalPtr> = (0..PES)
+            .map(|root| {
+                let data = (me == root).then(|| g.encode());
+                GlobalPtr::decode(&pe.bcast_bytes(root, data)).expect("decodable handle")
+            })
+            .collect();
+        pe.barrier();
+        for (owner, h) in handles.iter().enumerate() {
+            assert_eq!(
+                pe.get_bytes(h, 8, 16),
+                vec![owner as u8; 16],
+                "PE {me} misread PE {owner}'s region"
+            );
+        }
+        // Each PE stamps byte `me` of its successor's region.
+        pe.put_bytes(&handles[(me + 1) % PES], me, &[100 + me as u8]);
+        pe.barrier();
+        let mine = pe.gptr_deref(&g).expect("own region");
+        let writer = (me + PES - 1) % PES;
+        assert_eq!(
+            mine[writer],
+            100 + writer as u8,
+            "put from PE {writer} lost"
+        );
+    });
+}
+
+/// The transport-shape contract: zero-copy broadcast is an in-process
+/// property; a real wire degrades to per-destination copies. Either
+/// way every PE receives the broadcast exactly once.
+#[test]
+fn broadcast_contract_matches_the_transport() {
+    const PES: usize = 3;
+    run_on_each_transport(PES, |pe| {
+        match pe.transport_name() {
+            "inproc" => assert!(
+                pe.broadcast_zero_copy(),
+                "in-process broadcast must share one allocation"
+            ),
+            "socket" => assert!(
+                !pe.broadcast_zero_copy(),
+                "a real wire cannot share an allocation across processes"
+            ),
+            other => panic!("unknown transport {other:?}"),
+        }
+        let seen = Arc::new(AtomicU64::new(0));
+        let s2 = seen.clone();
+        let h = pe.register_handler(move |pe, msg| {
+            assert_eq!(msg.payload(), b"fanout");
+            s2.fetch_add(1, Ordering::SeqCst);
+            csd_exit_scheduler(pe);
+        });
+        pe.barrier();
+        if pe.my_pe() == 0 {
+            pe.sync_broadcast(&Message::new(h, b"fanout"));
+        } else {
+            csd_scheduler(pe, -1);
+        }
+        pe.barrier();
+        let expect = if pe.my_pe() == 0 { 0 } else { 1 };
+        assert_eq!(seen.load(Ordering::SeqCst), expect);
+    });
+}
+
+/// Exactly-once, in-order delivery under the adversarial fault plan on
+/// BOTH transports: in-process the plan drives the modeled link; over
+/// the socket the same draws drop/duplicate/delay real frames, and the
+/// seq/ack/retransmit sublayer must mask it all the same.
+#[test]
+fn chaos_ring_is_exactly_once_on_each_transport() {
+    const PES: usize = 3;
+    const MSGS: u64 = 40;
+    let reports = reports_on_each_transport(
+        || MachineConfig::new(PES).faults(lossy_plan(1996)),
+        |pe| {
+            let me = pe.my_pe();
+            let prev = (me + PES - 1) % PES;
+            let next_expected = Arc::new(AtomicU64::new(0));
+            let ne = next_expected.clone();
+            let h = pe.register_handler(move |pe, msg| {
+                let v = u64::from_le_bytes(msg.payload().try_into().unwrap());
+                let want = ne.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(
+                    v,
+                    prev as u64 * 10_000 + want,
+                    "PE {} saw a lost, duplicated, or reordered message",
+                    pe.my_pe()
+                );
+                if want + 1 == MSGS {
+                    csd_exit_scheduler(pe);
+                }
+            });
+            pe.barrier();
+            for i in 0..MSGS {
+                let v = me as u64 * 10_000 + i;
+                pe.sync_send_and_free((me + 1) % PES, Message::new(h, &v.to_le_bytes()));
+            }
+            csd_scheduler(pe, -1);
+            pe.barrier();
+            assert_eq!(next_expected.load(Ordering::SeqCst), MSGS);
+        },
+    );
+    for (t, r) in &reports {
+        let s = &r.fault_stats;
+        assert!(
+            s.dropped + s.duplicated + s.delayed > 0,
+            "{t:?}: the plan was supposed to bite: {s:?}"
+        );
+        assert!(
+            s.retransmitted > 0,
+            "{t:?}: drops were masked without retransmission? {s:?}"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Worker-crash robustness on the socket transport: a PE process dying
+//! mid-run (kill -9 — no unwinding, no EXIT frame, nothing) must
+//! surface as a [`RunError::WorkerCrashed`] with the fatal signal, tear
+//! the surviving workers down promptly, and leave no orphan processes.
+
+#![cfg(unix)]
+
+use converse::machine::{RunError, Transport};
+use converse::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Rank 2 kills its own process with SIGKILL while the other three PEs
+/// are parked in their schedulers waiting for messages that will never
+/// come. The launcher must report the crash — rank, signal 9 — within
+/// a bounded wall time instead of hanging on the dead PE.
+#[test]
+fn sigkilled_worker_surfaces_as_crash_error() {
+    const PES: usize = 4;
+    const VICTIM: usize = 2;
+    let t0 = Instant::now();
+    let result = converse::machine::try_run_with(
+        MachineConfig::new(PES)
+            .transport(Transport::Socket)
+            .block_timeout(Duration::from_secs(20)),
+        |pe| {
+            let _h = pe.register_handler(|pe, _msg| csd_exit_scheduler(pe));
+            pe.barrier();
+            if pe.my_pe() == VICTIM {
+                // kill -9 this worker process: death with no unwinding,
+                // no teardown protocol, mid-machine.
+                let me = std::process::id();
+                let _ = std::process::Command::new("sh")
+                    .arg("-c")
+                    .arg(format!("kill -9 {me}"))
+                    .status();
+                // SIGKILL is asynchronous; don't fall through into the
+                // scheduler race below.
+                loop {
+                    std::thread::sleep(Duration::from_secs(1));
+                }
+            }
+            // Survivors block waiting for a message that never arrives;
+            // the abort fan-out must unwind them.
+            csd_scheduler(pe, -1);
+        },
+    );
+    let elapsed = t0.elapsed();
+    match result {
+        Err(RunError::WorkerCrashed {
+            rank, signal, code, ..
+        }) => {
+            assert_eq!(rank, VICTIM, "crash attributed to the wrong rank");
+            assert_eq!(signal, Some(9), "SIGKILL not reported (code {code:?})");
+        }
+        Ok(_) => panic!("a kill -9'd machine reported success"),
+        Err(other) => panic!("expected WorkerCrashed, got: {other}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "crash detection took {elapsed:?} — the launcher hung on the dead PE"
+    );
+}
+
+/// After a crashed run, the same process can immediately boot a fresh
+/// socket machine and complete it cleanly: the failure left no state
+/// (stuck hub, leaked listener, miscounted calls) behind in the
+/// launcher.
+#[test]
+fn launcher_survives_a_crash_and_runs_again() {
+    const PES: usize = 2;
+    // The second run's workers replay this first run *in-process* to
+    // reach their own call site, so its entry must (a) only kill when
+    // genuinely on the wire and (b) terminate cleanly when nobody is
+    // killed. A final barrier does both: the replay sails through it;
+    // the real run blocks in it until the crash fan-out unwinds PE 0.
+    let crashed = converse::machine::try_run_with(
+        MachineConfig::new(PES).transport(Transport::Socket),
+        |pe| {
+            pe.barrier();
+            if pe.my_pe() == 1 && pe.transport_name() == "socket" {
+                let me = std::process::id();
+                let _ = std::process::Command::new("sh")
+                    .arg("-c")
+                    .arg(format!("kill -9 {me}"))
+                    .status();
+                loop {
+                    std::thread::sleep(Duration::from_secs(1));
+                }
+            }
+            pe.barrier();
+        },
+    );
+    // In the second run's workers this same code replays with the first
+    // run succeeding in-process (nobody was on the wire to kill), so
+    // the failure assertion is launcher-only.
+    if !converse::machine::in_socket_worker() {
+        assert!(
+            matches!(crashed, Err(RunError::WorkerCrashed { rank: 1, .. })),
+            "first run must crash: {crashed:?}"
+        );
+    }
+    // Second machine, same launcher process, clean completion.
+    let report = converse::machine::try_run_with(
+        MachineConfig::new(PES).transport(Transport::Socket),
+        |pe| {
+            let h = pe.register_handler(|pe, msg| {
+                assert_eq!(msg.payload(), b"alive");
+                csd_exit_scheduler(pe);
+            });
+            pe.barrier();
+            pe.sync_send_and_free((pe.my_pe() + 1) % PES, Message::new(h, b"alive"));
+            csd_scheduler(pe, -1);
+            pe.barrier();
+        },
+    )
+    .expect("clean run after a crashed one");
+    assert!(report.total_msgs() >= PES as u64);
+}
