@@ -1,0 +1,284 @@
+//! Fan-out throughput per delivery guarantee under a lossy wire.
+//!
+//! One sender fans `MSGS` small messages to every other PE of a 2/4/8
+//! PE interconnect under a drop-0.2 fault plan, once per guarantee:
+//!
+//! * **exactly-once** — the sustained rate is bounded by retransmit
+//!   round trips: every dropped message must be re-sent and the run
+//!   only ends when the last one lands.
+//! * **at-most-once** — drops are shed, not repaired: the rate is the
+//!   raw send rate, and delivered counts what survived.
+//! * **latest-value-wins** — newer values supersede queued/in-flight
+//!   ones; the run ends when every receiver holds the final value.
+//!
+//! The point of the QoS layer in one number: what does the exactly-once
+//! guarantee *cost* on a lossy wire, per fan-out width? Results print
+//! as a table and land in `BENCH_fanout.json`; fresh numbers are gated
+//! against the checked-in baseline at 25% tolerance (`FANOUT_GATE=off`
+//! to re-baseline). The acceptance floor — at-most-once ≥ 2× the
+//! exactly-once rate at 8 PEs — is asserted unconditionally.
+//!
+//! ```sh
+//! cargo run --release -p converse-bench --bin fanout
+//! ```
+
+use converse_net::{Channel, Delivery, FaultPlan, Interconnect, LinkFaults};
+use converse_msg::MsgBlock;
+use std::time::{Duration, Instant};
+
+/// Messages fanned to each receiver, per guarantee.
+const MSGS: u64 = 2000;
+const FLEETS: [usize; 3] = [2, 4, 8];
+/// The EO end-of-burst marker rides the default channel.
+const DONE: u64 = u64::MAX;
+
+fn plan() -> FaultPlan {
+    FaultPlan::new(42)
+        .faults(LinkFaults {
+            drop: 0.2,
+            dup: 0.0,
+            delay: 0.0,
+            max_delay_slots: 0,
+        })
+        .retransmit(Duration::from_micros(600), Duration::from_millis(8))
+        .tick(Duration::from_micros(250))
+}
+
+struct Row {
+    guarantee: &'static str,
+    pes: usize,
+    msgs_per_sec: f64,
+    delivered: u64,
+    superseded: u64,
+}
+
+fn payload(v: u64) -> MsgBlock {
+    MsgBlock::copy_from(&v.to_le_bytes())
+}
+
+fn value(p: &converse_net::Packet) -> u64 {
+    u64::from_le_bytes(p.bytes().try_into().expect("8-byte payload"))
+}
+
+/// Fan `MSGS` messages from PE 0 to every other PE over `delivery`,
+/// and measure the sustained logical-publish rate until the
+/// guarantee's own completion condition holds on every receiver.
+fn fanout(pes: usize, delivery: Delivery) -> Row {
+    let net = Interconnect::with_config(
+        pes,
+        converse_net::DeliveryMode::Fifo,
+        Some(plan()),
+        None,
+    );
+    let chan = Channel::new(5, delivery);
+    let started = Instant::now();
+    for i in 0..MSGS {
+        let b = payload(i);
+        for dst in 1..pes {
+            net.send_on(0, dst, b.share(), chan);
+        }
+    }
+    // End-of-burst marker on the default exactly-once channel: it
+    // cannot outrun the burst (per-link FIFO between sequenced
+    // streams is not guaranteed, but its own delivery is), and it
+    // gives the at-most-once run a finish line drops cannot erase.
+    for dst in 1..pes {
+        net.send(0, dst, payload(DONE));
+    }
+
+    let logical = MSGS * (pes as u64 - 1);
+    let mut delivered = 0u64;
+    let mut finished = vec![false; pes];
+    finished[0] = true;
+    let elapsed = loop {
+        let mut all_done = true;
+        for dst in 1..pes {
+            while let Some(p) = net.try_recv(dst) {
+                let v = value(&p);
+                match delivery {
+                    // EO finish line: every logical message arrived.
+                    Delivery::ExactlyOnce => {
+                        if v != DONE {
+                            delivered += 1;
+                        }
+                    }
+                    // AMO finish line: the EO marker arrived.
+                    Delivery::AtMostOnce => {
+                        if v == DONE {
+                            finished[dst] = true;
+                        } else {
+                            delivered += 1;
+                        }
+                    }
+                    // LVW finish line: the final value arrived.
+                    Delivery::LatestValueWins => {
+                        if v == MSGS - 1 {
+                            finished[dst] = true;
+                        }
+                        if v != DONE {
+                            delivered += 1;
+                        }
+                    }
+                }
+            }
+            let done = match delivery {
+                Delivery::ExactlyOnce => delivered == logical,
+                _ => finished[dst],
+            };
+            all_done &= done;
+        }
+        if all_done {
+            break started.elapsed();
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "{} fan-out at {pes} PEs never finished (delivered {delivered}/{logical})",
+            delivery.label()
+        );
+        std::thread::yield_now();
+    };
+
+    let stats = net.fault_stats();
+    net.close();
+    match delivery {
+        Delivery::ExactlyOnce => assert_eq!(delivered, logical, "exactly-once lost messages"),
+        Delivery::AtMostOnce => {
+            // At drop 0.2 a loss-free 2000-message run is implausible;
+            // the gap is the point of the guarantee. (Retransmissions
+            // are not zero: the end-of-burst marker rides the reliable
+            // default channel.)
+            assert!(delivered < logical, "at-most-once shed nothing under drop 0.2");
+        }
+        Delivery::LatestValueWins => {
+            assert!(delivered <= logical, "latest-value-wins duplicated")
+        }
+    }
+    Row {
+        guarantee: delivery.label(),
+        pes,
+        msgs_per_sec: logical as f64 / elapsed.as_secs_f64(),
+        delivered,
+        superseded: stats.superseded,
+    }
+}
+
+fn main() {
+    let gate_on = std::env::var("FANOUT_GATE")
+        .map(|v| v != "off")
+        .unwrap_or(true);
+    let baseline = std::fs::read_to_string("BENCH_fanout.json").ok();
+
+    println!("fan-out under drop 0.2: logical publishes/sec per guarantee\n");
+    println!(
+        "{:>18} {:>4} {:>14} {:>10} {:>10}",
+        "guarantee", "pes", "msgs/s", "delivered", "superseded"
+    );
+    let mut rows = Vec::new();
+    for pes in FLEETS {
+        for d in [
+            Delivery::ExactlyOnce,
+            Delivery::AtMostOnce,
+            Delivery::LatestValueWins,
+        ] {
+            let r = fanout(pes, d);
+            println!(
+                "{:>18} {:>4} {:>14.0} {:>10} {:>10}",
+                r.guarantee, r.pes, r.msgs_per_sec, r.delivered, r.superseded
+            );
+            rows.push(r);
+        }
+    }
+
+    // The acceptance floor: shedding drops must beat repairing them by
+    // at least 2x at the widest fan-out.
+    let rate = |g: &str, p: usize| {
+        rows.iter()
+            .find(|r| r.guarantee == g && r.pes == p)
+            .map(|r| r.msgs_per_sec)
+            .expect("measured row")
+    };
+    let (eo8, amo8) = (rate("exactly-once", 8), rate("at-most-once", 8));
+    assert!(
+        amo8 >= 2.0 * eo8,
+        "at-most-once fan-out ({amo8:.0}/s) is not 2x exactly-once ({eo8:.0}/s) at 8 PEs"
+    );
+    println!("\nacceptance: at-most-once {:.1}x exactly-once at 8 PEs", amo8 / eo8);
+
+    // Regression gate: fresh rates vs the checked-in baseline, 25%
+    // tolerance, higher is better.
+    let mut gate_failed = false;
+    if let Some(text) = &baseline {
+        for (guarantee, pes, base) in baseline_rows(text) {
+            let fresh = rate(&guarantee, pes);
+            if fresh < base / 1.25 {
+                eprintln!(
+                    "GATE: {guarantee}@{pes}pe {fresh:.0} msgs/s < baseline {base:.0} by >25%"
+                );
+                gate_failed = true;
+            } else {
+                println!("gate ok: {guarantee}@{pes}pe {fresh:.0} (baseline {base:.0})");
+            }
+        }
+    } else {
+        println!("no checked-in BENCH_fanout.json baseline; gate skipped (first run)");
+    }
+
+    std::fs::write("BENCH_fanout.json", render_json(&rows)).expect("write BENCH_fanout.json");
+    println!("\nwrote BENCH_fanout.json ({} rows)", rows.len());
+
+    if gate_failed {
+        if gate_on {
+            eprintln!("fan-out regression gate FAILED (set FANOUT_GATE=off to re-baseline)");
+            std::process::exit(1);
+        } else {
+            println!("gate failures ignored: FANOUT_GATE=off");
+        }
+    }
+}
+
+/// Hand-rolled JSON — the workspace is offline, so no serde.
+fn render_json(rows: &[Row]) -> String {
+    let mut s = String::from(
+        "{\n  \"bench\": \"fanout\",\n  \"plan\": {\"drop\": 0.2, \"msgs_per_receiver\": 2000},\n  \"results\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"guarantee\": \"{}\", \"pes\": {}, \"msgs_per_sec\": {:.0}, \"delivered\": {}, \"superseded\": {}}}{}\n",
+            r.guarantee,
+            r.pes,
+            r.msgs_per_sec,
+            r.delivered,
+            r.superseded,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Pull (guarantee, pes, msgs_per_sec) triples back out of the
+/// baseline JSON with a scan — same idiom as the other gated benches.
+fn baseline_rows(text: &str) -> Vec<(String, usize, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(g0) = line.find("\"guarantee\": \"") else {
+            continue;
+        };
+        let rest = &line[g0 + 14..];
+        let Some(g1) = rest.find('"') else { continue };
+        let guarantee = rest[..g1].to_string();
+        let field = |key: &str| -> Option<f64> {
+            let k0 = line.find(key)? + key.len();
+            let tail = &line[k0..];
+            let end = tail
+                .find(|c: char| c == ',' || c == '}')
+                .unwrap_or(tail.len());
+            tail[..end].trim().parse().ok()
+        };
+        let (Some(pes), Some(rate)) = (field("\"pes\": "), field("\"msgs_per_sec\": ")) else {
+            continue;
+        };
+        out.push((guarantee, pes as usize, rate));
+    }
+    out
+}

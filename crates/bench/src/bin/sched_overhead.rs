@@ -135,7 +135,12 @@ impl LegacyNet {
             .bytes_sent
             .fetch_add(block.len() as u64, Ordering::Relaxed);
         let mbox = &self.boxes[dst];
-        mbox.q.lock().push_back(Packet { src, seq: 0, block });
+        mbox.q.lock().push_back(Packet {
+            src,
+            channel: converse_net::Channel::DEFAULT,
+            seq: 0,
+            block,
+        });
         mbox.cv.notify_one();
     }
 

@@ -78,6 +78,18 @@ impl From<io::Error> for CcsError {
     }
 }
 
+/// Map a final reply to the stream result: OK payload or `Status`.
+fn finalize(r: Reply) -> Result<Vec<u8>, CcsError> {
+    if r.is_ok() {
+        Ok(r.payload)
+    } else {
+        Err(CcsError::Status {
+            code: r.status,
+            detail: String::from_utf8_lossy(&r.payload).into_owned(),
+        })
+    }
+}
+
 /// One connection to a CCS server.
 pub struct CcsClient {
     stream: TcpStream,
@@ -185,6 +197,54 @@ impl CcsClient {
     /// Replies received early and not yet claimed by a `wait`.
     pub fn stashed(&self) -> usize {
         self.stash.len()
+    }
+
+    /// Consume a reply *stream* for `ticket`: invoke `on_frame` with
+    /// the payload of every [`crate::status::STREAM`] frame as it
+    /// arrives, and return once a final (non-`STREAM`) reply lands —
+    /// `Ok` with its payload for an OK status, [`CcsError::Status`]
+    /// otherwise. `on_frame` returning `false` stops consuming early
+    /// (frames already in flight stay in the socket; drop the
+    /// connection afterwards unless the server is known to have
+    /// finished the stream). Replies for *other* tickets that
+    /// interleave with the stream are stashed for their own `wait`;
+    /// the dedicated loop exists because `wait` retires a ticket at
+    /// its first frame, which would drop the rest of the stream.
+    pub fn stream_each(
+        &mut self,
+        ticket: CcsTicket,
+        mut on_frame: impl FnMut(&[u8]) -> bool,
+    ) -> Result<Vec<u8>, CcsError> {
+        // A stashed frame for this ticket is necessarily final: `wait`
+        // stashes at most one reply per foreign seq, and a stream's
+        // earlier frames would have been eaten there.
+        if let Some(r) = self.stash.remove(&ticket.0) {
+            if r.status != crate::status::STREAM {
+                return finalize(r);
+            }
+            if !on_frame(&r.payload) {
+                return Ok(Vec::new());
+            }
+        }
+        loop {
+            let body = match protocol::read_frame(&mut self.stream)? {
+                Some(b) => b,
+                None => return Err(CcsError::Disconnected),
+            };
+            let reply = protocol::decode_reply(&body)
+                .ok_or_else(|| CcsError::Protocol("unparseable reply frame".to_string()))?;
+            if reply.seq != ticket.0 {
+                self.stash.insert(reply.seq, reply);
+                continue;
+            }
+            if reply.status == crate::status::STREAM {
+                if !on_frame(&reply.payload) {
+                    return Ok(Vec::new());
+                }
+            } else {
+                return finalize(reply);
+            }
+        }
     }
 
     /// Synchronous call with an overall deadline: retries server-side

@@ -34,6 +34,7 @@
 pub mod charm_bridge;
 pub mod client;
 pub mod protocol;
+pub mod pubsub;
 pub mod registry;
 pub mod server;
 

@@ -110,6 +110,21 @@ impl Conn {
         won
     }
 
+    /// A streamed (non-final) reply frame for `seq`: keep the request
+    /// open but push its expiry deadline out by `timeout`, so a live
+    /// subscription outlasts the per-request timeout while an
+    /// abandoned one is still swept. Returns false when `seq` is no
+    /// longer in flight (timed out or completed — the frame loses).
+    fn touch(&self, seq: u64, timeout: Duration) -> bool {
+        match self.inflight.lock().get_mut(&seq) {
+            Some(deadline) => {
+                *deadline = Instant::now() + timeout;
+                true
+            }
+            None => false,
+        }
+    }
+
     fn write_reply(&self, seq: u64, status_code: u8, payload: &[u8]) -> io::Result<()> {
         let body = protocol::encode_reply(&Reply {
             seq,
@@ -182,10 +197,18 @@ impl MachineService for CcsServer {
         // Replies from the machine: retire the sequence number and, if
         // this reply won (no timeout beat it), write the frame.
         let sink_conns = conns.clone();
+        let sink_timeout = self.config.request_timeout;
         machine.install_reply_sink(Arc::new(move |rep: ExoReply| {
             let conn = sink_conns.lock().get(&rep.conn).cloned();
             if let Some(c) = conn {
-                if c.complete(rep.seq) {
+                if rep.status == status::STREAM {
+                    // Non-final frame: the request stays open (its
+                    // deadline refreshed) and only a still-live
+                    // subscription gets the frame written.
+                    if c.touch(rep.seq, sink_timeout) {
+                        let _ = c.write_reply(rep.seq, rep.status, &rep.payload);
+                    }
+                } else if c.complete(rep.seq) {
                     let _ = c.write_reply(rep.seq, rep.status, &rep.payload);
                 }
             }

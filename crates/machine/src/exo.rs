@@ -58,6 +58,10 @@ pub mod status {
     pub const MALFORMED: u8 = 4;
     /// The server shut down with the request still in flight.
     pub const SHUTDOWN: u8 = 5;
+    /// A non-final streamed reply: more frames follow for the same
+    /// request (pub-sub subscription updates). The request stays open
+    /// server-side; a later non-`STREAM` status ends the stream.
+    pub const STREAM: u8 = 6;
 }
 
 /// Identity of one in-flight external request: enough to route a reply
@@ -322,6 +326,15 @@ impl Pe {
             payload: payload.to_vec(),
         };
         self.sync_send_and_free(token.home, encode_reply(self.ids.exo_reply, &rep));
+    }
+
+    /// Send one non-final streamed reply frame for `token`
+    /// ([`status::STREAM`]). The request stays open on the server —
+    /// call [`Pe::exo_reply`] later with a final status to end the
+    /// stream, or let the server's request timeout reclaim an idle
+    /// subscription.
+    pub fn exo_reply_stream(&self, token: ExoToken, payload: &[u8]) {
+        self.exo_reply(token, status::STREAM, payload);
     }
 
     /// True while external services are attached to this machine; the

@@ -38,7 +38,8 @@ mod wire_run;
 
 pub use converse_msg::{HandlerId, Message};
 pub use converse_net::{
-    CmiTransport, DeliveryMode, FaultPlan, FaultStats, LinkFaults, NetModel, PeLoad, StallWindow,
+    Channel, CmiTransport, Delivery, DeliveryMode, FaultPlan, FaultStats, LinkFaults, NetModel,
+    PeLoad, StallWindow,
 };
 pub use exo::{ExoReply, ExoToken, MachineHandle, MachineService, ReplySink};
 pub use pe::{Handler, Pe};

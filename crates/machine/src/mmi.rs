@@ -83,6 +83,23 @@ impl Pe {
         self.net().send_block(self.my_pe(), dst, msg.into_block());
     }
 
+    /// [`Pe::sync_send`] on an explicit delivery channel: the channel's
+    /// guarantee (exactly-once, at-most-once, latest-value-wins)
+    /// governs how the wire treats loss, duplication and supersession.
+    /// Resolve named channels with [`Pe::channel`].
+    pub fn sync_send_on(&self, dst: usize, channel: converse_net::Channel, msg: &Message) {
+        self.trace_send(dst, msg);
+        self.net()
+            .send_block_on(self.my_pe(), dst, msg.block().share(), channel);
+    }
+
+    /// [`Pe::sync_send_and_free`] on an explicit delivery channel.
+    pub fn sync_send_and_free_on(&self, dst: usize, channel: converse_net::Channel, msg: Message) {
+        self.trace_send(dst, &msg);
+        self.net()
+            .send_block_on(self.my_pe(), dst, msg.into_block(), channel);
+    }
+
     /// Begin an asynchronous send (`CmiAsyncSend`). On this machine the
     /// data is captured immediately, so the returned handle is already
     /// complete; poll it with [`Pe::async_msg_sent`].

@@ -14,7 +14,7 @@ use crate::mmi::CommHandles;
 use crate::pgrp::PgrpState;
 use crate::scatter::ScatterState;
 use converse_msg::{HandlerId, Message};
-use converse_net::{CmiTransport, Packet};
+use converse_net::{Channel, CmiTransport, Packet};
 use converse_queue::{CsdQueue, FifoQueue, LifoQueue, QueueingMode, SchedulingQueue};
 use converse_trace::{Event, TraceSink};
 use parking_lot::{Mutex, RwLock};
@@ -135,6 +135,10 @@ pub(crate) struct MachineShared {
     /// Thread-object backend requested for this machine
     /// (`MachineConfig::thread_backend`).
     pub thread_backend: ThreadBackend,
+    /// Named delivery channels declared in `MachineConfig::channel`,
+    /// ids assigned 1..N in declaration order (0 is the default
+    /// exactly-once channel). Resolved by [`Pe::channel`].
+    pub channels: Vec<(String, Channel)>,
 }
 
 /// One logical processor of the simulated machine.
@@ -289,6 +293,21 @@ impl Pe {
     /// (`"inproc"` or `"socket"`).
     pub fn transport_name(&self) -> &'static str {
         self.net.transport_name()
+    }
+
+    /// Resolve a delivery channel declared with
+    /// `MachineConfig::channel(name, delivery)`. Every PE resolves the
+    /// same name to the same channel id, so a tag created on one rank
+    /// is meaningful on all of them. Panics on an undeclared name —
+    /// a misspelled channel is a programming error, not a runtime
+    /// condition.
+    pub fn channel(&self, name: &str) -> Channel {
+        self.shared
+            .channels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or_else(|| panic!("no delivery channel named {name:?} declared"))
     }
 
     /// True when a P-way broadcast on this machine shares one

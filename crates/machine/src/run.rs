@@ -14,7 +14,7 @@
 use crate::exo::{MachineHandle, MachineService};
 use crate::pe::{MachineShared, Pe};
 pub use crate::pe::{QueueKind, ThreadBackend};
-use converse_net::{DeliveryMode, FaultPlan, FaultStats, Interconnect, PeTraffic};
+use converse_net::{Channel, Delivery, DeliveryMode, FaultPlan, FaultStats, Interconnect, PeTraffic};
 use converse_trace::{NullSink, TraceSink};
 pub use converse_wire::{WireKind, WireOptions};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -123,6 +123,10 @@ pub struct MachineConfig {
     /// Socket-transport tunables (family, bootstrap timeouts, failure
     /// grace); ignored under [`Transport::InProcess`].
     pub wire: WireOptions,
+    /// Named delivery channels (see [`MachineConfig::channel`]). Ids
+    /// are assigned 1..N in declaration order; id 0 is always the
+    /// default exactly-once channel.
+    pub channels: Vec<(String, Delivery)>,
 }
 
 /// Host-appropriate idle-spin default: 160 depth probes when real
@@ -155,7 +159,22 @@ impl MachineConfig {
             thread_backend: ThreadBackend::Auto,
             transport: Transport::default(),
             wire: WireOptions::default(),
+            channels: Vec::new(),
         }
+    }
+
+    /// Declare a named delivery channel with an explicit guarantee.
+    /// Channels get ids 1..N in declaration order (the default
+    /// exactly-once channel is id 0 and needs no declaration); every
+    /// PE resolves the name with [`Pe::channel`]. Declaring the same
+    /// name twice is a programming error.
+    pub fn channel(mut self, name: &str, delivery: Delivery) -> Self {
+        assert!(
+            !self.channels.iter().any(|(n, _)| n == name),
+            "delivery channel {name:?} declared twice"
+        );
+        self.channels.push((name.to_string(), delivery));
+        self
     }
 
     /// Select the transport (threads in-process vs one process per PE).
@@ -334,6 +353,18 @@ where
     }
 }
 
+/// Assign declared channels their machine-wide ids: 1..N in
+/// declaration order (0 is the default exactly-once channel). Both
+/// transports resolve from the same declaration list, so a name means
+/// the same `(id, guarantee)` on every rank of either wire.
+pub(crate) fn resolve_channels(declared: &[(String, Delivery)]) -> Vec<(String, Channel)> {
+    declared
+        .iter()
+        .enumerate()
+        .map(|(i, (name, d))| (name.clone(), Channel::new(i as u32 + 1, *d)))
+        .collect()
+}
+
 /// The in-process machine: one thread per PE over one [`Interconnect`].
 /// Also the body each socket-transport *worker process* would have run
 /// had it been in-process — the shared semantics both transports pin.
@@ -355,6 +386,7 @@ where
         idle_spin: cfg.idle_spin,
         exo: crate::exo::ExoState::default(),
         thread_backend: cfg.thread_backend,
+        channels: resolve_channels(&cfg.channels),
     });
     let mut services = std::mem::take(&mut cfg.services);
     shared.exo.services.store(services.len(), Ordering::Release);

@@ -273,6 +273,7 @@ fn run_launcher(cfg: MachineConfig, call: usize) -> Result<RunReport, RunError> 
                 fault_stats.delayed += f.delayed;
                 fault_stats.retransmitted += f.retransmitted;
                 fault_stats.dedup_dropped += f.dedup_dropped;
+                fault_stats.superseded += f.superseded;
                 // Cross-process capture interleaves by rank, not by
                 // time: each worker's lines arrive as one block.
                 output.extend(r.output.iter().cloned());
@@ -382,6 +383,7 @@ where
         idle_spin: cfg.idle_spin,
         exo: crate::exo::ExoState::default(),
         thread_backend: cfg.thread_backend,
+        channels: crate::run::resolve_channels(&cfg.channels),
     });
     {
         // A peer failure (panic elsewhere, hub loss) unwinds this

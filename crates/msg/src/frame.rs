@@ -5,17 +5,23 @@
 //! that stream:
 //!
 //! ```text
-//! [ u32 le: body length ][ u8 kind ][ u32 le src ][ u32 le dst ][ u64 le seq ][ payload ... ]
-//!                        `------------------ body (length bytes) ------------------'
+//! [ u32 le: body length ][ u8 kind ][ u32 le src ][ u32 le dst ][ u64 le seq ][ u32 le channel ][ u8 guarantee ][ payload ... ]
+//!                        `--------------------------- body (length bytes) ---------------------------'
 //! ```
 //!
 //! The payload is the [`MsgBlock`] bytes verbatim — the same encoding
 //! the in-process machine delivers (handler id at offset 0), so nothing
 //! above the transport can tell which wire carried it. `src`/`dst` are
-//! PE ranks, `seq` is the reliability-sublayer sequence number (0 when
-//! no fault plan is installed, mirroring the in-process link). `kind`
-//! distinguishes data from the small control vocabulary the hub and
-//! endpoints speak (hello/go bootstrap, acks, stall routing, teardown).
+//! PE ranks; `seq` is the QoS-sublayer sequence number, per
+//! `(link, channel)` and numbering from 1 — `seq == 0` is the reserved
+//! unsequenced fast path used when no fault plan is installed,
+//! mirroring the in-process link convention. `channel` and `guarantee`
+//! carry the delivery channel id and its policy tag (`converse-net`'s
+//! `Delivery::as_u8`: 0 exactly-once, 1 at-most-once, 2
+//! latest-value-wins) so the receiving endpoint can apply per-channel
+//! semantics without any out-of-band registry. `kind` distinguishes
+//! data from the small control vocabulary the hub and endpoints speak
+//! (hello/go bootstrap, acks, stall routing, teardown).
 //!
 //! Reads hand back a pool-backed [`MsgBlock`] so a frame's payload joins
 //! the normal message circulation with no extra copy.
@@ -23,8 +29,9 @@
 use crate::MsgBlock;
 use std::io::{self, Read, Write};
 
-/// Fixed bytes after the length prefix: kind(1) + src(4) + dst(4) + seq(8).
-pub const FRAME_HEADER_BYTES: usize = 17;
+/// Fixed bytes after the length prefix:
+/// kind(1) + src(4) + dst(4) + seq(8) + channel(4) + guarantee(1).
+pub const FRAME_HEADER_BYTES: usize = 22;
 
 /// Upper bound on one frame's body. A length prefix above this is
 /// treated as stream corruption rather than honored with a giant
@@ -40,19 +47,34 @@ pub struct FrameHeader {
     pub src: u32,
     /// Destination PE rank (or receiver-defined for control frames).
     pub dst: u32,
-    /// Reliability-sublayer sequence number; 0 outside plan mode.
+    /// QoS-sublayer sequence number, per `(link, channel)`, numbering
+    /// from 1; 0 marks the unsequenced fast path (no fault plan).
     pub seq: u64,
+    /// Delivery channel id (0 = the default exactly-once channel).
+    pub channel: u32,
+    /// Delivery-guarantee tag (`Delivery::as_u8` in `converse-net`):
+    /// 0 exactly-once, 1 at-most-once, 2 latest-value-wins.
+    pub guarantee: u8,
 }
 
 impl FrameHeader {
-    /// New header for a data-shaped frame.
+    /// New header for a frame on the default channel (0, exactly-once).
     pub fn new(kind: u8, src: u32, dst: u32, seq: u64) -> FrameHeader {
         FrameHeader {
             kind,
             src,
             dst,
             seq,
+            channel: 0,
+            guarantee: 0,
         }
+    }
+
+    /// Tag this header with an explicit delivery channel + guarantee.
+    pub fn on_channel(mut self, channel: u32, guarantee: u8) -> FrameHeader {
+        self.channel = channel;
+        self.guarantee = guarantee;
+        self
     }
 
     fn write_into(&self, out: &mut Vec<u8>) {
@@ -60,6 +82,8 @@ impl FrameHeader {
         out.extend_from_slice(&self.src.to_le_bytes());
         out.extend_from_slice(&self.dst.to_le_bytes());
         out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.channel.to_le_bytes());
+        out.push(self.guarantee);
     }
 
     fn parse(bytes: &[u8; FRAME_HEADER_BYTES]) -> FrameHeader {
@@ -68,6 +92,8 @@ impl FrameHeader {
             src: u32::from_le_bytes(bytes[1..5].try_into().unwrap()),
             dst: u32::from_le_bytes(bytes[5..9].try_into().unwrap()),
             seq: u64::from_le_bytes(bytes[9..17].try_into().unwrap()),
+            channel: u32::from_le_bytes(bytes[17..21].try_into().unwrap()),
+            guarantee: bytes[21],
         }
     }
 }
@@ -131,11 +157,23 @@ mod tests {
         let mut r = &buf[..];
         let (got, block) = read_frame(&mut r).unwrap().expect("one frame");
         assert_eq!(got, h);
+        assert_eq!((got.channel, got.guarantee), (0, 0), "default channel");
         assert_eq!(block.as_slice(), b"payload bytes");
         assert!(
             read_frame(&mut r).unwrap().is_none(),
             "clean EOF after frame"
         );
+    }
+
+    #[test]
+    fn round_trips_channel_and_guarantee_tags() {
+        let h = FrameHeader::new(3, 1, 2, 42).on_channel(0x8000_0007, 2);
+        let buf = encode_frame(h, b"topic value");
+        let (got, block) = read_frame(&mut &buf[..]).unwrap().expect("one frame");
+        assert_eq!(got, h);
+        assert_eq!(got.channel, 0x8000_0007);
+        assert_eq!(got.guarantee, 2);
+        assert_eq!(block.as_slice(), b"topic value");
     }
 
     #[test]

@@ -220,11 +220,17 @@ pub struct FaultStats {
     pub retransmitted: u64,
     /// Duplicate deliveries discarded by the receive side.
     pub dedup_dropped: u64,
+    /// Values discarded because a newer value on the same
+    /// latest-value-wins channel superseded them (in the sender's
+    /// retransmit slot, in fault-plane limbo, or queued in the
+    /// destination inbox).
+    pub superseded: u64,
 }
 
 impl FaultStats {
     /// Wire transmissions per logical message: the cost of surviving
-    /// the fault plane. `1.0` on a clean link.
+    /// the fault plane. `1.0` on a clean link; `0.0` when no messages
+    /// were sent at all (never NaN/inf — reports divide by this).
     pub fn overhead_ratio(&self, logical_msgs: u64) -> f64 {
         if logical_msgs == 0 {
             return 0.0;
@@ -344,5 +350,20 @@ mod tests {
         FaultPlan::new(1)
             .stall(9, Duration::ZERO, Duration::from_secs(1))
             .validate(2);
+    }
+
+    #[test]
+    fn overhead_ratio_is_finite_for_zero_messages() {
+        // Satellite regression: a report over an idle machine must not
+        // divide by zero — no NaN, no inf, just 0.0.
+        let s = FaultStats {
+            transmissions: 17,
+            ..FaultStats::default()
+        };
+        assert_eq!(s.overhead_ratio(0), 0.0);
+        assert!(s.overhead_ratio(0).is_finite());
+        assert_eq!(FaultStats::default().overhead_ratio(0), 0.0);
+        // And the normal path still reads transmissions per message.
+        assert_eq!(s.overhead_ratio(17), 1.0);
     }
 }

@@ -31,17 +31,19 @@
 
 pub mod fault;
 pub mod model;
+pub mod qos;
 pub mod transport;
 
 pub use fault::{FaultPlan, FaultStats, LinkFaults, StallWindow};
 pub use model::NetModel;
+pub use qos::{Channel, Delivery};
 pub use transport::CmiTransport;
 
 use converse_msg::MsgBlock;
 use converse_trace::{Event, FaultKind, TraceSink};
 use fault::{link_draw, unit, SALT_DELAY, SALT_DELAY_SLOTS, SALT_DROP, SALT_DUP, SALT_REORDER};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
@@ -59,9 +61,19 @@ const STALL_SLICE: Duration = Duration::from_millis(2);
 pub struct Packet {
     /// Sending PE.
     pub src: usize,
-    /// Per-link sequence number stamped by the reliability sublayer.
-    /// Zero when no [`FaultPlan`] is installed (the wire is already
-    /// reliable, so no sequencing is needed).
+    /// The delivery channel this packet travelled on, including its
+    /// guarantee tag. Legacy sends use [`Channel::DEFAULT`]
+    /// (channel 0, exactly-once).
+    pub channel: Channel,
+    /// Per-(link, channel) sequence number stamped by the QoS layer.
+    ///
+    /// **Convention (both transports):** sequenced streams number from
+    /// `1`; `seq == 0` marks the *unsequenced fast path* — no
+    /// [`FaultPlan`] installed and the channel needs no supersede
+    /// bookkeeping, so the reliable wire carries the packet with no
+    /// sublayer state at all. `LatestValueWins` channels are always
+    /// sequenced (the supersede scan keys on `seq`), even on a clean
+    /// wire.
     pub seq: u64,
     /// The generalized-message block.
     pub block: MsgBlock,
@@ -215,6 +227,7 @@ struct FaultCell {
     delayed: AtomicU64,
     retransmitted: AtomicU64,
     dedup_dropped: AtomicU64,
+    superseded: AtomicU64,
 }
 
 /// A transmitted-but-unacknowledged packet held for retransmission.
@@ -231,29 +244,96 @@ struct Limbo {
     due: Instant,
 }
 
-/// Reliability state of one directed link. Both endpoints live in the
-/// same process, so the sender's retransmit buffer and the receiver's
-/// reassembly window share one mutex; acknowledgment is a direct state
-/// update (advancing `expected` releases everything below it), not a
-/// wire message.
+/// Sublayer state of one *channel* of a directed link. Every channel
+/// of a link is an independent sequenced stream (numbering from 1; see
+/// [`Packet::seq`]); what the state is used for depends on the
+/// channel's [`Delivery`] policy:
 ///
-/// Lock order: a link mutex may be held while taking a mailbox mutex,
-/// never the reverse.
-#[derive(Default)]
-struct LinkState {
+/// * `ExactlyOnce` — the full PR-3 pipeline: `unacked` retransmit
+///   buffer, `ooo` reassembly window, `expected` in-order cursor.
+/// * `AtMostOnce` — `next_seq`/`expected` only (monotonic dedup
+///   floor); `unacked` stays empty, nothing is ever retransmitted.
+/// * `LatestValueWins` — at most one entry ever sits in `unacked`
+///   (a newer value supersedes the older one); `expected` is the
+///   monotonic floor.
+struct ChanState {
+    /// The channel this state serves (the id keys the map; the
+    /// delivery policy is needed again at pump time).
+    channel: Channel,
     /// Sender side: next sequence number to stamp.
     next_seq: u64,
     /// Sender side: transmitted, not yet acknowledged, keyed by seq.
     unacked: BTreeMap<u64, InFlight>,
     /// Fault plane: delayed copies awaiting release.
     limbo: Vec<Limbo>,
-    /// Receiver side: next sequence number to hand to the mailbox.
+    /// Receiver side: next sequence number to hand to the mailbox
+    /// (exactly-once), or the monotonic delivery floor (at-most-once /
+    /// latest-value-wins).
     expected: u64,
-    /// Receiver side: arrived out of order, awaiting `expected`.
+    /// Receiver side: arrived out of order, awaiting `expected`
+    /// (exactly-once only).
     ooo: BTreeMap<u64, MsgBlock>,
-    /// Receiver side: count of mailbox deliveries on this link — the
-    /// deterministic per-link key for reorder-mode position draws.
+}
+
+impl ChanState {
+    fn new(channel: Channel) -> Self {
+        ChanState {
+            channel,
+            // Sequenced streams number from 1; 0 is the reserved
+            // unsequenced-fast-path marker.
+            next_seq: 1,
+            unacked: BTreeMap::new(),
+            limbo: Vec::new(),
+            expected: 1,
+            ooo: BTreeMap::new(),
+        }
+    }
+}
+
+/// Reliability state of one directed link, split per channel. Both
+/// endpoints live in the same process, so the sender's retransmit
+/// buffer and the receiver's reassembly window share one mutex;
+/// acknowledgment is a direct state update (advancing `expected`
+/// releases everything below it), not a wire message.
+///
+/// Channel 0 (the default) is inline so the legacy hot path never
+/// touches the map; other channels materialize lazily on first use.
+///
+/// Lock order: a link mutex may be held while taking a mailbox mutex,
+/// never the reverse.
+struct LinkState {
+    /// Channel 0 — [`Channel::DEFAULT`], always present.
+    chan0: ChanState,
+    /// Lazily-created non-default channels, keyed by channel id.
+    extra: HashMap<u32, ChanState>,
+    /// Receiver side: count of mailbox deliveries on this link (all
+    /// channels) — the deterministic per-link key for reorder-mode
+    /// position draws.
     arrivals: u64,
+}
+
+impl Default for LinkState {
+    fn default() -> Self {
+        LinkState {
+            chan0: ChanState::new(Channel::DEFAULT),
+            extra: HashMap::new(),
+            arrivals: 0,
+        }
+    }
+}
+
+impl LinkState {
+    /// The sublayer state for `channel`, created on first use.
+    #[inline]
+    fn chan(&mut self, channel: Channel) -> &mut ChanState {
+        if channel.id == 0 {
+            &mut self.chan0
+        } else {
+            self.extra
+                .entry(channel.id)
+                .or_insert_with(|| ChanState::new(channel))
+        }
+    }
 }
 
 /// The simulated machine: `n` processors connected all-to-all.
@@ -373,6 +453,7 @@ impl Interconnect {
             delayed: self.fstats.delayed.load(Ordering::Relaxed),
             retransmitted: self.fstats.retransmitted.load(Ordering::Relaxed),
             dedup_dropped: self.fstats.dedup_dropped.load(Ordering::Relaxed),
+            superseded: self.fstats.superseded.load(Ordering::Relaxed),
         }
     }
 
@@ -397,17 +478,46 @@ impl Interconnect {
     }
 
     /// Insert one packet into `dst`'s inbox, applying the delivery
-    /// mode. `arrival` is the per-link arrival index keying the
-    /// reorder-mode position draw (ignored under FIFO). The inbox lock
-    /// is held only for the push itself; the wakeup is signalled after
-    /// it drops (safe: waiters re-check under the lock before parking).
+    /// mode and the channel's supersede policy. `arrival` is the
+    /// per-link arrival index keying the reorder-mode position draw
+    /// (ignored under FIFO). The inbox lock is held only for the push
+    /// itself; the wakeup is signalled after it drops (safe: waiters
+    /// re-check under the lock before parking).
     #[inline]
-    fn mailbox_insert(&self, src: usize, dst: usize, seq: u64, block: MsgBlock, arrival: u64) {
+    fn mailbox_insert(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: Channel,
+        seq: u64,
+        block: MsgBlock,
+        arrival: u64,
+    ) {
         let mbox = &self.boxes[dst];
         {
             let mut q = mbox.inbox.lock();
+            if channel.delivery == Delivery::LatestValueWins {
+                // A queued older value on the same (src, channel) is
+                // dead the moment a newer one lands: drop it in place.
+                // Only the inbox is scanned — packets already swapped
+                // onto the receiver's private staged list are past the
+                // supersede horizon (taking the staged lock here would
+                // invert the receiver's lock order).
+                let before = q.len();
+                q.retain(|p| !(p.src == src && p.channel.id == channel.id && p.seq < seq));
+                let purged = (before - q.len()) as u64;
+                if purged > 0 {
+                    self.fstats.superseded.fetch_add(purged, Ordering::Relaxed);
+                    self.trace_fault(dst, FaultKind::Supersede, src, dst, seq);
+                }
+            }
             match self.mode {
-                DeliveryMode::Fifo => q.push_back(Packet { src, seq, block }),
+                DeliveryMode::Fifo => q.push_back(Packet {
+                    src,
+                    channel,
+                    seq,
+                    block,
+                }),
                 DeliveryMode::Reorder { seed, window } => {
                     // The scramble window covers the not-yet-swapped part
                     // of the queue (the inbox); anything already staged
@@ -415,7 +525,15 @@ impl Interconnect {
                     let w = window.min(q.len());
                     let draw = link_draw(seed, src, dst, arrival, 0, SALT_REORDER);
                     let pos = q.len() - (draw as usize % (w + 1));
-                    q.insert(pos, Packet { src, seq, block });
+                    q.insert(
+                        pos,
+                        Packet {
+                            src,
+                            channel,
+                            seq,
+                            block,
+                        },
+                    );
                 }
             }
             mbox.inbox_len.store(q.len(), Ordering::Release);
@@ -446,22 +564,35 @@ impl Interconnect {
         p
     }
 
-    /// Transmit a block over link `src → dst`: the reliable-wire fast
-    /// path when no plan is installed, otherwise sequence + buffer +
-    /// one wire attempt through the fault plane.
+    /// Transmit a block over link `src → dst` on `channel`: the
+    /// reliable-wire fast path when no plan is installed (seq 0,
+    /// except LatestValueWins which always sequences — its supersede
+    /// scan keys on `seq`), otherwise sequence + policy-dependent
+    /// buffering + one wire attempt through the fault plane.
     #[inline]
-    fn transmit(&self, src: usize, dst: usize, block: MsgBlock) {
+    fn transmit(&self, src: usize, dst: usize, channel: Channel, block: MsgBlock) {
         let Some(plan) = &self.plan else {
+            let lvw = channel.delivery == Delivery::LatestValueWins;
             match self.mode {
-                DeliveryMode::Fifo => self.mailbox_insert(src, dst, 0, block, 0),
-                DeliveryMode::Reorder { .. } => {
+                DeliveryMode::Fifo if !lvw => self.mailbox_insert(src, dst, channel, 0, block, 0),
+                _ => {
                     // The arrival index must be read and the insert done
                     // under the link lock so the draw keyed by it lands
-                    // at the position it determines.
+                    // at the position it determines; LVW also stamps a
+                    // real per-channel seq here so supersede ordering is
+                    // well-defined even on the clean wire.
                     let mut link = self.links[self.li(src, dst)].lock();
                     let arrival = link.arrivals;
                     link.arrivals += 1;
-                    self.mailbox_insert(src, dst, 0, block, arrival);
+                    let seq = if lvw {
+                        let chan = link.chan(channel);
+                        let s = chan.next_seq;
+                        chan.next_seq += 1;
+                        s
+                    } else {
+                        0
+                    };
+                    self.mailbox_insert(src, dst, channel, seq, block, arrival);
                 }
             }
             return;
@@ -469,35 +600,79 @@ impl Interconnect {
         let seq;
         {
             let mut link = self.links[self.li(src, dst)].lock();
-            seq = link.next_seq;
-            link.next_seq += 1;
-            link.unacked.insert(
-                seq,
-                InFlight {
-                    block: block.share(),
-                    attempt: 1,
-                    due: Instant::now() + plan.rto,
-                },
-            );
+            let chan = link.chan(channel);
+            seq = chan.next_seq;
+            chan.next_seq += 1;
+            match channel.delivery {
+                Delivery::ExactlyOnce => {
+                    chan.unacked.insert(
+                        seq,
+                        InFlight {
+                            block: block.share(),
+                            attempt: 1,
+                            due: Instant::now() + plan.rto,
+                        },
+                    );
+                }
+                Delivery::AtMostOnce => {
+                    // One wire attempt is all this channel gets: no
+                    // retransmit buffer, no acks, no sender state.
+                }
+                Delivery::LatestValueWins => {
+                    // Supersede everything older still in the sender's
+                    // hands: the retransmit slot and fault-plane limbo.
+                    // At most one value per channel is ever in flight.
+                    let purged = (chan.unacked.len() + chan.limbo.len()) as u64;
+                    chan.unacked.clear();
+                    chan.limbo.clear();
+                    if purged > 0 {
+                        self.fstats.superseded.fetch_add(purged, Ordering::Relaxed);
+                        self.trace_fault(src, FaultKind::Supersede, src, dst, seq);
+                    }
+                    chan.unacked.insert(
+                        seq,
+                        InFlight {
+                            block: block.share(),
+                            attempt: 1,
+                            due: Instant::now() + plan.rto,
+                        },
+                    );
+                }
+            }
         }
-        self.wire_transmit(src, dst, seq, 1, block);
+        self.wire_transmit(src, dst, channel, seq, 1, block);
     }
 
     /// One attempt to push `seq` of link `src → dst` across the faulty
     /// wire: may be dropped, duplicated, or (per copy) delayed into
     /// limbo; surviving immediate copies reach [`Self::deliver_link`].
-    /// Only called with a plan installed.
-    fn wire_transmit(&self, src: usize, dst: usize, seq: u64, attempt: u32, block: MsgBlock) {
+    /// Only called with a plan installed. Fault draws are salted by
+    /// channel id so every channel sees an independent decision stream
+    /// (channel 0's stream is the legacy one).
+    fn wire_transmit(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: Channel,
+        seq: u64,
+        attempt: u32,
+        block: MsgBlock,
+    ) {
         let plan = self.plan.as_ref().expect("wire_transmit requires a plan");
         self.fstats.transmissions.fetch_add(1, Ordering::Relaxed);
         let f = plan.faults_for(src, dst);
-        if f.drop > 0.0 && unit(link_draw(plan.seed, src, dst, seq, attempt, SALT_DROP)) < f.drop {
+        // Per-channel salt offset: disjoint decision streams per
+        // channel, byte-identical to the pre-QoS draws for channel 0.
+        let co = channel.id as u64 * 4096;
+        if f.drop > 0.0
+            && unit(link_draw(plan.seed, src, dst, seq, attempt, SALT_DROP + co)) < f.drop
+        {
             self.fstats.dropped.fetch_add(1, Ordering::Relaxed);
             self.trace_fault(src, FaultKind::Drop, src, dst, seq);
             return;
         }
         let copies: u64 = if f.dup > 0.0
-            && unit(link_draw(plan.seed, src, dst, seq, attempt, SALT_DUP)) < f.dup
+            && unit(link_draw(plan.seed, src, dst, seq, attempt, SALT_DUP + co)) < f.dup
         {
             self.fstats.transmissions.fetch_add(1, Ordering::Relaxed);
             self.fstats.duplicated.fetch_add(1, Ordering::Relaxed);
@@ -510,8 +685,8 @@ impl Interconnect {
         for copy in 0..copies {
             let b = block.share();
             // Distinct decision streams per copy: shift the salt space.
-            let delay_salt = SALT_DELAY + copy * 16;
-            let slots_salt = SALT_DELAY_SLOTS + copy * 16;
+            let delay_salt = SALT_DELAY + co + copy * 16;
+            let slots_salt = SALT_DELAY_SLOTS + co + copy * 16;
             let delayed = !closed
                 && f.delay > 0.0
                 && f.max_delay_slots > 0
@@ -525,50 +700,84 @@ impl Interconnect {
                 let due = Instant::now() + plan.tick * slots as u32;
                 self.links[self.li(src, dst)]
                     .lock()
+                    .chan(channel)
                     .limbo
                     .push(Limbo { seq, block: b, due });
             } else {
-                self.deliver_link(src, dst, seq, b);
+                self.deliver_link(src, dst, channel, seq, b);
             }
         }
     }
 
-    /// Receive side of the reliability sublayer: dedup, reassemble into
-    /// sequence, hand in-order packets to the mailbox, and acknowledge
-    /// (drop the sender's retransmit buffer below the watermark).
-    fn deliver_link(&self, src: usize, dst: usize, seq: u64, block: MsgBlock) {
+    /// Receive side of the QoS layer, dispatching on the channel's
+    /// guarantee. Exactly-once: dedup, reassemble into sequence, hand
+    /// in-order packets to the mailbox, and acknowledge (drop the
+    /// sender's retransmit buffer below the watermark). At-most-once /
+    /// latest-value-wins: a monotonic floor — only strictly newer seqs
+    /// are delivered, so nothing ever surfaces twice and a stale value
+    /// never overtakes a newer one.
+    fn deliver_link(&self, src: usize, dst: usize, channel: Channel, seq: u64, block: MsgBlock) {
         let mut link = self.links[self.li(src, dst)].lock();
-        if seq < link.expected || link.ooo.contains_key(&seq) {
-            self.fstats.dedup_dropped.fetch_add(1, Ordering::Relaxed);
-            self.trace_fault(dst, FaultKind::DedupDrop, src, dst, seq);
-            return;
+        let mut ready: Vec<(u64, MsgBlock)> = Vec::new();
+        {
+            let chan = link.chan(channel);
+            match channel.delivery {
+                Delivery::ExactlyOnce => {
+                    if seq < chan.expected || chan.ooo.contains_key(&seq) {
+                        self.fstats.dedup_dropped.fetch_add(1, Ordering::Relaxed);
+                        self.trace_fault(dst, FaultKind::DedupDrop, src, dst, seq);
+                        return;
+                    }
+                    // Selective acknowledgement: the copy is on the
+                    // receiver now, so stop retransmitting this seq even
+                    // if it sits out-of-order behind a gap. Without
+                    // this, one dropped packet makes every later
+                    // in-flight seq on the link look lost, and the
+                    // spurious retransmits blow the wire-overhead
+                    // budget.
+                    chan.unacked.remove(&seq);
+                    chan.ooo.insert(seq, block);
+                    loop {
+                        let next = chan.expected;
+                        let Some(block) = chan.ooo.remove(&next) else {
+                            break;
+                        };
+                        chan.expected += 1;
+                        ready.push((next, block));
+                    }
+                    let watermark = chan.expected;
+                    chan.unacked.retain(|s, _| *s >= watermark);
+                }
+                Delivery::AtMostOnce | Delivery::LatestValueWins => {
+                    if seq < chan.expected {
+                        self.fstats.dedup_dropped.fetch_add(1, Ordering::Relaxed);
+                        self.trace_fault(dst, FaultKind::DedupDrop, src, dst, seq);
+                        return;
+                    }
+                    chan.expected = seq + 1;
+                    // LVW acknowledgment: this value (and anything
+                    // older it superseded) is settled; stop
+                    // retransmitting at or below it. AtMostOnce keeps
+                    // no sender state, so the retain is a no-op there.
+                    chan.unacked.retain(|s, _| *s > seq);
+                    ready.push((seq, block));
+                }
+            }
         }
-        // Selective acknowledgement: the copy is on the receiver now, so
-        // stop retransmitting this seq even if it sits out-of-order
-        // behind a gap. Without this, one dropped packet makes every
-        // later in-flight seq on the link look lost, and the spurious
-        // retransmits blow the wire-overhead budget.
-        link.unacked.remove(&seq);
-        link.ooo.insert(seq, block);
-        loop {
-            let next = link.expected;
-            let Some(block) = link.ooo.remove(&next) else {
-                break;
-            };
-            link.expected += 1;
+        for (s, b) in ready {
             let arrival = link.arrivals;
             link.arrivals += 1;
             // Mailbox lock nests inside the link lock (never reversed),
             // keeping the seq→mailbox order atomic per link.
-            self.mailbox_insert(src, dst, next, block, arrival);
+            self.mailbox_insert(src, dst, channel, s, b, arrival);
         }
-        let watermark = link.expected;
-        link.unacked.retain(|s, _| *s >= watermark);
     }
 
-    /// One pump pass: release due (or, once closed, all) limbo copies
-    /// in sequence order, then retransmit overdue unacknowledged
-    /// packets with capped exponential backoff.
+    /// One pump pass: per channel of every link, release due (or, once
+    /// closed, all) limbo copies in sequence order, then retransmit
+    /// overdue unacknowledged packets with capped exponential backoff.
+    /// At-most-once channels never have unacked entries, so they only
+    /// ever see the limbo-release half.
     fn pump_tick(&self) {
         let Some(plan) = &self.plan else { return };
         let now = Instant::now();
@@ -576,55 +785,73 @@ impl Interconnect {
         let n = self.boxes.len();
         for li in 0..self.links.len() {
             let (src, dst) = (li / n, li % n);
-            let mut releases: Vec<Limbo> = Vec::new();
-            let mut retx: Vec<(u64, u32, MsgBlock)> = Vec::new();
+            let mut releases: Vec<(Channel, Limbo)> = Vec::new();
+            let mut retx: Vec<(Channel, u64, u32, MsgBlock)> = Vec::new();
             {
                 let mut link = self.links[li].lock();
-                if link.limbo.is_empty() && link.unacked.is_empty() {
-                    continue;
-                }
-                let mut i = 0;
-                while i < link.limbo.len() {
-                    if closed || link.limbo[i].due <= now {
-                        releases.push(link.limbo.swap_remove(i));
-                    } else {
-                        i += 1;
+                let mut pump_chan = |chan: &mut ChanState| {
+                    if chan.limbo.is_empty() && chan.unacked.is_empty() {
+                        return;
                     }
-                }
-                releases.sort_by_key(|l| l.seq);
-                if !closed {
-                    for (seq, inf) in link.unacked.iter_mut() {
-                        if inf.due <= now {
-                            inf.attempt += 1;
-                            let backoff = plan.rto * (1u32 << (inf.attempt - 1).min(10));
-                            inf.due = now + backoff.min(plan.rto_cap);
-                            retx.push((*seq, inf.attempt, inf.block.share()));
+                    let channel = chan.channel;
+                    let mut i = 0;
+                    while i < chan.limbo.len() {
+                        if closed || chan.limbo[i].due <= now {
+                            releases.push((channel, chan.limbo.swap_remove(i)));
+                        } else {
+                            i += 1;
                         }
                     }
+                    if !closed {
+                        for (seq, inf) in chan.unacked.iter_mut() {
+                            if inf.due <= now {
+                                inf.attempt += 1;
+                                let backoff = plan.rto * (1u32 << (inf.attempt - 1).min(10));
+                                inf.due = now + backoff.min(plan.rto_cap);
+                                retx.push((channel, *seq, inf.attempt, inf.block.share()));
+                            }
+                        }
+                    }
+                };
+                pump_chan(&mut link.chan0);
+                for chan in link.extra.values_mut() {
+                    pump_chan(chan);
                 }
             }
-            for l in releases {
-                self.deliver_link(src, dst, l.seq, l.block);
+            releases.sort_by_key(|(c, l)| (c.id, l.seq));
+            for (channel, l) in releases {
+                self.deliver_link(src, dst, channel, l.seq, l.block);
             }
-            for (seq, attempt, block) in retx {
+            for (channel, seq, attempt, block) in retx {
                 self.fstats.retransmitted.fetch_add(1, Ordering::Relaxed);
                 self.trace_fault(src, FaultKind::Retransmit, src, dst, seq);
-                self.wire_transmit(src, dst, seq, attempt, block);
+                self.wire_transmit(src, dst, channel, seq, attempt, block);
             }
         }
     }
 
-    /// Deliver a message block from `src` into `dst`'s mailbox. The
-    /// block **moves** — no copy is taken; share it first to keep a
-    /// handle. Never blocks; the simulated wire has unbounded buffering,
-    /// like the reliable-delivery abstraction the MMI exposes.
+    /// Deliver a message block from `src` into `dst`'s mailbox on the
+    /// default (exactly-once) channel. The block **moves** — no copy is
+    /// taken; share it first to keep a handle. Never blocks; the
+    /// simulated wire has unbounded buffering, like the
+    /// reliable-delivery abstraction the MMI exposes.
     #[inline]
     pub fn send(&self, src: usize, dst: usize, block: impl Into<MsgBlock>) {
+        self.send_on(src, dst, block, Channel::DEFAULT);
+    }
+
+    /// Like [`Interconnect::send`] but on an explicit delivery
+    /// channel: the channel's [`Delivery`] guarantee governs what the
+    /// QoS layer does on loss, duplication, and supersession. Channel
+    /// ordering is per `(link, channel)` — messages on different
+    /// channels of one link may interleave arbitrarily.
+    #[inline]
+    pub fn send_on(&self, src: usize, dst: usize, block: impl Into<MsgBlock>, channel: Channel) {
         let block = block.into();
         let t = &self.traffic[src];
         bump(&t.msgs_sent, 1);
         bump(&t.bytes_sent, block.len() as u64);
-        self.transmit(src, dst, block);
+        self.transmit(src, dst, channel, block);
     }
 
     /// Deliver a block into `dst`'s mailbox from *outside* the machine —
@@ -642,7 +869,7 @@ impl Interconnect {
         t.msgs_injected.fetch_add(1, Ordering::Relaxed);
         t.bytes_injected
             .fetch_add(block.len() as u64, Ordering::Relaxed);
-        self.transmit(dst, dst, block);
+        self.transmit(dst, dst, Channel::DEFAULT, block);
     }
 
     /// Broadcast to every PE except `src` (`CmiSyncBroadcast` semantics:
@@ -1393,6 +1620,138 @@ mod tests {
     #[should_panic(expected = "no liveness")]
     fn plan_with_total_loss_rejected_at_boot() {
         let _ = chaos_net(FaultPlan::lossy(1, 1.0, 0.0, 0.0, 0), 2);
+    }
+
+    // ---- per-channel delivery guarantees ------------------------------
+
+    const AMO: Channel = Channel::new(7, Delivery::AtMostOnce);
+    const LVW: Channel = Channel::new(9, Delivery::LatestValueWins);
+
+    #[test]
+    fn at_most_once_never_duplicates_never_retransmits() {
+        let plan = fast_plan(0xA0).faults(LinkFaults {
+            drop: 0.3,
+            dup: 0.5,
+            delay: 0.3,
+            max_delay_slots: 2,
+        });
+        let net = chaos_net(plan, 2);
+        let n = 200u32;
+        for i in 0..n {
+            net.send_on(0, 1, i.to_le_bytes().to_vec(), AMO);
+        }
+        // Let the pump flush every limbo copy, then take what arrived.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut out = Vec::new();
+        net.drain_into(1, &mut out);
+        let got: Vec<u32> = out
+            .iter()
+            .map(|p| u32::from_le_bytes(p.bytes().try_into().unwrap()))
+            .collect();
+        assert!(!got.is_empty(), "a 30% drop plan must let most through");
+        assert!(
+            got.windows(2).all(|w| w[0] < w[1]),
+            "at-most-once delivery must be strictly monotonic (no dups, no stale): {got:?}"
+        );
+        assert!(
+            (got.len() as u32) < n,
+            "drops must be real losses on an at-most-once channel"
+        );
+        let s = net.fault_stats();
+        assert_eq!(s.retransmitted, 0, "at-most-once never retransmits: {s:?}");
+        assert!(s.dropped > 0 && s.duplicated > 0, "plan exercised: {s:?}");
+        assert!(
+            s.dedup_dropped > 0,
+            "duplicate copies must die at the monotonic floor: {s:?}"
+        );
+        net.close();
+    }
+
+    #[test]
+    fn latest_value_wins_converges_to_final_value() {
+        let plan = fast_plan(0x1A7E57).faults(LinkFaults {
+            drop: 0.4,
+            dup: 0.2,
+            delay: 0.4,
+            max_delay_slots: 3,
+        });
+        let net = chaos_net(plan, 2);
+        let n = 100u32;
+        for i in 0..n {
+            net.send_on(0, 1, i.to_le_bytes().to_vec(), LVW);
+        }
+        // The last value is retransmitted until acked, so it must
+        // surface; everything before it is best-effort but monotonic.
+        let mut got: Vec<u32> = Vec::new();
+        loop {
+            let p = net
+                .recv_timeout(1, Duration::from_secs(10))
+                .expect("final value must converge");
+            got.push(u32::from_le_bytes(p.bytes().try_into().unwrap()));
+            if *got.last().unwrap() == n - 1 {
+                break;
+            }
+        }
+        assert!(
+            got.windows(2).all(|w| w[0] < w[1]),
+            "suffix-consistent: values strictly increase: {got:?}"
+        );
+        // Nothing may surface after the final value (stale copies die
+        // at the floor).
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(net.try_recv(1).is_none(), "stale value escaped the floor");
+        let s = net.fault_stats();
+        assert!(
+            s.superseded > 0,
+            "rapid-fire sends must supersede in-flight values: {s:?}"
+        );
+        net.close();
+    }
+
+    #[test]
+    fn lvw_supersedes_queued_values_on_clean_wire() {
+        // No fault plan at all: supersede still applies to values
+        // queued in the destination inbox.
+        let net = Interconnect::new(2);
+        for i in 0..5u8 {
+            net.send_on(0, 1, vec![i], LVW);
+        }
+        assert_eq!(net.pending(1), 1, "older queued values must be dropped");
+        let p = net.try_recv(1).unwrap();
+        assert_eq!(p.bytes(), vec![4]);
+        assert_eq!(p.channel, LVW);
+        assert!(p.seq > 0, "LVW packets are always sequenced");
+        assert_eq!(net.fault_stats().superseded, 4);
+    }
+
+    #[test]
+    fn channels_are_independent_sequenced_streams() {
+        // A clean plan sequences every channel independently from 1 and
+        // stays invisible; the default channel keeps its exact contract
+        // next to AMO traffic on the same link.
+        let net = chaos_net(fast_plan(2), 2);
+        for i in 0..10u8 {
+            net.send(0, 1, vec![i]);
+            net.send_on(0, 1, vec![100 + i], AMO);
+        }
+        let mut def = Vec::new();
+        let mut amo = Vec::new();
+        for _ in 0..20 {
+            let p = net.recv_timeout(1, Duration::from_secs(5)).unwrap();
+            if p.channel.id == 0 {
+                def.push(p.bytes()[0]);
+                assert_eq!(p.channel, Channel::DEFAULT);
+            } else {
+                amo.push(p.bytes()[0]);
+                assert_eq!(p.channel, AMO);
+            }
+        }
+        assert_eq!(def, (0..10).collect::<Vec<_>>());
+        assert_eq!(amo, (100..110).collect::<Vec<_>>());
+        let s = net.fault_stats();
+        assert_eq!(s.transmissions, 20);
+        assert_eq!(s.dropped + s.duplicated + s.delayed + s.dedup_dropped, 0);
+        net.close();
     }
 
     // ---- two-list mailbox + batched drain -----------------------------

@@ -19,7 +19,7 @@
 //! distributed transports (documented per method): callers get a
 //! conservative answer, never a wrong protocol.
 
-use crate::{FaultStats, Packet, PeLoad, PeTraffic};
+use crate::{Channel, FaultStats, Packet, PeLoad, PeTraffic};
 use converse_msg::MsgBlock;
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -41,8 +41,16 @@ pub trait CmiTransport: Send + Sync {
     /// the startup barrier keeps the skew to connection-setup time.
     fn uptime(&self) -> Duration;
 
-    /// Deliver `block` from `src` into `dst`'s mailbox. Never blocks.
+    /// Deliver `block` from `src` into `dst`'s mailbox on the default
+    /// (exactly-once) channel. Never blocks.
     fn send_block(&self, src: usize, dst: usize, block: MsgBlock);
+
+    /// Deliver `block` from `src` into `dst`'s mailbox on an explicit
+    /// delivery channel; the channel's [`Channel::delivery`] guarantee
+    /// governs loss, duplication, and supersession. Both transports
+    /// honor the same per-channel semantics (the conformance suite
+    /// keeps them from drifting). Never blocks.
+    fn send_block_on(&self, src: usize, dst: usize, block: MsgBlock, channel: Channel);
 
     /// Deliver a block into `dst`'s mailbox from *outside* the machine
     /// (external front-ends such as CCS). Counted as injected traffic,
@@ -167,6 +175,11 @@ impl CmiTransport for crate::Interconnect {
     }
 
     #[inline]
+    fn send_block_on(&self, src: usize, dst: usize, block: MsgBlock, channel: Channel) {
+        self.send_on(src, dst, block, channel);
+    }
+
+    #[inline]
     fn inject_block(&self, dst: usize, block: MsgBlock) {
         self.inject(dst, block);
     }
@@ -279,12 +292,17 @@ mod tests {
         let p = t.try_recv(1).expect("delivered");
         assert_eq!(p.src, 0);
         assert_eq!(p.bytes(), b"via trait");
+        assert_eq!(p.channel, Channel::DEFAULT);
+        let qos = Channel::new(3, crate::Delivery::AtMostOnce);
+        t.send_block_on(0, 1, MsgBlock::copy_from(b"qos"), qos);
+        let p = t.try_recv(1).expect("qos channel delivered");
+        assert_eq!(p.channel, qos);
         t.broadcast_all_block(0, MsgBlock::copy_from(b"b"));
         let mut out = VecDeque::new();
         assert_eq!(t.drain_bounded(0, &mut out, 8), 1);
         assert_eq!(t.drain_bounded(1, &mut out, 8), 1);
         assert_eq!(t.load_snapshot().len(), 2);
-        assert_eq!(t.total_traffic().msgs_sent, 3);
+        assert_eq!(t.total_traffic().msgs_sent, 4);
         t.close();
         assert!(t.is_closed());
     }

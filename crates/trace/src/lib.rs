@@ -187,6 +187,11 @@ pub enum FaultKind {
     Retransmit,
     /// The receiver discarded a duplicate delivery (dedup).
     DedupDrop,
+    /// A newer value on a latest-value-wins channel superseded one or
+    /// more older undelivered values (recorded under the PE whose
+    /// state was purged: the sender for in-flight slots, the
+    /// destination for queued inbox values).
+    Supersede,
 }
 
 impl FaultKind {
@@ -198,6 +203,7 @@ impl FaultKind {
             FaultKind::Delay => "delay",
             FaultKind::Retransmit => "retransmit",
             FaultKind::DedupDrop => "dedup",
+            FaultKind::Supersede => "supersede",
         }
     }
 }
@@ -453,6 +459,9 @@ pub struct PeSummary {
     pub net_retransmitted: u64,
     /// Duplicate deliveries this PE's reliability receive side dropped.
     pub net_dedup_dropped: u64,
+    /// Values superseded by newer ones on latest-value-wins channels,
+    /// recorded under the PE whose state was purged.
+    pub net_superseded: u64,
     /// Sampled scheduler batch-drain records observed.
     pub sched_batches: u64,
     /// Packets moved by the sampled batch drains (sum of `drained`).
@@ -510,6 +519,7 @@ impl Summary {
                     FaultKind::Delay => s.net_delayed += 1,
                     FaultKind::Retransmit => s.net_retransmitted += 1,
                     FaultKind::DedupDrop => s.net_dedup_dropped += 1,
+                    FaultKind::Supersede => s.net_superseded += 1,
                 },
                 Event::SchedBatch {
                     drained,
@@ -796,6 +806,7 @@ mod tests {
             mk(0, FaultKind::Duplicate),
             mk(0, FaultKind::Delay),
             mk(1, FaultKind::DedupDrop),
+            mk(1, FaultKind::Supersede),
         ];
         let sum = Summary::from_records(2, &recs);
         assert_eq!(sum.pes[0].net_dropped, 1);
@@ -803,6 +814,7 @@ mod tests {
         assert_eq!(sum.pes[0].net_duplicated, 1);
         assert_eq!(sum.pes[0].net_delayed, 1);
         assert_eq!(sum.pes[1].net_dedup_dropped, 1);
+        assert_eq!(sum.pes[1].net_superseded, 1);
     }
 
     #[test]

@@ -28,11 +28,12 @@ use crate::{connect, kind, WireOptions, WireStream};
 use converse_msg::{write_frame, FrameHeader, MsgBlock};
 use converse_net::fault::{link_draw, unit, SALT_DELAY, SALT_DELAY_SLOTS, SALT_DROP, SALT_DUP};
 use converse_net::{
-    CmiTransport, DeliveryMode, FaultPlan, FaultStats, Interconnect, Packet, PeTraffic,
+    Channel, CmiTransport, Delivery, DeliveryMode, FaultPlan, FaultStats, Interconnect, Packet,
+    PeTraffic,
 };
 use converse_trace::{Event, FaultKind, TraceSink};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -56,25 +57,108 @@ struct Limbo {
     due: Instant,
 }
 
-/// Sender half of one directed link (this rank → `dst`).
-#[derive(Default)]
-struct SendLink {
+/// Sender half of one *channel* of a directed link (this rank → dst).
+/// Sequenced streams number from 1; `seq == 0` is the reserved
+/// unsequenced fast path (no fault plan), matching the in-process
+/// convention documented on `converse_net::Packet::seq`.
+struct SendChan {
+    channel: Channel,
     next_seq: u64,
     unacked: BTreeMap<u64, InFlight>,
     limbo: Vec<Limbo>,
+}
+
+impl SendChan {
+    fn new(channel: Channel) -> SendChan {
+        SendChan {
+            channel,
+            next_seq: 1,
+            unacked: BTreeMap::new(),
+            limbo: Vec::new(),
+        }
+    }
+}
+
+/// Sender half of one directed link, split per channel (channel 0
+/// inline, others lazily created — same shape as the in-process
+/// `LinkState`).
+struct SendLink {
+    chan0: SendChan,
+    extra: HashMap<u32, SendChan>,
+}
+
+impl Default for SendLink {
+    fn default() -> Self {
+        SendLink {
+            chan0: SendChan::new(Channel::DEFAULT),
+            extra: HashMap::new(),
+        }
+    }
 }
 
 impl SendLink {
     fn default_vec(n: usize) -> Vec<Mutex<SendLink>> {
         (0..n).map(|_| Mutex::new(SendLink::default())).collect()
     }
+
+    fn chan(&mut self, channel: Channel) -> &mut SendChan {
+        if channel.id == 0 {
+            &mut self.chan0
+        } else {
+            self.extra
+                .entry(channel.id)
+                .or_insert_with(|| SendChan::new(channel))
+        }
+    }
+
+    /// Existing channel state by id (acks never materialize state).
+    fn chan_by_id(&mut self, id: u32) -> Option<&mut SendChan> {
+        if id == 0 {
+            Some(&mut self.chan0)
+        } else {
+            self.extra.get_mut(&id)
+        }
+    }
 }
 
-/// Receiver half of one directed link (`src` → this rank).
-#[derive(Default)]
-struct RecvLink {
+/// Receiver half of one *channel* of a directed link (src → this rank).
+struct RecvChan {
     expected: u64,
     ooo: BTreeMap<u64, MsgBlock>,
+}
+
+impl RecvChan {
+    fn new() -> RecvChan {
+        RecvChan {
+            expected: 1,
+            ooo: BTreeMap::new(),
+        }
+    }
+}
+
+/// Receiver half of one directed link, split per channel.
+struct RecvLink {
+    chan0: RecvChan,
+    extra: HashMap<u32, RecvChan>,
+}
+
+impl Default for RecvLink {
+    fn default() -> Self {
+        RecvLink {
+            chan0: RecvChan::new(),
+            extra: HashMap::new(),
+        }
+    }
+}
+
+impl RecvLink {
+    fn chan(&mut self, id: u32) -> &mut RecvChan {
+        if id == 0 {
+            &mut self.chan0
+        } else {
+            self.extra.entry(id).or_insert_with(RecvChan::new)
+        }
+    }
 }
 
 #[derive(Default)]
@@ -85,6 +169,7 @@ struct FaultCells {
     delayed: AtomicU64,
     retransmitted: AtomicU64,
     dedup_dropped: AtomicU64,
+    superseded: AtomicU64,
 }
 
 /// One rank's end of the socket machine. See the module docs.
@@ -257,28 +342,34 @@ impl WireEndpoint {
         }
     }
 
-    fn data_header(&self, dst: usize, seq: u64) -> FrameHeader {
+    fn data_header(&self, dst: usize, channel: Channel, seq: u64) -> FrameHeader {
         FrameHeader::new(kind::DATA, self.rank as u32, dst as u32, seq)
+            .on_channel(channel.id, channel.delivery.as_u8())
     }
 
-    /// One attempt to push `seq` of link `rank → dst` across the wire,
-    /// applying the fault plane *before* the socket — the mirror of the
-    /// in-process `wire_transmit`, with "deliver" replaced by "write".
-    fn wire_attempt(&self, dst: usize, seq: u64, attempt: u32, block: MsgBlock) {
+    /// One attempt to push `seq` of `(rank → dst, channel)` across the
+    /// wire, applying the fault plane *before* the socket — the mirror
+    /// of the in-process `wire_transmit`, with "deliver" replaced by
+    /// "write". Fault draws are salted per channel (same offset scheme
+    /// as in-process), so channel 0 draws exactly as the pre-QoS wire.
+    fn wire_attempt(&self, dst: usize, channel: Channel, seq: u64, attempt: u32, block: MsgBlock) {
         let Some(plan) = &self.plan else {
-            self.write(self.data_header(dst, seq), block.as_slice());
+            self.write(self.data_header(dst, channel, seq), block.as_slice());
             return;
         };
         let src = self.rank;
+        let co = channel.id as u64 * 4096;
         self.fstats.transmissions.fetch_add(1, Ordering::Relaxed);
         let f = plan.faults_for(src, dst);
-        if f.drop > 0.0 && unit(link_draw(plan.seed, src, dst, seq, attempt, SALT_DROP)) < f.drop {
+        if f.drop > 0.0
+            && unit(link_draw(plan.seed, src, dst, seq, attempt, SALT_DROP + co)) < f.drop
+        {
             self.fstats.dropped.fetch_add(1, Ordering::Relaxed);
             self.trace_fault(FaultKind::Drop, src, dst, seq);
             return;
         }
         let copies: u64 = if f.dup > 0.0
-            && unit(link_draw(plan.seed, src, dst, seq, attempt, SALT_DUP)) < f.dup
+            && unit(link_draw(plan.seed, src, dst, seq, attempt, SALT_DUP + co)) < f.dup
         {
             self.fstats.transmissions.fetch_add(1, Ordering::Relaxed);
             self.fstats.duplicated.fetch_add(1, Ordering::Relaxed);
@@ -289,8 +380,8 @@ impl WireEndpoint {
         };
         let finishing = self.finishing.load(Ordering::Acquire);
         for copy in 0..copies {
-            let delay_salt = SALT_DELAY + copy * 16;
-            let slots_salt = SALT_DELAY_SLOTS + copy * 16;
+            let delay_salt = SALT_DELAY + co + copy * 16;
+            let slots_salt = SALT_DELAY_SLOTS + co + copy * 16;
             let delayed = !finishing
                 && f.delay > 0.0
                 && f.max_delay_slots > 0
@@ -302,41 +393,85 @@ impl WireEndpoint {
                 self.fstats.delayed.fetch_add(1, Ordering::Relaxed);
                 self.trace_fault(FaultKind::Delay, src, dst, seq);
                 let due = Instant::now() + plan.tick * slots as u32;
-                self.send_links[dst].lock().limbo.push(Limbo {
+                self.send_links[dst].lock().chan(channel).limbo.push(Limbo {
                     seq,
                     block: block.share(),
                     due,
                 });
             } else {
-                self.write(self.data_header(dst, seq), block.as_slice());
+                self.write(self.data_header(dst, channel, seq), block.as_slice());
             }
         }
     }
 
-    /// Sequence, buffer and attempt one remote send.
-    fn wire_send(&self, dst: usize, block: MsgBlock) {
+    /// Sequence, buffer and attempt one remote send according to the
+    /// channel's delivery guarantee (the sender half of the QoS layer;
+    /// the receive half is `on_data`):
+    ///
+    /// * exactly-once — buffer for retransmit until acked;
+    /// * at-most-once — one wire attempt, no sender state, no acks;
+    /// * latest-value-wins — at most one unacked value per channel; a
+    ///   newer value purges older in-flight state (counted
+    ///   `superseded`).
+    fn wire_send(&self, dst: usize, channel: Channel, block: MsgBlock) {
         self.wire_msgs.fetch_add(1, Ordering::Relaxed);
         self.wire_bytes
             .fetch_add(block.len() as u64, Ordering::Relaxed);
         let Some(plan) = &self.plan else {
-            self.write(self.data_header(dst, 0), block.as_slice());
+            if channel.delivery == Delivery::LatestValueWins {
+                // Even on a clean wire a LVW value needs a real seq so
+                // the receiving mailbox can supersede queued values.
+                let seq = {
+                    let mut link = self.send_links[dst].lock();
+                    let chan = link.chan(channel);
+                    let s = chan.next_seq;
+                    chan.next_seq += 1;
+                    s
+                };
+                self.write(self.data_header(dst, channel, seq), block.as_slice());
+            } else {
+                self.write(self.data_header(dst, channel, 0), block.as_slice());
+            }
             return;
         };
         let seq;
         {
             let mut link = self.send_links[dst].lock();
-            seq = link.next_seq;
-            link.next_seq += 1;
-            link.unacked.insert(
-                seq,
-                InFlight {
-                    block: block.share(),
-                    attempt: 1,
-                    due: Instant::now() + plan.rto,
-                },
-            );
+            let chan = link.chan(channel);
+            seq = chan.next_seq;
+            chan.next_seq += 1;
+            match channel.delivery {
+                Delivery::AtMostOnce => {}
+                Delivery::ExactlyOnce => {
+                    chan.unacked.insert(
+                        seq,
+                        InFlight {
+                            block: block.share(),
+                            attempt: 1,
+                            due: Instant::now() + plan.rto,
+                        },
+                    );
+                }
+                Delivery::LatestValueWins => {
+                    let purged = (chan.unacked.len() + chan.limbo.len()) as u64;
+                    chan.unacked.clear();
+                    chan.limbo.clear();
+                    if purged > 0 {
+                        self.fstats.superseded.fetch_add(purged, Ordering::Relaxed);
+                        self.trace_fault(FaultKind::Supersede, self.rank, dst, seq);
+                    }
+                    chan.unacked.insert(
+                        seq,
+                        InFlight {
+                            block: block.share(),
+                            attempt: 1,
+                            due: Instant::now() + plan.rto,
+                        },
+                    );
+                }
+            }
         }
-        self.wire_attempt(dst, seq, 1, block);
+        self.wire_attempt(dst, channel, seq, 1, block);
     }
 
     // ---- frame input ----------------------------------------------------
@@ -347,8 +482,8 @@ impl WireEndpoint {
                 Ok(Some((h, payload))) => {
                     self.trace_frame(h.kind, h.src as usize, payload.len(), false);
                     match h.kind {
-                        kind::DATA => self.on_data(h.src as usize, h.seq, payload),
-                        kind::ACK => self.on_ack(h.src as usize, h.seq, payload.as_slice()),
+                        kind::DATA => self.on_data(h, payload),
+                        kind::ACK => self.on_ack(h, payload.as_slice()),
                         kind::INJECT => self.inner.inject(self.rank, payload),
                         kind::STALL => {
                             let ns = u64_le(payload.as_slice());
@@ -380,53 +515,103 @@ impl WireEndpoint {
         }
     }
 
-    /// Receive side of the reliability sublayer — the mirror of the
-    /// in-process `deliver_link`, plus an explicit ACK frame (shared
-    /// memory let the modeled link acknowledge by direct state update).
-    fn on_data(&self, src: usize, seq: u64, block: MsgBlock) {
+    /// Receive side of the QoS layer — the mirror of the in-process
+    /// `deliver_link`, plus an explicit ACK frame (shared memory let
+    /// the modeled link acknowledge by direct state update). The frame
+    /// header is self-describing: channel id + guarantee tag travel
+    /// with every DATA frame, so no receiver-side registry is needed.
+    ///
+    /// Delivery into the local mailbox goes through `send_on` so the
+    /// packet carries its channel tag upward — and so a
+    /// latest-value-wins arrival supersedes older values still queued
+    /// in the inbox, exactly as in-process.
+    fn on_data(&self, h: FrameHeader, block: MsgBlock) {
+        let src = h.src as usize;
+        let seq = h.seq;
+        let channel = Channel::new(h.channel, Delivery::from_u8(h.guarantee));
         if self.plan.is_none() {
-            self.inner.send(src, self.rank, block);
+            self.inner.send_on(src, self.rank, block, channel);
             return;
         }
-        {
-            let mut link = self.recv_links[src].lock();
-            if seq < link.expected || link.ooo.contains_key(&seq) {
-                self.fstats.dedup_dropped.fetch_add(1, Ordering::Relaxed);
-                self.trace_fault(FaultKind::DedupDrop, src, self.rank, seq);
-            } else {
-                link.ooo.insert(seq, block);
-                loop {
-                    let next = link.expected;
-                    let Some(b) = link.ooo.remove(&next) else {
-                        break;
-                    };
-                    link.expected += 1;
-                    // The local mailbox link carries no plan, so the
-                    // packet enters with seq 0 — same as every in-order
-                    // arrival on a clean in-process link.
-                    self.inner.send(src, self.rank, b);
+        let mut link = self.recv_links[src].lock();
+        let chan = link.chan(channel.id);
+        match channel.delivery {
+            Delivery::ExactlyOnce => {
+                if seq < chan.expected || chan.ooo.contains_key(&seq) {
+                    self.fstats.dedup_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.trace_fault(FaultKind::DedupDrop, src, self.rank, seq);
+                } else {
+                    chan.ooo.insert(seq, block);
+                    loop {
+                        let next = chan.expected;
+                        let Some(b) = chan.ooo.remove(&next) else {
+                            break;
+                        };
+                        chan.expected += 1;
+                        // The local mailbox link carries no plan, so
+                        // the packet enters on the unsequenced fast
+                        // path — same as an in-order arrival on a
+                        // clean in-process link.
+                        self.inner.send_on(src, self.rank, b, channel);
+                    }
+                }
+                // Acknowledge even duplicates: the retransmit that
+                // produced them is still waiting for confirmation.
+                let cum = chan.expected;
+                self.write(
+                    FrameHeader::new(kind::ACK, self.rank as u32, src as u32, seq)
+                        .on_channel(channel.id, channel.delivery.as_u8()),
+                    &cum.to_le_bytes(),
+                );
+            }
+            Delivery::AtMostOnce => {
+                // Monotonic floor, no reassembly, no ACK: the sender
+                // keeps no state to retire.
+                if seq < chan.expected {
+                    self.fstats.dedup_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.trace_fault(FaultKind::DedupDrop, src, self.rank, seq);
+                } else {
+                    chan.expected = seq + 1;
+                    self.inner.send_on(src, self.rank, block, channel);
                 }
             }
-            // Acknowledge even duplicates: the retransmit that produced
-            // them is still waiting for this seq to be confirmed.
-            let cum = link.expected;
-            self.write(
-                FrameHeader::new(kind::ACK, self.rank as u32, src as u32, seq),
-                &cum.to_le_bytes(),
-            );
+            Delivery::LatestValueWins => {
+                // Monotonic floor plus an ACK so the sender stops
+                // retransmitting its (single) in-flight value.
+                if seq < chan.expected {
+                    self.fstats.dedup_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.trace_fault(FaultKind::DedupDrop, src, self.rank, seq);
+                } else {
+                    chan.expected = seq + 1;
+                    self.inner.send_on(src, self.rank, block, channel);
+                }
+                let cum = chan.expected;
+                self.write(
+                    FrameHeader::new(kind::ACK, self.rank as u32, src as u32, seq)
+                        .on_channel(channel.id, channel.delivery.as_u8()),
+                    &cum.to_le_bytes(),
+                );
+            }
         }
     }
 
-    /// Sender side of an ACK from `acker`: drop the selective seq and
+    /// Sender side of an ACK from the peer: drop the selective seq and
     /// everything below the cumulative watermark from the retransmit
     /// buffer (and limbo — a delivered seq no longer needs its delayed
-    /// copies).
-    fn on_ack(&self, acker: usize, selective: u64, payload: &[u8]) {
+    /// copies). The ACK frame echoes the channel tag of the DATA frame
+    /// it confirms; an ack for a channel with no sender state (e.g.
+    /// at-most-once, which never acks, or an already-superseded value)
+    /// is a no-op rather than materializing state.
+    fn on_ack(&self, h: FrameHeader, payload: &[u8]) {
+        let acker = h.src as usize;
+        let selective = h.seq;
         let cum = u64_le(payload);
         let mut link = self.send_links[acker].lock();
-        link.unacked.remove(&selective);
-        link.unacked.retain(|s, _| *s >= cum);
-        link.limbo.retain(|l| l.seq >= cum && l.seq != selective);
+        if let Some(chan) = link.chan_by_id(h.channel) {
+            chan.unacked.remove(&selective);
+            chan.unacked.retain(|s, _| *s >= cum);
+            chan.limbo.retain(|l| l.seq >= cum && l.seq != selective);
+        }
     }
 
     /// Record an abort, run the machine layer's hook, and wake anything
@@ -457,38 +642,42 @@ impl WireEndpoint {
                 if dst == self.rank {
                     continue;
                 }
-                let mut releases: Vec<Limbo> = Vec::new();
-                let mut retx: Vec<(u64, u32, MsgBlock)> = Vec::new();
+                let mut releases: Vec<(Channel, Limbo)> = Vec::new();
+                let mut retx: Vec<(Channel, u64, u32, MsgBlock)> = Vec::new();
                 {
                     let mut link = self.send_links[dst].lock();
-                    if link.limbo.is_empty() && link.unacked.is_empty() {
-                        continue;
-                    }
-                    let mut i = 0;
-                    while i < link.limbo.len() {
-                        if finishing || link.limbo[i].due <= now {
-                            releases.push(link.limbo.swap_remove(i));
-                        } else {
-                            i += 1;
+                    let mut pump_chan = |chan: &mut SendChan| {
+                        let channel = chan.channel;
+                        let mut i = 0;
+                        while i < chan.limbo.len() {
+                            if finishing || chan.limbo[i].due <= now {
+                                releases.push((channel, chan.limbo.swap_remove(i)));
+                            } else {
+                                i += 1;
+                            }
                         }
-                    }
-                    releases.sort_by_key(|l| l.seq);
-                    for (seq, inf) in link.unacked.iter_mut() {
-                        if inf.due <= now {
-                            inf.attempt += 1;
-                            let backoff = plan.rto * (1u32 << (inf.attempt - 1).min(10));
-                            inf.due = now + backoff.min(plan.rto_cap);
-                            retx.push((*seq, inf.attempt, inf.block.share()));
+                        for (seq, inf) in chan.unacked.iter_mut() {
+                            if inf.due <= now {
+                                inf.attempt += 1;
+                                let backoff = plan.rto * (1u32 << (inf.attempt - 1).min(10));
+                                inf.due = now + backoff.min(plan.rto_cap);
+                                retx.push((channel, *seq, inf.attempt, inf.block.share()));
+                            }
                         }
+                    };
+                    pump_chan(&mut link.chan0);
+                    for chan in link.extra.values_mut() {
+                        pump_chan(chan);
                     }
                 }
-                for l in releases {
-                    self.write(self.data_header(dst, l.seq), l.block.as_slice());
+                releases.sort_by_key(|(c, l)| (c.id, l.seq));
+                for (channel, l) in releases {
+                    self.write(self.data_header(dst, channel, l.seq), l.block.as_slice());
                 }
-                for (seq, attempt, block) in retx {
+                for (channel, seq, attempt, block) in retx {
                     self.fstats.retransmitted.fetch_add(1, Ordering::Relaxed);
                     self.trace_fault(FaultKind::Retransmit, self.rank, dst, seq);
-                    self.wire_attempt(dst, seq, attempt, block);
+                    self.wire_attempt(dst, channel, seq, attempt, block);
                 }
             }
         }
@@ -507,7 +696,9 @@ impl WireEndpoint {
         loop {
             let clean = self.send_links.iter().all(|l| {
                 let l = l.lock();
-                l.unacked.is_empty() && l.limbo.is_empty()
+                let chan_clean =
+                    |c: &SendChan| c.unacked.is_empty() && c.limbo.is_empty();
+                chan_clean(&l.chan0) && l.extra.values().all(chan_clean)
             });
             if clean {
                 return true;
@@ -582,7 +773,16 @@ impl CmiTransport for WireEndpoint {
         if dst == self.rank {
             self.inner.send(src, dst, block);
         } else {
-            self.wire_send(dst, block);
+            self.wire_send(dst, Channel::DEFAULT, block);
+        }
+    }
+
+    fn send_block_on(&self, src: usize, dst: usize, block: MsgBlock, channel: Channel) {
+        debug_assert_eq!(src, self.rank, "a wire endpoint sends only as its own rank");
+        if dst == self.rank {
+            self.inner.send_on(src, dst, block, channel);
+        } else {
+            self.wire_send(dst, channel, block);
         }
     }
 
@@ -680,6 +880,7 @@ impl CmiTransport for WireEndpoint {
             delayed: self.fstats.delayed.load(Ordering::Relaxed),
             retransmitted: self.fstats.retransmitted.load(Ordering::Relaxed),
             dedup_dropped: self.fstats.dedup_dropped.load(Ordering::Relaxed),
+            superseded: self.fstats.superseded.load(Ordering::Relaxed),
         }
     }
 

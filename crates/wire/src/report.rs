@@ -39,6 +39,7 @@ impl WorkerReport {
             .u64(self.faults.delayed)
             .u64(self.faults.retransmitted)
             .u64(self.faults.dedup_dropped)
+            .u64(self.faults.superseded)
             .u32(self.output.len() as u32);
         for line in &self.output {
             p = p.str(line);
@@ -64,6 +65,7 @@ impl WorkerReport {
             delayed: u.u64()?,
             retransmitted: u.u64()?,
             dedup_dropped: u.u64()?,
+            superseded: u.u64()?,
         };
         let n = u.u32()? as usize;
         let mut output = Vec::with_capacity(n);
@@ -101,6 +103,7 @@ mod tests {
                 delayed: 1,
                 retransmitted: 2,
                 dedup_dropped: 3,
+                superseded: 4,
             },
             output: vec!["PE 3 done".into(), "".into()],
         };

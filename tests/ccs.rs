@@ -375,3 +375,93 @@ fn registry_basic(pe: &Pe, registry: &CcsRegistry) {
         // Deliberately never replies; the server's timeout must answer.
     });
 }
+
+/// The pub-sub facade end to end: an external client subscribes to a
+/// topic through the CCS server, the machine publishes over the
+/// topic's delivery channel, and the updates arrive as STREAM reply
+/// frames consumed by `stream_each` — plus the error reply for an
+/// unasserted topic.
+#[test]
+fn pubsub_subscription_streams_to_external_client() {
+    use converse::ccs::pubsub;
+    use converse::machine::Delivery;
+    use std::time::Instant;
+
+    const TICKS: u64 = 5;
+    let registry = CcsRegistry::new();
+    let server = CcsServer::new(registry.clone(), CcsServerConfig::default());
+    let handle = server.handle();
+
+    let client = std::thread::spawn(move || {
+        let addr = handle
+            .wait_addr(Duration::from_secs(10))
+            .expect("server bound");
+        let mut sub = CcsClient::connect(addr).expect("connect");
+        sub.set_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        // Subscribe on PE 1, retrying the registration race. The
+        // publisher holds its ticks until the subscription's announce
+        // reaches it, so the stream starts at tick 0.
+        let mut got: Vec<u64> = Vec::new();
+        loop {
+            let t = sub.submit("pubsub.subscribe", 1, b"metrics").unwrap();
+            match sub.stream_each(t, |frame| {
+                got.push(u64::from_le_bytes(frame.try_into().expect("u64 tick")));
+                (got.len() as u64) < TICKS
+            }) {
+                Ok(_) if got.len() as u64 >= TICKS => break,
+                Ok(_) | Err(CcsError::Status { .. }) => {
+                    std::thread::sleep(Duration::from_millis(5))
+                }
+                Err(e) => panic!("subscribe failed: {e}"),
+            }
+        }
+        // Exactly-once topic on a clean wire: the exact tick sequence.
+        assert_eq!(got, (0..TICKS).collect::<Vec<_>>());
+
+        // A topic nobody asserted is a clean application-level error.
+        let mut ctl = CcsClient::connect(addr).expect("connect");
+        ctl.set_timeout(Some(Duration::from_secs(10))).unwrap();
+        match ctl.call("pubsub.subscribe", 0, b"no-such-topic") {
+            Err(CcsError::Status { code, .. }) => {
+                assert_eq!(code, ccs::status::UNKNOWN_HANDLER)
+            }
+            other => panic!("unasserted topic: expected status error, got {other:?}"),
+        }
+        assert_eq!(call_retry(&mut ctl, "shutdown", 0, b""), b"bye");
+    });
+
+    converse::core::run_with(
+        MachineConfig::new(2).attach(Box::new(server)).capture_output(),
+        move |pe| {
+            pubsub::init(pe, Some(&registry));
+            pubsub::assert_topic(pe, "metrics", Delivery::ExactlyOnce);
+            let exit = pe.register_handler(|pe, _msg| csd_exit_scheduler(pe));
+            registry.register(pe, "shutdown", move |pe, _msg| {
+                if let Some(token) = ccs::current_token(pe) {
+                    ccs::send_reply(pe, token, b"bye");
+                }
+                for dst in 0..pe.num_pes() {
+                    pe.sync_send_and_free(dst, Message::new(exit, &[]));
+                }
+            });
+            pe.barrier();
+
+            if pe.my_pe() == 0 {
+                // Publish only after the external subscription (made on
+                // PE 1) has announced itself machine-wide.
+                let t0 = Instant::now();
+                while pubsub::known_subscriber_pes(pe, "metrics") == 0 {
+                    assert!(t0.elapsed() < Duration::from_secs(20), "no subscriber");
+                    csd_scheduler_until_idle(pe);
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                for i in 0..TICKS {
+                    pubsub::publish(pe, "metrics", &i.to_le_bytes());
+                }
+            }
+            csd_scheduler(pe, -1);
+        },
+    );
+    client.join().expect("client thread");
+}

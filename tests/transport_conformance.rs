@@ -231,3 +231,108 @@ fn chaos_ring_is_exactly_once_on_each_transport() {
         );
     }
 }
+
+/// The per-guarantee delivery matrix under the adversarial plan, on
+/// BOTH transports and across several seeds:
+///
+/// * the default (exactly-once) channel stays exact and in-order;
+/// * an at-most-once channel never duplicates or reorders — arrivals
+///   are a strictly increasing subset of what was sent;
+/// * a latest-value-wins channel converges on the final value, with
+///   every observed value newer than the one before.
+#[test]
+fn delivery_guarantee_matrix_on_each_transport() {
+    use converse::machine::Delivery;
+    const PES: usize = 3;
+    const MSGS: u64 = 30;
+    for seed in [1u64, 7, 1996] {
+        let reports = reports_on_each_transport(
+            move || {
+                MachineConfig::new(PES)
+                    .faults(lossy_plan(seed))
+                    .channel("amo", Delivery::AtMostOnce)
+                    .channel("lvw", Delivery::LatestValueWins)
+            },
+            |pe| {
+                let me = pe.my_pe();
+                let next = (me + 1) % PES;
+                // Per-channel receive state; completion = the EO stream
+                // finished exactly AND the LVW channel converged.
+                let eo_count = Arc::new(AtomicU64::new(0));
+                let amo_last = Arc::new(AtomicU64::new(0)); // stores value+1
+                let amo_seen = Arc::new(AtomicU64::new(0));
+                let lvw_last = Arc::new(AtomicU64::new(0)); // stores value+1
+                let done = |pe: &Pe, eo: &AtomicU64, lvw: &AtomicU64| {
+                    if eo.load(Ordering::SeqCst) == MSGS && lvw.load(Ordering::SeqCst) == MSGS {
+                        csd_exit_scheduler(pe);
+                    }
+                };
+                let (eo, lvw) = (eo_count.clone(), lvw_last.clone());
+                let h_eo = pe.register_handler(move |pe, msg| {
+                    let v = u64::from_le_bytes(msg.payload().try_into().unwrap());
+                    let want = eo.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(v, want, "exactly-once channel lost order on PE {}", pe.my_pe());
+                    done(pe, &eo, &lvw);
+                });
+                let (last, seen) = (amo_last.clone(), amo_seen.clone());
+                let h_amo = pe.register_handler(move |pe, msg| {
+                    let v = u64::from_le_bytes(msg.payload().try_into().unwrap());
+                    let prev = last.swap(v + 1, Ordering::SeqCst);
+                    assert!(
+                        v + 1 > prev,
+                        "at-most-once channel duplicated or reordered on PE {}: {v} after {}",
+                        pe.my_pe(),
+                        prev - 1
+                    );
+                    seen.fetch_add(1, Ordering::SeqCst);
+                });
+                let (eo, lvw) = (eo_count.clone(), lvw_last.clone());
+                let h_lvw = pe.register_handler(move |pe, msg| {
+                    let v = u64::from_le_bytes(msg.payload().try_into().unwrap());
+                    let prev = lvw.swap(v + 1, Ordering::SeqCst);
+                    assert!(
+                        v + 1 > prev,
+                        "latest-value-wins went backwards on PE {}: {v} after {}",
+                        pe.my_pe(),
+                        prev - 1
+                    );
+                    done(pe, &eo, &lvw);
+                });
+                let amo = pe.channel("amo");
+                let lvw_ch = pe.channel("lvw");
+                pe.barrier();
+                for i in 0..MSGS {
+                    let b = i.to_le_bytes();
+                    pe.sync_send_and_free(next, Message::new(h_eo, &b));
+                    pe.sync_send_on(next, amo, &Message::new(h_amo, &b));
+                    pe.sync_send_on(next, lvw_ch, &Message::new(h_lvw, &b));
+                }
+                csd_scheduler(pe, -1);
+                pe.barrier();
+                assert_eq!(eo_count.load(Ordering::SeqCst), MSGS, "exactly-once lost messages");
+                assert_eq!(
+                    lvw_last.load(Ordering::SeqCst),
+                    MSGS,
+                    "latest-value-wins did not converge on the final value"
+                );
+                let delivered = amo_seen.load(Ordering::SeqCst);
+                assert!(
+                    (1..=MSGS).contains(&delivered),
+                    "at-most-once delivered {delivered} of {MSGS}"
+                );
+            },
+        );
+        for (t, r) in &reports {
+            let s = &r.fault_stats;
+            assert!(s.dropped > 0, "{t:?} seed {seed}: plan never dropped: {s:?}");
+            assert!(
+                s.superseded > 0,
+                "{t:?} seed {seed}: back-to-back LVW publishes never superseded: {s:?}"
+            );
+            assert!(
+                s.retransmitted > 0,
+                "{t:?} seed {seed}: exactly-once masked drops without retransmitting: {s:?}"
+            );
+        }
+    }
+}
