@@ -22,8 +22,8 @@
 //! cargo run --release -p converse-bench --bin fanout
 //! ```
 
-use converse_net::{Channel, Delivery, FaultPlan, Interconnect, LinkFaults};
 use converse_msg::MsgBlock;
+use converse_net::{Channel, Delivery, FaultPlan, Interconnect, LinkFaults};
 use std::time::{Duration, Instant};
 
 /// Messages fanned to each receiver, per guarantee.
@@ -63,13 +63,9 @@ fn value(p: &converse_net::Packet) -> u64 {
 /// Fan `MSGS` messages from PE 0 to every other PE over `delivery`,
 /// and measure the sustained logical-publish rate until the
 /// guarantee's own completion condition holds on every receiver.
+#[allow(clippy::needless_range_loop)] // dst indexes both the net and `finished`
 fn fanout(pes: usize, delivery: Delivery) -> Row {
-    let net = Interconnect::with_config(
-        pes,
-        converse_net::DeliveryMode::Fifo,
-        Some(plan()),
-        None,
-    );
+    let net = Interconnect::with_config(pes, converse_net::DeliveryMode::Fifo, Some(plan()), None);
     let chan = Channel::new(5, delivery);
     let started = Instant::now();
     for i in 0..MSGS {
@@ -147,7 +143,10 @@ fn fanout(pes: usize, delivery: Delivery) -> Row {
             // the gap is the point of the guarantee. (Retransmissions
             // are not zero: the end-of-burst marker rides the reliable
             // default channel.)
-            assert!(delivered < logical, "at-most-once shed nothing under drop 0.2");
+            assert!(
+                delivered < logical,
+                "at-most-once shed nothing under drop 0.2"
+            );
         }
         Delivery::LatestValueWins => {
             assert!(delivered <= logical, "latest-value-wins duplicated")
@@ -202,7 +201,10 @@ fn main() {
         amo8 >= 2.0 * eo8,
         "at-most-once fan-out ({amo8:.0}/s) is not 2x exactly-once ({eo8:.0}/s) at 8 PEs"
     );
-    println!("\nacceptance: at-most-once {:.1}x exactly-once at 8 PEs", amo8 / eo8);
+    println!(
+        "\nacceptance: at-most-once {:.1}x exactly-once at 8 PEs",
+        amo8 / eo8
+    );
 
     // Regression gate: fresh rates vs the checked-in baseline, 25%
     // tolerance, higher is better.
@@ -270,9 +272,7 @@ fn baseline_rows(text: &str) -> Vec<(String, usize, f64)> {
         let field = |key: &str| -> Option<f64> {
             let k0 = line.find(key)? + key.len();
             let tail = &line[k0..];
-            let end = tail
-                .find(|c: char| c == ',' || c == '}')
-                .unwrap_or(tail.len());
+            let end = tail.find([',', '}']).unwrap_or(tail.len());
             tail[..end].trim().parse().ok()
         };
         let (Some(pes), Some(rate)) = (field("\"pes\": "), field("\"msgs_per_sec\": ")) else {

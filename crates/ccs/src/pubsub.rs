@@ -207,10 +207,7 @@ fn subscribe_fn(pe: &Pe, topic: &str, f: SubscriberFn) {
         .or_default()
         .insert(pe.my_pe());
     let announce = st.announce.lock().expect("pubsub::init not called");
-    let body = Packer::new()
-        .usize(pe.my_pe())
-        .u32(channel.id)
-        .finish();
+    let body = Packer::new().usize(pe.my_pe()).u32(channel.id).finish();
     let msg = Message::new(announce, &body);
     for dst in 0..pe.num_pes() {
         if dst != pe.my_pe() {

@@ -14,7 +14,9 @@
 use crate::exo::{MachineHandle, MachineService};
 use crate::pe::{MachineShared, Pe};
 pub use crate::pe::{QueueKind, ThreadBackend};
-use converse_net::{Channel, Delivery, DeliveryMode, FaultPlan, FaultStats, Interconnect, PeTraffic};
+use converse_net::{
+    Channel, Delivery, DeliveryMode, FaultPlan, FaultStats, Interconnect, PeTraffic,
+};
 use converse_trace::{NullSink, TraceSink};
 pub use converse_wire::{WireKind, WireOptions};
 use std::sync::atomic::{AtomicUsize, Ordering};

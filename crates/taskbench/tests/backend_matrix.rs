@@ -1,0 +1,50 @@
+//! Dual-backend coverage: the tSM-layer taskbench adapter (one fiber
+//! or hand-off thread per task, blocking receives per dependency) runs
+//! through `run_on_each_backend`, so the PR-5 fiber fast path is
+//! exercised by *generated* graphs — suspend/resume under stencil,
+//! butterfly and random dependency shapes, not just hand-written rings.
+
+use converse_taskbench::exec::{assert_machine_valid, run_graph_tsm, RunOpts};
+use converse_taskbench::{GraphSpec, Pattern, TaskGraph};
+use converse_threads::run_on_each_backend;
+use std::sync::Arc;
+
+fn run_pattern_on_both_backends(pattern: Pattern, seed: u64) {
+    let graph = Arc::new(TaskGraph::generate(GraphSpec {
+        pattern,
+        seed,
+        width: 8,
+        steps: 5,
+    }));
+    run_on_each_backend(4, move |pe| {
+        let opts = RunOpts {
+            payload_bytes: 48,
+            ..RunOpts::default()
+        };
+        let summary = run_graph_tsm(pe, &graph, &opts);
+        assert_machine_valid(pe, &graph, &summary, opts.payload_bytes);
+    });
+}
+
+#[test]
+fn tsm_stencil_on_both_backends() {
+    run_pattern_on_both_backends(Pattern::Stencil1D, 1);
+}
+
+#[test]
+fn tsm_butterfly_on_both_backends() {
+    run_pattern_on_both_backends(Pattern::Butterfly, 7);
+}
+
+#[test]
+fn tsm_random_on_both_backends() {
+    run_pattern_on_both_backends(Pattern::Random, 1996);
+}
+
+/// Trivial pattern = pure thread create/run/exit churn: 40 threads per
+/// run with no blocking receives, stressing the backend's stack pool
+/// rather than its suspend path.
+#[test]
+fn tsm_trivial_churn_on_both_backends() {
+    run_pattern_on_both_backends(Pattern::Trivial, 7);
+}

@@ -1,0 +1,294 @@
+//! Property + golden tests for the graph generator: determinism is
+//! byte-level and pinned, structure is validated per pattern, and the
+//! random pattern's reachability invariants hold under the canonical
+//! chaos seeds 1/7/1996.
+
+use converse_taskbench::{fnv1a, GraphSpec, Pattern, TaskGraph, TaskId};
+use proptest::prelude::*;
+
+fn spec(pattern: Pattern, seed: u64, width: usize, steps: usize) -> GraphSpec {
+    GraphSpec {
+        pattern,
+        seed,
+        width,
+        steps,
+    }
+}
+
+// ---- determinism --------------------------------------------------------
+
+/// Same spec → byte-identical encoding, across repeated generation.
+#[test]
+fn same_seed_is_byte_identical() {
+    for pattern in Pattern::ALL {
+        for seed in [1u64, 7, 1996] {
+            let a = TaskGraph::generate(spec(pattern, seed, 8, 6)).encode();
+            let b = TaskGraph::generate(spec(pattern, seed, 8, 6)).encode();
+            assert_eq!(a, b, "{} seed {seed} not deterministic", pattern.label());
+        }
+    }
+}
+
+/// Different seeds must yield different *random* graphs (the other
+/// patterns are structurally seed-independent — pinned below too).
+#[test]
+fn random_seeds_differ_structurally() {
+    let a = TaskGraph::generate(spec(Pattern::Random, 1, 8, 6)).encode();
+    let b = TaskGraph::generate(spec(Pattern::Random, 7, 8, 6)).encode();
+    // Encodings embed the seed; compare past the 9-byte (tag, seed)
+    // header to compare structure proper.
+    assert_ne!(a[9..], b[9..], "random graphs for seeds 1 and 7 coincide");
+
+    for pattern in [
+        Pattern::Trivial,
+        Pattern::Stencil1D,
+        Pattern::Tree,
+        Pattern::Butterfly,
+    ] {
+        let a = TaskGraph::generate(spec(pattern, 1, 8, 6)).encode();
+        let b = TaskGraph::generate(spec(pattern, 7, 8, 6)).encode();
+        assert_eq!(
+            a[9..],
+            b[9..],
+            "{} structure must not depend on the seed",
+            pattern.label()
+        );
+    }
+}
+
+/// Golden pins: FNV-1a of the canonical encoding for one spec per
+/// pattern. These freeze the generator's output forever — any change to
+/// draw order, dependency order, or encoding is a breaking change to
+/// every checked-in benchmark baseline and must be deliberate.
+#[test]
+fn golden_encodings() {
+    let pins: [(Pattern, u64); 5] = [
+        (Pattern::Trivial, 0x75059588e67ba972),
+        (Pattern::Stencil1D, 0x1da9ffdc319ecc12),
+        (Pattern::Tree, 0xe2d39a9b2d32f582),
+        (Pattern::Butterfly, 0x0ac17940a95e5337),
+        (Pattern::Random, 0x56628f6d37590b04),
+    ];
+    for (pattern, want) in pins {
+        let got = fnv1a(&TaskGraph::generate(spec(pattern, 1996, 8, 6)).encode());
+        assert_eq!(
+            got,
+            want,
+            "{}: golden encoding hash changed ({got:#x}) — the generator's output is part of \
+             the bench-baseline contract",
+            pattern.label()
+        );
+    }
+}
+
+/// The output oracle is part of the same contract: pin the machine-wide
+/// fold for one cell per pattern.
+#[test]
+fn golden_expected_folds() {
+    let pins: [(Pattern, u64); 5] = [
+        (Pattern::Trivial, 0x000dc34a1f004700),
+        (Pattern::Stencil1D, 0x8b4cc4b8a93150f7),
+        (Pattern::Tree, 0x170eeccc49e66e7a),
+        (Pattern::Butterfly, 0x0086380533879140),
+        (Pattern::Random, 0x7d24e397b8cd91be),
+    ];
+    for (pattern, want) in pins {
+        let got = TaskGraph::generate(spec(pattern, 1996, 8, 6)).expected_fold(16);
+        assert_eq!(
+            got,
+            want,
+            "{}: golden expected-output fold changed ({got:#x})",
+            pattern.label()
+        );
+    }
+}
+
+// ---- per-pattern structure ---------------------------------------------
+
+#[test]
+fn stencil_structure() {
+    let g = TaskGraph::generate(spec(Pattern::Stencil1D, 7, 8, 5));
+    g.validate_structure().unwrap();
+    assert_eq!(g.num_levels(), 5);
+    for t in 1..5u32 {
+        // Interior tasks have exactly 3 deps, the two edges have 2.
+        for i in 0..8u32 {
+            let deps = g.deps(TaskId { step: t, index: i });
+            let want = if i == 0 || i == 7 { 2 } else { 3 };
+            assert_eq!(deps.len(), want, "stencil ({t},{i})");
+            for d in deps {
+                assert!(d.index.abs_diff(i) <= 1, "stencil dep not a neighbour");
+            }
+        }
+    }
+}
+
+#[test]
+fn tree_structure() {
+    // Non-power-of-two width exercises the odd-level ceil halving.
+    let g = TaskGraph::generate(spec(Pattern::Tree, 7, 11, 3));
+    g.validate_structure().unwrap();
+    let widths: Vec<usize> = (0..g.num_levels()).map(|t| g.level_width(t)).collect();
+    assert_eq!(widths, vec![11, 6, 3, 2, 1], "ceil-halving widths");
+    // Every non-root level's tasks are consumed by exactly one parent:
+    // the tree reduces, it never fans out.
+    for t in 0..g.num_levels() as u32 - 1 {
+        for i in 0..g.level_width(t as usize) as u32 {
+            assert_eq!(
+                g.successors(TaskId { step: t, index: i }).len(),
+                1,
+                "tree ({t},{i}) must feed exactly one parent"
+            );
+        }
+    }
+    // The root consumes the whole previous level.
+    let root = TaskId {
+        step: g.num_levels() as u32 - 1,
+        index: 0,
+    };
+    assert_eq!(g.deps(root).len(), 2);
+}
+
+#[test]
+fn butterfly_structure() {
+    let g = TaskGraph::generate(spec(Pattern::Butterfly, 7, 8, 7));
+    g.validate_structure().unwrap();
+    for t in 1..7u32 {
+        let stride = 1u32 << ((t - 1) % 3); // log2(8) = 3
+        for i in 0..8u32 {
+            let deps = g.deps(TaskId { step: t, index: i });
+            assert_eq!(deps.len(), 2, "butterfly in-degree");
+            let partners: Vec<u32> = deps.iter().map(|d| d.index).collect();
+            assert!(partners.contains(&i), "butterfly keeps own lane");
+            assert!(
+                partners.contains(&(i ^ stride)),
+                "butterfly ({t},{i}): stride-{stride} partner missing"
+            );
+        }
+    }
+    // After log2(width) levels every lane depends (transitively) on
+    // every source — the all-to-all property that makes the pattern a
+    // communication stress test. Check lane 0 at step 3.
+    let mut frontier = vec![TaskId { step: 3, index: 0 }];
+    let mut sources = std::collections::HashSet::new();
+    while let Some(id) = frontier.pop() {
+        if id.step == 0 {
+            sources.insert(id.index);
+        } else {
+            frontier.extend(g.deps(id).iter().copied());
+        }
+    }
+    assert_eq!(
+        sources.len(),
+        8,
+        "butterfly: full mixing after log2(w) steps"
+    );
+}
+
+#[test]
+fn butterfly_rejects_non_power_of_two() {
+    let r = std::panic::catch_unwind(|| TaskGraph::generate(spec(Pattern::Butterfly, 1, 6, 3)));
+    assert!(r.is_err(), "width 6 butterfly must be rejected");
+}
+
+#[test]
+fn trivial_has_no_edges() {
+    let g = TaskGraph::generate(spec(Pattern::Trivial, 7, 8, 4));
+    g.validate_structure().unwrap();
+    assert_eq!(g.num_tasks(), 32);
+    for s in 0..32u32 {
+        let id = g.task_of_serial(s);
+        assert!(g.deps(id).is_empty());
+        assert!(g.successors(id).is_empty());
+    }
+}
+
+// ---- random-graph invariants under the canonical seeds ------------------
+
+#[test]
+fn random_reachability_under_canonical_seeds() {
+    for seed in [1u64, 7, 1996] {
+        for (width, steps) in [(8usize, 6usize), (5, 9), (16, 4)] {
+            let g = TaskGraph::generate(spec(Pattern::Random, seed, width, steps));
+            // validate_structure includes full level-0 reachability.
+            g.validate_structure()
+                .unwrap_or_else(|e| panic!("random seed {seed} {width}x{steps}: {e}"));
+            // Degree bounds, explicitly.
+            for t in 1..steps as u32 {
+                for i in 0..width as u32 {
+                    let d = g.deps(TaskId { step: t, index: i }).len();
+                    assert!(
+                        (1..=3).contains(&d),
+                        "random seed {seed} ({t},{i}): degree {d}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---- properties ---------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generation is deterministic and structurally valid across the
+    /// whole spec space (butterfly widths snapped to powers of two).
+    #[test]
+    fn generate_is_deterministic_and_valid(
+        pat in 0usize..5,
+        seed in any::<u64>(),
+        width in 1usize..17,
+        steps in 1usize..8,
+    ) {
+        let pattern = Pattern::ALL[pat];
+        let width = if pattern == Pattern::Butterfly {
+            width.next_power_of_two()
+        } else {
+            width
+        };
+        let s = spec(pattern, seed, width, steps);
+        let g = TaskGraph::generate(s);
+        prop_assert_eq!(g.encode(), TaskGraph::generate(s).encode());
+        if let Err(e) = g.validate_structure() {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+
+    /// serial/task_of_serial are inverse bijections and ownership
+    /// partitions the task set across any PE count.
+    #[test]
+    fn serials_and_ownership_partition(
+        pat in 0usize..5,
+        seed in any::<u64>(),
+        width in 1usize..17,
+        steps in 1usize..8,
+        pes in 1usize..9,
+    ) {
+        let pattern = Pattern::ALL[pat];
+        let width = if pattern == Pattern::Butterfly {
+            width.next_power_of_two()
+        } else {
+            width
+        };
+        let g = TaskGraph::generate(spec(pattern, seed, width, steps));
+        for s in 0..g.num_tasks() as u32 {
+            prop_assert_eq!(g.serial(g.task_of_serial(s)), s);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for pe in 0..pes {
+            for s in g.local_serials(pe, pes) {
+                prop_assert!(seen.insert(s), "serial {} owned twice", s);
+            }
+        }
+        prop_assert_eq!(seen.len(), g.num_tasks());
+    }
+
+    /// The oracle distinguishes payload sizes (the message-size axis is
+    /// load-bearing) except for the 8-byte aliasing-free floor.
+    #[test]
+    fn expected_fold_depends_on_payload(seed in any::<u64>()) {
+        let g = TaskGraph::generate(spec(Pattern::Stencil1D, seed, 4, 3));
+        prop_assert_ne!(g.expected_fold(16), g.expected_fold(64));
+    }
+}

@@ -696,8 +696,7 @@ impl WireEndpoint {
         loop {
             let clean = self.send_links.iter().all(|l| {
                 let l = l.lock();
-                let chan_clean =
-                    |c: &SendChan| c.unacked.is_empty() && c.limbo.is_empty();
+                let chan_clean = |c: &SendChan| c.unacked.is_empty() && c.limbo.is_empty();
                 chan_clean(&l.chan0) && l.extra.values().all(chan_clean)
             });
             if clean {

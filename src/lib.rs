@@ -26,6 +26,7 @@
 //! | [`sm`] | SM / tSM / PVM / NX layers (§4) | `converse-sm` |
 //! | [`dp`] | data-parallel layer (DP-Charm stand-in) | `converse-dp` |
 //! | [`ccs`] | client-server interface (external requests) | `converse-ccs` |
+//! | [`taskbench`] | Task Bench-style workload matrix (Figs 4–8 analogue) | `converse-taskbench` |
 //!
 //! # Quickstart
 //!
@@ -61,6 +62,7 @@ pub use converse_net as net;
 pub use converse_queue as queue;
 pub use converse_sm as sm;
 pub use converse_sync as sync;
+pub use converse_taskbench as taskbench;
 pub use converse_threads as threads;
 pub use converse_trace as trace;
 

@@ -432,7 +432,9 @@ fn pubsub_subscription_streams_to_external_client() {
     });
 
     converse::core::run_with(
-        MachineConfig::new(2).attach(Box::new(server)).capture_output(),
+        MachineConfig::new(2)
+            .attach(Box::new(server))
+            .capture_output(),
         move |pe| {
             pubsub::init(pe, Some(&registry));
             pubsub::assert_topic(pe, "metrics", Delivery::ExactlyOnce);

@@ -271,7 +271,12 @@ fn delivery_guarantee_matrix_on_each_transport() {
                 let h_eo = pe.register_handler(move |pe, msg| {
                     let v = u64::from_le_bytes(msg.payload().try_into().unwrap());
                     let want = eo.fetch_add(1, Ordering::SeqCst);
-                    assert_eq!(v, want, "exactly-once channel lost order on PE {}", pe.my_pe());
+                    assert_eq!(
+                        v,
+                        want,
+                        "exactly-once channel lost order on PE {}",
+                        pe.my_pe()
+                    );
                     done(pe, &eo, &lvw);
                 });
                 let (last, seen) = (amo_last.clone(), amo_seen.clone());
@@ -309,7 +314,11 @@ fn delivery_guarantee_matrix_on_each_transport() {
                 }
                 csd_scheduler(pe, -1);
                 pe.barrier();
-                assert_eq!(eo_count.load(Ordering::SeqCst), MSGS, "exactly-once lost messages");
+                assert_eq!(
+                    eo_count.load(Ordering::SeqCst),
+                    MSGS,
+                    "exactly-once lost messages"
+                );
                 assert_eq!(
                     lvw_last.load(Ordering::SeqCst),
                     MSGS,
@@ -324,7 +333,10 @@ fn delivery_guarantee_matrix_on_each_transport() {
         );
         for (t, r) in &reports {
             let s = &r.fault_stats;
-            assert!(s.dropped > 0, "{t:?} seed {seed}: plan never dropped: {s:?}");
+            assert!(
+                s.dropped > 0,
+                "{t:?} seed {seed}: plan never dropped: {s:?}"
+            );
             assert!(
                 s.superseded > 0,
                 "{t:?} seed {seed}: back-to-back LVW publishes never superseded: {s:?}"
@@ -334,5 +346,37 @@ fn delivery_guarantee_matrix_on_each_transport() {
                 "{t:?} seed {seed}: exactly-once masked drops without retransmitting: {s:?}"
             );
         }
+    }
+}
+
+/// Taskbench smoke: a small stencil dependency graph executes
+/// exact-value over both transports. Every task's output hashes its
+/// predecessors' transmitted payload bytes, and the machine-wide
+/// allreduce inside `assert_machine_valid` compares against the
+/// generator's serial oracle — a pure function of (seed, payload size)
+/// — so passing on both transports proves the task-output hashes are
+/// identical inproc vs socket, with the socket iteration asserting
+/// inside real worker processes.
+#[test]
+fn taskbench_stencil_hashes_identical_on_each_transport() {
+    use converse::taskbench::exec::{assert_machine_valid, run_graph_raw, RunOpts};
+    use converse::taskbench::{GraphSpec, Pattern, TaskGraph};
+
+    const PES: usize = 4;
+    for seed in [1u64, 7, 1996] {
+        let graph = Arc::new(TaskGraph::generate(GraphSpec {
+            pattern: Pattern::Stencil1D,
+            seed,
+            width: 6,
+            steps: 4,
+        }));
+        run_on_each_transport(PES, move |pe| {
+            let opts = RunOpts {
+                payload_bytes: 64,
+                ..RunOpts::default()
+            };
+            let summary = run_graph_raw(pe, &graph, &opts);
+            assert_machine_valid(pe, &graph, &summary, opts.payload_bytes);
+        });
     }
 }
