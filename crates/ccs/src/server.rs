@@ -360,12 +360,13 @@ impl Drop for CcsServer {
 
 /// Choose the target for an [`ANY_PE`] request: any non-stalled PE
 /// before any stalled one (a stalled PE is not retrieving messages, so
-/// routing to it guarantees a timeout), then the shallowest mailbox,
-/// breaking ties by lightest lifetime inbound volume (native +
-/// injected), then by lowest PE id for determinism. Queue depth leads
-/// among live PEs because it is the live signal — a PE stuck inside a
-/// long handler accumulates undelivered packets, while cumulative
-/// counters only say who was busy in the past.
+/// routing to it guarantees a timeout), then the shallowest *backlog* —
+/// inbox plus staged mailbox plus published run-queue depth — breaking
+/// ties by lightest lifetime inbound volume (native + injected), then
+/// by lowest PE id for determinism. Backlog leads among live PEs
+/// because it is the live signal — a PE stuck inside a long handler
+/// accumulates undelivered and staged-but-undispatched packets, while
+/// cumulative counters only say who was busy in the past.
 pub fn pick_least_loaded(loads: &[PeLoad]) -> usize {
     assert!(!loads.is_empty(), "a machine has at least one PE");
     loads
@@ -373,7 +374,7 @@ pub fn pick_least_loaded(loads: &[PeLoad]) -> usize {
         .min_by_key(|l| {
             (
                 l.stalled,
-                l.queued,
+                l.backlog() + l.staged,
                 l.traffic.msgs_recv + l.traffic.msgs_injected,
                 l.pe,
             )
@@ -473,6 +474,9 @@ mod tests {
         PeLoad {
             pe,
             queued,
+            staged: 0,
+            run_queue: 0,
+            occupancy_pm: 0,
             stalled: false,
             traffic: PeTraffic {
                 msgs_recv: recv,
@@ -494,6 +498,21 @@ mod tests {
         assert_eq!(pick_least_loaded(&loads), 1);
         let even = [load(0, 0, 0, 0), load(1, 0, 0, 0)];
         assert_eq!(pick_least_loaded(&even), 0);
+    }
+
+    #[test]
+    fn least_loaded_counts_staged_and_run_queue_depth() {
+        // PE 0's inbox is shallow but its staged mailbox is deep; PE 1
+        // carries run-queue depth; PE 2's total backlog is smallest and
+        // must win even though its raw `queued` is the largest.
+        let mut loads = [load(0, 1, 0, 0), load(1, 1, 0, 0), load(2, 3, 0, 0)];
+        loads[0].staged = 9;
+        loads[1].run_queue = 7;
+        assert_eq!(pick_least_loaded(&loads), 2);
+        // Staged depth alone breaks an inbox tie.
+        let mut tie = [load(0, 2, 0, 0), load(1, 2, 0, 0)];
+        tie[0].staged = 1;
+        assert_eq!(pick_least_loaded(&tie), 1);
     }
 
     #[test]

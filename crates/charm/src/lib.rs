@@ -420,6 +420,11 @@ impl Charm {
             .bytes(&data)
             .finish();
         pe.sync_send_and_free(dst, Message::new(self.migrate_install_h, &body));
+        pe.trace_event(converse_trace::Event::Migrate {
+            obj: id.slot,
+            from: id.pe,
+            to: dst,
+        });
         true
     }
 

@@ -106,6 +106,7 @@ pub fn csd_scheduler(pe: &Pe, n: i64) -> u64 {
         if remaining == 0 || take_exit(pe) {
             break;
         }
+        pe.publish_load(delivered > 0);
         // Phase 2: one entry from the scheduler's queue.
         if let Some(m) = pe.queue_dequeue() {
             idle_since = None;
@@ -118,11 +119,19 @@ pub fn csd_scheduler(pe: &Pe, n: i64) -> u64 {
             idle_since = None;
             continue;
         }
-        // Nothing anywhere: idle-park until a message arrives. A PE that
-        // stays idle past the machine's block watchdog panics — in this
-        // runtime that means a lost exit condition, i.e. a bug. With an
-        // external service attached the watchdog stands down: a server
-        // PE legitimately idles waiting for outside traffic.
+        // Nothing anywhere: before parking, try to steal a batch of
+        // relocatable staged work from the most-loaded peer (a no-op
+        // unless the machine enables stealing). A hit re-enters the
+        // drain phase immediately.
+        if pe.try_steal() > 0 {
+            idle_since = None;
+            continue;
+        }
+        // Idle-park until a message arrives. A PE that stays idle past
+        // the machine's block watchdog panics — in this runtime that
+        // means a lost exit condition, i.e. a bug. With an external
+        // service attached the watchdog stands down: a server PE
+        // legitimately idles waiting for outside traffic.
         pe.check_abort();
         let started = *idle_since.get_or_insert_with(Instant::now);
         if !pe.services_attached() && started.elapsed() > pe.block_timeout() {
@@ -180,6 +189,7 @@ pub fn schedule_until<F: FnMut() -> bool>(pe: &Pe, mut pred: F) -> u64 {
         if pred() {
             return processed;
         }
+        pe.publish_load(delivered > 0);
         if let Some(m) = pe.queue_dequeue() {
             idle_since = None;
             pe.call_handler(m);
@@ -187,6 +197,11 @@ pub fn schedule_until<F: FnMut() -> bool>(pe: &Pe, mut pred: F) -> u64 {
             continue;
         }
         if delivered > 0 {
+            idle_since = None;
+            continue;
+        }
+        // Same pre-park steal attempt as `csd_scheduler`'s idle branch.
+        if pe.try_steal() > 0 {
             idle_since = None;
             continue;
         }

@@ -9,7 +9,7 @@
 //!
 //! A *seed* is any [`Message`]: when it finally "takes root" the module
 //! enqueues it on that PE's scheduler queue (honouring its priority), so
-//! its handler runs there. Four strategies are provided behind one
+//! its handler runs there. Six strategies are provided behind one
 //! interface ([`LdbPolicy`]):
 //!
 //! * [`LdbPolicy::Direct`] — root where deposited; the zero-overhead
@@ -22,10 +22,15 @@
 //!   piggybacked on the seed traffic.
 //! * [`LdbPolicy::Central`] — a manager on PE 0 assigns every seed to
 //!   the least-loaded PE it knows of (load reports flow to the manager).
+//! * [`LdbPolicy::TwoChoices`] — power-of-two-choices over gossiped
+//!   loads.
+//! * [`LdbPolicy::Measured`] — measurement-based: every seed goes to
+//!   the PE with the smallest live backlog (mailbox + run queue).
 //!
-//! The load metric is the scheduler-queue length ([`Pe::queue_len`]),
+//! The load metric is the scheduler-queue length ([`Pe::queue_len`]) —
 //! exactly the "interact with a local scheduler" coupling the paper
-//! describes.
+//! describes — except for `Measured`, which reads the transport's full
+//! backlog view.
 
 use converse_core::csd;
 use converse_machine::{HandlerId, Message, Pe};
@@ -69,6 +74,17 @@ pub enum LdbPolicy {
         /// Per-machine RNG seed.
         seed: u64,
     },
+    /// Measurement-based placement: every seed goes to the PE with the
+    /// smallest live *backlog* (mailbox depth + published run-queue
+    /// depth, [`converse_machine::PeLoad::backlog`]). On shared-memory
+    /// transports the snapshot is read directly; on distributed
+    /// transports, where remote loads are not observable, the balancer
+    /// falls back to gossiped load reports (broadcast every
+    /// [`LOAD_REPORT_PERIOD`] balancer events, like
+    /// [`LdbPolicy::TwoChoices`]). Seeds are marked stealable, so
+    /// placement mistakes remain correctable by idle-PE work stealing
+    /// mid-run.
+    Measured,
 }
 
 /// Counters describing what the balancer did on this PE.
@@ -254,6 +270,57 @@ impl Ldb {
                 self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
                 pe.sync_send_and_free(0, Message::new(self.assign_h, &payload));
             }
+            LdbPolicy::Measured => {
+                let dst = self.pick_measured(pe);
+                if dst == pe.my_pe() {
+                    self.root(pe, seed);
+                } else {
+                    self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                    self.send_seed(pe, dst, &seed, 1);
+                }
+            }
+        }
+    }
+
+    /// Measured placement: the PE with the smallest observed backlog.
+    /// Live snapshot where remote loads are visible (shared memory),
+    /// gossiped reports otherwise; the depositor's own entry is always
+    /// its live queue length. Ties rotate by deposit count so a burst
+    /// deposited into an all-idle machine spreads instead of piling
+    /// onto the lowest-numbered PE.
+    fn pick_measured(&self, pe: &Pe) -> usize {
+        let n = pe.num_pes();
+        let me = pe.my_pe();
+        let rot = self.events.load(Ordering::Relaxed) as usize;
+        let key = |p: usize, backlog: usize| (backlog, (p + n - rot % n) % n);
+        if pe.remote_load_visible() {
+            pe.load_snapshot()
+                .into_iter()
+                .map(|l| {
+                    let b = if l.pe == me {
+                        pe.queue_len() + l.queued
+                    } else {
+                        l.backlog()
+                    };
+                    (key(l.pe, b), l.pe)
+                })
+                .min()
+                .map(|(_, p)| p)
+                .unwrap_or(me)
+        } else {
+            let reports = self.neighbor_loads.lock();
+            (0..n)
+                .map(|p| {
+                    let b = if p == me {
+                        pe.queue_len()
+                    } else {
+                        reports.get(&p).copied().unwrap_or(0)
+                    };
+                    (key(p, b), p)
+                })
+                .min()
+                .map(|(_, p)| p)
+                .expect("machine has PEs")
         }
     }
 
@@ -294,7 +361,12 @@ impl Ldb {
 
     fn send_seed(&self, pe: &Pe, dst: usize, seed: &Message, hops: u32) {
         let payload = Packer::new().u32(hops).bytes(seed.as_bytes()).finish();
-        pe.sync_send_and_free(dst, Message::new(self.seed_h, &payload));
+        let mut m = Message::new(self.seed_h, &payload);
+        // A seed is location-independent by definition (the module's
+        // whole job is moving them), so its wrapper is fair game for
+        // idle-PE work stealing on machines that enable it.
+        m.mark_stealable();
+        pe.sync_send_and_free(dst, m);
     }
 
     fn root(&self, pe: &Pe, seed: Message) {
@@ -328,6 +400,11 @@ impl Ldb {
             LdbPolicy::TwoChoices { .. } => {
                 // Cheap gossip: everyone learns everyone's load now and
                 // then; staleness is part of the strategy's bargain.
+                pe.sync_broadcast(&Message::new(self.load_h, &payload));
+            }
+            // Measured needs gossip only where live snapshots of remote
+            // PEs are unavailable (distributed transports).
+            LdbPolicy::Measured if !pe.remote_load_visible() => {
                 pe.sync_broadcast(&Message::new(self.load_h, &payload));
             }
             _ => {}

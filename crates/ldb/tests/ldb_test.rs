@@ -165,3 +165,55 @@ fn stats_account_for_every_seed() {
         pe.barrier();
     });
 }
+
+#[test]
+fn measured_spreads_and_conserves() {
+    let got = placement(4, LdbPolicy::Measured, 64);
+    assert_eq!(got.iter().sum::<u64>(), 64, "no seed lost or duplicated");
+    let max = *got.iter().max().unwrap();
+    assert!(max < 64, "measured never offloaded the hot PE: {got:?}");
+    let nonzero = got.iter().filter(|c| **c > 0).count();
+    assert!(nonzero >= 2, "measured placement should spread: {got:?}");
+}
+
+#[test]
+fn measured_single_pe_machine() {
+    let got = placement(1, LdbPolicy::Measured, 10);
+    assert_eq!(got, vec![10]);
+}
+
+/// The skewed-stream shoot-out: every seed deposited on PE 0, three
+/// balancing policies side by side. All must conserve the stream, and
+/// Measured — placing by live backlog rather than by hop-local
+/// threshold (Spray) or manager bookkeeping (Central) — must keep the
+/// hottest PE strictly below the whole stream, i.e. behave like a
+/// balancer, not like Direct.
+#[test]
+fn measured_compares_with_spray_and_central_on_a_skewed_stream() {
+    let spray = placement(
+        4,
+        LdbPolicy::Spray {
+            threshold: 3,
+            max_hops: 4,
+        },
+        60,
+    );
+    let central = placement(4, LdbPolicy::Central, 60);
+    let measured = placement(4, LdbPolicy::Measured, 60);
+    for (name, got) in [
+        ("spray", &spray),
+        ("central", &central),
+        ("measured", &measured),
+    ] {
+        assert_eq!(
+            got.iter().sum::<u64>(),
+            60,
+            "{name} lost or duplicated seeds: {got:?}"
+        );
+    }
+    let hottest = |g: &Vec<u64>| *g.iter().max().unwrap();
+    assert!(
+        hottest(&measured) < 60,
+        "measured behaved like Direct: {measured:?} (spray {spray:?}, central {central:?})"
+    );
+}

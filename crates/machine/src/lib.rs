@@ -45,6 +45,6 @@ pub use exo::{ExoReply, ExoToken, MachineHandle, MachineService, ReplySink};
 pub use pe::{Handler, Pe};
 pub use run::{
     default_idle_spin, run, run_on_each_transport, run_with, try_run_with, MachineConfig,
-    QueueKind, RunError, RunReport, ThreadBackend, Transport, WireKind, WireOptions,
+    QueueKind, RunError, RunReport, StealConfig, ThreadBackend, Transport, WireKind, WireOptions,
 };
 pub use wire_run::in_socket_worker;

@@ -236,7 +236,13 @@ impl Pe {
                 n += 1;
                 continue;
             }
-            match self.get_packet(limit - n) {
+            // Refill in bounded batches rather than swapping the whole
+            // mailbox at once: packets in the PE-private intake are
+            // invisible to load probes and to work stealing, so a
+            // bounded refill keeps any real backlog observable (and
+            // stealable) in the staged list while still amortizing the
+            // mailbox lock.
+            match self.get_packet((limit - n).min(crate::pe::INTERNAL_BUDGET)) {
                 Some((src, m)) => {
                     if self.scatter_try(&m) {
                         n += 1;

@@ -75,6 +75,10 @@ pub(crate) const INTERNAL_LAYOUT: InternalIds = InternalIds {
 /// hoards the whole mailbox in its intake while deciding one message.
 pub(crate) const INTERNAL_BUDGET: usize = 32;
 
+/// Publish the PE's load sample to the transport every this many
+/// [`Pe::publish_load`] calls (scheduler iterations).
+const LOAD_PUBLISH_PERIOD: u64 = 16;
+
 /// Which scheduler queue implementation a machine uses — the "plug in
 /// different queuing strategies" hook at machine-configuration level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,6 +122,28 @@ pub enum ThreadBackend {
     Handoff,
 }
 
+/// Idle-PE work-stealing knobs (`MachineConfig::steal`). When enabled,
+/// a PE whose drain loop comes up empty asks the most-loaded peer to
+/// donate a batch of *stealable* staged messages before parking — see
+/// the stealable-message contract on `converse_msg::FLAG_STEALABLE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealConfig {
+    /// Most messages moved per steal.
+    pub batch: usize,
+    /// Minimum victim backlog (mailbox depth + published run queue)
+    /// before a steal is worth its interruption.
+    pub min_backlog: usize,
+}
+
+impl Default for StealConfig {
+    fn default() -> Self {
+        StealConfig {
+            batch: 8,
+            min_backlog: 2,
+        }
+    }
+}
+
 /// Machine-wide state shared by all PEs of one [`crate::run`] invocation.
 pub(crate) struct MachineShared {
     pub console: Console,
@@ -139,6 +165,8 @@ pub(crate) struct MachineShared {
     /// ids assigned 1..N in declaration order (0 is the default
     /// exactly-once channel). Resolved by [`Pe::channel`].
     pub channels: Vec<(String, Channel)>,
+    /// Idle-PE work stealing (`MachineConfig::steal`); `None` = off.
+    pub steal: Option<StealConfig>,
 }
 
 /// One logical processor of the simulated machine.
@@ -162,6 +190,14 @@ pub struct Pe {
     /// Intake batches drained so far — the sampling key for
     /// `Event::SchedBatch`.
     sched_batches: AtomicU64,
+    /// Calls to [`Pe::publish_load`] so far — its throttle key.
+    load_ticks: AtomicU64,
+    /// EMA busy fraction in per-mille, folded on every
+    /// [`Pe::publish_load`] call.
+    occupancy_pm: AtomicU32,
+    /// Round-robin cursor for victim selection when remote loads are
+    /// not observable (distributed transports).
+    steal_rr: AtomicU64,
     queue: Mutex<Box<dyn SchedulingQueue>>,
     sched_exit: AtomicBool,
     locals: Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
@@ -218,6 +254,9 @@ impl Pe {
             intake: Mutex::new(VecDeque::new()),
             last_spin: AtomicU32::new(0),
             sched_batches: AtomicU64::new(0),
+            load_ticks: AtomicU64::new(0),
+            occupancy_pm: AtomicU32::new(0),
+            steal_rr: AtomicU64::new(0),
             queue: Mutex::new(make_queue(queue)),
             sched_exit: AtomicBool::new(false),
             locals: Mutex::new(HashMap::new()),
@@ -693,6 +732,92 @@ impl Pe {
     /// The configured watchdog limit for blocking calls.
     pub fn block_timeout(&self) -> Duration {
         self.shared.block_timeout
+    }
+
+    // ---- load sampling & work stealing -----------------------------------
+
+    /// Live load snapshot of every PE (see
+    /// [`converse_net::CmiTransport::load_snapshot`]). On distributed
+    /// transports remote entries degrade to zeros — check
+    /// [`Pe::remote_load_visible`] before trusting them.
+    pub fn load_snapshot(&self) -> Vec<converse_net::PeLoad> {
+        self.net.load_snapshot()
+    }
+
+    /// True when load snapshots of *remote* PEs reflect their real
+    /// state (shared-memory transports). False on distributed
+    /// transports, where balancers must rely on gossiped samples.
+    pub fn remote_load_visible(&self) -> bool {
+        self.net.remote_load_visible()
+    }
+
+    /// Fold one scheduler-iteration sample (`busy` = the iteration did
+    /// work) into this PE's EMA occupancy, and every
+    /// [`LOAD_PUBLISH_PERIOD`]th call publish `(run_queue, occupancy)`
+    /// to the transport's load board for peers, balancers, and the CCS
+    /// monitor. Called from the Csd loop; the off-period cost is one
+    /// relaxed load/store pair.
+    pub fn publish_load(&self, busy: bool) {
+        let prev = self.occupancy_pm.load(Ordering::Relaxed);
+        let sample: u32 = if busy { 1000 } else { 0 };
+        // EMA with 1/8 gain: prev * 7/8 + sample / 8.
+        let ema = prev - prev / 8 + sample / 8;
+        self.occupancy_pm.store(ema, Ordering::Relaxed);
+        let t = self.load_ticks.fetch_add(1, Ordering::Relaxed);
+        if t.is_multiple_of(LOAD_PUBLISH_PERIOD) {
+            self.net.publish_load(self.id, self.queue_len(), ema);
+        }
+    }
+
+    /// Idle-PE steal attempt: pick the most-backlogged peer and ask it
+    /// to donate a batch of stealable staged messages. Returns how many
+    /// arrived synchronously — always 0 on distributed transports,
+    /// where the request is asynchronous (donations land later as
+    /// ordinary deliveries) and the victim rotates round-robin because
+    /// remote loads are not observable. A no-op unless the machine was
+    /// configured with `MachineConfig::steal`.
+    pub fn try_steal(&self) -> usize {
+        let Some(cfg) = self.shared.steal else {
+            return 0;
+        };
+        let n_pes = self.num_pes();
+        if n_pes < 2 || cfg.batch == 0 {
+            return 0;
+        }
+        if self.net.remote_load_visible() {
+            let mut best: Option<(usize, usize)> = None; // (backlog, pe)
+            for l in self.net.load_snapshot() {
+                if l.pe == self.id || l.staged == 0 {
+                    continue;
+                }
+                let b = l.backlog();
+                if b >= cfg.min_backlog && best.is_none_or(|(bb, _)| b > bb) {
+                    best = Some((b, l.pe));
+                }
+            }
+            let Some((_, victim)) = best else {
+                return 0;
+            };
+            let n = self.net.steal_from(victim, self.id, cfg.batch);
+            if n > 0 && self.trace.enabled() {
+                self.trace.record(
+                    self.id,
+                    self.now_ns(),
+                    Event::Steal {
+                        victim,
+                        thief: self.id,
+                        batch: n,
+                    },
+                );
+            }
+            n
+        } else {
+            // One asynchronous request per idle pass, rotating victims;
+            // the idle park between passes bounds the request rate.
+            let k = self.steal_rr.fetch_add(1, Ordering::Relaxed) as usize;
+            let victim = (self.id + 1 + k % (n_pes - 1)) % n_pes;
+            self.net.steal_from(victim, self.id, cfg.batch)
+        }
     }
 
     /// Record a trace event from runtime layers above the machine.

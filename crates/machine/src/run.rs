@@ -13,7 +13,7 @@
 
 use crate::exo::{MachineHandle, MachineService};
 use crate::pe::{MachineShared, Pe};
-pub use crate::pe::{QueueKind, ThreadBackend};
+pub use crate::pe::{QueueKind, StealConfig, ThreadBackend};
 use converse_net::{
     Channel, Delivery, DeliveryMode, FaultPlan, FaultStats, Interconnect, PeTraffic,
 };
@@ -129,6 +129,10 @@ pub struct MachineConfig {
     /// are assigned 1..N in declaration order; id 0 is always the
     /// default exactly-once channel.
     pub channels: Vec<(String, Delivery)>,
+    /// Idle-PE work stealing: before parking, an idle PE asks the
+    /// most-loaded peer to donate a batch of stealable staged messages.
+    /// `None` (default) = off.
+    pub steal: Option<StealConfig>,
 }
 
 /// Host-appropriate idle-spin default: 160 depth probes when real
@@ -162,7 +166,15 @@ impl MachineConfig {
             transport: Transport::default(),
             wire: WireOptions::default(),
             channels: Vec::new(),
+            steal: None,
         }
+    }
+
+    /// Enable idle-PE work stealing with explicit knobs
+    /// ([`StealConfig::default`] for the stock tuning).
+    pub fn steal(mut self, cfg: StealConfig) -> Self {
+        self.steal = Some(cfg);
+        self
     }
 
     /// Declare a named delivery channel with an explicit guarantee.
@@ -389,6 +401,7 @@ where
         exo: crate::exo::ExoState::default(),
         thread_backend: cfg.thread_backend,
         channels: resolve_channels(&cfg.channels),
+        steal: cfg.steal,
     });
     let mut services = std::mem::take(&mut cfg.services);
     shared.exo.services.store(services.len(), Ordering::Release);

@@ -384,6 +384,7 @@ where
         exo: crate::exo::ExoState::default(),
         thread_backend: cfg.thread_backend,
         channels: crate::run::resolve_channels(&cfg.channels),
+        steal: cfg.steal,
     });
     {
         // A peer failure (panic elsewhere, hub loss) unwinds this

@@ -68,6 +68,14 @@ use std::fmt;
 /// Size of the fixed message header in bytes (`CmiMsgHeaderSizeBytes`).
 pub const HEADER_BYTES: usize = 8;
 
+/// Flag bit (in the runtime-private flag word at offset 6..8) marking a
+/// message as **relocatable**: its handler's semantics do not depend on
+/// which PE executes it, so an idle PE may steal it out of a loaded
+/// PE's staged mailbox. Only the runtime layer that builds a message
+/// can know this, which is why the bit lives in the message header and
+/// travels byte-identically across every transport.
+pub const FLAG_STEALABLE: u16 = 0x0001;
+
 const KIND_NONE: u8 = 0;
 const KIND_INT: u8 = 1;
 const KIND_BITVEC: u8 = 2;
@@ -301,6 +309,21 @@ impl Message {
         self.block.make_mut()[6..8].copy_from_slice(&f.to_le_bytes());
     }
 
+    /// Tag this message as relocatable (see [`FLAG_STEALABLE`]): an
+    /// idle PE may execute it in place of the addressed PE. Only mark
+    /// messages whose handler is location-independent.
+    #[inline]
+    pub fn mark_stealable(&mut self) {
+        let f = self.flags() | FLAG_STEALABLE;
+        self.set_flags(f);
+    }
+
+    /// True when the message carries the [`FLAG_STEALABLE`] tag.
+    #[inline]
+    pub fn is_stealable(&self) -> bool {
+        self.flags() & FLAG_STEALABLE != 0
+    }
+
     #[inline]
     fn prio_words(&self) -> usize {
         self.as_bytes()[5] as usize
@@ -378,6 +401,15 @@ impl From<Message> for MsgBlock {
     fn from(m: Message) -> MsgBlock {
         m.into_block()
     }
+}
+
+/// Read the [`FLAG_STEALABLE`] bit straight out of raw message bytes
+/// without constructing a [`Message`]. The transport's steal path
+/// filters whole mailboxes with this — a header peek, no decode, no
+/// refcount traffic. Malformed (short) buffers read as not stealable.
+#[inline]
+pub fn peek_stealable(bytes: &[u8]) -> bool {
+    bytes.len() >= HEADER_BYTES && u16::from_le_bytes([bytes[6], bytes[7]]) & FLAG_STEALABLE != 0
 }
 
 #[inline]
@@ -478,6 +510,25 @@ mod tests {
         m.set_flags(0xBEEF);
         assert_eq!(m.flags(), 0xBEEF);
         assert_eq!(m.payload(), b"p");
+    }
+
+    #[test]
+    fn stealable_flag_and_peek() {
+        let mut m = Message::new(HandlerId(3), b"seed");
+        assert!(!m.is_stealable());
+        assert!(!peek_stealable(m.as_bytes()));
+        m.mark_stealable();
+        assert!(m.is_stealable());
+        assert!(peek_stealable(m.as_bytes()));
+        // Other flag bits survive the mark, and the tag rides the wire
+        // bytes (the transport peeks without decoding).
+        m.set_flags(m.flags() | 0x0100);
+        assert!(m.is_stealable());
+        let wire = m.clone().into_bytes();
+        assert!(peek_stealable(&wire));
+        assert_eq!(Message::from_bytes(wire).unwrap().flags(), m.flags());
+        // Short buffers are never stealable.
+        assert!(!peek_stealable(&[0xFF; 4]));
     }
 
     #[test]

@@ -44,7 +44,7 @@ use converse_trace::{Event, FaultKind, TraceSink};
 use fault::{link_draw, unit, SALT_DELAY, SALT_DELAY_SLOTS, SALT_DROP, SALT_DUP, SALT_REORDER};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -179,20 +179,52 @@ pub struct PeTraffic {
 }
 
 /// Point-in-time load view of one PE: cumulative traffic plus the
-/// instantaneous mailbox depth. Returned by [`Interconnect::load_of`]
-/// and [`Interconnect::load_snapshot`].
+/// instantaneous mailbox depth and the load sample the PE itself
+/// publishes ([`Interconnect::publish_load`]). Returned by
+/// [`Interconnect::load_of`] and [`Interconnect::load_snapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PeLoad {
     /// The PE this snapshot describes.
     pub pe: usize,
     /// Cumulative send/receive counters.
     pub traffic: PeTraffic,
-    /// Packets delivered but not yet retrieved (queue depth).
+    /// Packets delivered but not yet retrieved (whole mailbox depth:
+    /// inbox + staged).
     pub queued: usize,
+    /// The staged (receiver-private) share of `queued` — the portion an
+    /// idle PE is allowed to steal from (see
+    /// [`Interconnect::steal_from`]).
+    pub staged: usize,
+    /// Scheduler run-queue depth as last published by the PE itself
+    /// ([`Interconnect::publish_load`]); zero until first publish.
+    pub run_queue: usize,
+    /// Exponential-moving-average busy fraction in per-mille (0..=1000)
+    /// as last published by the PE; zero until first publish.
+    pub occupancy_pm: u32,
     /// True while the PE is inside a [`StallWindow`] (scripted by the
     /// fault plan or armed at runtime): it is not retrieving messages,
     /// so routing new work to it only deepens its queue.
     pub stalled: bool,
+}
+
+impl PeLoad {
+    /// Undispatched work visible for this PE: mailbox depth plus the
+    /// published scheduler run-queue depth. The victim-selection and
+    /// routing metric — cumulative traffic says who *was* busy, backlog
+    /// says who is behind *now*.
+    #[inline]
+    pub fn backlog(&self) -> usize {
+        self.queued + self.run_queue
+    }
+}
+
+/// Per-PE load sample published by the PE's own scheduler loop
+/// ([`Interconnect::publish_load`]). Single-writer (the owning PE),
+/// read lock-free by everyone else.
+#[derive(Default)]
+struct LoadCell {
+    run_queue: AtomicUsize,
+    occupancy_pm: AtomicU32,
 }
 
 #[derive(Default)]
@@ -342,6 +374,8 @@ impl LinkState {
 pub struct Interconnect {
     boxes: Vec<Mailbox>,
     traffic: Vec<TrafficCell>,
+    /// Self-published scheduler load samples, one per PE.
+    loads: Vec<LoadCell>,
     mode: DeliveryMode,
     /// Installed adversarial schedule, if any. `None` = reliable wire,
     /// zero-overhead fast path.
@@ -394,6 +428,7 @@ impl Interconnect {
         let net = Arc::new(Interconnect {
             boxes: (0..n).map(|_| Mailbox::new()).collect(),
             traffic: (0..n).map(|_| TrafficCell::default()).collect(),
+            loads: (0..n).map(|_| LoadCell::default()).collect(),
             mode,
             links: (0..n * n)
                 .map(|_| Mutex::new(LinkState::default()))
@@ -1148,12 +1183,91 @@ impl Interconnect {
     /// read side used by the CCS bench and load balancers; it takes the
     /// mailbox lock only long enough to read the queue length.
     pub fn load_of(&self, pe: usize) -> PeLoad {
+        let cell = &self.loads[pe];
         PeLoad {
             pe,
             traffic: self.traffic(pe),
             queued: self.pending(pe),
+            staged: self.staged_of(pe),
+            run_queue: cell.run_queue.load(Ordering::Relaxed),
+            occupancy_pm: cell.occupancy_pm.load(Ordering::Relaxed),
             stalled: self.stalled(pe),
         }
+    }
+
+    /// Publish `pe`'s own scheduler sample: run-queue depth and EMA
+    /// busy fraction in per-mille. Called (throttled) from the Csd loop;
+    /// single-writer per cell, so plain stores suffice.
+    pub fn publish_load(&self, pe: usize, run_queue: usize, occupancy_pm: u32) {
+        let cell = &self.loads[pe];
+        cell.run_queue.store(run_queue, Ordering::Relaxed);
+        cell.occupancy_pm
+            .store(occupancy_pm.min(1000), Ordering::Relaxed);
+    }
+
+    /// Depth of `pe`'s staged (receiver-private) list — the stealable
+    /// share of [`Interconnect::pending`]. Lock-free read.
+    #[inline]
+    pub fn staged_of(&self, pe: usize) -> usize {
+        self.boxes[pe].staged_len.load(Ordering::Acquire)
+    }
+
+    /// Extract up to `max` *stealable* packets from `victim`'s staged
+    /// list, preserving relative FIFO order of both the stolen packets
+    /// and the survivors.
+    ///
+    /// Only the staged list is touched — never the inbox, where the
+    /// reliability sublayer's ordered/deduplicated stream lands — and
+    /// only packets that are (a) flag-tagged relocatable by their
+    /// sender ([`converse_msg::FLAG_STEALABLE`]) and (b) on the default
+    /// channel qualify. Non-default channels carry per-channel delivery
+    /// guarantees (ordering, LVW supersede) that a relocation would
+    /// silently break, so their packets stay put regardless of the flag.
+    ///
+    /// Public for the socket transport, which extracts the batch here
+    /// and donates it over the wire; in-process callers want
+    /// [`Interconnect::steal_from`].
+    pub fn steal_take(&self, victim: usize, max: usize) -> Vec<Packet> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let mbox = &self.boxes[victim];
+        let mut staged = mbox.staged.lock();
+        let mut stolen = Vec::new();
+        // Walk back-to-front so removals don't shift unvisited indices;
+        // newest work is taken first, which also leaves the oldest
+        // (soonest-executed) packets with their owner.
+        let mut i = staged.len();
+        while i > 0 && stolen.len() < max {
+            i -= 1;
+            let p = &staged[i];
+            if p.channel.id == 0 && converse_msg::peek_stealable(p.block.as_slice()) {
+                stolen.push(staged.remove(i).expect("index in range"));
+            }
+        }
+        mbox.staged_len.store(staged.len(), Ordering::Release);
+        drop(staged);
+        // Collected newest-first; restore original arrival order.
+        stolen.reverse();
+        stolen
+    }
+
+    /// Move up to `max` stealable packets from `victim`'s staged list
+    /// into `thief`'s mailbox; returns how many moved. Donated packets
+    /// re-enter through the unsequenced (`seq == 0`) insert path — they
+    /// already cleared the reliability sublayer at the victim, so they
+    /// carry no per-link stream state. The two mailbox locks are never
+    /// held at once.
+    pub fn steal_from(&self, victim: usize, thief: usize, max: usize) -> usize {
+        if victim == thief {
+            return 0;
+        }
+        let stolen = self.steal_take(victim, max);
+        let n = stolen.len();
+        for p in stolen {
+            self.mailbox_insert(p.src, thief, p.channel, 0, p.block, 0);
+        }
+        n
     }
 
     /// Snapshot of every PE's load, in PE order. The per-PE reads are
@@ -1811,6 +1925,101 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(net.drain_into_bounded(0, &mut out, 0), 0);
         assert_eq!(net.pending(0), 1);
+    }
+
+    /// A message-shaped byte block (8-byte header) tagged `tag`, with
+    /// the stealable flag set or cleared.
+    fn flagged(tag: u8, stealable: bool) -> Vec<u8> {
+        let mut b = vec![0u8; converse_msg::HEADER_BYTES + 1];
+        if stealable {
+            b[6] = converse_msg::FLAG_STEALABLE as u8;
+        }
+        b[converse_msg::HEADER_BYTES] = tag;
+        b
+    }
+
+    fn tag_of(p: &Packet) -> u8 {
+        p.bytes()[converse_msg::HEADER_BYTES]
+    }
+
+    #[test]
+    fn steal_takes_only_flagged_staged_packets_in_order() {
+        let net = Interconnect::new(2);
+        net.send(0, 1, flagged(0, false)); // dummy, consumed by the drain
+        for (tag, s) in [(1, true), (2, false), (3, true), (4, false), (5, true)] {
+            net.send(0, 1, flagged(tag, s));
+        }
+        // Bounded drain of one packet swaps the rest into staged.
+        let mut out = Vec::new();
+        assert_eq!(net.drain_into_bounded(1, &mut out, 1), 1);
+        assert_eq!(net.staged_of(1), 5);
+
+        assert_eq!(net.steal_from(1, 0, 8), 3);
+        // Thief sees the stolen packets in their original arrival order,
+        // with the original source preserved.
+        for want in [1, 3, 5] {
+            let p = net.try_recv(0).expect("stolen packet");
+            assert_eq!(p.src, 0);
+            assert_eq!(tag_of(&p), want);
+        }
+        // Victim keeps the unflagged packets, still in order.
+        assert_eq!(net.staged_of(1), 2);
+        for want in [2, 4] {
+            assert_eq!(tag_of(&net.try_recv(1).expect("survivor")), want);
+        }
+    }
+
+    #[test]
+    fn steal_skips_non_default_channels_and_caps_batch() {
+        let net = Interconnect::new(2);
+        let ch = Channel {
+            id: 3,
+            delivery: Delivery::ExactlyOnce,
+        };
+        net.send(0, 1, flagged(0, false));
+        net.send_on(0, 1, flagged(9, true), ch); // flagged but channelled
+        for tag in [1, 2, 3] {
+            net.send(0, 1, flagged(tag, true));
+        }
+        let mut out = Vec::new();
+        net.drain_into_bounded(1, &mut out, 1);
+        // Batch cap of 2: the two *newest* stealable default-channel
+        // packets move; the channelled one never does.
+        assert_eq!(net.steal_from(1, 0, 2), 2);
+        assert_eq!(tag_of(&net.try_recv(0).unwrap()), 2);
+        assert_eq!(tag_of(&net.try_recv(0).unwrap()), 3);
+        assert_eq!(tag_of(&net.try_recv(1).unwrap()), 9);
+        assert_eq!(tag_of(&net.try_recv(1).unwrap()), 1);
+    }
+
+    #[test]
+    fn steal_never_touches_the_inbox() {
+        let net = Interconnect::new(2);
+        for tag in 0..4 {
+            net.send(0, 1, flagged(tag, true));
+        }
+        // Nothing drained yet: everything is still in the inbox.
+        assert_eq!(net.staged_of(1), 0);
+        assert_eq!(net.steal_from(1, 0, 8), 0);
+        assert_eq!(net.pending(1), 4);
+        assert_eq!(net.steal_from(1, 1, 8), 0); // self-steal is a no-op
+    }
+
+    #[test]
+    fn publish_load_roundtrip_and_backlog() {
+        let net = Interconnect::new(2);
+        let l0 = net.load_of(0);
+        assert_eq!((l0.run_queue, l0.occupancy_pm, l0.staged), (0, 0, 0));
+        net.publish_load(0, 7, 512);
+        net.send(1, 0, vec![0u8; 9]);
+        let l = net.load_of(0);
+        assert_eq!(l.run_queue, 7);
+        assert_eq!(l.occupancy_pm, 512);
+        assert_eq!(l.queued, 1);
+        assert_eq!(l.backlog(), 8);
+        // Occupancy is clamped to per-mille range.
+        net.publish_load(0, 0, 5000);
+        assert_eq!(net.load_of(0).occupancy_pm, 1000);
     }
 
     #[test]

@@ -126,13 +126,59 @@ pub trait CmiTransport: Send + Sync {
     /// Short name for diagnostics and traces: `"inproc"` or `"socket"`.
     fn transport_name(&self) -> &'static str;
 
+    /// Publish `pe`'s own scheduler load sample (run-queue depth, EMA
+    /// busy fraction in per-mille) for other PEs — and the CCS monitor —
+    /// to read back through [`CmiTransport::load_of`]. No-op on
+    /// transports without a shared load board.
+    fn publish_load(&self, pe: usize, run_queue: usize, occupancy_pm: u32) {
+        let _ = (pe, run_queue, occupancy_pm);
+    }
+
+    /// Depth of `pe`'s staged (receiver-private, stealable) list.
+    /// Distributed transports answer only for their local PE.
+    fn staged_pending(&self, pe: usize) -> usize {
+        let _ = pe;
+        0
+    }
+
+    /// Last load sample `pe` published via
+    /// [`CmiTransport::publish_load`]: `(run_queue, occupancy_pm)`.
+    /// `(0, 0)` until first publish, or for ranks this transport cannot
+    /// observe.
+    fn published_load(&self, pe: usize) -> (usize, u32) {
+        let _ = pe;
+        (0, 0)
+    }
+
+    /// True when [`CmiTransport::load_of`] of a *remote* PE reflects its
+    /// real state. Shared-memory transports see everything; distributed
+    /// transports degrade remote reads to zeros, so balancers there must
+    /// fall back to gossiped samples.
+    fn remote_load_visible(&self) -> bool {
+        false
+    }
+
+    /// Move up to `max` stealable packets from `victim`'s staged list
+    /// into `thief`'s mailbox, returning how many moved *synchronously*.
+    /// Shared-memory transports steal in place; distributed transports
+    /// send an asynchronous steal request over the wire and return 0 —
+    /// donated packets arrive later as ordinary deliveries.
+    fn steal_from(&self, victim: usize, thief: usize, max: usize) -> usize {
+        let _ = (victim, thief, max);
+        0
+    }
+
     /// Live load view of one PE. Distributed transports degrade for
     /// remote ranks: counters and depth read zero, stalled reads false.
     fn load_of(&self, pe: usize) -> PeLoad {
+        let (run_queue, occupancy_pm) = self.published_load(pe);
         PeLoad {
             pe,
             traffic: self.traffic(pe),
             queued: self.pending(pe),
+            staged: self.staged_pending(pe),
+            run_queue,
+            occupancy_pm,
             stalled: self.stalled(pe),
         }
     }
@@ -260,6 +306,31 @@ impl CmiTransport for crate::Interconnect {
 
     fn transport_name(&self) -> &'static str {
         "inproc"
+    }
+
+    #[inline]
+    fn publish_load(&self, pe: usize, run_queue: usize, occupancy_pm: u32) {
+        Self::publish_load(self, pe, run_queue, occupancy_pm)
+    }
+
+    #[inline]
+    fn staged_pending(&self, pe: usize) -> usize {
+        self.staged_of(pe)
+    }
+
+    #[inline]
+    fn published_load(&self, pe: usize) -> (usize, u32) {
+        let l = Self::load_of(self, pe);
+        (l.run_queue, l.occupancy_pm)
+    }
+
+    fn remote_load_visible(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn steal_from(&self, victim: usize, thief: usize, max: usize) -> usize {
+        Self::steal_from(self, victim, thief, max)
     }
 
     fn load_of(&self, pe: usize) -> PeLoad {

@@ -37,7 +37,7 @@ use converse_msg::pack::{Packer, Unpacker};
 use converse_msg::{HandlerId, Priority};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -60,6 +60,26 @@ pub struct RunOpts {
     /// [`PeSummary::validate`] report the incompleteness. The chaos
     /// matrix runs lossy at-most-once cells this way.
     pub give_up: Option<Duration>,
+    /// Relocatable-execution mode (raw engine only): a ready task is
+    /// not executed inline by its owner but packaged — serial id plus
+    /// received dependency payloads — into a *stealable* self-addressed
+    /// READY message, so an idle PE's work stealing
+    /// (`MachineConfig::steal`) can relocate the execution. The thief
+    /// fans the successor edges out itself and returns a non-stealable
+    /// CREDIT to the owner, which keeps all exactly-once accounting.
+    /// Termination switches to a DONE/ALL_DONE convergecast on PE 0,
+    /// since a PE whose own tasks finished may still owe execution of
+    /// stolen work.
+    pub steal: bool,
+    /// In steal mode, the percentage of READY messages routed to PE 0
+    /// instead of the owner (deterministic per serial id) — the skew
+    /// knob that manufactures the hotspot `steal_bench` measures.
+    /// `0` = every READY stays on its owner.
+    pub steal_to0_pct: u8,
+    /// Spend the grain in `thread::sleep` instead of a busy spin. On
+    /// hosts with fewer cores than PEs a spinning hotspot monopolizes
+    /// the core and stealing cannot be observed; sleeping yields it.
+    pub sleep_grain: bool,
 }
 
 impl Default for RunOpts {
@@ -69,6 +89,9 @@ impl Default for RunOpts {
             payload_bytes: 16,
             channel: None,
             give_up: None,
+            steal: false,
+            steal_to0_pct: 0,
+            sleep_grain: false,
         }
     }
 }
@@ -223,6 +246,23 @@ struct RunState {
     /// Delivery channel for raw-engine edges (`Channel` encoded, or
     /// `u64::MAX` for the default).
     channel: Mutex<Option<Channel>>,
+    /// Relocatable-execution mode (see [`RunOpts::steal`]).
+    steal: bool,
+    /// READY-to-PE0 skew percentage ([`RunOpts::steal_to0_pct`]).
+    steal_to0_pct: u8,
+    /// Sleep the grain instead of spinning ([`RunOpts::sleep_grain`]).
+    sleep_grain: bool,
+    /// Steal-protocol handlers (set after registration, raw engine).
+    ready_h: AtomicU32,
+    credit_h: AtomicU32,
+    done_h: AtomicU32,
+    all_done_h: AtomicU32,
+    /// This PE reported its local completion to PE 0 already.
+    done_sent: AtomicBool,
+    /// DONE reports seen (meaningful on PE 0 only).
+    dones: AtomicUsize,
+    /// PE 0 declared the whole machine finished.
+    all_done: AtomicBool,
 }
 
 impl RunState {
@@ -239,7 +279,27 @@ impl RunState {
             violations: Mutex::new(Vec::new()),
             dep_h: AtomicU32::new(u32::MAX),
             channel: Mutex::new(None),
+            steal: opts.steal,
+            steal_to0_pct: opts.steal_to0_pct,
+            sleep_grain: opts.sleep_grain,
+            ready_h: AtomicU32::new(u32::MAX),
+            credit_h: AtomicU32::new(u32::MAX),
+            done_h: AtomicU32::new(u32::MAX),
+            all_done_h: AtomicU32::new(u32::MAX),
+            done_sent: AtomicBool::new(false),
+            dones: AtomicUsize::new(0),
+            all_done: AtomicBool::new(false),
         })
+    }
+
+    /// Spend one task's grain: a clock-bounded busy spin, or a sleep
+    /// when the run opted into yielding the core.
+    fn grain_wait(&self) {
+        if self.sleep_grain && self.grain_ns > 0 {
+            std::thread::sleep(Duration::from_nanos(self.grain_ns));
+        } else {
+            busy_spin(self.grain_ns);
+        }
     }
 
     /// Record one dependency arrival for local task `dst`; when the
@@ -273,14 +333,18 @@ impl RunState {
             }
         };
         if let Some(preds) = ready {
-            self.execute(pe, dst, preds, emit);
+            if self.steal {
+                self.emit_ready(pe, dst, preds);
+            } else {
+                self.execute(pe, dst, preds, emit);
+            }
         }
     }
 
     /// Run one ready task: grain busy-work, chained output hash,
     /// exactly-once accounting, successor fan-out.
     fn execute(&self, pe: &Pe, serial: u32, mut preds: Preds, emit: &Emit) {
-        busy_spin(self.grain_ns);
+        self.grain_wait();
         let out = finish_output(self.graph.spec.seed, serial, &mut preds);
         self.execs[serial as usize].fetch_add(1, Ordering::AcqRel);
         self.outputs.lock().insert(serial, out);
@@ -306,7 +370,11 @@ impl RunState {
                 .deps(self.graph.task_of_serial(serial))
                 .is_empty()
             {
-                self.execute(pe, serial, Vec::new(), emit);
+                if self.steal {
+                    self.emit_ready(pe, serial, Vec::new());
+                } else {
+                    self.execute(pe, serial, Vec::new(), emit);
+                }
             }
         }
     }
@@ -347,6 +415,128 @@ impl RunState {
             gave_up,
         }
     }
+
+    // ---- relocatable-execution (steal) protocol, raw engine only ----
+
+    /// One dependency edge as a raw machine message (the body of the
+    /// raw engine's emit function, shared with the stolen-execution
+    /// path, which fans successors out from whatever PE ran the task).
+    fn send_dep(&self, pe: &Pe, dst_pe: usize, dst: u32, src: u32, payload: &[u8]) {
+        let h = HandlerId(self.dep_h.load(Ordering::Acquire));
+        let body = Packer::new().u32(dst).u32(src).bytes(payload).finish();
+        let msg = Message::new(h, &body);
+        match *self.channel.lock() {
+            Some(c) => pe.sync_send_and_free_on(dst_pe, c, msg),
+            None => pe.sync_send_and_free(dst_pe, msg),
+        }
+    }
+
+    /// Package a ready task as a stealable READY message: serial id
+    /// plus every received dependency payload — everything an arbitrary
+    /// PE needs to execute it. Routed to PE 0 for `steal_to0_pct`% of
+    /// serials (a deterministic draw), otherwise back to this PE.
+    fn emit_ready(&self, pe: &Pe, serial: u32, preds: Preds) {
+        let mut p = Packer::new().u32(serial).u32(preds.len() as u32);
+        for (src, bytes) in &preds {
+            p = p.u32(*src).bytes(bytes);
+        }
+        let h = HandlerId(self.ready_h.load(Ordering::Acquire));
+        let mut msg = Message::new(h, &p.finish());
+        msg.mark_stealable();
+        let skewed = crate::fnv1a(&serial.to_le_bytes()) % 100 < self.steal_to0_pct as u64;
+        let dst = if skewed { 0 } else { pe.my_pe() };
+        pe.sync_send_and_free(dst, msg);
+    }
+
+    /// Execute a READY message wherever it landed — owner, skew target,
+    /// or thief. Computes the chained hash, fans successor edges out
+    /// directly, and returns the result to the owner as a non-stealable
+    /// CREDIT; no local accounting happens here.
+    fn on_ready(&self, pe: &Pe, payload: &[u8]) {
+        let mut u = Unpacker::new(payload);
+        let serial = u.u32().expect("taskbench ready: serial");
+        let n = u.u32().expect("taskbench ready: pred count") as usize;
+        let mut preds: Preds = Vec::with_capacity(n);
+        for _ in 0..n {
+            let src = u.u32().expect("taskbench ready: pred serial");
+            preds.push((
+                src,
+                u.bytes().expect("taskbench ready: pred payload").to_vec(),
+            ));
+        }
+        self.grain_wait();
+        let out = finish_output(self.graph.spec.seed, serial, &mut preds);
+        let id = self.graph.task_of_serial(serial);
+        let succs = self.graph.successors(id);
+        if !succs.is_empty() {
+            let payload = expand_payload(out, self.payload_bytes);
+            for s in succs {
+                let dst_pe = self.graph.owner(*s, pe.num_pes());
+                self.send_dep(pe, dst_pe, self.graph.serial(*s), serial, &payload);
+            }
+        }
+        let owner = self.graph.owner(id, pe.num_pes());
+        let h = HandlerId(self.credit_h.load(Ordering::Acquire));
+        let body = Packer::new().u32(serial).u64(out).finish();
+        pe.sync_send_and_free(owner, Message::new(h, &body));
+    }
+
+    /// Owner-side accounting for one executed task. The last credit
+    /// reports this PE's completion to PE 0.
+    fn on_credit(&self, pe: &Pe, payload: &[u8]) {
+        let mut u = Unpacker::new(payload);
+        let serial = u.u32().expect("taskbench credit: serial");
+        let out = u.u64().expect("taskbench credit: output");
+        self.execs[serial as usize].fetch_add(1, Ordering::AcqRel);
+        self.outputs.lock().insert(serial, out);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.send_done(pe);
+        }
+    }
+
+    /// Tell PE 0 this PE's local tasks all completed (at most once).
+    fn send_done(&self, pe: &Pe) {
+        if self.done_sent.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let h = HandlerId(self.done_h.load(Ordering::Acquire));
+        pe.sync_send_and_free(0, Message::new(h, &[]));
+    }
+
+    /// PE 0: count completions; the machine-wide last one releases
+    /// every PE from the termination pump.
+    fn on_done(&self, pe: &Pe) {
+        if self.dones.fetch_add(1, Ordering::AcqRel) + 1 == pe.num_pes() {
+            let h = HandlerId(self.all_done_h.load(Ordering::Acquire));
+            for dst in 0..pe.num_pes() {
+                pe.sync_send_and_free(dst, Message::new(h, &[]));
+            }
+        }
+    }
+
+    /// Steal-mode completion pump: a PE keeps scheduling until PE 0
+    /// declares the whole machine done — its own `remaining` hitting
+    /// zero is not enough, because stolen or skewed READY messages for
+    /// *other* PEs' tasks may still land here and must be executed.
+    fn await_all_done(&self, pe: &Pe, give_up: Option<Duration>) -> bool {
+        match give_up {
+            None => {
+                schedule_until(pe, || self.all_done.load(Ordering::Acquire));
+                false
+            }
+            Some(d) => {
+                let deadline = Instant::now() + d;
+                while !self.all_done.load(Ordering::Acquire) {
+                    csd_scheduler_until_idle(pe);
+                    if Instant::now() >= deadline {
+                        return true;
+                    }
+                    std::thread::yield_now();
+                }
+                false
+            }
+        }
+    }
 }
 
 // ---- raw machine-layer engine -------------------------------------------
@@ -356,20 +546,17 @@ impl RunState {
 /// configured delivery channel.
 fn raw_emit(state: &Arc<RunState>) -> impl Fn(&Pe, usize, u32, u32, &[u8]) {
     let state = state.clone();
-    move |pe, dst_pe, dst, src, payload| {
-        let h = HandlerId(state.dep_h.load(Ordering::Acquire));
-        let body = Packer::new().u32(dst).u32(src).bytes(payload).finish();
-        let msg = Message::new(h, &body);
-        match *state.channel.lock() {
-            Some(c) => pe.sync_send_and_free_on(dst_pe, c, msg),
-            None => pe.sync_send_and_free(dst_pe, msg),
-        }
-    }
+    move |pe, dst_pe, dst, src, payload| state.send_dep(pe, dst_pe, dst, src, payload)
 }
 
 /// Execute `graph` with dependency edges as plain machine-layer
 /// messages. Collective: every PE calls it (in lockstep with any other
 /// registration activity) and gets back its own [`PeSummary`].
+///
+/// With [`RunOpts::steal`] set, execution rides relocatable READY
+/// messages (see the option's docs); the steal-protocol handlers are
+/// registered unconditionally so the registration order is identical
+/// whether or not a given run opts in.
 pub fn run_graph_raw(pe: &Pe, graph: &Arc<TaskGraph>, opts: &RunOpts) -> PeSummary {
     let state = RunState::new(graph.clone(), opts, pe);
     *state.channel.lock() = opts.channel.as_deref().map(|n| pe.channel(n));
@@ -382,9 +569,31 @@ pub fn run_graph_raw(pe: &Pe, graph: &Arc<TaskGraph>, opts: &RunOpts) -> PeSumma
         st.on_dep(pe, dst, src, payload, &raw_emit(&st));
     });
     state.dep_h.store(dep_h.0, Ordering::Release);
+    let st = state.clone();
+    let ready_h = pe.register_handler(move |pe, msg| st.on_ready(pe, msg.payload()));
+    state.ready_h.store(ready_h.0, Ordering::Release);
+    let st = state.clone();
+    let credit_h = pe.register_handler(move |pe, msg| st.on_credit(pe, msg.payload()));
+    state.credit_h.store(credit_h.0, Ordering::Release);
+    let st = state.clone();
+    let done_h = pe.register_handler(move |pe, _msg| st.on_done(pe));
+    state.done_h.store(done_h.0, Ordering::Release);
+    let st = state.clone();
+    let all_done_h =
+        pe.register_handler(move |_pe, _msg| st.all_done.store(true, Ordering::Release));
+    state.all_done_h.store(all_done_h.0, Ordering::Release);
     pe.barrier();
     state.run_sources(pe, &raw_emit(&state));
-    let gave_up = state.await_completion(pe, opts.give_up);
+    let gave_up = if opts.steal {
+        // A PE that owns nothing (or whose credits all landed already)
+        // must still report in for global termination.
+        if state.remaining.load(Ordering::Acquire) == 0 {
+            state.send_done(pe);
+        }
+        state.await_all_done(pe, opts.give_up)
+    } else {
+        state.await_completion(pe, opts.give_up)
+    };
     pe.barrier();
     state.summarize(pe, gave_up)
 }
@@ -448,6 +657,10 @@ pub fn run_graph_charm(pe: &Pe, graph: &Arc<TaskGraph>, opts: &RunOpts) -> PeSum
         opts.channel.is_none(),
         "named delivery channels are a raw-engine option; Charm sends ride the default channel"
     );
+    assert!(
+        !opts.steal,
+        "relocatable READY execution is a raw-engine option"
+    );
     let charm = Charm::install(pe, LdbPolicy::Direct);
     let kind = charm.register_group::<TaskBranch>();
     let state = RunState::new(graph.clone(), opts, pe);
@@ -487,6 +700,10 @@ pub fn run_graph_tsm(pe: &Pe, graph: &Arc<TaskGraph>, opts: &RunOpts) -> PeSumma
     assert!(
         opts.channel.is_none(),
         "named delivery channels are a raw-engine option; tSM sends ride the default channel"
+    );
+    assert!(
+        !opts.steal,
+        "relocatable READY execution is a raw-engine option"
     );
     assert!(
         graph.num_tasks() < i32::MAX as usize,

@@ -159,6 +159,28 @@ pub enum Event {
         /// True for an outbound frame, false for an arrival.
         sent: bool,
     },
+    /// An idle PE stole a batch of relocatable staged messages from a
+    /// loaded victim. Recorded on the PE that initiated the transfer:
+    /// the thief on shared-memory transports, the victim on distributed
+    /// transports (where the donation is asynchronous).
+    Steal {
+        /// The overloaded PE the batch was taken from.
+        victim: usize,
+        /// The idle PE the batch was moved to.
+        thief: usize,
+        /// Messages moved.
+        batch: usize,
+    },
+    /// A migratable object (chare) was moved between PEs by the
+    /// measurement-driven balancer. Recorded on the source PE.
+    Migrate {
+        /// Collection-local object index.
+        obj: u64,
+        /// PE the object left.
+        from: usize,
+        /// PE the object now lives on.
+        to: usize,
+    },
     /// Snapshot of this PE's message-buffer pool counters (the
     /// CmiAlloc/CmiFree free-list), emitted at PE teardown.
     MsgPool {
@@ -410,6 +432,19 @@ impl TraceSink for TextSink {
                     "{pe} {t_ns} WIRE kind={kind} peer={peer} bytes={bytes} dir={dir}"
                 )
             }
+            Event::Steal {
+                victim,
+                thief,
+                batch,
+            } => {
+                writeln!(
+                    b,
+                    "{pe} {t_ns} STEAL victim={victim} thief={thief} batch={batch}"
+                )
+            }
+            Event::Migrate { obj, from, to } => {
+                writeln!(b, "{pe} {t_ns} MIGRATE obj={obj} from={from} to={to}")
+            }
             Event::MsgPool {
                 hits,
                 misses,
@@ -474,6 +509,12 @@ pub struct PeSummary {
     /// Sampled switch records flagged as direct handoffs (suspend went
     /// straight to the next ready thread, no Csd queue bounce).
     pub direct_handoffs: u64,
+    /// Steal batches this PE initiated ([`Event::Steal`] records).
+    pub steals: u64,
+    /// Messages moved by those steal batches.
+    pub stolen_msgs: u64,
+    /// Objects migrated off this PE ([`Event::Migrate`] records).
+    pub migrations: u64,
     /// Buffer-pool hits (from the last [`Event::MsgPool`] snapshot).
     pub pool_hits: u64,
     /// Buffer-pool misses (from the last [`Event::MsgPool`] snapshot).
@@ -535,6 +576,11 @@ impl Summary {
                         s.direct_handoffs += 1;
                     }
                 }
+                Event::Steal { batch, .. } => {
+                    s.steals += 1;
+                    s.stolen_msgs += *batch as u64;
+                }
+                Event::Migrate { .. } => s.migrations += 1,
                 Event::MsgPool { hits, misses, .. } => {
                     // Snapshots are cumulative; keep the latest.
                     s.pool_hits = *hits;
@@ -772,6 +818,67 @@ mod tests {
         assert_eq!(sum.pes[0].sched_batches, 2);
         assert_eq!(sum.pes[0].batch_drained, 16);
         assert_eq!(sum.pes[0].idle_spins, 160);
+    }
+
+    #[test]
+    fn steal_and_migrate_events_format_and_summarize() {
+        let s = TextSink::new();
+        s.record(
+            2,
+            9,
+            Event::Steal {
+                victim: 0,
+                thief: 2,
+                batch: 5,
+            },
+        );
+        s.record(
+            0,
+            11,
+            Event::Migrate {
+                obj: 3,
+                from: 0,
+                to: 1,
+            },
+        );
+        let text = s.text();
+        assert!(text.contains("2 9 STEAL victim=0 thief=2 batch=5"));
+        assert!(text.contains("0 11 MIGRATE obj=3 from=0 to=1"));
+
+        let recs = vec![
+            Record {
+                pe: 2,
+                t_ns: 1,
+                event: Event::Steal {
+                    victim: 0,
+                    thief: 2,
+                    batch: 5,
+                },
+            },
+            Record {
+                pe: 2,
+                t_ns: 2,
+                event: Event::Steal {
+                    victim: 1,
+                    thief: 2,
+                    batch: 3,
+                },
+            },
+            Record {
+                pe: 0,
+                t_ns: 3,
+                event: Event::Migrate {
+                    obj: 3,
+                    from: 0,
+                    to: 1,
+                },
+            },
+        ];
+        let sum = Summary::from_records(3, &recs);
+        assert_eq!(sum.pes[2].steals, 2);
+        assert_eq!(sum.pes[2].stolen_msgs, 8);
+        assert_eq!(sum.pes[0].migrations, 1);
+        assert_eq!(sum.pes[1].steals, 0);
     }
 
     #[test]

@@ -489,6 +489,20 @@ impl WireEndpoint {
                             let ns = u64_le(payload.as_slice());
                             self.inner.stall_for(self.rank, Duration::from_nanos(ns));
                         }
+                        kind::STEAL_REQ => self.on_steal_req(h, payload.as_slice()),
+                        kind::DONATE => {
+                            // A donated message already cleared the
+                            // reliability sublayer at the victim and TCP
+                            // carried it exactly once, so it enters the
+                            // local mailbox on the unsequenced path.
+                            // Only default-channel packets are stealable.
+                            self.inner.send_on(
+                                h.src as usize,
+                                self.rank,
+                                payload,
+                                Channel::DEFAULT,
+                            );
+                        }
                         kind::ABORT => {
                             let msg = String::from_utf8_lossy(payload.as_slice()).into_owned();
                             self.shutdown.store(true, Ordering::Release);
@@ -592,6 +606,44 @@ impl WireEndpoint {
                     &cum.to_le_bytes(),
                 );
             }
+        }
+    }
+
+    /// Serve an idle peer's steal request (runs on this rank's reader
+    /// thread — the victim side of the distributed steal protocol).
+    /// Extract up to the requested batch of stealable packets from the
+    /// local staged list and donate each as its own DONATE frame, `src`
+    /// rewritten to the donated message's original sender so the thief
+    /// delivers it with truthful provenance. On this transport the
+    /// `Event::Steal` record lands on the victim — the donation is
+    /// asynchronous and only the victim knows the batch size.
+    fn on_steal_req(&self, h: FrameHeader, payload: &[u8]) {
+        let thief = h.src as usize;
+        let max = u64_le(payload) as usize;
+        if thief == self.rank || max == 0 {
+            return;
+        }
+        let stolen = self.inner.steal_take(self.rank, max);
+        if stolen.is_empty() {
+            return;
+        }
+        let batch = stolen.len();
+        for p in stolen {
+            self.write(
+                FrameHeader::new(kind::DONATE, p.src as u32, thief as u32, 0),
+                p.block.as_slice(),
+            );
+        }
+        if self.trace.enabled() {
+            self.trace.record(
+                self.rank,
+                self.inner.uptime().as_nanos() as u64,
+                Event::Steal {
+                    victim: self.rank,
+                    thief,
+                    batch,
+                },
+            );
         }
     }
 
@@ -885,5 +937,53 @@ impl CmiTransport for WireEndpoint {
 
     fn transport_name(&self) -> &'static str {
         "socket"
+    }
+
+    fn publish_load(&self, pe: usize, run_queue: usize, occupancy_pm: u32) {
+        if pe == self.rank {
+            self.inner.publish_load(pe, run_queue, occupancy_pm);
+        }
+    }
+
+    fn staged_pending(&self, pe: usize) -> usize {
+        if pe == self.rank {
+            self.inner.staged_of(pe)
+        } else {
+            0
+        }
+    }
+
+    fn published_load(&self, pe: usize) -> (usize, u32) {
+        if pe == self.rank {
+            let l = self.inner.load_of(pe);
+            (l.run_queue, l.occupancy_pm)
+        } else {
+            (0, 0)
+        }
+    }
+
+    /// Remote ranks live in other processes; their load reads degrade
+    /// to zeros, so balancers must use gossiped samples and thieves a
+    /// rotating victim.
+    fn remote_load_visible(&self) -> bool {
+        false
+    }
+
+    /// Distributed steal: fire an asynchronous STEAL_REQ at the victim
+    /// and return 0 — donated packets arrive later as DONATE frames.
+    /// A local victim (only possible with `num_pes == 1`) is a no-op.
+    fn steal_from(&self, victim: usize, thief: usize, max: usize) -> usize {
+        debug_assert_eq!(
+            thief, self.rank,
+            "a wire endpoint steals only for its own rank"
+        );
+        if victim == self.rank || max == 0 {
+            return 0;
+        }
+        self.write(
+            FrameHeader::new(kind::STEAL_REQ, self.rank as u32, victim as u32, 0),
+            &(max as u64).to_le_bytes(),
+        );
+        0
     }
 }

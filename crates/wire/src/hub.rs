@@ -364,7 +364,12 @@ fn hub_reader(rank: usize, mut stream: WireStream, st: Arc<HubState>) {
     loop {
         match read_frame(&mut stream) {
             Ok(Some((h, payload))) => match h.kind {
-                kind::DATA | kind::ACK | kind::STALL | kind::INJECT => {
+                kind::DATA
+                | kind::ACK
+                | kind::STALL
+                | kind::INJECT
+                | kind::STEAL_REQ
+                | kind::DONATE => {
                     st.forward(h, payload.as_slice());
                 }
                 kind::EXIT => {

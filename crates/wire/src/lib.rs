@@ -72,6 +72,15 @@ pub mod kind {
     pub const ABORT: u8 = 8;
     /// Hub → workers: every rank exited, tear down.
     pub const FIN: u8 = 9;
+    /// Thief → victim: an idle PE asks the most-loaded rank to donate
+    /// stealable staged work; payload is a u32 LE batch cap.
+    pub const STEAL_REQ: u8 = 10;
+    /// Victim → thief: one donated message. `src` carries the donated
+    /// message's *original* sender, payload is the message bytes; the
+    /// receiver delivers it through the unsequenced mailbox path (the
+    /// donation already cleared the reliability sublayer at the victim,
+    /// and TCP carries it exactly once).
+    pub const DONATE: u8 = 11;
 
     /// Human-readable frame-kind label for traces and errors.
     pub fn name(k: u8) -> &'static str {
@@ -85,6 +94,8 @@ pub mod kind {
             EXIT => "exit",
             ABORT => "abort",
             FIN => "fin",
+            STEAL_REQ => "steal_req",
+            DONATE => "donate",
             _ => "unknown",
         }
     }

@@ -6,7 +6,13 @@
 //!
 //! ```sh
 //! cargo run --release --example adaptive_rebalance
+//! cargo run --release --example adaptive_rebalance -- --ldb measured
 //! ```
+//!
+//! With `--ldb measured` the phase boundary uses
+//! `Charm::rebalance_sync_measured`: the plan equalizes live *backlog*
+//! (mailbox + run-queue depth) instead of raw object counts — the
+//! measurement-based flavour of the same quasi-dynamic strategy.
 
 use converse::charm::{Chare, ChareId, Charm, MigratableChare};
 use converse::ldb::LdbPolicy;
@@ -44,7 +50,9 @@ impl MigratableChare for Worker {
 }
 
 fn main() {
-    converse::core::run(4, |pe| {
+    let measured =
+        std::env::args().skip(1).any(|a| a == "--ldb") && std::env::args().any(|a| a == "measured");
+    converse::core::run(4, move |pe| {
         let charm = Charm::install(pe, LdbPolicy::Direct);
         let kind = charm.register_migratable::<Worker>();
         let done = pe.local(|| AtomicU64::new(0));
@@ -96,8 +104,35 @@ fn main() {
 
         let skewed = phase("phase 1 (all workers on PE 0)");
 
-        // Phase boundary: redistribute.
-        let report = charm.rebalance_sync(pe);
+        // Phase boundary: redistribute. The measured flavour rebalances
+        // *under load*: PE 0 queues the next phase's pokes first, so
+        // the allgathered backlog picture is [16, 0, 0, 0] and the plan
+        // moves workers — whose queued entry messages follow them via
+        // migration forwarding — off the hotspot mid-flight.
+        let (report, balanced) = if measured {
+            pe.barrier();
+            let t0 = pe.timer();
+            if pe.my_pe() == 0 {
+                done.store(0, Ordering::SeqCst);
+                for id in &ids {
+                    charm.send(pe, *id, 0, &ack.0.to_le_bytes(), Priority::None);
+                }
+            }
+            let report = charm.rebalance_measured(pe);
+            csd_scheduler(pe, -1); // PE 0: until the last ack; rest: until stop
+            if pe.my_pe() == 0 {
+                pe.sync_broadcast(&Message::new(stop, b""));
+            }
+            pe.barrier();
+            let dt = pe.timer() - t0;
+            if pe.my_pe() == 0 {
+                pe.cmi_printf(format!("phase 2 (measured rebalance mid-flight): {dt:.3}s"));
+            }
+            (report, dt)
+        } else {
+            let report = charm.rebalance_sync(pe);
+            (report, phase("phase 2 (rebalanced over 4 PEs)"))
+        };
         pe.cmi_printf(format!(
             "PE {}: {} before, {} moved out, {} arriving → {} now",
             pe.my_pe(),
@@ -106,8 +141,6 @@ fn main() {
             report.expected_in,
             charm.local_migratable()
         ));
-
-        let balanced = phase("phase 2 (rebalanced over 4 PEs)");
 
         if pe.my_pe() == 0 {
             pe.cmi_printf(format!("speedup: {:.2}×", skewed / balanced));

@@ -12,10 +12,18 @@
 //!
 //! ```sh
 //! cargo run --example bnb_knapsack
+//! cargo run --example bnb_knapsack -- --pes 8 --ldb measured --steal
 //! ```
+//!
+//! Flags: `--pes N` (default 4), `--ldb random|spray|central|measured`
+//! (seed placement policy, default random), `--steal` (enable idle-PE
+//! work stealing — node messages are deposited through the balancer,
+//! which marks them relocatable, so a PE that prunes its whole subtree
+//! refills from the most-loaded peer instead of idling).
 
 use converse::charm::{Charm, GroupChare, GroupId};
 use converse::ldb::{Ldb, LdbPolicy};
+use converse::machine::{MachineConfig, StealConfig};
 use converse::prelude::*;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -78,12 +86,38 @@ impl GroupChare for Incumbent {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let pes: usize = flag_val("--pes")
+        .map(|v| v.parse().expect("--pes takes a number"))
+        .unwrap_or(4);
+    let policy = match flag_val("--ldb").as_deref() {
+        None | Some("random") => LdbPolicy::Random { seed: 17 },
+        Some("spray") => LdbPolicy::Spray {
+            threshold: 4,
+            max_hops: 4,
+        },
+        Some("central") => LdbPolicy::Central,
+        Some("measured") => LdbPolicy::Measured,
+        Some(other) => panic!("unknown --ldb policy {other:?}"),
+    };
+    let steal = args.iter().any(|a| a == "--steal");
+
     let best_final = Arc::new(AtomicI64::new(0));
     let expanded = Arc::new(AtomicU64::new(0));
     let (b2, e2) = (best_final.clone(), expanded.clone());
 
-    converse::core::run(4, move |pe| {
-        let charm = Charm::install(pe, LdbPolicy::Random { seed: 17 });
+    let mut cfg = MachineConfig::new(pes);
+    if steal {
+        cfg = cfg.steal(StealConfig::default());
+    }
+    converse::core::run_with(cfg, move |pe| {
+        let charm = Charm::install(pe, policy);
         let gkind = charm.register_group::<Incumbent>();
         let qd = charm.quiescence();
         let best = pe.local(|| Best(AtomicI64::new(0)));
