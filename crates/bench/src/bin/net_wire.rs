@@ -1,5 +1,6 @@
-//! Socket-transport overhead scorecard: the real wire vs the in-process
-//! interconnect, same programs, same machine shapes.
+//! Wire-transport overhead scorecard: the real wire (socket and
+//! shared-memory rings) vs the in-process interconnect, same programs,
+//! same machine shapes.
 //!
 //! Two shapes per transport:
 //!
@@ -11,15 +12,20 @@
 //! * `fanin` — (P−1)→1 16 B delivery throughput at 2/4/8 PEs: every
 //!   other PE streams at PE 0, which times draining the full count.
 //!
-//! Rows land in `BENCH_wire.json` as before/after pairs with `before` =
-//! in-process and `after` = socket, so `speedup` < 1 *is the honest
-//! price of crossing a process boundary* (syscalls, frame encode/decode,
-//! kernel loopback) rather than a regression.
+//! Rows land in `BENCH_wire.json` as before/after pairs. For the
+//! `rtt_*`/`fanin` kinds `before` = in-process and `after` = socket, so
+//! `speedup` < 1 *is the honest price of crossing a process boundary*
+//! (syscalls, frame encode/decode, kernel loopback) rather than a
+//! regression. The `shm_*` kinds compare `before` = socket against
+//! `after` = shared-memory rings (`Transport::ShmRing`) — there the
+//! rings must *win*, and two absolute acceptance gates enforce it:
+//! ring RTT p50 at most 1/3 of socket, and 8-PE ring fan-in at least
+//! 4x socket.
 //!
-//! The run regression-gates fresh socket numbers against the checked-in
+//! The run also regression-gates fresh numbers against the checked-in
 //! `BENCH_wire.json`: RTT p50 more than 25% above baseline, or fan-in
 //! throughput more than 25% below, fails the process (CI). Set
-//! `WIRE_GATE=off` to skip (re-baselining, noisy hosts).
+//! `WIRE_GATE=off` to skip all gates (re-baselining, noisy hosts).
 //!
 //! ```sh
 //! cargo run --release -p converse-bench --bin net_wire
@@ -213,9 +219,13 @@ fn main() {
 
     let mut rows = Vec::new();
 
-    say!(quiet, "2-PE 16 B round-trip: in-process vs socket");
+    say!(
+        quiet,
+        "2-PE 16 B round-trip: in-process vs socket vs shmring"
+    );
     let inproc = run_and_parse(2, Transport::InProcess, "RTT_NS", rtt_entry);
     let socket = run_and_parse(2, Transport::Socket, "RTT_NS", rtt_entry);
+    let shm_rtt = run_and_parse(2, Transport::ShmRing, "RTT_NS", rtt_entry);
     for (i, kind) in ["rtt_p50", "rtt_p99"].into_iter().enumerate() {
         let r = Row {
             kind,
@@ -234,14 +244,33 @@ fn main() {
         );
         rows.push(r);
     }
+    for (i, kind) in ["shm_rtt_p50", "shm_rtt_p99"].into_iter().enumerate() {
+        let r = Row {
+            kind,
+            pes: 2,
+            unit: if i == 0 { "ns_p50" } else { "ns_p99" },
+            before: socket[i],
+            after: shm_rtt[i],
+        };
+        say!(
+            quiet,
+            "  {:>11}: {:>10.0}ns socket {:>10.0}ns shmring  ({:.3}x)",
+            kind,
+            r.before,
+            r.after,
+            r.speedup()
+        );
+        rows.push(r);
+    }
 
     say!(
         quiet,
-        "\n(P-1)->1 16 B fan-in throughput: in-process vs socket"
+        "\n(P-1)->1 16 B fan-in throughput: in-process vs socket vs shmring"
     );
     for pes in FANIN_PES {
         let before = run_and_parse(pes, Transport::InProcess, "FANIN", fanin_entry)[0];
         let after = run_and_parse(pes, Transport::Socket, "FANIN", fanin_entry)[0];
+        let shm = run_and_parse(pes, Transport::ShmRing, "FANIN", fanin_entry)[0];
         let r = Row {
             kind: "fanin",
             pes,
@@ -251,13 +280,56 @@ fn main() {
         };
         say!(
             quiet,
-            "  {:>2} PEs: {:>12.0} msg/s inproc {:>12.0} msg/s socket  ({:.3}x)",
+            "  {:>2} PEs: {:>12.0} msg/s inproc {:>12.0} msg/s socket {:>12.0} msg/s shmring",
             pes,
             before,
             after,
-            r.speedup()
+            shm,
         );
         rows.push(r);
+        rows.push(Row {
+            kind: "shm_fanin",
+            pes,
+            unit: "msgs_per_sec",
+            before: after,
+            after: shm,
+        });
+    }
+
+    // Absolute acceptance gates for the shared-memory data plane: the
+    // rings exist to beat the hub socket, so hold them to it — RTT p50
+    // at most 1/3 of socket, 8-PE fan-in at least 4x socket.
+    let mut accept_failed = false;
+    {
+        let (sock_p50, shm_p50) = (socket[0], shm_rtt[0]);
+        if shm_p50 > sock_p50 / 3.0 {
+            eprintln!("ACCEPT: shmring rtt_p50 {shm_p50:.0}ns > 1/3 of socket {sock_p50:.0}ns");
+            accept_failed = true;
+        } else {
+            say!(
+                quiet,
+                "accept ok: shmring rtt_p50 {shm_p50:.0}ns <= 1/3 socket {sock_p50:.0}ns"
+            );
+        }
+        let sock8 = rows
+            .iter()
+            .find(|r| r.kind == "fanin" && r.pes == 8)
+            .map(|r| r.after)
+            .unwrap_or(0.0);
+        let shm8 = rows
+            .iter()
+            .find(|r| r.kind == "shm_fanin" && r.pes == 8)
+            .map(|r| r.after)
+            .unwrap_or(0.0);
+        if shm8 < sock8 * 4.0 {
+            eprintln!("ACCEPT: shmring 8-PE fan-in {shm8:.0} msg/s < 4x socket {sock8:.0} msg/s");
+            accept_failed = true;
+        } else {
+            say!(
+                quiet,
+                "accept ok: shmring 8-PE fan-in {shm8:.0} msg/s >= 4x socket {sock8:.0} msg/s"
+            );
+        }
     }
 
     // Regression gate: fresh socket numbers vs the checked-in baseline,
@@ -272,7 +344,7 @@ fn main() {
             else {
                 continue;
             };
-            let (bad, cmp) = if kind.starts_with("rtt") {
+            let (bad, cmp) = if kind.contains("rtt") {
                 (fresh > base_after * 1.25, ">")
             } else {
                 (fresh < base_after / 1.25, "<")
@@ -299,9 +371,9 @@ fn main() {
     std::fs::write("BENCH_wire.json", render_json(&rows)).expect("write BENCH_wire.json");
     say!(quiet, "\nwrote BENCH_wire.json ({} rows)", rows.len());
 
-    if gate_failed {
+    if gate_failed || accept_failed {
         if gate_on {
-            eprintln!("wire-transport regression gate FAILED (set WIRE_GATE=off to re-baseline)");
+            eprintln!("wire-transport gate FAILED (set WIRE_GATE=off to re-baseline)");
             std::process::exit(1);
         } else {
             say!(quiet, "gate failures ignored: WIRE_GATE=off");

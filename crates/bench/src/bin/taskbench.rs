@@ -134,6 +134,7 @@ fn cell(
         transport: match transport {
             Transport::InProcess => "inproc",
             Transport::Socket => "socket",
+            Transport::ShmRing => "shmring",
         },
         grain_ns,
         payload_bytes,
@@ -234,8 +235,8 @@ fn main() {
     }
     let mut rows: Vec<Row> = Vec::new();
 
-    // Transport axis first: socket workers re-exec this binary and
-    // replay earlier socket calls in-process, so the cheap socket cells
+    // Transport axis first: socket/shmring workers re-exec this binary
+    // and replay earlier wire calls in-process, so the cheap wire cells
     // must precede the heavy in-process matrix, not follow it.
     if !smoke {
         for layer in Layer::ALL {
@@ -248,6 +249,20 @@ fn main() {
                 16,
                 1,
                 "socket",
+            );
+            print_row(quiet, &r);
+            rows.push(r);
+        }
+        for layer in Layer::ALL {
+            let r = cell(
+                layer,
+                Pattern::Stencil1D,
+                4,
+                Transport::ShmRing,
+                0,
+                16,
+                1,
+                "shmring",
             );
             print_row(quiet, &r);
             rows.push(r);

@@ -16,7 +16,7 @@ use crate::scatter::ScatterState;
 use converse_msg::{HandlerId, Message};
 use converse_net::{Channel, CmiTransport, Packet};
 use converse_queue::{CsdQueue, FifoQueue, LifoQueue, QueueingMode, SchedulingQueue};
-use converse_trace::{Event, TraceSink};
+use converse_trace::{Event, StealPhase, TraceSink};
 use parking_lot::{Mutex, RwLock};
 use std::any::{Any, TypeId};
 use std::collections::{HashMap, VecDeque};
@@ -450,6 +450,23 @@ impl Pe {
         let id = msg.handler();
         let f = self.handler_fn(id);
         if self.trace.enabled() {
+            // Splice→first-run steal latency: the transport stamps the
+            // moment stolen work was spliced into this PE's stream; the
+            // next handler dispatch here closes the interval.
+            if self.shared.steal.is_some() {
+                let mark = self.net.take_steal_mark(self.id);
+                if mark != 0 {
+                    let now = self.now_ns();
+                    self.trace.record(
+                        self.id,
+                        now,
+                        Event::StealLatency {
+                            phase: StealPhase::SpliceToRun,
+                            ns: now.saturating_sub(mark),
+                        },
+                    );
+                }
+            }
             self.trace.record(
                 self.id,
                 self.now_ns(),
@@ -798,11 +815,23 @@ impl Pe {
             let Some((_, victim)) = best else {
                 return 0;
             };
+            let t0 = self.now_ns();
             let n = self.net.steal_from(victim, self.id, cfg.batch);
             if n > 0 && self.trace.enabled() {
+                let now = self.now_ns();
+                // Synchronous steal: the request→donate leg is simply
+                // the duration of the call itself.
                 self.trace.record(
                     self.id,
-                    self.now_ns(),
+                    now,
+                    Event::StealLatency {
+                        phase: StealPhase::ReqToDonate,
+                        ns: now.saturating_sub(t0),
+                    },
+                );
+                self.trace.record(
+                    self.id,
+                    now,
                     Event::Steal {
                         victim,
                         thief: self.id,

@@ -37,6 +37,30 @@ pub enum Transport {
     /// re-executes itself once per rank with the `CONVERSE_WORKER`
     /// role, routes frames, and aggregates the [`RunReport`].
     Socket,
+    /// Like [`Transport::Socket`], but the *data plane* is a
+    /// shared-memory region of lock-free SPSC byte rings (one per
+    /// ordered PE pair, `memfd_create` + `mmap`): DATA/ACK/steal
+    /// frames travel peer-to-peer through the rings while the hub
+    /// socket is demoted to a control plane (HELLO/GO bootstrap,
+    /// EXIT/FIN/ABORT teardown, crash detection) plus overflow path
+    /// for frames larger than one ring. Linux x86-64/aarch64 only —
+    /// elsewhere `try_run_with` reports [`RunError::Bootstrap`]; see
+    /// [`converse_wire::SHM_SUPPORTED`].
+    ShmRing,
+}
+
+impl Transport {
+    /// All transports usable on this host, in canonical order —
+    /// what [`run_on_each_transport`] iterates. Three-way on Linux
+    /// x86-64/aarch64 (in-process, socket, shared-memory rings),
+    /// two-way elsewhere.
+    pub fn each() -> &'static [Transport] {
+        if converse_wire::SHM_SUPPORTED {
+            &[Transport::InProcess, Transport::Socket, Transport::ShmRing]
+        } else {
+            &[Transport::InProcess, Transport::Socket]
+        }
+    }
 }
 
 /// Why a machine run failed to produce a report. Worker *panics* are
@@ -342,14 +366,26 @@ where
     match cfg.transport {
         Transport::InProcess => Ok(run_in_process(cfg, entry)),
         Transport::Socket => crate::wire_run::run_socket(cfg, entry),
+        Transport::ShmRing => {
+            if !converse_wire::SHM_SUPPORTED {
+                return Err(RunError::Bootstrap(
+                    "Transport::ShmRing requires Linux on x86-64/aarch64 \
+                     (memfd_create + futex); use Transport::Socket here"
+                        .into(),
+                ));
+            }
+            crate::wire_run::run_socket(cfg, entry)
+        }
     }
 }
 
-/// Run `entry` once per transport, each time on a fresh machine of
-/// `num_pes` PEs with that transport selected — the cross-transport
-/// analogue of `converse_threads::run_on_each_backend`. Code that
-/// passes here is proven equivalent with PEs as threads of one process
-/// and as separate OS processes over a real socket.
+/// Run `entry` once per transport in [`Transport::each`], each time on
+/// a fresh machine of `num_pes` PEs with that transport selected — the
+/// cross-transport analogue of `converse_threads::run_on_each_backend`.
+/// Code that passes here is proven equivalent with PEs as threads of
+/// one process, as separate OS processes over a real socket, and (on
+/// Linux x86-64/aarch64) as processes exchanging data through
+/// shared-memory rings.
 ///
 /// The entry function (and everything the program does before calling
 /// this) must be deterministic: the socket transport re-executes the
@@ -361,7 +397,7 @@ where
     F: Fn(&Pe) + Send + Sync + 'static,
 {
     let entry = Arc::new(entry);
-    for t in [Transport::InProcess, Transport::Socket] {
+    for &t in Transport::each() {
         let e = entry.clone();
         run_with(MachineConfig::new(num_pes).transport(t), move |pe| e(pe));
     }

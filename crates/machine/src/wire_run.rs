@@ -33,7 +33,7 @@
 use crate::pe::{MachineShared, Pe};
 use crate::run::{MachineConfig, RunError, RunReport, Transport};
 use converse_net::{CmiTransport, FaultStats};
-use converse_wire::{HubFailure, WireEndpoint, WireHub, WorkerReport};
+use converse_wire::{HubFailure, ShmPlane, ShmRegion, WireEndpoint, WireHub, WorkerReport};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -74,6 +74,10 @@ struct WorkerEnv {
     npes: usize,
     addr: String,
     call: usize,
+    /// Inherited `memfd` of the shared ring region — present exactly
+    /// when the call this worker was spawned for is a
+    /// [`Transport::ShmRing`] run.
+    shm_fd: Option<i32>,
 }
 
 fn worker_env() -> Option<WorkerEnv> {
@@ -98,16 +102,28 @@ fn worker_env() -> Option<WorkerEnv> {
             std::process::exit(EXIT_BAD_ENV);
         }),
         call: parse("CONVERSE_WIRE_CALL"),
+        shm_fd: std::env::var("CONVERSE_SHM_FD").ok().map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("converse worker: bad CONVERSE_SHM_FD {s:?}");
+                std::process::exit(EXIT_BAD_ENV);
+            })
+        }),
     })
 }
 
-/// Dispatch one `Transport::Socket` run: launcher, worker, or
-/// in-process replay of an earlier call inside a worker.
+/// Dispatch one `Transport::Socket` / `Transport::ShmRing` run:
+/// launcher, worker, or in-process replay of an earlier call inside a
+/// worker. Both transports share the hub bootstrap and the self-exec
+/// machinery; `ShmRing` additionally maps a shared ring region into
+/// every process and routes data frames through it.
 pub(crate) fn run_socket<F>(cfg: MachineConfig, entry: F) -> Result<RunReport, RunError>
 where
     F: Fn(&Pe) + Send + Sync + 'static,
 {
-    debug_assert_eq!(cfg.transport, Transport::Socket);
+    debug_assert!(matches!(
+        cfg.transport,
+        Transport::Socket | Transport::ShmRing
+    ));
     let call = SOCKET_CALLS.with(|c| {
         let v = c.get();
         c.set(v + 1);
@@ -153,16 +169,26 @@ fn spawn_worker(
     addr: &str,
     call: usize,
     args: &[String],
+    shm_fd: Option<i32>,
 ) -> std::io::Result<Child> {
     let exe = std::env::current_exe()?;
-    Command::new(exe)
-        .args(args)
+    let mut cmd = Command::new(exe);
+    cmd.args(args)
         .env("CONVERSE_WORKER", rank.to_string())
         .env("CONVERSE_WIRE_NPES", n.to_string())
         .env("CONVERSE_WIRE_ADDR", addr)
         .env("CONVERSE_WIRE_CALL", call.to_string())
-        .stdin(Stdio::null())
-        .spawn()
+        .stdin(Stdio::null());
+    if let Some(fd) = shm_fd {
+        // The memfd is created without CLOEXEC so the raw descriptor
+        // survives into the child; the number rides the environment.
+        cmd.env("CONVERSE_SHM_FD", fd.to_string());
+    } else {
+        // A worker replaying earlier calls must not see a stale fd
+        // from an enclosing run's environment.
+        cmd.env_remove("CONVERSE_SHM_FD");
+    }
+    cmd.spawn()
 }
 
 fn exit_signal(status: &std::process::ExitStatus) -> Option<i32> {
@@ -229,9 +255,22 @@ fn run_launcher(cfg: MachineConfig, call: usize) -> Result<RunReport, RunError> 
     let addr = hub.addr().to_string();
     let args = worker_args();
 
+    // ShmRing: build the ring region up front so every worker inherits
+    // its memfd. A 1-PE ring machine has no remote pair, but the region
+    // layout assumes n >= 2 — fall back to pure hub routing there.
+    let shm_region = if cfg.transport == Transport::ShmRing && n >= 2 {
+        Some(
+            ShmRegion::create(n, cfg.wire.ring_bytes)
+                .map_err(|e| RunError::Bootstrap(format!("create shm ring region: {e}")))?,
+        )
+    } else {
+        None
+    };
+    let shm_fd = shm_region.as_ref().and_then(|r| r.fd());
+
     let mut children: Vec<(usize, Child)> = Vec::with_capacity(n);
     for rank in 0..n {
-        match spawn_worker(rank, n, &addr, call, &args) {
+        match spawn_worker(rank, n, &addr, call, &args, shm_fd) {
             Ok(c) => children.push((rank, c)),
             Err(e) => {
                 reap_children(&mut children, Duration::ZERO);
@@ -241,6 +280,10 @@ fn run_launcher(cfg: MachineConfig, call: usize) -> Result<RunReport, RunError> 
             }
         }
     }
+    // Every child now holds an inherited copy of the memfd; dropping
+    // the launcher's region (close + unmap) leaves the kernel to free
+    // the memory when the last worker's mapping goes away.
+    drop(shm_region);
 
     let outcome = {
         // While waiting for HELLOs, notice a child that died before
@@ -361,6 +404,28 @@ where
         );
         std::process::exit(EXIT_BAD_ENV);
     }
+    if cfg.transport == Transport::ShmRing && w.npes >= 2 && w.shm_fd.is_none() {
+        eprintln!(
+            "converse worker rank {}: Transport::ShmRing but no CONVERSE_SHM_FD \
+             in the environment",
+            w.rank
+        );
+        std::process::exit(EXIT_BAD_ENV);
+    }
+    let shm_plane = match w.shm_fd {
+        Some(fd) if cfg.transport == Transport::ShmRing => {
+            // Map the inherited memfd (validating the header) and close
+            // the descriptor: the mapping alone keeps the region alive.
+            match ShmRegion::adopt(fd, w.npes) {
+                Ok(region) => Some(ShmPlane::new(Arc::new(region), w.rank, cfg.idle_spin)),
+                Err(e) => {
+                    eprintln!("converse worker rank {}: map shm ring region: {e}", w.rank);
+                    std::process::exit(EXIT_CONNECT_FAILED);
+                }
+            }
+        }
+        _ => None,
+    };
     let endpoint = match WireEndpoint::connect(
         w.rank,
         w.npes,
@@ -369,6 +434,7 @@ where
         cfg.faults.take(),
         &cfg.wire,
         cfg.trace.clone(),
+        shm_plane,
     ) {
         Ok(ep) => ep,
         Err(e) => {

@@ -391,6 +391,10 @@ pub struct Interconnect {
     stalls: Mutex<Vec<StallWindow>>,
     /// Fast-path guard: true once any stall window exists.
     has_stalls: AtomicBool,
+    /// Per-PE steal splice marks (uptime ns of the oldest unmeasured
+    /// donated batch, 0 = none) — consumed by the scheduler to time
+    /// splice→first-run.
+    steal_marks: Vec<AtomicU64>,
     epoch: Instant,
     /// Set once at shutdown so blocked receivers wake and observe it.
     closed: AtomicBool,
@@ -437,6 +441,7 @@ impl Interconnect {
             trace: trace.filter(|t| t.enabled()),
             stalls: Mutex::new(stalls),
             has_stalls: AtomicBool::new(has_stalls),
+            steal_marks: (0..n).map(|_| AtomicU64::new(0)).collect(),
             epoch: Instant::now(),
             closed: AtomicBool::new(false),
             plan,
@@ -1267,7 +1272,27 @@ impl Interconnect {
         for p in stolen {
             self.mailbox_insert(p.src, thief, p.channel, 0, p.block, 0);
         }
+        if n > 0 {
+            // Mark the splice instant (keeping the oldest pending one)
+            // so the thief's scheduler can time splice→first-run.
+            let now = self.uptime().as_nanos() as u64;
+            let _ = self.steal_marks[thief].compare_exchange(
+                0,
+                now.max(1),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+        }
         n
+    }
+
+    /// Take-and-clear `pe`'s steal splice mark (see
+    /// [`CmiTransport::take_steal_mark`]).
+    pub fn take_steal_mark(&self, pe: usize) -> u64 {
+        if self.steal_marks[pe].load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        self.steal_marks[pe].swap(0, Ordering::AcqRel)
     }
 
     /// Snapshot of every PE's load, in PE order. The per-PE reads are

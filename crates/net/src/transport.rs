@@ -123,7 +123,8 @@ pub trait CmiTransport: Send + Sync {
     /// view on a distributed transport).
     fn fault_stats(&self) -> FaultStats;
 
-    /// Short name for diagnostics and traces: `"inproc"` or `"socket"`.
+    /// Short name for diagnostics and traces: `"inproc"`, `"socket"`
+    /// or `"shmring"`.
     fn transport_name(&self) -> &'static str;
 
     /// Publish `pe`'s own scheduler load sample (run-queue depth, EMA
@@ -165,6 +166,16 @@ pub trait CmiTransport: Send + Sync {
     /// donated packets arrive later as ordinary deliveries.
     fn steal_from(&self, victim: usize, thief: usize, max: usize) -> usize {
         let _ = (victim, thief, max);
+        0
+    }
+
+    /// Take-and-clear `pe`'s steal splice mark: the uptime nanosecond
+    /// at which the oldest not-yet-measured donated batch entered
+    /// `pe`'s mailbox, or 0 when none is pending. The scheduler reads
+    /// this to time splice→first-run steal latency; transports that
+    /// never splice keep the default 0.
+    fn take_steal_mark(&self, pe: usize) -> u64 {
+        let _ = pe;
         0
     }
 
@@ -331,6 +342,11 @@ impl CmiTransport for crate::Interconnect {
     #[inline]
     fn steal_from(&self, victim: usize, thief: usize, max: usize) -> usize {
         Self::steal_from(self, victim, thief, max)
+    }
+
+    #[inline]
+    fn take_steal_mark(&self, pe: usize) -> u64 {
+        Self::take_steal_mark(self, pe)
     }
 
     fn load_of(&self, pe: usize) -> PeLoad {

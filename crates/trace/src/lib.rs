@@ -171,6 +171,20 @@ pub enum Event {
         /// Messages moved.
         batch: usize,
     },
+    /// One timed leg of a steal, recorded on the **thief** PE. Two
+    /// phases bracket the protocol: `ReqToDonate` is the wait from
+    /// firing the steal (the STEAL_REQ frame on distributed
+    /// transports, the synchronous splice call in-process) until
+    /// donated work arrived; `SpliceToRun` is the wait from donated
+    /// work landing in the thief's mailbox until the thief's scheduler
+    /// next dispatched a message. [`Summary`] folds these into per-PE
+    /// p50/p99 histograms.
+    StealLatency {
+        /// Which leg of the steal this sample times.
+        phase: StealPhase,
+        /// Elapsed nanoseconds.
+        ns: u64,
+    },
     /// A migratable object (chare) was moved between PEs by the
     /// measurement-driven balancer. Recorded on the source PE.
     Migrate {
@@ -193,6 +207,16 @@ pub enum Event {
         /// Freed buffers dropped (class full or unpoolable).
         discarded: u64,
     },
+}
+
+/// Which leg of a steal an [`Event::StealLatency`] sample times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealPhase {
+    /// Steal initiated → donated work arrived at the thief.
+    ReqToDonate,
+    /// Donated work spliced into the thief's mailbox → the thief's
+    /// scheduler dispatched its next message.
+    SpliceToRun,
 }
 
 /// What the fault plane (or the reliability layer masking it) did to a
@@ -442,6 +466,13 @@ impl TraceSink for TextSink {
                     "{pe} {t_ns} STEAL victim={victim} thief={thief} batch={batch}"
                 )
             }
+            Event::StealLatency { phase, ns } => {
+                let p = match phase {
+                    StealPhase::ReqToDonate => "req_donate",
+                    StealPhase::SpliceToRun => "splice_run",
+                };
+                writeln!(b, "{pe} {t_ns} STEALLAT phase={p} ns={ns}")
+            }
             Event::Migrate { obj, from, to } => {
                 writeln!(b, "{pe} {t_ns} MIGRATE obj={obj} from={from} to={to}")
             }
@@ -458,6 +489,16 @@ impl TraceSink for TextSink {
             }
         };
     }
+}
+
+/// Sort `samples` and report `(count, p50, p99)` — zeros when empty.
+fn percentiles(samples: &mut [u64]) -> (u64, u64, u64) {
+    if samples.is_empty() {
+        return (0, 0, 0);
+    }
+    samples.sort_unstable();
+    let at = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+    (samples.len() as u64, at(0.50), at(0.99))
 }
 
 /// Per-PE digest of a trace: message counts and handler-busy utilization.
@@ -513,6 +554,18 @@ pub struct PeSummary {
     pub steals: u64,
     /// Messages moved by those steal batches.
     pub stolen_msgs: u64,
+    /// Steal request→donate latency samples recorded on this PE.
+    pub steal_req_donate_samples: u64,
+    /// Median request→donate latency (ns); 0 with no samples.
+    pub steal_req_donate_p50_ns: u64,
+    /// 99th-percentile request→donate latency (ns); 0 with no samples.
+    pub steal_req_donate_p99_ns: u64,
+    /// Steal splice→first-run latency samples recorded on this PE.
+    pub steal_splice_run_samples: u64,
+    /// Median splice→first-run latency (ns); 0 with no samples.
+    pub steal_splice_run_p50_ns: u64,
+    /// 99th-percentile splice→first-run latency (ns); 0 with no samples.
+    pub steal_splice_run_p99_ns: u64,
     /// Objects migrated off this PE ([`Event::Migrate`] records).
     pub migrations: u64,
     /// Buffer-pool hits (from the last [`Event::MsgPool`] snapshot).
@@ -534,6 +587,8 @@ impl Summary {
         let mut open: Vec<Option<u64>> = vec![None; num_pes];
         let mut first: Vec<Option<u64>> = vec![None; num_pes];
         let mut last: Vec<u64> = vec![0; num_pes];
+        let mut req_donate: Vec<Vec<u64>> = vec![Vec::new(); num_pes];
+        let mut splice_run: Vec<Vec<u64>> = vec![Vec::new(); num_pes];
         for r in records {
             let s = &mut pes[r.pe];
             first[r.pe].get_or_insert(r.t_ns);
@@ -580,6 +635,10 @@ impl Summary {
                     s.steals += 1;
                     s.stolen_msgs += *batch as u64;
                 }
+                Event::StealLatency { phase, ns } => match phase {
+                    StealPhase::ReqToDonate => req_donate[r.pe].push(*ns),
+                    StealPhase::SpliceToRun => splice_run[r.pe].push(*ns),
+                },
                 Event::Migrate { .. } => s.migrations += 1,
                 Event::MsgPool { hits, misses, .. } => {
                     // Snapshots are cumulative; keep the latest.
@@ -596,6 +655,14 @@ impl Summary {
                     pes[pe].utilization = pes[pe].busy_ns as f64 / span as f64;
                 }
             }
+            let (c, p50, p99) = percentiles(&mut req_donate[pe]);
+            pes[pe].steal_req_donate_samples = c;
+            pes[pe].steal_req_donate_p50_ns = p50;
+            pes[pe].steal_req_donate_p99_ns = p99;
+            let (c, p50, p99) = percentiles(&mut splice_run[pe]);
+            pes[pe].steal_splice_run_samples = c;
+            pes[pe].steal_splice_run_p50_ns = p50;
+            pes[pe].steal_splice_run_p99_ns = p99;
         }
         Summary { pes }
     }

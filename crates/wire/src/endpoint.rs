@@ -24,14 +24,14 @@
 //! ride the socket un-faulted — the plan models the data channel, the
 //! TCP/Unix stream is the (reliable) physical layer under it.
 
-use crate::{connect, kind, WireOptions, WireStream};
+use crate::{connect, kind, PushOutcome, ShmPlane, WireOptions, WireStream};
 use converse_msg::{write_frame, FrameHeader, MsgBlock};
 use converse_net::fault::{link_draw, unit, SALT_DELAY, SALT_DELAY_SLOTS, SALT_DROP, SALT_DUP};
 use converse_net::{
     Channel, CmiTransport, Delivery, DeliveryMode, FaultPlan, FaultStats, Interconnect, Packet,
     PeTraffic,
 };
-use converse_trace::{Event, FaultKind, TraceSink};
+use converse_trace::{Event, FaultKind, StealPhase, TraceSink};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
@@ -182,6 +182,12 @@ pub struct WireEndpoint {
     n: usize,
     inner: Arc<Interconnect>,
     writer: Mutex<WireStream>,
+    /// Shared-memory ring data plane, when this endpoint runs the
+    /// `shmring` transport. Peer-addressed frames go through the rings
+    /// and the hub socket is demoted to control plane (bootstrap,
+    /// teardown, crash detection) plus a fallback path for frames too
+    /// large for a ring.
+    shm: Option<ShmPlane>,
     plan: Option<FaultPlan>,
     send_links: Vec<Mutex<SendLink>>,
     recv_links: Vec<Mutex<RecvLink>>,
@@ -199,6 +205,14 @@ pub struct WireEndpoint {
     fin_cv: Condvar,
     aborted: Mutex<Option<String>>,
     on_abort: Mutex<Option<AbortHook>>,
+    /// Uptime-ns when the oldest unanswered STEAL_REQ left this rank
+    /// (0 = none); closed out by the first DONATE arrival to time the
+    /// request→donate steal leg.
+    steal_req_at: AtomicU64,
+    /// Uptime-ns when the oldest unmeasured DONATE batch entered the
+    /// local mailbox (0 = none); consumed by the scheduler via
+    /// `take_steal_mark` to time splice→first-run.
+    steal_mark: AtomicU64,
     trace: Arc<dyn TraceSink>,
 }
 
@@ -206,7 +220,10 @@ impl WireEndpoint {
     /// Connect rank `rank` of an `n`-PE machine to the hub at `addr`,
     /// speak HELLO, and block until the hub's GO (the startup barrier).
     /// Returns with the reader (and, under a plan, the retransmit pump)
-    /// running.
+    /// running. With `shm` installed the endpoint runs the `shmring`
+    /// transport: a dedicated poller thread consumes this rank's
+    /// inbound rings and the hub socket carries control traffic only.
+    #[allow(clippy::too_many_arguments)] // one arg per transport concern
     pub fn connect(
         rank: usize,
         n: usize,
@@ -215,6 +232,7 @@ impl WireEndpoint {
         plan: Option<FaultPlan>,
         opts: &WireOptions,
         trace: Arc<dyn TraceSink>,
+        shm: Option<ShmPlane>,
     ) -> io::Result<Arc<WireEndpoint>> {
         assert!(rank < n, "rank {rank} out of range for {n} PEs");
         if let Some(p) = &plan {
@@ -246,6 +264,7 @@ impl WireEndpoint {
             n,
             inner: Interconnect::with_mode(n, delivery),
             writer: Mutex::new(stream),
+            shm,
             send_links: SendLink::default_vec(n),
             recv_links: (0..n).map(|_| Mutex::new(RecvLink::default())).collect(),
             plan,
@@ -259,6 +278,8 @@ impl WireEndpoint {
             fin_cv: Condvar::new(),
             aborted: Mutex::new(None),
             on_abort: Mutex::new(None),
+            steal_req_at: AtomicU64::new(0),
+            steal_mark: AtomicU64::new(0),
             trace,
         });
 
@@ -273,6 +294,19 @@ impl WireEndpoint {
                 .name(format!("wire-pump{rank}"))
                 .spawn(move || pump.pump_loop())
                 .expect("spawn wire pump");
+        }
+        if ep.shm.is_some() {
+            let po = ep.clone();
+            std::thread::Builder::new()
+                .name(format!("wire-shm{rank}"))
+                .spawn(move || {
+                    let plane = po.shm.as_ref().expect("shm plane");
+                    plane.poll_loop(&po.shutdown, |h, payload| {
+                        po.trace_frame(h.kind, h.src as usize, payload.len(), false);
+                        po.on_frame(h, payload);
+                    });
+                })
+                .expect("spawn shm poller");
         }
         Ok(ep)
     }
@@ -342,6 +376,36 @@ impl WireEndpoint {
         }
     }
 
+    /// Route one peer-addressed frame onto the data plane: the shared
+    /// ring to `header.dst` when this is an shmring endpoint, the hub
+    /// socket otherwise.
+    ///
+    /// `may_block` is the full-ring policy. App, pump and reader
+    /// threads wait for the consumer to drain (the remote poller is
+    /// always draining, so waiting is forward progress — the mirror of
+    /// blocking in a full socket buffer). The shm **poller** thread
+    /// must never wait: it is the drain for the opposite direction,
+    /// and two pollers parked on each other's full rings would
+    /// deadlock — so its frames (ACKs, donations) try the ring and
+    /// spill to the hub socket, which still forwards every data kind.
+    /// Oversized frames (> one ring) always take the hub path.
+    fn emit(&self, header: FrameHeader, payload: &[u8], may_block: bool) {
+        if let Some(shm) = &self.shm {
+            let dst = header.dst as usize;
+            if dst != self.rank && dst < self.n {
+                match shm.push(dst, header, payload, may_block, &self.shutdown) {
+                    PushOutcome::Sent => {
+                        self.trace_frame(header.kind, dst, payload.len(), true);
+                        return;
+                    }
+                    PushOutcome::Shutdown => return,
+                    PushOutcome::TooBig | PushOutcome::Full => {}
+                }
+            }
+        }
+        self.write(header, payload);
+    }
+
     fn data_header(&self, dst: usize, channel: Channel, seq: u64) -> FrameHeader {
         FrameHeader::new(kind::DATA, self.rank as u32, dst as u32, seq)
             .on_channel(channel.id, channel.delivery.as_u8())
@@ -354,7 +418,7 @@ impl WireEndpoint {
     /// as in-process), so channel 0 draws exactly as the pre-QoS wire.
     fn wire_attempt(&self, dst: usize, channel: Channel, seq: u64, attempt: u32, block: MsgBlock) {
         let Some(plan) = &self.plan else {
-            self.write(self.data_header(dst, channel, seq), block.as_slice());
+            self.emit(self.data_header(dst, channel, seq), block.as_slice(), true);
             return;
         };
         let src = self.rank;
@@ -399,7 +463,7 @@ impl WireEndpoint {
                     due,
                 });
             } else {
-                self.write(self.data_header(dst, channel, seq), block.as_slice());
+                self.emit(self.data_header(dst, channel, seq), block.as_slice(), true);
             }
         }
     }
@@ -428,9 +492,9 @@ impl WireEndpoint {
                     chan.next_seq += 1;
                     s
                 };
-                self.write(self.data_header(dst, channel, seq), block.as_slice());
+                self.emit(self.data_header(dst, channel, seq), block.as_slice(), true);
             } else {
-                self.write(self.data_header(dst, channel, 0), block.as_slice());
+                self.emit(self.data_header(dst, channel, 0), block.as_slice(), true);
             }
             return;
         };
@@ -482,27 +546,6 @@ impl WireEndpoint {
                 Ok(Some((h, payload))) => {
                     self.trace_frame(h.kind, h.src as usize, payload.len(), false);
                     match h.kind {
-                        kind::DATA => self.on_data(h, payload),
-                        kind::ACK => self.on_ack(h, payload.as_slice()),
-                        kind::INJECT => self.inner.inject(self.rank, payload),
-                        kind::STALL => {
-                            let ns = u64_le(payload.as_slice());
-                            self.inner.stall_for(self.rank, Duration::from_nanos(ns));
-                        }
-                        kind::STEAL_REQ => self.on_steal_req(h, payload.as_slice()),
-                        kind::DONATE => {
-                            // A donated message already cleared the
-                            // reliability sublayer at the victim and TCP
-                            // carried it exactly once, so it enters the
-                            // local mailbox on the unsequenced path.
-                            // Only default-channel packets are stealable.
-                            self.inner.send_on(
-                                h.src as usize,
-                                self.rank,
-                                payload,
-                                Channel::DEFAULT,
-                            );
-                        }
                         kind::ABORT => {
                             let msg = String::from_utf8_lossy(payload.as_slice()).into_owned();
                             self.shutdown.store(true, Ordering::Release);
@@ -516,7 +559,7 @@ impl WireEndpoint {
                             self.fin_cv.notify_all();
                             return;
                         }
-                        _ => {}
+                        _ => self.on_frame(h, payload),
                     }
                 }
                 Ok(None) | Err(_) => {
@@ -526,6 +569,56 @@ impl WireEndpoint {
                     return;
                 }
             }
+        }
+    }
+
+    /// Dispatch one data-plane frame. Shared by the hub reader thread
+    /// (socket transport, plus the shmring fallback path) and the shm
+    /// poller thread — the sublayers above cannot tell which wire
+    /// carried the frame. ABORT/FIN are control plane and stay in
+    /// `reader_loop`.
+    fn on_frame(&self, h: FrameHeader, payload: MsgBlock) {
+        match h.kind {
+            kind::DATA => self.on_data(h, payload),
+            kind::ACK => self.on_ack(h, payload.as_slice()),
+            kind::INJECT => self.inner.inject(self.rank, payload),
+            kind::STALL => {
+                let ns = u64_le(payload.as_slice());
+                self.inner.stall_for(self.rank, Duration::from_nanos(ns));
+            }
+            kind::STEAL_REQ => self.on_steal_req(h, payload.as_slice()),
+            kind::DONATE => {
+                let now = self.inner.uptime().as_nanos() as u64;
+                // First donation since our last STEAL_REQ closes the
+                // request→donate latency leg (recorded thief-side).
+                let t0 = self.steal_req_at.swap(0, Ordering::AcqRel);
+                if t0 != 0 && self.trace.enabled() {
+                    self.trace.record(
+                        self.rank,
+                        now,
+                        Event::StealLatency {
+                            phase: StealPhase::ReqToDonate,
+                            ns: now.saturating_sub(t0),
+                        },
+                    );
+                }
+                // Mark the splice so the scheduler can time
+                // splice→first-run (keep the oldest pending mark).
+                let _ = self.steal_mark.compare_exchange(
+                    0,
+                    now.max(1),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+                // A donated message already cleared the reliability
+                // sublayer at the victim and the wire carried it
+                // exactly once, so it enters the local mailbox on the
+                // unsequenced path. Only default-channel packets are
+                // stealable.
+                self.inner
+                    .send_on(h.src as usize, self.rank, payload, Channel::DEFAULT);
+            }
+            _ => {}
         }
     }
 
@@ -572,10 +665,13 @@ impl WireEndpoint {
                 // Acknowledge even duplicates: the retransmit that
                 // produced them is still waiting for confirmation.
                 let cum = chan.expected;
-                self.write(
+                // Never block on a full ring here: this may run on the
+                // shm poller thread (see `emit`).
+                self.emit(
                     FrameHeader::new(kind::ACK, self.rank as u32, src as u32, seq)
                         .on_channel(channel.id, channel.delivery.as_u8()),
                     &cum.to_le_bytes(),
+                    false,
                 );
             }
             Delivery::AtMostOnce => {
@@ -600,10 +696,13 @@ impl WireEndpoint {
                     self.inner.send_on(src, self.rank, block, channel);
                 }
                 let cum = chan.expected;
-                self.write(
+                // Never block on a full ring here: this may run on the
+                // shm poller thread (see `emit`).
+                self.emit(
                     FrameHeader::new(kind::ACK, self.rank as u32, src as u32, seq)
                         .on_channel(channel.id, channel.delivery.as_u8()),
                     &cum.to_le_bytes(),
+                    false,
                 );
             }
         }
@@ -629,9 +728,12 @@ impl WireEndpoint {
         }
         let batch = stolen.len();
         for p in stolen {
-            self.write(
+            // Non-blocking for the same reason as ACKs: the victim
+            // side runs on reader/poller threads.
+            self.emit(
                 FrameHeader::new(kind::DONATE, p.src as u32, thief as u32, 0),
                 p.block.as_slice(),
+                false,
             );
         }
         if self.trace.enabled() {
@@ -724,7 +826,11 @@ impl WireEndpoint {
                 }
                 releases.sort_by_key(|(c, l)| (c.id, l.seq));
                 for (channel, l) in releases {
-                    self.write(self.data_header(dst, channel, l.seq), l.block.as_slice());
+                    self.emit(
+                        self.data_header(dst, channel, l.seq),
+                        l.block.as_slice(),
+                        true,
+                    );
                 }
                 for (channel, seq, attempt, block) in retx {
                     self.fstats.retransmitted.fetch_add(1, Ordering::Relaxed);
@@ -841,9 +947,10 @@ impl CmiTransport for WireEndpoint {
         if dst == self.rank {
             self.inner.inject(dst, block);
         } else {
-            self.write(
+            self.emit(
                 FrameHeader::new(kind::INJECT, self.rank as u32, dst as u32, 0),
                 block.as_slice(),
+                true,
             );
         }
     }
@@ -900,9 +1007,10 @@ impl CmiTransport for WireEndpoint {
         if pe == self.rank {
             self.inner.stall_for(pe, dur);
         } else {
-            self.write(
+            self.emit(
                 FrameHeader::new(kind::STALL, self.rank as u32, pe as u32, 0),
                 &(dur.as_nanos() as u64).to_le_bytes(),
+                true,
             );
         }
     }
@@ -936,7 +1044,11 @@ impl CmiTransport for WireEndpoint {
     }
 
     fn transport_name(&self) -> &'static str {
-        "socket"
+        if self.shm.is_some() {
+            "shmring"
+        } else {
+            "socket"
+        }
     }
 
     fn publish_load(&self, pe: usize, run_queue: usize, occupancy_pm: u32) {
@@ -980,10 +1092,24 @@ impl CmiTransport for WireEndpoint {
         if victim == self.rank || max == 0 {
             return 0;
         }
-        self.write(
+        // Stamp the request so the first DONATE back closes the
+        // request→donate latency leg (oldest pending request wins).
+        let now = self.inner.uptime().as_nanos() as u64;
+        let _ =
+            self.steal_req_at
+                .compare_exchange(0, now.max(1), Ordering::AcqRel, Ordering::Relaxed);
+        self.emit(
             FrameHeader::new(kind::STEAL_REQ, self.rank as u32, victim as u32, 0),
             &(max as u64).to_le_bytes(),
+            true,
         );
         0
+    }
+
+    fn take_steal_mark(&self, pe: usize) -> u64 {
+        if pe != self.rank || self.steal_mark.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        self.steal_mark.swap(0, Ordering::AcqRel)
     }
 }

@@ -34,14 +34,67 @@
 //! surviving workers stop promptly. A worker that dies without `EXIT`
 //! or `ABORT` (e.g. kill -9) is detected as an EOF on its hub
 //! connection and surfaces as [`HubFailure::Crashed`].
+//!
+//! The **shared-memory ring data plane** (`Transport::ShmRing`, Linux
+//! x86-64/aarch64) reuses all of the above but demotes the hub socket
+//! to a control plane: data frames travel through lock-free SPSC byte
+//! rings — one per ordered PE pair — in a `memfd_create`-backed region
+//! ([`ShmRegion`]) every worker maps, with per-PE futex doorbells for
+//! the idle path ([`ShmPlane`]). Bootstrap, teardown, crash detection,
+//! and oversized or overflow frames stay on the hub socket, so the
+//! protocol above is unchanged and the two wires differ only in who
+//! carries `DATA`.
 
 mod endpoint;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod futex;
 mod hub;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod region;
 mod report;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod shm;
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod shm_stub;
 
 pub use endpoint::WireEndpoint;
 pub use hub::{HubFailure, HubOutcome, WireHub};
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub use region::ShmRegion;
 pub use report::WorkerReport;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub use shm::{PushOutcome, ShmPlane};
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub use shm_stub::{PushOutcome, ShmPlane, ShmRegion};
+
+/// True when this build can run the shared-memory ring transport
+/// (Linux on x86-64 or aarch64 — the targets with hand-declared
+/// `memfd_create`/`futex` bindings).
+pub const SHM_SUPPORTED: bool = cfg!(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+));
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -126,6 +179,10 @@ pub struct WireOptions {
     /// Grace period between a detected failure and forceful teardown of
     /// the survivors.
     pub grace: Duration,
+    /// Shared-memory transport only: data bytes per directed SPSC ring
+    /// (power of two, ≥ 4096). Frames larger than one ring fall back
+    /// to the control-plane socket.
+    pub ring_bytes: usize,
 }
 
 impl Default for WireOptions {
@@ -135,6 +192,7 @@ impl Default for WireOptions {
             accept_timeout: Duration::from_secs(30),
             connect_timeout: Duration::from_secs(10),
             grace: Duration::from_secs(5),
+            ring_bytes: 1 << 20,
         }
     }
 }

@@ -58,6 +58,7 @@ fn run_machine(
                 plan,
                 &o,
                 Arc::new(NullSink),
+                None,
             )
             .expect("connect");
             body(ep.clone(), rank);
@@ -206,6 +207,7 @@ fn worker_abort_fans_out_to_peers() {
                 None,
                 &o,
                 Arc::new(NullSink),
+                None,
             )
             .expect("connect");
             if rank == 0 {
@@ -256,6 +258,7 @@ fn unix_domain_sockets_carry_the_machine() {
                 None,
                 &o,
                 Arc::new(NullSink),
+                None,
             )
             .expect("connect over unix socket");
             let peer = 1 - rank;

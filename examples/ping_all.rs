@@ -1,11 +1,12 @@
-//! All-to-all ping across 4 PEs, on either transport.
+//! All-to-all ping across 4 PEs, on any transport.
 //!
 //! ```text
 //! cargo run --example ping_all -- --transport socket   # one process per PE
+//! cargo run --example ping_all -- --transport shmring  # processes + shm rings
 //! cargo run --example ping_all -- --transport inproc   # threads (default)
 //! ```
 //!
-//! Under `--transport socket` this process becomes the launcher: it
+//! Under `--transport socket` (or `shmring`) this process becomes the launcher: it
 //! re-executes itself once per rank (the workers inherit the same
 //! argv, so each reaches this same `run_with` call), routes frames
 //! between the worker processes over a real socket, and aggregates the
@@ -24,9 +25,10 @@ fn main() {
     let transport = match args.iter().position(|a| a == "--transport") {
         Some(i) => match args.get(i + 1).map(String::as_str) {
             Some("socket") => Transport::Socket,
+            Some("shmring") => Transport::ShmRing,
             Some("inproc") | None => Transport::InProcess,
             Some(other) => {
-                eprintln!("unknown transport {other:?} (want socket|inproc)");
+                eprintln!("unknown transport {other:?} (want socket|shmring|inproc)");
                 std::process::exit(2);
             }
         },
@@ -74,6 +76,7 @@ fn main() {
     }
     let name = match transport {
         Transport::Socket => "socket",
+        Transport::ShmRing => "shmring",
         Transport::InProcess => "inproc",
     };
     println!(

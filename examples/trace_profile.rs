@@ -151,4 +151,56 @@ fn main() {
         "first records in the interchange text format:\n{}",
         text.text()
     );
+
+    // A second, deliberately skewed machine with idle-PE stealing on:
+    // 75% of the task graph lands on PE 0, so the other PEs steal to
+    // rebalance, and every steal leaves two latency records on the
+    // thief — request→donate (how long the victim took to answer) and
+    // splice→first-run (how long stolen work waited to execute).
+    use converse::taskbench::exec::{run_graph_raw, RunOpts};
+    use converse::taskbench::{GraphSpec, Pattern, TaskGraph};
+    let steal_sink = MemorySink::new(4, 500_000);
+    let g = std::sync::Arc::new(TaskGraph::generate(GraphSpec {
+        pattern: Pattern::Random,
+        seed: 42,
+        width: 64,
+        steps: 8,
+    }));
+    converse::core::run_with(
+        MachineConfig::new(4)
+            .steal(converse::machine::StealConfig::default())
+            .trace(steal_sink.clone()),
+        move |pe| {
+            let opts = RunOpts {
+                payload_bytes: 64,
+                steal: true,
+                steal_to0_pct: 75,
+                grain_ns: 50_000,
+                sleep_grain: true,
+                ..RunOpts::default()
+            };
+            run_graph_raw(pe, &g, &opts);
+        },
+    );
+    let ssum = steal_sink.summary();
+    println!("steal-latency profile (StealLatency records, thief-side, ns):");
+    println!(
+        "{:>4} {:>7} {:>12} {:>12} {:>7} {:>12} {:>12}",
+        "PE", "steals", "req→don p50", "req→don p99", "runs", "splice p50", "splice p99"
+    );
+    for (pe, s) in ssum.pes.iter().enumerate() {
+        println!(
+            "{:>4} {:>7} {:>12} {:>12} {:>7} {:>12} {:>12}",
+            pe,
+            s.steal_req_donate_samples,
+            s.steal_req_donate_p50_ns,
+            s.steal_req_donate_p99_ns,
+            s.steal_splice_run_samples,
+            s.steal_splice_run_p50_ns,
+            s.steal_splice_run_p99_ns,
+        );
+    }
+    let total_steals: u64 = ssum.pes.iter().map(|p| p.steals).sum();
+    let total_lat: u64 = ssum.pes.iter().map(|p| p.steal_req_donate_samples).sum();
+    println!("totals: {total_steals} steals, {total_lat} request→donate intervals timed");
 }

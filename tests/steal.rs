@@ -138,10 +138,11 @@ fn stealing_preserves_exactly_once_under_drops() {
 /// Transport conformance: the identical steal-mode program validates
 /// with PEs as threads of one process and as separate OS processes —
 /// where stealing rides STEAL_REQ/DONATE wire frames instead of a
-/// shared-memory list splice.
+/// shared-memory list splice. On hosts with `Transport::ShmRing`,
+/// those same steal frames travel the lock-free rings.
 #[test]
 fn steal_mode_validates_on_each_transport() {
-    for transport in [Transport::InProcess, Transport::Socket] {
+    for &transport in Transport::each() {
         let g = graph(Pattern::Random, 7, 16, 6);
         run_with(
             MachineConfig::new(PES)

@@ -1,8 +1,10 @@
 //! Cross-transport conformance: the same programs, PEs as threads of
-//! one process (`Transport::InProcess`) and as separate OS processes
-//! over a real socket (`Transport::Socket`), must produce the same
-//! answers. The socket iterations re-execute this test binary once per
-//! rank (`CONVERSE_WORKER` role), so every assertion here runs in real
+//! one process (`Transport::InProcess`), as separate OS processes over
+//! a real socket (`Transport::Socket`), and as processes exchanging
+//! data through shared-memory rings (`Transport::ShmRing`, where the
+//! host supports it), must produce the same answers. The
+//! multi-process iterations re-execute this test binary once per rank
+//! (`CONVERSE_WORKER` role), so every assertion here runs in real
 //! worker processes too.
 //!
 //! Harness caveat (see docs/API.md): the worker re-invocation is
@@ -29,9 +31,9 @@ where
     F: Fn(&Pe) + Send + Sync + 'static,
 {
     let entry = Arc::new(entry);
-    [Transport::InProcess, Transport::Socket]
-        .into_iter()
-        .map(|t| {
+    Transport::each()
+        .iter()
+        .map(|&t| {
             let e = entry.clone();
             (t, run_with(mk().transport(t), move |pe| e(pe)))
         })
@@ -156,7 +158,7 @@ fn broadcast_contract_matches_the_transport() {
                 pe.broadcast_zero_copy(),
                 "in-process broadcast must share one allocation"
             ),
-            "socket" => assert!(
+            "socket" | "shmring" => assert!(
                 !pe.broadcast_zero_copy(),
                 "a real wire cannot share an allocation across processes"
             ),

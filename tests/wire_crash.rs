@@ -1,7 +1,9 @@
-//! Worker-crash robustness on the socket transport: a PE process dying
-//! mid-run (kill -9 — no unwinding, no EXIT frame, nothing) must
-//! surface as a [`RunError::WorkerCrashed`] with the fatal signal, tear
-//! the surviving workers down promptly, and leave no orphan processes.
+//! Worker-crash robustness on the socket and shm-ring transports: a PE
+//! process dying mid-run (kill -9 — no unwinding, no EXIT frame,
+//! nothing) must surface as a [`RunError::WorkerCrashed`] with the
+//! fatal signal, tear the surviving workers down promptly, and leave
+//! no orphan processes — and on `Transport::ShmRing`, no leaked shared
+//! ring region either.
 
 #![cfg(unix)]
 
@@ -115,4 +117,109 @@ fn launcher_survives_a_crash_and_runs_again() {
     )
     .expect("clean run after a crashed one");
     assert!(report.total_msgs() >= PES as u64);
+}
+
+/// Any `memfd:`-backed descriptor still open in this process. The shm
+/// ring region is the only memfd user in the tree, so a surviving
+/// entry after a shm-ring run means the region leaked.
+#[cfg(target_os = "linux")]
+fn open_memfds() -> Vec<String> {
+    let mut found = Vec::new();
+    if let Ok(dir) = std::fs::read_dir("/proc/self/fd") {
+        for e in dir.flatten() {
+            if let Ok(target) = std::fs::read_link(e.path()) {
+                let t = target.to_string_lossy().into_owned();
+                if t.contains("memfd:") {
+                    found.push(t);
+                }
+            }
+        }
+    }
+    found
+}
+
+/// SIGKILLing a shm-ring worker mid-run: the control-plane socket (not
+/// the rings — a dead peer's ring just goes quiet) is what detects the
+/// death, so the crash must surface exactly as on the socket transport,
+/// in bounded time. Afterwards the launcher holds no `memfd` and the
+/// very next shm-ring machine boots and completes cleanly — the crash
+/// reclaimed the shared region rather than leaking it.
+#[cfg(target_os = "linux")]
+#[test]
+fn sigkilled_shmring_worker_surfaces_and_region_is_reclaimed() {
+    const PES: usize = 4;
+    const VICTIM: usize = 2;
+    if !Transport::each().contains(&Transport::ShmRing) {
+        return; // host cannot run the shm transport at all
+    }
+    let t0 = Instant::now();
+    let crashed = converse::machine::try_run_with(
+        MachineConfig::new(PES)
+            .transport(Transport::ShmRing)
+            .block_timeout(Duration::from_secs(20)),
+        |pe| {
+            // Barriers only: the clean rerun below replays this run
+            // in-process inside its workers, where nobody dies and the
+            // entry must fall straight through. On the real shm-ring
+            // machine the survivors block in the second barrier until
+            // the crash fan-out unwinds them.
+            pe.barrier();
+            if pe.my_pe() == VICTIM && pe.transport_name() == "shmring" {
+                let me = std::process::id();
+                let _ = std::process::Command::new("sh")
+                    .arg("-c")
+                    .arg(format!("kill -9 {me}"))
+                    .status();
+                loop {
+                    std::thread::sleep(Duration::from_secs(1));
+                }
+            }
+            pe.barrier();
+        },
+    );
+    let elapsed = t0.elapsed();
+    if !converse::machine::in_socket_worker() {
+        match crashed {
+            Err(RunError::WorkerCrashed {
+                rank, signal, code, ..
+            }) => {
+                assert_eq!(rank, VICTIM, "crash attributed to the wrong rank");
+                assert_eq!(signal, Some(9), "SIGKILL not reported (code {code:?})");
+            }
+            Ok(_) => panic!("a kill -9'd shm-ring machine reported success"),
+            Err(other) => panic!("expected WorkerCrashed, got: {other}"),
+        }
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "crash detection took {elapsed:?} — the launcher hung on the dead PE"
+        );
+        let leaked = open_memfds();
+        assert!(
+            leaked.is_empty(),
+            "shm ring region leaked past the crashed run: {leaked:?}"
+        );
+    }
+    // Same launcher process, fresh shm-ring machine, clean completion.
+    let report = converse::machine::try_run_with(
+        MachineConfig::new(PES).transport(Transport::ShmRing),
+        |pe| {
+            let h = pe.register_handler(|pe, msg| {
+                assert_eq!(msg.payload(), b"rering");
+                csd_exit_scheduler(pe);
+            });
+            pe.barrier();
+            pe.sync_send_and_free((pe.my_pe() + 1) % PES, Message::new(h, b"rering"));
+            csd_scheduler(pe, -1);
+            pe.barrier();
+        },
+    )
+    .expect("clean shm-ring run after a crashed one");
+    assert!(report.total_msgs() >= PES as u64);
+    if !converse::machine::in_socket_worker() {
+        let leaked = open_memfds();
+        assert!(
+            leaked.is_empty(),
+            "shm ring region leaked past a clean run: {leaked:?}"
+        );
+    }
 }
